@@ -1,0 +1,33 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+times the core run with pytest-benchmark and emits an
+:class:`~repro.analysis.report.ExperimentReport` pairing the paper's
+claim with the measured series.  Reports are printed and also written
+to ``benchmarks/results/<EXPERIMENT_ID>.txt`` so EXPERIMENTS.md can
+reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit_report():
+    """Print an ExperimentReport and persist it under benchmarks/results/."""
+
+    def _emit(report):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = report.render()
+        print()
+        print(text)
+        path = RESULTS_DIR / f"{report.experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _emit

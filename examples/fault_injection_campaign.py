@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A fault-injection campaign across the synchronous protocol zoo.
+
+Sweeps every compiled protocol against every fault mode it tolerates,
+with randomized systemic failures, and prints a verdict matrix — the
+kind of soak test a downstream adopter would run before trusting the
+compiler with their own Π.
+
+Run:  python examples/fault_injection_campaign.py [seeds]
+"""
+
+import sys
+
+from repro import (
+    FaultMode,
+    FloodBroadcast,
+    FloodMinConsensus,
+    PhaseQueenConsensus,
+    RandomAdversary,
+    RandomCorruption,
+    RepeatedConsensusProblem,
+    compile_protocol,
+    ftss_check,
+    run_sync,
+)
+from repro.analysis import ExperimentReport
+
+
+def campaign_cases():
+    """(canonical protocol, n, tolerated fault modes)."""
+    return [
+        (
+            FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5]),
+            5,
+            [FaultMode.CRASH],
+        ),
+        (
+            PhaseQueenConsensus(f=1, n=6, proposals=[0, 1, 1, 0, 1, 0]),
+            6,
+            [FaultMode.CRASH, FaultMode.SEND_OMISSION, FaultMode.GENERAL_OMISSION],
+        ),
+        (
+            FloodBroadcast(f=2, sender=0, value=1, domain=(0, 1)),
+            5,
+            [FaultMode.CRASH],
+        ),
+    ]
+
+
+def run_case(pi, n, mode, seed):
+    plus = compile_protocol(pi)
+    adversary = RandomAdversary(n=n, f=pi.f, mode=mode, rate=0.2, seed=seed)
+    result = run_sync(
+        plus,
+        n=n,
+        rounds=12 * pi.final_round,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=seed + 17),
+    )
+    if hasattr(pi, "proposal_for"):
+        proposals = frozenset(pi.proposal_for(p) for p in range(n))
+    else:
+        proposals = None  # broadcast: any journalled outcome group must agree
+    sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=proposals)
+    return ftss_check(result.history, sigma, pi.final_round).holds
+
+
+def main() -> None:
+    seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    report = ExperimentReport(
+        experiment_id="CAMPAIGN",
+        title=f"Compiled-protocol soak test, {seeds} seeds per cell",
+        claim="every compiled protocol ftss-solves its Σ⁺ under every "
+        "fault mode its Π tolerates (Thm 4)",
+        headers=["protocol", "fault mode", "ftss holds"],
+    )
+    all_ok = True
+    for pi, n, modes in campaign_cases():
+        for mode in modes:
+            ok = sum(run_case(pi, n, mode, seed) for seed in range(seeds))
+            report.add_row(pi.name, mode.value, f"{ok}/{seeds}")
+            all_ok &= ok == seeds
+    report.emit()
+    print(f"\ncampaign verdict: {'ALL GREEN' if all_ok else 'FAILURES PRESENT'}")
+
+
+if __name__ == "__main__":
+    main()

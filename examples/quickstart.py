@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: round agreement surviving both failure types.
+
+Runs Figure 1's round agreement protocol on a 6-process synchronous
+system whose memory has just been scrambled by a systemic failure,
+while 2 processes keep committing general-omission failures — and
+checks the paper's headline property: within 1 round of the coterie
+stabilizing, all correct processes agree on a common round number and
+advance it in lockstep (Theorem 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClockAgreementProblem,
+    FaultMode,
+    RandomAdversary,
+    RandomCorruption,
+    RoundAgreementProtocol,
+    ftss_check,
+    run_sync,
+    stable_windows,
+)
+from repro.analysis import empirical_stabilization
+
+N, F, ROUNDS, SEED = 6, 2, 30, 7
+
+
+def main() -> None:
+    adversary = RandomAdversary(
+        n=N, f=F, mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=SEED
+    )
+    result = run_sync(
+        RoundAgreementProtocol(),
+        n=N,
+        rounds=ROUNDS,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=SEED),  # the systemic failure
+    )
+
+    print(f"system: n={N}, f={F}, {ROUNDS} rounds, general omission + corruption")
+    print(f"faulty processes: {sorted(result.faulty)}")
+    print(f"initial (corrupted) clocks: {result.history.clocks(1)}")
+    print(f"final clocks:               {result.final_clocks()}")
+
+    print("\nstable-coterie windows (the ftss obligation structure):")
+    for window in stable_windows(result.history):
+        print(
+            f"  rounds {window.first_round:>2}-{window.last_round:<2} "
+            f"coterie={sorted(window.members)}"
+        )
+
+    sigma = ClockAgreementProblem()
+    report = ftss_check(result.history, sigma, stabilization_time=1)
+    measured = empirical_stabilization(result.history, sigma)
+    print(f"\nftss-solves clock agreement @ stabilization 1: {report.holds}")
+    print(f"measured stabilization: {measured} round(s) (paper claims <= 1)")
+    if not report.holds:
+        for violation in report.violations()[:5]:
+            print("  ", violation)
+
+    from repro.analysis import format_history
+
+    print("\ntrace (first/last rounds):")
+    print(format_history(result.history, max_rounds=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Measurement and reporting over recorded runs.
+
+- :mod:`repro.analysis.stabilization` — empirical stabilization times:
+  the smallest grace period under which a problem predicate holds on
+  every stable-coterie window of a history.
+- :mod:`repro.analysis.metrics` — message/overhead accounting for the
+  compiler's and superimposition's cost benches.
+- :mod:`repro.analysis.report` — "paper claim vs measured" tables the
+  benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from repro.analysis.metrics import message_overhead, run_message_stats
+from repro.analysis.report import ExperimentReport
+from repro.analysis.stabilization import (
+    empirical_stabilization,
+    window_stabilization_times,
+)
+from repro.analysis.tracefmt import format_async_trace, format_history
+
+__all__ = [
+    "ExperimentReport",
+    "empirical_stabilization",
+    "format_async_trace",
+    "format_history",
+    "message_overhead",
+    "run_message_stats",
+    "window_stabilization_times",
+]

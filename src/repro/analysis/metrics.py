@@ -1,0 +1,63 @@
+"""Message and overhead accounting.
+
+The compiler and the asynchronous superimposition buy their tolerance
+with extra traffic (round tags on every message, estimate broadcasts
+instead of unicasts, periodic retransmission).  These helpers quantify
+that cost so the FIG3/ASYNC benches can report "Π⁺ costs k× the
+messages of Π per decision" style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.histories.history import ExecutionHistory
+
+__all__ = ["MessageStats", "run_message_stats", "message_overhead"]
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Traffic totals for one recorded synchronous run."""
+
+    rounds: int
+    messages_sent: int
+    messages_delivered: int
+    payload_bytes: int
+
+    @property
+    def messages_per_round(self) -> float:
+        return self.messages_sent / self.rounds if self.rounds else 0.0
+
+
+def run_message_stats(history: ExecutionHistory) -> MessageStats:
+    """Count traffic in a recorded history.
+
+    Payload size is approximated by ``len(repr(payload))`` — a
+    simulator has no wire format; the *ratio* between protocols is the
+    meaningful number and repr length tracks structural size faithfully
+    for the dict/tuple payloads our protocols exchange.
+    """
+    payload_bytes = 0
+    for round_history in history:
+        for record in round_history.records:
+            for message in record.sent:
+                payload_bytes += len(repr(message.payload))
+    return MessageStats(
+        rounds=len(history),
+        messages_sent=history.messages_sent(),
+        messages_delivered=history.messages_delivered(),
+        payload_bytes=payload_bytes,
+    )
+
+
+def message_overhead(
+    baseline: MessageStats, augmented: MessageStats
+) -> Optional[float]:
+    """Bytes-per-round overhead factor of ``augmented`` over ``baseline``."""
+    if baseline.rounds == 0 or baseline.payload_bytes == 0:
+        return None
+    base_rate = baseline.payload_bytes / baseline.rounds
+    augmented_rate = augmented.payload_bytes / augmented.rounds
+    return augmented_rate / base_rate

@@ -1,0 +1,47 @@
+"""Claim-vs-measured reporting for the benchmark harness.
+
+Each bench builds an :class:`ExperimentReport`, adds one row per
+parameter point, and prints it.  The printed tables are the repository's
+stand-in for the paper's (theory-only) evaluation: every row pairs the
+paper's claimed bound/behaviour with what the simulation measured, and
+EXPERIMENTS.md records the outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.util.formatting import format_table
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table of measured rows, with the paper's claim on top."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} cells, "
+                f"headers have {len(self.headers)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        banner = f"== {self.experiment_id}: {self.title} =="
+        claim = f"paper claim: {self.claim}"
+        table = format_table(self.headers, self.rows)
+        return "\n".join([banner, claim, table])
+
+    def emit(self) -> None:
+        """Print the report (benches call this so output lands in logs)."""
+        print()
+        print(self.render())

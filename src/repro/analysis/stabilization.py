@@ -1,0 +1,109 @@
+"""Empirical stabilization-time measurement.
+
+The paper proves upper bounds on stabilization times (1 round for round
+agreement, ``final_round`` for the compiler, plus up to another
+``final_round`` of suspect-set effect).  These helpers *measure* the
+stabilization a run actually exhibited: for each stable-coterie window
+of a history, the smallest grace period ``s`` such that the problem
+predicate holds on the window's rounds after the first ``s``.  The
+maximum over windows is the run's empirical stabilization time, and the
+distribution over a seed sweep is what the THM3/THM4 benches report
+against the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.problems import Problem
+from repro.histories.history import ExecutionHistory
+from repro.histories.stability import StableWindow, stable_windows
+
+__all__ = [
+    "WindowStabilization",
+    "window_stabilization_times",
+    "empirical_stabilization",
+]
+
+
+@dataclass(frozen=True)
+class WindowStabilization:
+    """How quickly Σ started holding inside one stable window.
+
+    ``stabilized_after`` is the smallest grace (in rounds) after which
+    Σ held through the window's end; ``None`` means Σ never held on any
+    suffix of the window (the window may simply be too short, or the
+    protocol genuinely failed there — ``window.length`` disambiguates).
+    """
+
+    window: StableWindow
+    stabilized_after: Optional[int]
+
+
+def window_stabilization_times(
+    history: ExecutionHistory, problem: Problem
+) -> List[WindowStabilization]:
+    """Per-window empirical stabilization of ``problem`` over ``history``.
+
+    For each maximal stable-coterie window ``[x, y]``, finds (by binary
+    search over the monotone "holds on rounds (x+s, y]" predicate) the
+    smallest ``s`` with a passing check.
+    """
+    faulty_by_round = history.faulty_by_round()
+    out: List[WindowStabilization] = []
+    for window in stable_windows(history):
+        faulty = faulty_by_round[window.last_round - history.first_round]
+
+        def holds_with_grace(grace: int) -> bool:
+            first = window.first_round + grace
+            if first > window.last_round:
+                return True  # vacuous: nothing left to check
+            sub = history.window(first, window.last_round)
+            return problem.check(sub, faulty).holds
+
+        if not holds_with_grace(window.length):
+            # Even the vacuous grace failed — cannot happen; guard anyway.
+            out.append(WindowStabilization(window=window, stabilized_after=None))
+            continue
+        lo, hi = 0, window.length
+        if holds_with_grace(0):
+            out.append(WindowStabilization(window=window, stabilized_after=0))
+            continue
+        # Invariant: fails at lo, holds at hi.
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if holds_with_grace(mid):
+                hi = mid
+            else:
+                lo = mid
+        stabilized = hi if hi < window.length else None
+        out.append(WindowStabilization(window=window, stabilized_after=stabilized))
+    return out
+
+
+def empirical_stabilization(
+    history: ExecutionHistory,
+    problem: Problem,
+    min_window_length: int = 2,
+) -> Optional[int]:
+    """The run's overall empirical stabilization time.
+
+    The maximum of the per-window values over windows of at least
+    ``min_window_length`` rounds (shorter windows carry no signal: the
+    coterie changed before the protocol could possibly converge).
+    Returns ``None`` if some qualifying window never stabilized — i.e.
+    the run *refutes* every finite stabilization time.
+    """
+    measurements = window_stabilization_times(history, problem)
+    worst: Optional[int] = 0
+    for measurement in measurements:
+        if measurement.window.length < min_window_length:
+            continue
+        if measurement.stabilized_after is None:
+            # Distinguish "window too short to say" from "never held":
+            # the window qualified by length, so this is a refutation.
+            return None
+        if worst is None or measurement.stabilized_after > worst:
+            worst = measurement.stabilized_after
+    return worst

@@ -1,0 +1,143 @@
+"""Human-readable renderings of recorded executions.
+
+Debugging a distributed protocol is archaeology over its trace; these
+helpers render the artifacts the simulators record:
+
+- :func:`format_history` — a per-round timeline of a synchronous
+  :class:`~repro.histories.history.ExecutionHistory`: each process's
+  round variable, deviation marks, and (optionally) chosen state
+  fields.  Crashes show as ``†``, omissions as ``!``, forgeries as
+  ``?``; coterie growth rounds are flagged since they are the
+  de-stabilizing events every analysis pivots on.
+- :func:`format_async_trace` — a sampled timeline of an asynchronous
+  run's outputs.
+
+Both are pure functions returning strings, so tests can pin their
+behaviour and examples can print them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.asyncnet.scheduler import AsyncTrace
+from repro.histories.coterie import coterie_timeline
+from repro.histories.history import ExecutionHistory, ProcessRoundRecord
+from repro.util.formatting import format_table
+
+__all__ = ["format_history", "format_async_trace"]
+
+#: Extracts a short display string from a process state.
+FieldFn = Callable[[dict], object]
+
+
+def _deviation_marks(record: ProcessRoundRecord) -> str:
+    marks = ""
+    if record.crashed:
+        marks += "†"
+    if record.omitted_sends or record.omitted_receives:
+        marks += "!"
+    if record.forged_sends:
+        marks += "?"
+    return marks
+
+
+def format_history(
+    history: ExecutionHistory,
+    fields: Optional[Sequence[FieldFn]] = None,
+    max_rounds: int = 50,
+    title: str = "",
+) -> str:
+    """Render a synchronous history as a per-round timeline table.
+
+    One row per round: the coterie (with ``+`` on rounds where it
+    grew), then one cell per process showing the round variable,
+    deviation marks, and any extra ``fields`` (callables applied to the
+    state; exceptions render as ``~``).  Long histories are elided in
+    the middle, keeping the first and last ``max_rounds // 2`` rounds.
+    """
+    timeline = coterie_timeline(history)
+    headers = ["round", "coterie"] + [f"p{pid}" for pid in history.processes]
+    rows: List[List[object]] = []
+
+    round_numbers = list(range(history.first_round, history.last_round + 1))
+    elided = False
+    if len(round_numbers) > max_rounds:
+        half = max_rounds // 2
+        round_numbers = round_numbers[:half] + round_numbers[-half:]
+        elided = True
+
+    previous_members = None
+    for round_no in round_numbers:
+        index = round_no - history.first_round
+        members = timeline[index]
+        grew = previous_members is not None and members != timeline[index - 1]
+        if index > 0:
+            grew = members != timeline[index - 1]
+        else:
+            grew = False
+        coterie_cell = "{" + ",".join(map(str, sorted(members))) + "}"
+        if grew:
+            coterie_cell += " +"
+        row: List[object] = [round_no, coterie_cell]
+        for record in history.round(round_no).records:
+            if record.state_before is None:
+                row.append("†")
+                continue
+            cell = str(record.clock_before)
+            marks = _deviation_marks(record)
+            if marks:
+                cell += marks
+            for field in fields or ():
+                try:
+                    cell += f" {field(record.state_before)}"
+                except Exception:
+                    cell += " ~"
+            row.append(cell)
+        rows.append(row)
+        previous_members = members
+
+    text = format_table(headers, rows, title=title)
+    legend = "† crashed   ! omission   ? forgery   + coterie grew"
+    if elided:
+        legend += f"   (middle rounds elided, {len(history)} total)"
+    return text + "\n" + legend
+
+
+def format_async_trace(
+    trace: AsyncTrace,
+    max_samples: int = 30,
+    title: str = "",
+) -> str:
+    """Render an asynchronous trace's sampled outputs as a timeline."""
+    headers = ["time"] + [f"p{pid}" for pid in range(trace.n)]
+    samples = trace.samples
+    elided = False
+    if len(samples) > max_samples:
+        half = max_samples // 2
+        samples = samples[:half] + samples[-half:]
+        elided = True
+    rows: List[List[object]] = []
+    for time, outputs in samples:
+        row: List[object] = [f"{time:.0f}"]
+        for pid in range(trace.n):
+            if pid not in outputs:
+                row.append("†")
+            else:
+                row.append(_short(outputs[pid]))
+        rows.append(row)
+    text = format_table(headers, rows, title=title)
+    footer = f"† crashed   messages sent: {trace.messages_sent}"
+    if elided:
+        footer += f"   (middle samples elided, {len(trace.samples)} total)"
+    return text + "\n" + footer
+
+
+def _short(value: Any, limit: int = 24) -> str:
+    if isinstance(value, frozenset):
+        rendered = "{" + ",".join(map(str, sorted(value))) + "}"
+    else:
+        rendered = str(value)
+    if len(rendered) > limit:
+        rendered = rendered[: limit - 1] + "…"
+    return rendered

@@ -1,0 +1,27 @@
+"""Application layer: services built on the paper's protocols.
+
+What a downstream adopter actually wants from "self-stabilizing
+fault-tolerance" is not a consensus primitive but a service that keeps
+working: :mod:`repro.apps.rsm` provides total-order command
+replication (a replicated state machine) over the self-stabilizing
+repeated consensus of Section 3, with client workloads, exactly-once
+application, and spec checkers.
+"""
+
+from repro.apps.rsm import (
+    ClientWorkload,
+    Command,
+    NOOP,
+    ReplicatedStateMachine,
+    applied_commands,
+    rsm_verdict,
+)
+
+__all__ = [
+    "ClientWorkload",
+    "Command",
+    "NOOP",
+    "ReplicatedStateMachine",
+    "applied_commands",
+    "rsm_verdict",
+]

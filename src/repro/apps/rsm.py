@@ -1,0 +1,208 @@
+"""A replicated state machine over self-stabilizing repeated consensus.
+
+The state-machine approach ([Sch90], cited by the paper) turns any
+total order of commands into a fault-tolerant service.  Here the total
+order comes from the Section 3 repeated-consensus protocol, so the
+service additionally tolerates systemic failures: scramble every
+replica's memory and, after stabilization, commands keep being ordered
+and applied consistently.
+
+Design notes:
+
+- **Clients** are modelled as a static, per-replica schedule of
+  ``(submit_time, command)`` pairs (program text — a real deployment
+  would feed a queue; the schedule keeps runs deterministic).
+- **Proposals are derived, not stored.**  A replica's proposal for
+  instance ``i`` is its first submitted-by-now command that does not
+  yet appear in its decision log (falling back to :data:`NOOP`).
+  Deriving the pending-set from (schedule, log, time) means the RSM
+  layer adds *no corruptible state* beyond the consensus protocol's —
+  self-stabilization is inherited outright.
+- **Exactly-once is an apply-time property.**  Round-agreement jumps
+  can let a command win two instances (the owner re-proposes before
+  learning its earlier win); replicas therefore deduplicate by command
+  identity when folding the log, the standard RSM discipline.
+
+``applied_commands`` folds a replica's log into the applied sequence;
+``rsm_verdict`` checks the service-level spec over a finished trace:
+all correct replicas apply the same sequence (prefix-consistency on
+the settled log), and every command submitted long enough before the
+cutoff is applied exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.asyncnet.scheduler import AsyncTrace, ProcessContext
+from repro.detectors.consensus import CTConsensus
+
+__all__ = [
+    "Command",
+    "NOOP",
+    "ClientWorkload",
+    "ReplicatedStateMachine",
+    "applied_commands",
+    "rsm_verdict",
+]
+
+#: A client command: (owner replica, sequence number, payload).
+Command = Tuple[int, int, Any]
+
+#: Proposed when a replica has nothing pending (filtered at apply time).
+NOOP = ("noop",)
+
+
+class ClientWorkload:
+    """Per-replica schedules of ``(submit_time, payload)`` pairs."""
+
+    def __init__(self, schedules: Mapping[int, Sequence[Tuple[float, Any]]]):
+        self._schedules: Dict[int, List[Tuple[float, Command]]] = {}
+        for pid, entries in schedules.items():
+            commands = [
+                (float(t), (pid, seq, payload))
+                for seq, (t, payload) in enumerate(sorted(entries))
+            ]
+            self._schedules[pid] = commands
+
+    def submitted_by(self, pid: int, now: float) -> List[Command]:
+        """Commands of ``pid`` submitted at or before ``now``, in order."""
+        return [c for t, c in self._schedules.get(pid, []) if t <= now]
+
+    def all_commands(self) -> List[Command]:
+        return [c for entries in self._schedules.values() for _t, c in entries]
+
+    def submit_time(self, command: Command) -> Optional[float]:
+        pid = command[0]
+        for t, c in self._schedules.get(pid, []):
+            if c == command:
+                return t
+        return None
+
+
+class ReplicatedStateMachine(CTConsensus):
+    """Total-order replication: consensus instances order commands.
+
+    All of :class:`CTConsensus`'s modes and detector choices apply; the
+    only change is where proposals come from.
+    """
+
+    def __init__(self, n: int, workload: ClientWorkload, mode: str = "ss", **kwargs):
+        super().__init__(n, mode=mode, **kwargs)
+        self.workload = workload
+        self.name = f"rsm[{mode}]"
+
+    def _initial_proposal(self, pid: int, n: int) -> Any:
+        commands = self.workload.submitted_by(pid, 0.0)
+        return commands[0] if commands else NOOP
+
+    def _proposal_value(self, ctx: ProcessContext, instance: int) -> Any:
+        """First pending command: submitted by now, not yet in my log."""
+        decided = set()
+        for value in ctx.state["log"].values():
+            if isinstance(value, tuple):
+                decided.add(value)
+        for command in self.workload.submitted_by(ctx.pid, ctx.time):
+            if command not in decided:
+                return command
+        return NOOP
+
+
+def applied_commands(log: Mapping[int, Any], horizon: Optional[int] = None) -> List[Command]:
+    """Fold a decision log into the applied command sequence.
+
+    Instances in order; NOOPs and non-command garbage skipped;
+    duplicates applied once (first win counts).
+    """
+    applied: List[Command] = []
+    seen = set()
+    for instance in sorted(log):
+        if horizon is not None and instance >= horizon:
+            break
+        value = log[instance]
+        if not (isinstance(value, tuple) and len(value) == 3):
+            continue  # NOOP or corruption-planted garbage
+        if value in seen:
+            continue
+        seen.add(value)
+        applied.append(value)
+    return applied
+
+
+@dataclass
+class RsmVerdict:
+    """Service-level verdict over a finished RSM trace."""
+
+    holds: bool
+    #: Applied sequences agree across correct replicas (on the settled log).
+    sequences_agree: bool
+    #: Commands submitted before the liveness cutoff that never applied.
+    missing_commands: List[Command] = field(default_factory=list)
+    #: Length of the agreed applied sequence.
+    applied_count: int = 0
+    details: List[str] = field(default_factory=list)
+
+
+def rsm_verdict(
+    trace: AsyncTrace,
+    workload: ClientWorkload,
+    liveness_cutoff: float,
+    settled_margin: int = 3,
+) -> RsmVerdict:
+    """Check the RSM spec: identical applied sequences, no lost commands.
+
+    ``liveness_cutoff``: commands submitted at or before this virtual
+    time must appear in the applied sequence (later submissions may
+    still be in flight when the run ends).  Only the *settled* log
+    prefix is judged (instances below every correct replica's instance
+    counter, minus a margin for in-flight decides).
+    """
+    logs: Dict[int, Dict[int, Any]] = {}
+    horizon: Optional[int] = None
+    for pid, state in trace.final_states.items():
+        if state is None or pid not in trace.correct:
+            continue
+        logs[pid] = state["log"]
+        current = state["instance"]
+        horizon = current if horizon is None else min(horizon, current)
+    if not logs:
+        return RsmVerdict(
+            holds=False,
+            sequences_agree=False,
+            details=["no correct replica state available"],
+        )
+    horizon = max(0, (horizon or 0) - settled_margin)
+
+    sequences = {
+        pid: tuple(applied_commands(log, horizon)) for pid, log in logs.items()
+    }
+    distinct = set(sequences.values())
+    agree = len(distinct) == 1
+    details: List[str] = []
+    if not agree:
+        details.append(f"applied sequences diverge: { {p: len(s) for p, s in sequences.items()} }")
+
+    reference = next(iter(distinct)) if agree else ()
+    applied_set = set(reference)
+    # Liveness is owed only for commands of *correct* replicas: a
+    # replica that crashes takes its unproposed submissions with it
+    # (they may still apply if proposed before the crash, but are not
+    # guaranteed).
+    missing = [
+        command
+        for command in workload.all_commands()
+        if command[0] in trace.correct
+        and workload.submit_time(command) is not None
+        and workload.submit_time(command) <= liveness_cutoff
+        and command not in applied_set
+    ]
+    if missing:
+        details.append(f"{len(missing)} command(s) submitted early never applied")
+    return RsmVerdict(
+        holds=agree and not missing,
+        sequences_agree=agree,
+        missing_commands=missing,
+        applied_count=len(reference),
+        details=details,
+    )

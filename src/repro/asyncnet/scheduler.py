@@ -1,0 +1,314 @@
+"""Discrete-event scheduler for asynchronous protocols.
+
+Processes are reactive state machines: the scheduler calls
+:meth:`AsyncProtocol.on_tick` at each local step and
+:meth:`AsyncProtocol.on_message` at each delivery, passing a
+:class:`ProcessContext` through which the handler reads/writes its
+state, sends messages, and queries the Eventually-Weak failure-detector
+oracle.  Unlike the synchronous engine's pure-functional transitions,
+handlers mutate ``ctx.state`` in place — the conventional event-driven
+idiom.
+
+Asynchrony knobs:
+
+- per-process speed factors and per-tick jitter (unbounded *relative*
+  speeds across processes);
+- per-message random delays, drawn from a wider distribution before
+  the *global stabilization time* (GST) and a bounded one after it;
+- crash schedule: a crashed process takes no further steps and
+  receives nothing.
+
+Determinism: everything random is derived from one seed, so runs are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_process_count
+
+__all__ = ["AsyncProtocol", "AsyncScheduler", "AsyncTrace", "ProcessContext"]
+
+ProcessId = int
+
+
+class AsyncProtocol(ABC):
+    """An asynchronous, message-driven protocol."""
+
+    name: str = "async-protocol"
+
+    @abstractmethod
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        """The specified ("good") initial state."""
+
+    @abstractmethod
+    def on_tick(self, ctx: "ProcessContext") -> None:
+        """One local step: guarded actions, periodic re-sends, timeouts."""
+
+    @abstractmethod
+    def on_message(self, ctx: "ProcessContext", sender: int, payload: Any) -> None:
+        """Handle one delivered message."""
+
+    def output(self, state: Mapping[str, Any]) -> Any:
+        """The externally observable output sampled by the scheduler.
+
+        E.g. a failure detector returns its suspect set; a consensus
+        protocol returns its decision log.  Must be cheap and built
+        from immutable pieces (it is stored in the trace).
+        """
+        return None
+
+    def arbitrary_state(self, pid: int, n: int, rng) -> Dict[str, Any]:
+        """An arbitrary state in the protocol's state space (corruption)."""
+        return self.initial_state(pid, n)
+
+
+class ProcessContext:
+    """The face a protocol handler sees: its state, clock, and network."""
+
+    def __init__(self, scheduler: "AsyncScheduler", pid: int):
+        self._scheduler = scheduler
+        self.pid = pid
+
+    @property
+    def n(self) -> int:
+        return self._scheduler.n
+
+    @property
+    def time(self) -> float:
+        """Current virtual time (read-only; handlers cannot set timers
+        beyond their regular tick cadence)."""
+        return self._scheduler.now
+
+    @property
+    def state(self) -> Dict[str, Any]:
+        return self._scheduler.states[self.pid]
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send one message; it will arrive after an arbitrary delay."""
+        self._scheduler._enqueue_message(self.pid, dest, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send to every process, including self."""
+        for dest in range(self.n):
+            self.send(dest, payload)
+
+    def weak_suspects(self) -> FrozenSet[int]:
+        """Query the Eventually-Weak failure-detector oracle (◇W).
+
+        Returns the set of processes the oracle currently tells *this*
+        process to suspect.  Empty when no oracle is configured.
+        """
+        oracle = self._scheduler.oracle
+        if oracle is None:
+            return frozenset()
+        return oracle.suspects(self.pid, self._scheduler.now)
+
+
+@dataclass
+class AsyncTrace:
+    """Everything recorded from one asynchronous run."""
+
+    n: int
+    duration: float
+    #: (time, {pid: output}) at the sampling cadence; crashed pids absent.
+    samples: List[Tuple[float, Dict[int, Any]]] = field(default_factory=list)
+    final_states: Dict[int, Optional[Dict[str, Any]]] = field(default_factory=dict)
+    crashed: FrozenSet[int] = frozenset()
+    messages_sent: int = 0
+    deliveries: int = 0
+
+    @property
+    def correct(self) -> FrozenSet[int]:
+        return frozenset(range(self.n)) - self.crashed
+
+    def outputs_over_time(self, pid: int) -> List[Tuple[float, Any]]:
+        """The sampled output series of one process."""
+        series = []
+        for time, outputs in self.samples:
+            if pid in outputs:
+                series.append((time, outputs[pid]))
+        return series
+
+
+class AsyncScheduler:
+    """Runs one asynchronous execution and records an :class:`AsyncTrace`.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol every process runs.
+    n:
+        System size.
+    seed:
+        Master seed; all delays/jitters derive from it.
+    tick_interval:
+        Mean local-step period.  Each process gets a private speed
+        factor in ``[0.5, 1.5]`` and each tick is jittered ±20%, so
+        relative speeds vary without bound over time.
+    delay:
+        (lo, hi) post-GST message delay bounds.
+    pre_gst_delay_max:
+        Upper delay bound before GST (defaults to ``4 * hi``): the
+        "unbounded" early asynchrony, finite so every message is
+        eventually delivered (reliable channels).
+    gst:
+        Global stabilization time; ``0.0`` makes the whole run stable.
+    crash_times:
+        ``pid -> time``: crash schedule (crash faults only, per the
+        paper's Section 3).
+    oracle:
+        The ◇W oracle answering :meth:`ProcessContext.weak_suspects`.
+    corruption:
+        A corruption plan applied to the initial states (systemic
+        failure).  Duck-typed from :mod:`repro.sync.corruption`.
+    sample_interval:
+        Cadence at which outputs are recorded into the trace.
+    duplicate_probability:
+        Probability that a message is delivered *twice* (with
+        independent delays).  Real networks duplicate; protocols built
+        here are expected to be idempotent, and tests exercise that.
+    """
+
+    def __init__(
+        self,
+        protocol: AsyncProtocol,
+        n: int,
+        seed: int = 0,
+        tick_interval: float = 1.0,
+        delay: Tuple[float, float] = (0.05, 0.5),
+        pre_gst_delay_max: Optional[float] = None,
+        gst: float = 0.0,
+        crash_times: Optional[Mapping[int, float]] = None,
+        oracle: Optional[Any] = None,
+        corruption: Optional[Any] = None,
+        sample_interval: float = 2.0,
+        duplicate_probability: float = 0.0,
+    ):
+        require_process_count(n)
+        require(tick_interval > 0, "tick_interval must be positive")
+        require(0 < delay[0] <= delay[1], f"bad delay bounds {delay}")
+        require(
+            0.0 <= duplicate_probability <= 1.0,
+            f"duplicate_probability must be in [0, 1], got {duplicate_probability}",
+        )
+        self._duplicate_probability = duplicate_probability
+        self.protocol = protocol
+        self.n = n
+        self.gst = gst
+        self.oracle = oracle
+        self.now = 0.0
+        self._rng = make_rng(seed, f"async:{protocol.name}")
+        self._tick_interval = tick_interval
+        self._delay = delay
+        self._pre_gst_delay_max = (
+            pre_gst_delay_max if pre_gst_delay_max is not None else 4 * delay[1]
+        )
+        self._sample_interval = sample_interval
+        self._crash_times = dict(crash_times or {})
+        self._speed = {
+            pid: self._rng.uniform(0.5, 1.5) for pid in range(n)
+        }
+
+        states: Dict[int, Optional[Dict[str, Any]]] = {
+            pid: protocol.initial_state(pid, n) for pid in range(n)
+        }
+        if corruption is not None:
+            states = corruption.corrupt(protocol, states, n)
+        self.states = states
+
+        self._crashed: set = set()
+        self._queue: List[Tuple[float, int, str, Tuple]] = []
+        self._seq = 0
+        self._messages_sent = 0
+        self._deliveries = 0
+        self._contexts = {pid: ProcessContext(self, pid) for pid in range(n)}
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(self, time: float, kind: str, data: Tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, kind, data))
+
+    def _enqueue_message(self, sender: int, dest: int, payload: Any) -> None:
+        self._messages_sent += 1
+        copies = 1
+        if self._duplicate_probability and self._rng.random() < self._duplicate_probability:
+            copies = 2
+        lo, hi = self._delay
+        for _ in range(copies):
+            if self.now < self.gst:
+                delay = self._rng.uniform(lo, self._pre_gst_delay_max)
+            else:
+                delay = self._rng.uniform(lo, hi)
+            self._push(
+                self.now + delay, "deliver", (dest, sender, copy.deepcopy(payload))
+            )
+
+    def _next_tick_delay(self, pid: int) -> float:
+        jitter = self._rng.uniform(0.8, 1.2)
+        return self._tick_interval * self._speed[pid] * jitter
+
+    # -- the run ----------------------------------------------------------------
+
+    def run(
+        self,
+        max_time: float,
+        stop_condition: Optional[Callable[["AsyncScheduler"], bool]] = None,
+    ) -> AsyncTrace:
+        """Execute until ``max_time`` (or the stop condition) and trace it."""
+        require(max_time > 0, "max_time must be positive")
+        trace = AsyncTrace(n=self.n, duration=max_time)
+
+        for pid in range(self.n):
+            self._push(self._next_tick_delay(pid), "tick", (pid,))
+        for pid, time in self._crash_times.items():
+            self._push(time, "crash", (pid,))
+        self._push(self._sample_interval, "sample", ())
+
+        while self._queue:
+            time, _seq, kind, data = heapq.heappop(self._queue)
+            if time > max_time:
+                break
+            self.now = time
+            if kind == "crash":
+                (pid,) = data
+                self._crashed.add(pid)
+                self.states[pid] = None
+            elif kind == "tick":
+                (pid,) = data
+                if pid in self._crashed:
+                    continue
+                self.protocol.on_tick(self._contexts[pid])
+                self._push(time + self._next_tick_delay(pid), "tick", (pid,))
+            elif kind == "deliver":
+                dest, sender, payload = data
+                if dest in self._crashed:
+                    continue
+                self._deliveries += 1
+                self.protocol.on_message(self._contexts[dest], sender, payload)
+            elif kind == "sample":
+                outputs = {
+                    pid: self.protocol.output(state)
+                    for pid, state in self.states.items()
+                    if state is not None
+                }
+                trace.samples.append((time, outputs))
+                self._push(time + self._sample_interval, "sample", ())
+            if stop_condition is not None and stop_condition(self):
+                break
+
+        trace.final_states = {
+            pid: None if state is None else dict(state)
+            for pid, state in self.states.items()
+        }
+        trace.crashed = frozenset(self._crashed)
+        trace.messages_sent = self._messages_sent
+        trace.deliveries = self._deliveries
+        return trace

@@ -1,0 +1,212 @@
+"""Bounded round counters: the impossibility the paper defers.
+
+Figure 3's third compilability requirement is that "the current round
+number is counted by an unbounded variable"; the paper defers the
+matching impossibility ("analogous to Theorem 2") to the full version.
+This module makes the hazard executable:
+
+:class:`BoundedRoundAgreement` is Figure 1 with the round variable
+kept modulo ``M``.  The max-merge rule is then ill-founded — "max" of
+points on a cycle depends on where you cut it — and we resolve it the
+way bounded-sequence protocols classically do, with a windowed
+comparison: ``b`` is *ahead of* ``a`` iff ``(b - a) mod M`` lies in
+``(0, M/2)``.  That rule is sound exactly while all live clocks fit in
+a half-ring window; a systemic failure can place them antipodally, and
+then ahead-of is cyclic (a < b < c < a), merging is order-dependent,
+and agreement can fail to re-establish while rate keeps holding — the
+executable content of the bounded-counter impossibility.
+
+:func:`antipodal_scenario` constructs such a configuration and
+:func:`bounded_refutation_sweep` searches corruptions for refutations
+of a given stabilization time, which the THM-BOUNDED bench sweeps
+against the modulus.  For moduli that are large relative to both the
+corruption spread and the run length, the bounded protocol behaves
+exactly like Figure 1 (the window never wraps) — also measured, since
+it is why practical systems get away with 64-bit counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.problems import ClockAgreementProblem, Problem
+from repro.core.solvability import ftss_check
+from repro.histories.history import CLOCK_KEY, ExecutionHistory, Message
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+from repro.sync.protocol import SyncProtocol
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_positive
+
+__all__ = [
+    "BoundedRoundAgreement",
+    "BoundedClockAgreementProblem",
+    "antipodal_scenario",
+    "bounded_refutation_sweep",
+    "BoundedSweepOutcome",
+]
+
+
+def ahead_of(b: int, a: int, modulus: int) -> bool:
+    """Windowed cyclic comparison: is ``b`` ahead of ``a`` on the ring?"""
+    return 0 < (b - a) % modulus < modulus / 2
+
+
+class BoundedRoundAgreement(SyncProtocol):
+    """Figure 1 with a mod-``M`` round variable and windowed merge.
+
+    The update adopts the most-ahead clock visible this round (by the
+    half-ring rule, starting from the process's own clock) and then
+    increments mod ``M``.  Coincides with Figure 1 whenever all clocks
+    ever alive fit in a half-ring window.
+    """
+
+    def __init__(self, modulus: int):
+        require_positive(modulus, "modulus")
+        require(modulus >= 4, f"modulus must be at least 4, got {modulus}")
+        self.modulus = modulus
+        self.name = f"bounded-round-agreement(M={modulus})"
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {CLOCK_KEY: 1}
+
+    def send(self, pid: int, state: Mapping[str, Any]) -> Any:
+        return state[CLOCK_KEY]
+
+    def update(
+        self, pid: int, state: Mapping[str, Any], delivered: Sequence[Message]
+    ) -> Dict[str, Any]:
+        best = state[CLOCK_KEY] % self.modulus
+        for message in delivered:
+            candidate = message.payload % self.modulus
+            if ahead_of(candidate, best, self.modulus):
+                best = candidate
+        return {CLOCK_KEY: (best + 1) % self.modulus}
+
+    def arbitrary_state(self, pid: int, n: int, rng: random.Random) -> Dict[str, Any]:
+        return {CLOCK_KEY: rng.randrange(0, self.modulus)}
+
+
+class BoundedClockAgreementProblem(Problem):
+    """Assumption 1 with mod-``M`` rate: agreement plus ``+1 (mod M)``."""
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+        self.name = f"clock-agreement-mod-{modulus}"
+
+    def check(self, history: ExecutionHistory, faulty):
+        from repro.core.problems import CheckReport, Violation
+
+        violations: List[Violation] = []
+        for round_no in range(history.first_round, history.last_round + 1):
+            clocks = {
+                pid: clock
+                for pid, clock in history.clocks(round_no).items()
+                if pid not in faulty and clock is not None
+            }
+            if len(set(clocks.values())) > 1:
+                violations.append(
+                    Violation(round_no, "agreement", f"clocks differ: {clocks}")
+                )
+            if round_no < history.last_round:
+                for pid, clock in clocks.items():
+                    nxt = history.clock(pid, round_no + 1)
+                    if nxt is not None and nxt != (clock + 1) % self.modulus:
+                        violations.append(
+                            Violation(
+                                round_no,
+                                "rate",
+                                f"process {pid}: {clock} -> {nxt} "
+                                f"(must be +1 mod {self.modulus})",
+                            )
+                        )
+        return CheckReport.from_violations(self.name, violations)
+
+
+def antipodal_scenario(modulus: int, n: int = 3) -> Dict[int, int]:
+    """Clocks spread evenly around the ring: the cyclic ahead-of trap.
+
+    With ``n`` clocks at mutual distance ``M/n`` each sees the next as
+    ahead (for n >= 3 and M/n < M/2), so the "most ahead" relation is
+    cyclic and different processes resolve the merge differently.
+    """
+    require(n >= 2, "need at least 2 processes")
+    return {pid: (pid * modulus) // n % modulus for pid in range(n)}
+
+
+@dataclass
+class BoundedSweepOutcome:
+    """Result of searching corruptions for a refutation."""
+
+    modulus: int
+    stabilization_time: int
+    trials: int
+    refutations: int
+    first_refuting_clocks: Optional[Dict[int, int]]
+
+    @property
+    def refuted(self) -> bool:
+        return self.refutations > 0
+
+
+def bounded_refutation_sweep(
+    modulus: int,
+    stabilization_time: int,
+    n: int = 3,
+    rounds: int = 24,
+    trials: int = 40,
+    seed: int = 0,
+    include_antipodal: bool = True,
+    corruption_window: Optional[int] = None,
+) -> BoundedSweepOutcome:
+    """Search corrupted starts for ftss violations of the bounded protocol.
+
+    Tries the constructed antipodal configuration first, then seeded
+    random ring configurations.  A refutation is a failure-free run
+    (so every window obligation is live) whose ftss check fails at the
+    given stabilization time.
+
+    ``corruption_window`` restricts corrupted clocks to ``[0, W)``: the
+    regime in which real systems get away with bounded (e.g. 64-bit)
+    counters.  While ``W + rounds`` stays below ``M/2`` the half-ring
+    comparison never wraps and the protocol coincides with Figure 1 —
+    no refutations.  With full-ring corruption (``W = M``, the
+    theorem's regime) every modulus is refutable: arbitrary memory
+    corruption can always place clocks antipodally.
+    """
+    protocol = BoundedRoundAgreement(modulus)
+    sigma = BoundedClockAgreementProblem(modulus)
+    rng = make_rng(seed, f"bounded-sweep-{modulus}-{corruption_window}")
+    window = modulus if corruption_window is None else corruption_window
+    require(0 < window <= modulus, f"corruption window {window} not in (0, {modulus}]")
+
+    configurations: List[Dict[int, int]] = []
+    if include_antipodal and window == modulus:
+        configurations.append(antipodal_scenario(modulus, n))
+    for _ in range(trials - len(configurations)):
+        configurations.append(
+            {pid: rng.randrange(0, window) for pid in range(n)}
+        )
+
+    refutations = 0
+    first_refuting = None
+    for clocks in configurations:
+        res = run_sync(
+            protocol,
+            n=n,
+            rounds=rounds,
+            corruption=ClockSkewCorruption(clocks),
+        )
+        if not ftss_check(res.history, sigma, stabilization_time).holds:
+            refutations += 1
+            if first_refuting is None:
+                first_refuting = dict(clocks)
+    return BoundedSweepOutcome(
+        modulus=modulus,
+        stabilization_time=stabilization_time,
+        trials=len(configurations),
+        refutations=refutations,
+        first_refuting_clocks=first_refuting,
+    )

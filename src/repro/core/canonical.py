@@ -1,0 +1,171 @@
+"""The canonical fault-tolerant full-information protocol Π (Figure 2).
+
+The compiler only transforms protocols in the paper's canonical form:
+
+    Initialization:  s_p^1 := s_{p,init};  c_p^1 := 1
+    Start of round:  p sends (STATE: p, s_p^r) to all
+    End of round:    M := messages received this round
+                     s_p^{r+1} := function(p, s_p^r, M, c_p^r)
+                     c_p^{r+1} := c_p^r + 1
+                     if c_p^r = final_round then halt
+
+A :class:`CanonicalProtocol` supplies exactly the pieces of that form —
+``s_init``, ``function`` and ``final_round`` — and nothing else: no
+clock management, no halting, no network interaction.  Two consumers
+drive it:
+
+- :class:`CanonicalRunner` executes Figure 2 *as written* (terminating,
+  halting in the final round) on the synchronous engine.  This is the
+  ft-baseline: correct under process failures from the good initial
+  state, defenceless against systemic failures.
+- :func:`repro.core.compiler.compile_protocol` superimposes round
+  agreement onto it, producing the non-terminating Π⁺ of Figure 3.
+
+The restrictions the paper places on compilable protocols are enforced
+here by construction: the protocol is round-based and full-information
+(state-broadcasting); it cannot restrict faulty behaviour (it has no
+notion of halting others — Theorem 2 makes uniform protocols
+untransformable); and the round counter lives in an unbounded Python
+int.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.histories.history import CLOCK_KEY, Message
+from repro.sync.protocol import SyncProtocol
+
+__all__ = ["CanonicalProtocol", "CanonicalRunner", "StateMessage"]
+
+#: Full-information payload: (sender pid, sender's inner state).
+StateMessage = Tuple[int, Dict[str, Any]]
+
+INNER_KEY = "inner"
+HALTED_KEY = "halted"
+
+
+class CanonicalProtocol(ABC):
+    """The (s_init, function, final_round) triple of Figure 2.
+
+    ``transition`` must be a pure function of its arguments: the engine
+    and the compiler both call it with defensively-copied inputs, and
+    they rely on it returning a fresh state rather than mutating.
+
+    Subclasses may override :meth:`arbitrary_inner_state` so systemic
+    failures range over their full state space.
+    """
+
+    #: Human-readable name for reports.
+    name: str = "canonical"
+    #: Duration of one terminating run, in rounds (Figure 2's final_round).
+    final_round: int = 1
+
+    @abstractmethod
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        """``s_{p,init}``: the specified initial state (no clock)."""
+
+    @abstractmethod
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        """``function(p, s, M, k)``: the end-of-round state update.
+
+        ``messages`` holds (sender, sender_state) pairs — the protocol
+        is full-information, every process broadcasts its entire state.
+        ``k`` is the protocol-relative round in ``1 .. final_round``.
+        """
+
+    # ------------------------------------------------------------------
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        """An arbitrary state in the protocol's state space (for corruption)."""
+        return self.initial_inner_state(pid, n)
+
+    def decision_of(self, inner_state: Mapping[str, Any]) -> Optional[Any]:
+        """Extract a decision, if this protocol records one (default key)."""
+        return inner_state.get("decision")
+
+
+class CanonicalRunner(SyncProtocol):
+    """Figure 2 executed literally: a terminating, halting run of Π.
+
+    State layout: ``{"clock": c_p, "inner": s_p, "halted": bool}``.
+    After halting the process broadcasts nothing and its state is
+    frozen — exactly the paper's ``halt``.  Terminating protocols
+    cannot tolerate systemic failures ([KP90], cited in the paper), and
+    the test-suite demonstrates that directly against this runner.
+    """
+
+    def __init__(self, canonical: CanonicalProtocol):
+        self.canonical = canonical
+        self.name = f"ft:{canonical.name}"
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {
+            CLOCK_KEY: 1,
+            INNER_KEY: self.canonical.initial_inner_state(pid, n),
+            HALTED_KEY: False,
+            "n": n,
+        }
+
+    def send(self, pid: int, state: Mapping[str, Any]) -> Any:
+        if state[HALTED_KEY]:
+            return None
+        return (pid, dict(state[INNER_KEY]))
+
+    def update(
+        self, pid: int, state: Mapping[str, Any], delivered: Sequence[Message]
+    ) -> Dict[str, Any]:
+        if state[HALTED_KEY]:
+            return dict(state)
+        messages: List[StateMessage] = [m.payload for m in delivered]
+        clock = state[CLOCK_KEY]
+        inner = self.canonical.transition(
+            pid, state[INNER_KEY], messages, clock, state["n"]
+        )
+        return {
+            CLOCK_KEY: clock + 1,
+            INNER_KEY: inner,
+            HALTED_KEY: clock == self.canonical.final_round,
+            "n": state["n"],
+        }
+
+    def arbitrary_state(self, pid: int, n: int, rng: random.Random) -> Dict[str, Any]:
+        return {
+            CLOCK_KEY: rng.randrange(0, 4 * self.canonical.final_round),
+            INNER_KEY: self.canonical.arbitrary_inner_state(pid, n, rng),
+            HALTED_KEY: rng.random() < 0.25,
+            "n": n,
+        }
+
+    def decision_of(self, state: Mapping[str, Any]) -> Optional[Any]:
+        """Decision recorded by the wrapped protocol, if any."""
+        return self.canonical.decision_of(state[INNER_KEY])
+
+
+def run_ft(canonical: CanonicalProtocol, n: int, adversary=None, **kwargs):
+    """Run Figure 2 once and return the finished run.
+
+    Histories record states *at the start of* each round, so the state
+    produced by the final-round transition is only visible in the round
+    after it — this helper therefore executes ``final_round + 1``
+    rounds (the extra round is the halt round: processes are frozen and
+    silent).  Problem predicates evaluated on the resulting history see
+    the decisions.
+    """
+    from repro.sync.engine import run_sync
+
+    runner = CanonicalRunner(canonical)
+    return run_sync(
+        runner, n=n, rounds=canonical.final_round + 1, adversary=adversary, **kwargs
+    )

@@ -1,0 +1,208 @@
+"""The compiler Π → Π⁺ (paper, Figure 3, Theorem 4).
+
+``compile_protocol`` superimposes the round agreement protocol
+(Figure 1) onto a canonical fault-tolerant protocol Π (Figure 2),
+producing the non-terminating, process- *and* systemic-failure-tolerant
+Π⁺ that repeatedly solves Π's problem (Σ⁺).
+
+Per-round behaviour of Π⁺ at process p (Figure 3, verbatim):
+
+    Start of round:  send ((STATE: p, s_p), (ROUND: p, c_p)) to all
+    End of round:
+        S  := suspect ∪ {q | no message from q tagged with c_p arrived}
+        M  := messages whose sender is not in S
+        k  := normalize(c_p)          # c mod final_round + 1
+        s' := function(p, s, M, k)    # Π's transition, "controlled"
+        suspect' := S
+        R  := all round tags received (unfiltered)
+        c' := max(R) + 1              # the Figure 1 merge
+        if normalize(c') = 1:         # new iteration starts
+            s' := s_init; suspect' := ∅
+
+Why each piece exists (paper §2.4):
+
+- The **round tag + max-merge** is round agreement: once the coterie is
+  stable, all correct processes run the same protocol-relative round
+  ``k`` within one round of grace (Theorem 3).
+- The **suspect set** insulates Π from "out-of-date" messages: a
+  process whose tag disagrees with p's current round is suspected and
+  its state message hidden from Π's transition — otherwise a stale
+  coterie member would falsify Σ from inside.  Suspicion resets each
+  iteration, so the *corrupted-suspect* systemic failure (a correct
+  process pre-suspected at start) costs at most one extra iteration.
+- The **iteration reset** re-establishes Π's initial state so the next
+  repetition begins anew.
+
+Theorem 4: if Π ft-solves Σ, then Π⁺ ftss-solves Σ⁺ with stabilization
+time ``final_round``.  (The paper notes corrupted suspect sets can add
+up to another ``final_round``; the THM4 bench measures the actual
+distribution and EXPERIMENTS.md records it.)
+
+For the ABL-SUSPECT ablation, ``use_suspects=False`` disables the
+filter while keeping everything else — the benches show stale-round
+messages then falsify Σ⁺ exactly as §2.4 warns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.histories.history import CLOCK_KEY, Message
+from repro.sync.protocol import SyncProtocol
+
+__all__ = ["CompiledProtocol", "compile_protocol", "normalize"]
+
+INNER_KEY = "inner"
+SUSPECT_KEY = "suspect"
+
+
+def normalize(clock: int, final_round: int) -> int:
+    """Figure 3's ``normalize``: map a clock into ``1 .. final_round``."""
+    return clock % final_round + 1
+
+
+def compile_protocol(
+    canonical: CanonicalProtocol, use_suspects: bool = True
+) -> "CompiledProtocol":
+    """Compile Π into Π⁺ (the paper's automatic transformation)."""
+    return CompiledProtocol(canonical, use_suspects=use_suspects)
+
+
+class CompiledProtocol(SyncProtocol):
+    """Π⁺: the superimposition of round agreement onto Π.
+
+    State layout::
+
+        {
+          "clock":   c_p       (round variable, unbounded int),
+          "inner":   s_p       (Π's state),
+          "suspect": frozenset (processes whose messages Π must ignore),
+          "n":       system size,
+          "last_decision":    decision of the last completed iteration,
+          "decided_at_clock": clock value at which it completed,
+        }
+
+    ``last_decision``/``decided_at_clock`` are *history variables*: they
+    are written, never read, by the protocol, and exist so analyses and
+    Σ⁺ checks can observe per-iteration decisions after the reset wipes
+    Π's state.  Like all state they are subject to corruption, which is
+    why Σ⁺ checks only trust them inside stable windows.
+
+    A clean start has ``clock = 0`` so the first protocol-relative round
+    is ``normalize(0) = 1``; iteration boundaries fall on clocks that
+    are multiples of ``final_round``.
+    """
+
+    def __init__(self, canonical: CanonicalProtocol, use_suspects: bool = True):
+        self.canonical = canonical
+        self.use_suspects = use_suspects
+        self.final_round = canonical.final_round
+        suffix = "" if use_suspects else "-nosuspect"
+        self.name = f"compiled:{canonical.name}{suffix}"
+
+    # -- protocol interface ------------------------------------------------
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {
+            CLOCK_KEY: 0,
+            INNER_KEY: self.canonical.initial_inner_state(pid, n),
+            SUSPECT_KEY: frozenset(),
+            "n": n,
+            "last_decision": None,
+            "decided_at_clock": None,
+        }
+
+    def send(self, pid: int, state: Mapping[str, Any]) -> Any:
+        # ((STATE: p, s_p), (ROUND: p, c_p))
+        return ((pid, dict(state[INNER_KEY])), state[CLOCK_KEY])
+
+    def update(
+        self, pid: int, state: Mapping[str, Any], delivered: Sequence[Message]
+    ) -> Dict[str, Any]:
+        n = state["n"]
+        clock = state[CLOCK_KEY]
+
+        # Partition the deliveries: who spoke at my round, and all tags.
+        tags_seen: List[int] = []
+        at_my_round: Dict[int, StateMessage] = {}
+        for message in delivered:
+            (sender, inner_payload), tag = message.payload
+            tags_seen.append(tag)
+            if tag == clock:
+                at_my_round[sender] = (sender, inner_payload)
+
+        # S := suspect ∪ {q | no message from q tagged c_p this round}
+        missing = frozenset(q for q in range(n) if q not in at_my_round)
+        suspects = frozenset(state[SUSPECT_KEY]) | missing
+
+        # M := messages from unsuspected senders (suspect filter is the
+        # §2.4 insulation; disabled only for the ABL-SUSPECT ablation).
+        if self.use_suspects:
+            inner_messages = [
+                at_my_round[q] for q in sorted(at_my_round) if q not in suspects
+            ]
+        else:
+            inner_messages = [at_my_round[q] for q in sorted(at_my_round)]
+
+        k = normalize(clock, self.final_round)
+        inner = self.canonical.transition(
+            pid, state[INNER_KEY], inner_messages, k, n
+        )
+
+        last_decision = state.get("last_decision")
+        decided_at = state.get("decided_at_clock")
+        if k == self.final_round:
+            decision = self.canonical.decision_of(inner)
+            if decision is not None:
+                last_decision = decision
+                decided_at = clock
+
+        # c' := max(R) + 1 over *all* tags (round agreement is never
+        # filtered — a suspected process's tag still drags the merge).
+        if not tags_seen:
+            tags_seen = [clock]  # unreachable: self-delivery is guaranteed
+        new_clock = max(tags_seen) + 1
+
+        if normalize(new_clock, self.final_round) == 1:
+            inner = self.canonical.initial_inner_state(pid, n)
+            suspects = frozenset()
+
+        return {
+            CLOCK_KEY: new_clock,
+            INNER_KEY: inner,
+            SUSPECT_KEY: suspects,
+            "n": n,
+            "last_decision": last_decision,
+            "decided_at_clock": decided_at,
+        }
+
+    # -- corruption support --------------------------------------------------
+
+    def arbitrary_state(self, pid: int, n: int, rng: random.Random) -> Dict[str, Any]:
+        """Arbitrary Π⁺ state: clock, Π-state, and suspect set all scrambled.
+
+        Pre-populated suspect sets are the systemic failure the paper
+        singles out as costing up to an extra iteration of
+        stabilization.
+        """
+        suspect_pool = [q for q in range(n) if rng.random() < 0.3]
+        return {
+            CLOCK_KEY: rng.randrange(0, 8 * self.final_round),
+            INNER_KEY: self.canonical.arbitrary_inner_state(pid, n, rng),
+            SUSPECT_KEY: frozenset(suspect_pool),
+            "n": n,
+            "last_decision": None,
+            "decided_at_clock": None,
+        }
+
+    # -- analysis helpers ------------------------------------------------------
+
+    def decision_of(self, state: Mapping[str, Any]) -> Optional[Any]:
+        """The last completed iteration's decision recorded in ``state``."""
+        return state.get("last_decision")
+
+    def iteration_of_clock(self, clock: int) -> int:
+        """Which iteration (0-based) a clock value belongs to."""
+        return clock // self.final_round

@@ -1,0 +1,168 @@
+"""Executable solvability definitions (paper, Section 2.1).
+
+Four checkers, one per definition:
+
+- :func:`ft_check` — Definition 2.1 (``ft-solves``): Σ(H, F(H, Π)) on
+  the whole history; for systems with process failures only.
+- :func:`ss_check` — Definition 2.2 (``ss-solves`` with stabilization
+  time r): Σ(H'', ∅) on the r-suffix; systemic failures only.
+- :func:`tentative_check` — Tentative Definition 1 (the "natural" but
+  too-weak combination): Σ(H'', F(H, Π)) on the r-suffix.  Kept
+  precisely so Theorem 1's impossibility can be demonstrated against
+  it.
+- :func:`ftss_check` — Definition 2.4 (``ftss-solves``, piecewise
+  stability): over every maximal stable-coterie window longer than the
+  stabilization time, Σ must hold on the window minus its grace prefix,
+  with the faulty set accumulated from the start of the history through
+  the window's end.
+
+A single run can only *refute* a universally-quantified definition (one
+history is one ∀-instance); the test-suite and benchmark sweeps supply
+the breadth.  Each checker therefore returns rich reports rather than
+bare booleans, so sweeps can aggregate violation structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.problems import CheckReport, Problem
+from repro.histories.history import ExecutionHistory
+from repro.histories.stability import StableWindow, stable_windows
+from repro.util.validation import require_non_negative
+
+__all__ = [
+    "WindowOutcome",
+    "FtssReport",
+    "ft_check",
+    "ss_check",
+    "tentative_check",
+    "ftss_check",
+]
+
+
+def ft_check(history: ExecutionHistory, problem: Problem) -> CheckReport:
+    """Definition 2.1: Σ(H, F(H, Π)) over the full history."""
+    return problem.check(history, history.faulty())
+
+
+def ss_check(
+    history: ExecutionHistory, problem: Problem, stabilization_time: int
+) -> CheckReport:
+    """Definition 2.2: Σ(H'', ∅) where H'' is the r-suffix of H.
+
+    Only meaningful for process-failure-free runs; the empty faulty set
+    is passed regardless, per the definition.
+    """
+    require_non_negative(stabilization_time, "stabilization_time")
+    if stabilization_time >= len(history):
+        return CheckReport(
+            problem=problem.name,
+            holds=True,
+            violations=[],
+        )
+    suffix = history.suffix(stabilization_time)
+    return problem.check(suffix, frozenset())
+
+
+def tentative_check(
+    history: ExecutionHistory, problem: Problem, stabilization_time: int
+) -> CheckReport:
+    """Tentative Definition 1: Σ(H'', F(H, Π)) on the r-suffix.
+
+    The faulty set comes from the *whole* history — this is what makes
+    the definition too weak-to-satisfy: a process can stay hidden past
+    any finite r and then destabilize the suffix (Theorem 1).
+    """
+    require_non_negative(stabilization_time, "stabilization_time")
+    if stabilization_time >= len(history):
+        return CheckReport(problem=problem.name, holds=True, violations=[])
+    suffix = history.suffix(stabilization_time)
+    return problem.check(suffix, history.faulty())
+
+
+@dataclass
+class WindowOutcome:
+    """Σ's verdict on one stable-coterie window."""
+
+    window: StableWindow
+    obligation_span: Optional[tuple]
+    report: Optional[CheckReport]
+
+    @property
+    def obliged(self) -> bool:
+        """Whether the window was long enough to owe anything."""
+        return self.obligation_span is not None
+
+    @property
+    def holds(self) -> bool:
+        return self.report is None or self.report.holds
+
+
+@dataclass
+class FtssReport:
+    """The verdict of :func:`ftss_check` across all stable windows."""
+
+    problem: str
+    stabilization_time: int
+    outcomes: List[WindowOutcome] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return all(outcome.holds for outcome in self.outcomes)
+
+    @property
+    def obliged_windows(self) -> List[WindowOutcome]:
+        return [o for o in self.outcomes if o.obliged]
+
+    def violations(self) -> List[str]:
+        out = []
+        for outcome in self.outcomes:
+            if outcome.report is None:
+                continue
+            for violation in outcome.report.violations:
+                out.append(
+                    f"window [{outcome.window.first_round}, "
+                    f"{outcome.window.last_round}] {violation}"
+                )
+        return out
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def ftss_check(
+    history: ExecutionHistory, problem: Problem, stabilization_time: int
+) -> FtssReport:
+    """Definition 2.4: piecewise stability with stabilization time r.
+
+    The coterie is monotone over prefixes (proved in
+    :mod:`repro.histories.coterie` and property-tested), so the
+    definition's quantification over all decompositions
+    ``H = H1·H2·H3·H4`` reduces to: for every maximal constant-coterie
+    window ``[x, y]`` with ``y - x >= r``, Σ must hold on rounds
+    ``(x + r, y]`` with faulty set F(prefix of H through y).
+    """
+    require_non_negative(stabilization_time, "stabilization_time")
+    faulty_by_round = history.faulty_by_round()
+    outcomes: List[WindowOutcome] = []
+    for window in stable_windows(history):
+        span = window.obligation_span(stabilization_time)
+        if span is None:
+            outcomes.append(
+                WindowOutcome(window=window, obligation_span=None, report=None)
+            )
+            continue
+        first, last = span
+        sub_history = history.window(first, last)
+        faulty = faulty_by_round[last - history.first_round]
+        report = problem.check(sub_history, faulty)
+        outcomes.append(
+            WindowOutcome(window=window, obligation_span=span, report=report)
+        )
+    return FtssReport(
+        problem=problem.name,
+        stabilization_time=stabilization_time,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,31 @@
+"""Failure detectors and detector-based consensus (paper, Section 3).
+
+- :mod:`repro.detectors.strong` — the Figure 4 protocol: a process- and
+  systemic-failure-tolerant transformation of an Eventually Weak
+  failure detector (◇W) into an Eventually Strong one (◇S), plus the
+  non-stabilizing baseline it is compared against.
+- :mod:`repro.detectors.properties` — empirical checkers for the
+  detector properties (weak/strong completeness, eventual weak
+  accuracy) over sampled traces.
+- :mod:`repro.detectors.consensus` — Chandra–Toueg ◇S consensus
+  (baseline) and the paper's self-stabilizing repeated-consensus
+  variant (periodic retransmission + round-agreement superimposition).
+"""
+
+from repro.detectors.consensus import CTConsensus, consensus_log_agreement
+from repro.detectors.properties import (
+    DetectorVerdict,
+    eventual_weak_accuracy,
+    strong_completeness,
+)
+from repro.detectors.strong import LastWriterDetector, StrongDetector
+
+__all__ = [
+    "CTConsensus",
+    "DetectorVerdict",
+    "LastWriterDetector",
+    "StrongDetector",
+    "consensus_log_agreement",
+    "eventual_weak_accuracy",
+    "strong_completeness",
+]

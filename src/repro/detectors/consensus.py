@@ -1,0 +1,563 @@
+"""Chandra–Toueg ◇S consensus and its self-stabilizing derivation.
+
+The baseline is the rotating-coordinator consensus of [CT91] (crash
+faults, ``f < n/2``), structured as rounds with four phases:
+
+1. every process sends its (timestamped) estimate to the round's
+   coordinator;
+2. the coordinator, on a majority of estimates, proposes the one with
+   the highest timestamp;
+3. a participant either *acks* the proposal (adopting it, timestamp :=
+   round) or, if the ◇S detector suspects the coordinator, *nacks* and
+   moves to the next round;
+4. the coordinator, on a majority of replies, decides (broadcasting
+   the decision) if none was a nack.
+
+The paper derives a process- **and systemic**-failure-tolerant version
+with two modifications (Section 3):
+
+- **periodic retransmission** — until a process completes a phase, it
+  periodically re-sends that phase's messages.  This breaks the
+  deadlock in which a corrupted initial state falsely indicates that
+  messages were already sent and everyone waits forever (the [KP90]
+  technique).
+- **round-agreement superimposition** — every message is tagged with
+  its (instance, round); a process receiving a tag greater than its
+  own abandons its current phase and jumps to phase 1 of the greater
+  round, ignoring messages from abandoned rounds.  Phase-1 estimates
+  are *broadcast* rather than unicast to the coordinator so the tags
+  gossip system-wide (that is the superimposition's message-overhead
+  cost, which the benches measure).
+
+Because terminating protocols cannot tolerate systemic failures, the
+self-stabilizing variant solves *Repeated* Consensus: instances
+``0, 1, 2, …`` run in sequence, each instance's proposal drawn from a
+deterministic per-process function (program text, hence incorruptible),
+and decisions are journalled in a log.  After stabilization every
+subsequent instance satisfies agreement/validity/termination — the
+piecewise flavour of Definition 2.4 transposed to the asynchronous
+world.
+
+Modes (for the ablation benches):
+
+- ``"ss"`` — retransmission + jump (the paper's protocol);
+- ``"ss-no-retransmit"`` — jump only (ABL-RETX: deadlocks from
+  corrupted send-flags);
+- ``"ss-no-jump"`` — retransmission only (stale-round confusion);
+- ``"plain"`` — neither: faithful [CT91] with per-round buffering.
+  Correct from a clean state, defenceless against corruption.
+
+The ◇S detector is the Figure 4 transformation, embedded: each process
+runs the detector alongside consensus, sharing the message channel
+("fd"-tagged gossip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.asyncnet.scheduler import AsyncProtocol, AsyncTrace, ProcessContext
+from repro.detectors.heartbeat import (
+    hb_heartbeat,
+    hb_initial,
+    hb_suspects,
+    hb_tick,
+)
+from repro.detectors.strong import (
+    fd_adopt,
+    fd_arbitrary,
+    fd_initial,
+    fd_suspects,
+    fd_tick,
+)
+from repro.util.validation import require
+
+__all__ = [
+    "CTConsensus",
+    "default_proposals",
+    "consensus_log_agreement",
+    "LogVerdict",
+]
+
+#: Deterministic per-(process, instance) proposal stream.  Being a
+#: function, it is program text: systemic failures cannot corrupt it.
+ProposalFn = Callable[[int, int], Any]
+
+MODES = ("plain", "ss", "ss-no-retransmit", "ss-no-jump")
+
+
+def default_proposals(pid: int, instance: int) -> int:
+    """A small deterministic proposal stream (distinct across processes)."""
+    return (instance * 7 + pid * 3) % 20
+
+
+class CTConsensus(AsyncProtocol):
+    """Repeated Chandra–Toueg consensus, optionally self-stabilizing."""
+
+    #: Detector sources: "fig4" runs the ◇W→◇S transformation against
+    #: the scheduler's ◇W oracle; "heartbeat" runs the implementable
+    #: adaptive-timeout ◇P of :mod:`repro.detectors.heartbeat` (◇P ⊆ ◇S),
+    #: needing no oracle at all.
+    DETECTORS = ("fig4", "heartbeat")
+
+    def __init__(
+        self,
+        n: int,
+        mode: str = "ss",
+        proposal_fn: ProposalFn = default_proposals,
+        detector: str = "fig4",
+        heartbeat_timeout: float = 2.0,
+        heartbeat_backoff: float = 1.5,
+        heartbeat_max_timeout: float = 60.0,
+    ):
+        require(mode in MODES, f"mode must be one of {MODES}, got {mode!r}")
+        require(
+            detector in self.DETECTORS,
+            f"detector must be one of {self.DETECTORS}, got {detector!r}",
+        )
+        self.n = n
+        self.mode = mode
+        self.detector = detector
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_backoff = heartbeat_backoff
+        self.heartbeat_max_timeout = heartbeat_max_timeout
+        self.retransmit = mode in ("ss", "ss-no-jump")
+        self.jump = mode in ("ss", "ss-no-retransmit")
+        self.proposal_fn = proposal_fn
+        self.majority = n // 2 + 1
+        suffix = "" if detector == "fig4" else f"+{detector}"
+        self.name = f"ct-consensus[{mode}{suffix}]"
+
+    # -- state ---------------------------------------------------------------
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        state = {
+            "instance": 0,
+            "round": 0,
+            "phase": "est",  # "est" (awaiting proposal) | "wait" (acked)
+            "estimate": self._initial_proposal(pid, n),
+            "ts": 0,
+            "sent_est": False,
+            # coordinator bookkeeping for the current (instance, round)
+            "est_received": {},  # sender -> (ts, estimate)
+            "proposed": None,  # the value proposed this round, if any
+            "acks": [],
+            "nacks": [],
+            "log": {},  # instance -> decided value
+            "latest_decision": None,  # (instance, value)
+            # plain mode: buffered future-round messages
+            "buffer": [],
+            "fd": self._detector_initial(n),
+        }
+        return state
+
+    # -- the embedded detector --------------------------------------------
+
+    def _detector_initial(self, n: int) -> Dict[str, Any]:
+        if self.detector == "heartbeat":
+            return hb_initial(n, self.heartbeat_timeout)
+        return fd_initial(n)
+
+    def _detector_tick(self, ctx: ProcessContext) -> FrozenSet[int]:
+        """Advance the detector one step, gossip, return the suspects."""
+        fd = ctx.state["fd"]
+        if self.detector == "heartbeat":
+            ctx.broadcast(
+                hb_tick(fd, ctx, self.heartbeat_backoff, self.heartbeat_max_timeout)
+            )
+            return hb_suspects(fd)
+        ctx.broadcast(fd_tick(fd, ctx))
+        return fd_suspects(fd)
+
+    def _detector_message(self, ctx: ProcessContext, payload: Any) -> bool:
+        """Consume a detector message; True if it was one."""
+        kind = payload[0]
+        if kind == "fd":
+            if self.detector == "fig4":
+                fd_adopt(ctx.state["fd"], payload, ctx.n)
+            return True
+        if kind == "hb":
+            if self.detector == "heartbeat":
+                hb_heartbeat(
+                    ctx.state["fd"],
+                    payload[1],
+                    ctx.time,
+                    self.heartbeat_backoff,
+                    self.heartbeat_max_timeout,
+                )
+            return True
+        return False
+
+    def _detector_arbitrary(self, n: int, rng) -> Dict[str, Any]:
+        if self.detector == "heartbeat":
+            from repro.detectors.heartbeat import HeartbeatDetector
+
+            return HeartbeatDetector().arbitrary_state(0, n, rng)
+        return fd_arbitrary(n, rng)
+
+    def coordinator(self, round_no: int) -> int:
+        return round_no % self.n
+
+    # -- proposal sourcing (overridden by the RSM layer) -------------------
+
+    def _initial_proposal(self, pid: int, n: int) -> Any:
+        """The estimate installed at (specified) initialization."""
+        return self.proposal_fn(pid, 0)
+
+    def _proposal_value(self, ctx: ProcessContext, instance: int) -> Any:
+        """The value this process proposes for ``instance``.
+
+        Subclasses may consult ``ctx`` (time, decision log) — e.g. the
+        replicated state machine derives proposals from its client
+        schedule and the log, adding no corruptible state of its own.
+        """
+        return self.proposal_fn(ctx.pid, instance)
+
+    # -- ticks ------------------------------------------------------------------
+
+    def on_tick(self, ctx: ProcessContext) -> None:
+        state = ctx.state
+        # Run the embedded detector (Figure 4 or heartbeat) and gossip.
+        suspects = self._detector_tick(ctx)
+
+        i, r = state["instance"], state["round"]
+        coord = self.coordinator(r)
+
+        # Phase 1: send (or periodically re-send) the estimate.
+        if state["phase"] == "est":
+            if not state["sent_est"] or self.retransmit:
+                self._send_est(ctx, i, r)
+                state["sent_est"] = True
+            # Phase 3 alternative: suspect the coordinator and move on.
+            if coord in suspects and coord != ctx.pid:
+                self._send_reply(ctx, ("nack", i, r, ctx.pid))
+                self._enter_round(ctx, i, r + 1)
+                return
+        elif state["phase"] == "wait":
+            # The round is not complete until a decision lands, so the
+            # phase-3 ack is retransmitted too ([KP90]: re-send every
+            # message of an uncompleted phase).  Without this, a state
+            # corrupted into "wait" everywhere is a silent deadlock.
+            if self.retransmit:
+                self._send_reply(ctx, ("ack", i, r, ctx.pid))
+            # If the coordinator dies before decreeing the decision,
+            # the detector's strong completeness is the escape hatch.
+            if self.jump and coord in suspects and coord != ctx.pid:
+                self._enter_round(ctx, i, r + 1)
+                return
+
+        # Coordinator: re-broadcast a pending proposal (retransmission).
+        if state["proposed"] is not None and self.retransmit:
+            ctx.broadcast(("prop", i, r, state["proposed"]))
+
+        # Re-broadcast the newest decision so corrupted/late processes heal.
+        if state["latest_decision"] is not None and self.retransmit:
+            di, dv = state["latest_decision"]
+            ctx.broadcast(("decide", di, dv))
+
+    def _send_est(self, ctx: ProcessContext, i: int, r: int) -> None:
+        payload = ("est", i, r, ctx.state["ts"], ctx.state["estimate"], ctx.pid)
+        if self.jump:
+            # Superimposition: broadcast so the (instance, round) tag
+            # gossips system-wide; only the coordinator uses the content.
+            ctx.broadcast(payload)
+        else:
+            ctx.send(self.coordinator(r), payload)
+
+    def _send_reply(self, ctx: ProcessContext, payload: Tuple) -> None:
+        """Send an ack/nack — broadcast under the superimposition.
+
+        Tag gossip must ride *every* message: a process whose round is
+        the global maximum and whose coordinator is itself would
+        otherwise never reveal that round to anyone (observed deadlock:
+        all peers waiting on a proposal from a coordinator stuck
+        several rounds ahead).
+        """
+        _kind, _i, r, _origin = payload
+        if self.jump:
+            ctx.broadcast(payload)
+        else:
+            ctx.send(self.coordinator(r), payload)
+
+    # -- round / instance transitions -----------------------------------------
+
+    def _enter_round(self, ctx: ProcessContext, i: int, r: int) -> None:
+        state = ctx.state
+        new_instance = i != state["instance"]
+        state["instance"], state["round"] = i, r
+        state["phase"] = "est"
+        state["sent_est"] = False
+        state["est_received"] = {}
+        state["proposed"] = None
+        state["acks"], state["nacks"] = [], []
+        if new_instance:
+            state["estimate"] = self._proposal_value(ctx, i)
+            state["ts"] = 0
+        self._send_est(ctx, i, r)
+        state["sent_est"] = True
+        if not self.jump:
+            self._drain_buffer(ctx)
+
+    def _decide(self, ctx: ProcessContext, i: int, value: Any) -> None:
+        state = ctx.state
+        state["log"][i] = value
+        latest = state["latest_decision"]
+        if latest is None or i >= latest[0]:
+            state["latest_decision"] = (i, value)
+        ctx.broadcast(("decide", i, value))
+        if i >= state["instance"]:
+            self._enter_round(ctx, i + 1, 0)
+
+    # -- deliveries -----------------------------------------------------------
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload: Any) -> None:
+        if self._detector_message(ctx, payload):
+            return
+        if payload[0] == "decide":
+            self._on_decide(ctx, payload)
+            return
+        self._on_tagged(ctx, sender, payload)
+
+    def _on_decide(self, ctx: ProcessContext, payload: Tuple) -> None:
+        _kind, i, value = payload
+        state = ctx.state
+        # Overwrite unconditionally: post-stabilization decides are
+        # unique per instance, and overwriting lets real decisions
+        # replace corruption-planted log entries.
+        state["log"][i] = value
+        latest = state["latest_decision"]
+        if latest is None or i >= latest[0]:
+            state["latest_decision"] = (i, value)
+        if i >= state["instance"]:
+            self._enter_round(ctx, i + 1, 0)
+
+    def _on_tagged(self, ctx: ProcessContext, sender: int, payload: Tuple) -> None:
+        state = ctx.state
+        kind, i, r = payload[0], payload[1], payload[2]
+        here = (state["instance"], state["round"])
+
+        if (i, r) > here:
+            if self.jump:
+                # Round agreement: abandon current phase, join (i, r).
+                self._enter_round(ctx, i, r)
+            else:
+                # Deduplicate: retransmission (ss-no-jump) would
+                # otherwise grow the buffer without bound.
+                if (sender, payload) not in state["buffer"]:
+                    state["buffer"].append((sender, payload))
+                return
+        elif (i, r) < here:
+            # Message from an abandoned round: ignored (the
+            # superimposition's tag filter; harmless in plain mode too,
+            # where it can only be a straggler reply).
+            return
+
+        if kind == "est":
+            self._on_est(ctx, payload)
+        elif kind == "prop":
+            self._on_prop(ctx, payload)
+        elif kind in ("ack", "nack"):
+            self._on_reply(ctx, payload)
+
+    def _drain_buffer(self, ctx: ProcessContext) -> None:
+        state = ctx.state
+        here = (state["instance"], state["round"])
+        pending = [m for m in state["buffer"] if (m[1][1], m[1][2]) == here]
+        state["buffer"] = [m for m in state["buffer"] if (m[1][1], m[1][2]) > here]
+        for sender, payload in pending:
+            self._on_tagged(ctx, sender, payload)
+
+    # -- phase logic ------------------------------------------------------------
+
+    def _on_est(self, ctx: ProcessContext, payload: Tuple) -> None:
+        state = ctx.state
+        _kind, i, r, ts, estimate, origin = payload
+        if self.coordinator(r) != ctx.pid or state["proposed"] is not None:
+            return
+        state["est_received"][origin] = (ts, estimate)
+        if len(state["est_received"]) >= self.majority:
+            # Propose the estimate with the highest timestamp.  Ties
+            # (all-fresh estimates, the common case) rotate with the
+            # instance number — without that rotation one replica's
+            # proposals win every instance and the others' commands
+            # starve at the RSM layer.
+            def preference(item):
+                origin_pid, (entry_ts, _entry_est) = item
+                return (entry_ts, -((origin_pid - i) % self.n))
+
+            _origin, (_ts, value) = max(
+                state["est_received"].items(), key=preference
+            )
+            state["proposed"] = value
+            ctx.broadcast(("prop", i, r, value))
+
+    def _on_prop(self, ctx: ProcessContext, payload: Tuple) -> None:
+        state = ctx.state
+        _kind, i, r, value = payload
+        if state["phase"] != "est":
+            return
+        state["estimate"] = value
+        state["ts"] = self._round_rank(i, r)
+        state["phase"] = "wait"
+        self._send_reply(ctx, ("ack", i, r, ctx.pid))
+        if not self.jump and self.coordinator(r) != ctx.pid:
+            # Plain CT: participants proceed to the next round after
+            # replying; a decision arrives asynchronously.  The
+            # coordinator itself stays to collect the replies.
+            self._enter_round(ctx, i, r + 1)
+
+    def _on_reply(self, ctx: ProcessContext, payload: Tuple) -> None:
+        state = ctx.state
+        kind, i, r, origin = payload
+        if self.coordinator(r) != ctx.pid:
+            return
+        bucket = state["acks"] if kind == "ack" else state["nacks"]
+        if origin not in bucket:
+            bucket.append(origin)
+        replies = len(state["acks"]) + len(state["nacks"])
+        if replies >= self.majority:
+            if not state["nacks"] and state["proposed"] is not None:
+                self._decide(ctx, i, state["proposed"])
+            elif state["nacks"]:
+                self._enter_round(ctx, i, r + 1)
+            # Acks without a proposal of our own can only be corruption
+            # transients (a re-acked phantom round); wait for the round
+            # agreement to move things along rather than decide a
+            # value we never proposed.
+
+    @staticmethod
+    def _round_rank(instance: int, round_no: int) -> int:
+        """A per-instance timestamp for locking (rounds order within an
+        instance; estimates never survive across instances)."""
+        return round_no + 1
+
+    # -- observability ----------------------------------------------------------
+
+    def output(self, state: Mapping[str, Any]) -> Tuple:
+        """(current instance, frozen snapshot of the decision log)."""
+        return (state["instance"], tuple(sorted(state["log"].items())))
+
+    def arbitrary_state(self, pid: int, n: int, rng) -> Dict[str, Any]:
+        """Systemic failure over the consensus state space.
+
+        The classic deadlock seed: ``sent_est`` claims the estimate was
+        already sent, phases point mid-protocol, logs carry garbage,
+        instance counters disagree wildly, and the embedded detector's
+        vectors are scrambled.
+        """
+        instance = rng.randrange(0, 50)
+        return {
+            "instance": instance,
+            "round": rng.randrange(0, 3 * n),
+            "phase": rng.choice(["est", "wait"]),
+            "estimate": rng.randrange(0, 20),
+            "ts": rng.randrange(0, 100),
+            "sent_est": True,  # the paper's deadlock scenario
+            "est_received": {},
+            "proposed": None,
+            "acks": [],
+            "nacks": [],
+            "log": {
+                k: rng.randrange(0, 20)
+                for k in range(instance)
+                if rng.random() < 0.3
+            },
+            "latest_decision": None,
+            "buffer": [],
+            "fd": self._detector_arbitrary(n, rng),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Spec checking over traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LogVerdict:
+    """Repeated-consensus spec over the final decision logs.
+
+    ``stable_from`` is the first instance from which every later
+    instance present in *any* correct log is present in *all* correct
+    logs, agreed, and valid — the empirical stabilization point in
+    units of instances.  ``instances_checked`` counts the instances in
+    that stable suffix.
+    """
+
+    holds: bool
+    stable_from: Optional[int]
+    instances_checked: int
+    details: List[str]
+
+
+def consensus_log_agreement(
+    trace: AsyncTrace,
+    proposal_fn: ProposalFn = default_proposals,
+    min_suffix: int = 1,
+) -> LogVerdict:
+    """Check agreement/validity/liveness of the repeated-consensus logs."""
+    logs: Dict[int, Dict[int, Any]] = {}
+    horizon: Optional[int] = None
+    for pid, state in trace.final_states.items():
+        if state is None or pid not in trace.correct:
+            continue
+        logs[pid] = dict(state["log"])
+        current = state["instance"]
+        horizon = current if horizon is None else min(horizon, current)
+    if not logs:
+        return LogVerdict(False, None, 0, ["no correct process state available"])
+
+    # Only judge instances every correct process has safely moved past.
+    # The youngest few instances' decide messages may legitimately
+    # still be in flight when the run is cut off (a process can be
+    # dragged into instance i+1 by round agreement slightly before
+    # decide(i) reaches it), hence the margin below the minimum
+    # instance counter.
+    settled_margin = 3
+    all_instances = sorted(
+        {
+            i
+            for log in logs.values()
+            for i in log
+            if horizon is None or i < horizon - settled_margin
+        }
+    )
+    if not all_instances:
+        return LogVerdict(False, None, 0, ["no settled instance ever decided"])
+
+    def instance_ok(i: int) -> Optional[str]:
+        values = {pid: log.get(i, "<missing>") for pid, log in logs.items()}
+        distinct = set(map(repr, values.values()))
+        if "<missing>" in {v for v in values.values() if isinstance(v, str)}:
+            missing = [pid for pid, v in values.items() if v == "<missing>"]
+            return f"instance {i}: missing at {missing}"
+        if len(distinct) > 1:
+            return f"instance {i}: disagreement {values}"
+        proposals = {proposal_fn(pid, i) for pid in range(trace.n)}
+        decided = next(iter(values.values()))
+        if decided not in proposals:
+            return f"instance {i}: decision {decided!r} not a proposal"
+        return None
+
+    # Longest correct suffix of instances.
+    stable_from: Optional[int] = None
+    details: List[str] = []
+    for i in all_instances:
+        problem = instance_ok(i)
+        if problem is None:
+            if stable_from is None:
+                stable_from = i
+        else:
+            details.append(problem)
+            stable_from = None
+    if stable_from is None:
+        return LogVerdict(False, None, 0, details[-5:])
+    suffix = [i for i in all_instances if i >= stable_from]
+    holds = len(suffix) >= min_suffix
+    if not holds:
+        details.append(
+            f"stable suffix has only {len(suffix)} instance(s), "
+            f"need >= {min_suffix}"
+        )
+    return LogVerdict(holds, stable_from, len(suffix), details[-5:])

@@ -1,0 +1,135 @@
+"""A timeout-based, self-stabilizing Eventually Perfect detector (◇P).
+
+The paper (following [CT91]) *assumes* a ◇W detector; in deployed
+systems failure detectors are built from heartbeats and adaptive
+timeouts.  This module supplies that implementable detector so the
+Section 3 consensus can run on a real mechanism instead of the
+ground-truth oracle:
+
+- every process broadcasts a heartbeat each tick;
+- ``s`` is suspected when no heartbeat arrived within ``timeout[s]``
+  of virtual time;
+- a false suspicion (a heartbeat from a currently-suspected process)
+  clears the suspicion **and increases** ``timeout[s]`` — the classic
+  adaptive rule.  After GST, delays are bounded, so each timeout is
+  bumped only finitely often and eventually exceeds the true bound:
+  no further false suspicions (eventual strong accuracy), while
+  crashed processes stop heartbeating and stay suspected forever
+  (strong completeness).  ◇P implies ◇S, so it can drive the consensus
+  protocol directly.
+
+Self-stabilization comes for free from the state's semantics, with one
+subtlety guarded explicitly: ``last_heard`` and ``timeout`` entries
+are *refreshed by real events* (heartbeats keep arriving; suspicions
+re-form), so corrupted values wash out — except a corrupted timeout
+could be absurdly huge, delaying crash detection unboundedly.  We
+therefore cap timeouts at ``max_timeout``, trading a bounded amount of
+post-GST accuracy risk for a bounded stabilization time — the knob the
+EXT-HEARTBEAT bench sweeps.  (With an unbounded cap the detector is
+still eventually correct, just not boundedly so; the paper's
+bounded-stabilization ethos argues for the cap.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Mapping
+
+from repro.asyncnet.scheduler import AsyncProtocol, ProcessContext
+from repro.util.validation import require
+
+__all__ = ["HeartbeatDetector", "hb_initial", "hb_tick", "hb_heartbeat", "hb_suspects"]
+
+
+def hb_initial(n: int, initial_timeout: float) -> Dict[str, Any]:
+    """The heartbeat sub-state: per-target last-heard times and timeouts."""
+    return {
+        "last_heard": [0.0] * n,
+        "timeout": [initial_timeout] * n,
+        "suspected": [False] * n,
+    }
+
+
+def hb_tick(
+    hb: Dict[str, Any],
+    ctx: ProcessContext,
+    backoff: float,
+    max_timeout: float,
+) -> Any:
+    """One detector step: update suspicions, return the heartbeat payload."""
+    now = ctx.time
+    for s in range(ctx.n):
+        if s == ctx.pid:
+            hb["suspected"][s] = False
+            hb["last_heard"][s] = now
+            continue
+        # Corruption guard: a last_heard in the future is impossible;
+        # clamp so a planted huge value cannot mask a crash forever.
+        if hb["last_heard"][s] > now:
+            hb["last_heard"][s] = now
+        if not 0.0 < hb["timeout"][s] <= max_timeout:
+            hb["timeout"][s] = max_timeout
+        if now - hb["last_heard"][s] > hb["timeout"][s]:
+            hb["suspected"][s] = True
+    return ("hb", ctx.pid)
+
+
+def hb_heartbeat(
+    hb: Dict[str, Any],
+    sender: int,
+    now: float,
+    backoff: float,
+    max_timeout: float,
+) -> None:
+    """Record a heartbeat; a false suspicion adapts the timeout."""
+    if not 0 <= sender < len(hb["last_heard"]):
+        return
+    if hb["suspected"][sender]:
+        hb["suspected"][sender] = False
+        hb["timeout"][sender] = min(hb["timeout"][sender] * backoff, max_timeout)
+    hb["last_heard"][sender] = now
+
+
+def hb_suspects(hb: Dict[str, Any]) -> FrozenSet[int]:
+    return frozenset(s for s, flag in enumerate(hb["suspected"]) if flag)
+
+
+class HeartbeatDetector(AsyncProtocol):
+    """The standalone adaptive heartbeat detector."""
+
+    name = "heartbeat-detector"
+
+    def __init__(
+        self,
+        initial_timeout: float = 2.0,
+        backoff: float = 1.5,
+        max_timeout: float = 60.0,
+    ):
+        require(initial_timeout > 0, "initial_timeout must be positive")
+        require(backoff > 1.0, "backoff must exceed 1")
+        require(max_timeout >= initial_timeout, "max_timeout below initial_timeout")
+        self.initial_timeout = initial_timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return hb_initial(n, self.initial_timeout)
+
+    def on_tick(self, ctx: ProcessContext) -> None:
+        ctx.broadcast(hb_tick(ctx.state, ctx, self.backoff, self.max_timeout))
+
+    def on_message(self, ctx: ProcessContext, sender: int, payload: Any) -> None:
+        if payload[0] != "hb":
+            return
+        hb_heartbeat(ctx.state, payload[1], ctx.time, self.backoff, self.max_timeout)
+
+    def output(self, state: Mapping[str, Any]) -> FrozenSet[int]:
+        return hb_suspects(state)
+
+    def arbitrary_state(self, pid: int, n: int, rng: random.Random) -> Dict[str, Any]:
+        """Systemic failure: timestamps and timeouts scrambled wildly."""
+        return {
+            "last_heard": [rng.uniform(-1e6, 1e6) for _ in range(n)],
+            "timeout": [rng.uniform(-10.0, 1e6) for _ in range(n)],
+            "suspected": [rng.random() < 0.5 for _ in range(n)],
+        }

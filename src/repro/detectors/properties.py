@@ -1,0 +1,125 @@
+"""Empirical checkers for failure-detector properties.
+
+The Chandra–Toueg detector classes are defined by "eventually,
+permanently" properties.  Over a finite sampled trace, "eventually
+permanently P" is checked as: *there is a sample time T such that P
+holds at every sample from T to the end of the run*; the earliest such
+T is the measured convergence time.  A property that never converges
+within the run is reported as unsatisfied with ``converged_at = None``
+(a finite run can of course only falsify, never prove, an
+eventuality — the benches therefore run far past the expected
+convergence and report margins).
+
+Checked properties (detector outputs are suspect sets):
+
+- **strong completeness** — every crashed process is suspected by
+  every correct process;
+- **weak completeness** — every crashed process is suspected by at
+  least one correct process;
+- **eventual weak accuracy** — some correct process is suspected by no
+  correct process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.asyncnet.scheduler import AsyncTrace
+
+__all__ = [
+    "DetectorVerdict",
+    "strong_completeness",
+    "weak_completeness",
+    "eventual_weak_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class DetectorVerdict:
+    """Outcome of one eventually-permanently property check."""
+
+    property_name: str
+    holds: bool
+    #: Earliest sample time from which the property held to the end.
+    converged_at: Optional[float]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _converges(
+    trace: AsyncTrace,
+    predicate: Callable[[Dict[int, FrozenSet[int]]], bool],
+    name: str,
+) -> DetectorVerdict:
+    """Find the earliest suffix of samples on which ``predicate`` always holds."""
+    converged_at: Optional[float] = None
+    for time, outputs in trace.samples:
+        if predicate(outputs):
+            if converged_at is None:
+                converged_at = time
+        else:
+            converged_at = None
+    return DetectorVerdict(
+        property_name=name, holds=converged_at is not None, converged_at=converged_at
+    )
+
+
+def strong_completeness(trace: AsyncTrace) -> DetectorVerdict:
+    """Eventually every crashed process is suspected by all correct ones."""
+    crashed, correct = trace.crashed, trace.correct
+
+    def predicate(outputs: Dict[int, FrozenSet[int]]) -> bool:
+        return all(
+            s in outputs.get(p, frozenset()) for s in crashed for p in correct
+        )
+
+    return _converges(trace, predicate, "strong-completeness")
+
+
+def weak_completeness(trace: AsyncTrace) -> DetectorVerdict:
+    """Eventually every crashed process is suspected by some correct one."""
+    crashed, correct = trace.crashed, trace.correct
+
+    def predicate(outputs: Dict[int, FrozenSet[int]]) -> bool:
+        return all(
+            any(s in outputs.get(p, frozenset()) for p in correct) for s in crashed
+        )
+
+    return _converges(trace, predicate, "weak-completeness")
+
+
+def eventual_weak_accuracy(trace: AsyncTrace) -> DetectorVerdict:
+    """Eventually some correct process is suspected by no correct process.
+
+    The quantifier order matters: the *same* witness process must stay
+    unsuspected for the whole suffix, so the scan tracks the surviving
+    witness set rather than re-choosing a witness per sample.
+    """
+    correct = trace.correct
+    converged_at: Optional[float] = None
+    witnesses: FrozenSet[int] = frozenset()
+    for time, outputs in trace.samples:
+        clean_now = frozenset(
+            s
+            for s in correct
+            if all(s not in outputs.get(p, frozenset()) for p in correct)
+        )
+        if converged_at is None:
+            if clean_now:
+                converged_at, witnesses = time, clean_now
+        else:
+            witnesses = witnesses & clean_now
+            if not witnesses:
+                # The suffix broke; a new suffix may start *at this
+                # sample* if some other process is clean now.
+                if clean_now:
+                    converged_at, witnesses = time, clean_now
+                else:
+                    converged_at = None
+    return DetectorVerdict(
+        property_name="eventual-weak-accuracy",
+        holds=converged_at is not None and bool(witnesses),
+        converged_at=converged_at if witnesses else None,
+    )

@@ -1,0 +1,71 @@
+"""The experiment registry: every figure, theorem, and extension.
+
+Each module reproduces one entry of DESIGN.md's experiment index and
+checks the paper's claim itself (see :mod:`repro.experiments.base`).
+Run them:
+
+- programmatically::
+
+      from repro.experiments import REGISTRY
+      result = REGISTRY.run("FIG1")
+      print(result.render())
+
+- from the command line::
+
+      python -m repro.experiments             # everything
+      python -m repro.experiments FIG1 THM4   # a selection
+      python -m repro.experiments --fast      # smoke settings
+      python -m repro.experiments --list
+
+- or through the pytest-benchmark harness (``pytest benchmarks/
+  --benchmark-only``), which adds wall-clock timing on top.
+"""
+
+from repro.experiments import (
+    abl_merge,
+    abl_retx,
+    abl_suspect,
+    async_cons,
+    ext_bounded,
+    ext_byz,
+    ext_early,
+    ext_heartbeat,
+    ext_rsm,
+    ext_skew,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    thm1,
+    thm2,
+    thm3,
+    thm4,
+    thm5,
+)
+from repro.experiments.base import Expectations, ExperimentResult, Registry
+
+REGISTRY = Registry()
+for _id, _module in [
+    ("FIG1", fig1),
+    ("FIG2", fig2),
+    ("FIG3", fig3),
+    ("FIG4", fig4),
+    ("THM1", thm1),
+    ("THM2", thm2),
+    ("THM3", thm3),
+    ("THM4", thm4),
+    ("THM5", thm5),
+    ("ASYNC-CONS", async_cons),
+    ("ABL-SUSPECT", abl_suspect),
+    ("ABL-RETX", abl_retx),
+    ("ABL-MERGE", abl_merge),
+    ("EXT-BOUNDED", ext_bounded),
+    ("EXT-BYZ", ext_byz),
+    ("EXT-EARLY", ext_early),
+    ("EXT-HEARTBEAT", ext_heartbeat),
+    ("EXT-SKEW", ext_skew),
+    ("EXT-RSM", ext_rsm),
+]:
+    REGISTRY.add(_id, _module.run)
+
+__all__ = ["REGISTRY", "ExperimentResult", "Expectations", "Registry"]

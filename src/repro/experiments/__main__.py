@@ -1,0 +1,79 @@
+"""CLI front-end for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments [IDS...] [--fast] [--list] [--out DIR]
+
+Runs the requested experiments (all by default), prints each
+claim-vs-measured table with its PASS/FAIL verdict, optionally writes
+the tables to ``DIR``, and exits non-zero if any claim check failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import REGISTRY
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke settings: fewer seeds, shorter runs",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write each table to DIR/<ID>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in REGISTRY.ids():
+            print(experiment_id)
+        return 0
+
+    ids = args.ids or REGISTRY.ids()
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for experiment_id in ids:
+        started = time.monotonic()
+        try:
+            result = REGISTRY.run(experiment_id, fast=args.fast)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        elapsed = time.monotonic() - started
+        print()
+        print(result.render())
+        print(f"({elapsed:.1f}s)")
+        if out_dir is not None:
+            (out_dir / f"{experiment_id}.txt").write_text(
+                result.render() + "\n", encoding="utf-8"
+            )
+        failures += not result.passed
+    print()
+    print(f"{len(ids)} experiment(s), {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

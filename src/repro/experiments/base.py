@@ -1,0 +1,85 @@
+"""Experiment plumbing: results, expectations, and the registry contract.
+
+Every experiment module exposes ``run(fast: bool = False) ->
+ExperimentResult``: it executes the sweep, builds the claim-vs-measured
+table, and *checks the paper's claim itself* via :class:`Expectations`
+— so the pass/fail knowledge lives with the experiment, and every
+front-end (the pytest-benchmark harness, the ``python -m
+repro.experiments`` CLI, a notebook) gets the same verdicts.
+
+``fast=True`` shrinks seed counts and run lengths for smoke runs; the
+recorded EXPERIMENTS.md numbers come from the full (default) settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis.report import ExperimentReport
+
+__all__ = ["ExperimentResult", "Expectations", "Registry"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's table plus the verdicts on the paper's claims."""
+
+    report: ExperimentReport
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [self.report.render()]
+        if self.passed:
+            lines.append("verdict: PASS")
+        else:
+            lines.append("verdict: FAIL")
+            lines.extend(f"  - {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+class Expectations:
+    """Collects claim checks so one failure doesn't hide the rest."""
+
+    def __init__(self) -> None:
+        self.failures: List[str] = []
+
+    def check(self, condition: bool, message: str) -> bool:
+        if not condition:
+            self.failures.append(message)
+        return condition
+
+
+#: An experiment entry point.
+Runner = Callable[..., ExperimentResult]
+
+
+class Registry:
+    """Name → runner mapping with stable iteration order."""
+
+    def __init__(self) -> None:
+        self._runners: Dict[str, Runner] = {}
+
+    def add(self, experiment_id: str, runner: Runner) -> None:
+        if experiment_id in self._runners:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        self._runners[experiment_id] = runner
+
+    def ids(self) -> List[str]:
+        return list(self._runners)
+
+    def get(self, experiment_id: str) -> Runner:
+        try:
+            return self._runners[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {', '.join(self._runners)}"
+            ) from None
+
+    def run(self, experiment_id: str, fast: bool = False) -> ExperimentResult:
+        return self.get(experiment_id)(fast=fast)

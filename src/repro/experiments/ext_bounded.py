@@ -1,0 +1,39 @@
+"""EXT-BOUNDED: bounded round counters, refutation vs window regime."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.bounded import bounded_refutation_sweep
+from repro.experiments.base import Expectations, ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    moduli = [8, 64] if fast else [8, 64, 1024, 1 << 16]
+    trials = 15 if fast else 30
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="EXT-BOUNDED",
+        title="Bounded round counters: refutations of ftss@1 vs modulus",
+        claim="no bounded counter survives arbitrary corruption (deferred "
+        "impossibility, §2.4); corruption within a half-ring window is safe",
+        headers=["modulus", "full-ring refutations", "windowed (M/8) refutations"],
+    )
+    for modulus in moduli:
+        full = bounded_refutation_sweep(modulus, 1, trials=trials, rounds=20)
+        windowed = bounded_refutation_sweep(
+            modulus,
+            1,
+            trials=trials,
+            rounds=20,
+            corruption_window=max(2, modulus // 8),
+        )
+        report.add_row(
+            modulus,
+            f"{full.refutations}/{full.trials}",
+            f"{windowed.refutations}/{windowed.trials}",
+        )
+        expect.check(full.refuted, f"M={modulus}: full-ring corruption survived")
+        expect.check(
+            not windowed.refuted, f"M={modulus}: windowed corruption refuted"
+        )
+    return ExperimentResult(report=report, failures=expect.failures)

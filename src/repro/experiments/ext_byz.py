@@ -1,0 +1,94 @@
+"""EXT-BYZ: systemic failures vs malicious processes (paper §1.2).
+
+The paper's related-work section draws the line: systemic tolerance
+aims at *every* process's state being corrupted (once), while
+tolerating malicious (Byzantine) processes requires bounding the
+number of liars (typically a third) — superficially similar, deeply
+different.  This experiment runs the comparison:
+
+- a Byzantine-strength protocol (phase-queen, n > 4f) shrugs off
+  continual payload lies;
+- a crash-only protocol (FloodMin) collapses under a single poisoner;
+- Figure 1's round agreement collapses under *continual* clock forgery
+  (a liar is a de-stabilizing event every round — piecewise stability
+  gives no traction against a permanent in-coterie forger);
+- yet the very same round agreement shrugs off *every process*
+  corrupted simultaneously — the regime it was designed for.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.canonical import run_ft
+from repro.core.problems import ClockAgreementProblem, ConsensusProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import ft_check, ftss_check
+from repro.experiments.base import Expectations, ExperimentResult
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.phaseking import PhaseQueenConsensus
+from repro.sync.adversary import ByzantineAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+from repro.workloads.scenarios import flip_binary_fields, forge_clock, poison_floodmin
+
+SIGMA = ConsensusProblem(
+    decision_of=lambda s: s["inner"].get("decision"),
+    proposal_of=lambda s: s["inner"].get("proposal"),
+)
+
+
+def phasequeen_under_lies(seed: int) -> bool:
+    pq = PhaseQueenConsensus(f=2, n=9, proposals=[0, 1, 1, 0, 1, 0, 0, 1, 1])
+    adversary = ByzantineAdversary(9, 2, flip_binary_fields, rate=0.8, seed=seed)
+    return ft_check(run_ft(pq, n=9, adversary=adversary).history, SIGMA).holds
+
+
+def floodmin_under_poison(seed: int) -> bool:
+    fm = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
+    adversary = ByzantineAdversary(5, 2, poison_floodmin, rate=0.8, seed=seed)
+    return ft_check(run_ft(fm, n=5, adversary=adversary).history, SIGMA).holds
+
+
+def rounds_under_forgery(seed: int) -> bool:
+    adversary = ByzantineAdversary(5, 1, forge_clock, rate=0.5, seed=seed)
+    history = run_sync(
+        RoundAgreementProtocol(), n=5, rounds=25, adversary=adversary
+    ).history
+    return ftss_check(history, ClockAgreementProblem(), 1).holds
+
+
+def rounds_under_total_corruption(seed: int) -> bool:
+    history = run_sync(
+        RoundAgreementProtocol(),
+        n=5,
+        rounds=25,
+        corruption=RandomCorruption(seed=seed),
+    ).history
+    return ftss_check(history, ClockAgreementProblem(), 1).holds
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    seeds = range(4 if fast else 12)
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="EXT-BYZ",
+        title="Systemic failures vs malicious processes (§1.2)",
+        claim="systemic tolerance covers every process corrupted once; "
+        "Byzantine tolerance covers a bounded fraction lying forever — "
+        "neither implies the other",
+        headers=["protocol / failure regime", "survives"],
+    )
+    rows = [
+        ("phase-queen (n>4f) / continual Byzantine lies", phasequeen_under_lies, True),
+        ("floodmin (crash-only) / continual poisoning", floodmin_under_poison, False),
+        ("round agreement / continual clock forgery", rounds_under_forgery, False),
+        ("round agreement / all processes corrupted once", rounds_under_total_corruption, True),
+    ]
+    for label, runner, should_survive in rows:
+        ok = sum(runner(seed) for seed in seeds)
+        report.add_row(label, f"{ok}/{len(seeds)}")
+        if should_survive:
+            expect.check(ok == len(seeds), f"{label}: unexpectedly failed")
+        else:
+            expect.check(ok == 0, f"{label}: unexpectedly survived")
+    return ExperimentResult(report=report, failures=expect.failures)

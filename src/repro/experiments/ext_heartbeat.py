@@ -1,0 +1,84 @@
+"""EXT-HEARTBEAT: consensus on the implementable ◇P, no oracle."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.detectors.consensus import CTConsensus, consensus_log_agreement
+from repro.detectors.heartbeat import HeartbeatDetector
+from repro.detectors.properties import strong_completeness
+from repro.experiments.base import Expectations, ExperimentResult
+from repro.sync.corruption import RandomCorruption
+
+N = 5
+
+
+def consensus_run(seed: int, corrupt: bool, max_time: float):
+    proto = CTConsensus(N, mode="ss", detector="heartbeat")
+    sched = AsyncScheduler(
+        proto,
+        N,
+        seed=seed,
+        gst=20.0,
+        crash_times={N - 1: 30.0},
+        corruption=RandomCorruption(seed=seed + 9) if corrupt else None,
+        sample_interval=5.0,
+    )
+    return sched.run(max_time=max_time)
+
+
+def detector_run(seed: int, max_timeout: float):
+    detector = HeartbeatDetector(max_timeout=max_timeout)
+    sched = AsyncScheduler(
+        detector,
+        N,
+        seed=seed,
+        gst=20.0,
+        crash_times={N - 1: 30.0},
+        corruption=RandomCorruption(seed=seed + 3),
+        sample_interval=2.0,
+    )
+    return sched.run(max_time=400.0)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    seeds = range(2 if fast else 5)
+    max_time = 180.0 if fast else 300.0
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="EXT-HEARTBEAT",
+        title=f"Consensus on the implementable ◇P (no oracle), n={N}",
+        claim="an adaptive-timeout heartbeat detector is ◇P ⊆ ◇S and "
+        "self-stabilizing given the timeout cap; consensus runs on it",
+        headers=["series", "parameter", "holds / converged", "detail"],
+    )
+    for corrupt in (False, True):
+        ok, instances = 0, []
+        for seed in seeds:
+            verdict = consensus_log_agreement(consensus_run(seed, corrupt, max_time))
+            ok += verdict.holds
+            instances.append(verdict.instances_checked)
+        label = "corrupted" if corrupt else "clean"
+        report.add_row(
+            "consensus",
+            label,
+            f"{ok}/{len(seeds)}",
+            f"median instances {sorted(instances)[len(instances) // 2]}",
+        )
+        expect.check(ok == len(seeds), f"consensus/{label}: failed on some seed")
+
+    caps = (15.0, 60.0) if fast else (15.0, 60.0, 240.0)
+    for cap in caps:
+        times = []
+        for seed in seeds:
+            verdict = strong_completeness(detector_run(seed, cap))
+            expect.check(verdict.holds, f"cap={cap}: completeness never converged")
+            if verdict.holds:
+                times.append(verdict.converged_at)
+        report.add_row(
+            "detector (corrupted)",
+            f"cap={cap:.0f}",
+            f"{len(times)}/{len(seeds)}",
+            f"max SC convergence {max(times):.0f}" if times else "-",
+        )
+    return ExperimentResult(report=report, failures=expect.failures)

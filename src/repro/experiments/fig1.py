@@ -1,0 +1,57 @@
+"""FIG1: round agreement (Figure 1) under corruption and omission."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.stabilization import empirical_stabilization
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import ftss_check
+from repro.experiments.base import Expectations, ExperimentResult
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+SIGMA = ClockAgreementProblem()
+POINTS = [(3, 1), (6, 2), (10, 3), (16, 5)]
+
+
+def one_run(n: int, f: int, seed: int, rounds: int = 40):
+    adversary = RandomAdversary(
+        n=n, f=f, mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=seed
+    )
+    return run_sync(
+        RoundAgreementProtocol(),
+        n=n,
+        rounds=rounds,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=seed + 1000),
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    seeds = range(3 if fast else 8)
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="FIG1",
+        title="Round agreement: n/f sweep, general omission + corruption",
+        claim="ftss-solves clock agreement with stabilization time 1 (Thm 3)",
+        headers=["n", "f", "seeds", "ftss@1 holds", "max measured stabilization"],
+    )
+    for n, f in POINTS:
+        holds, measured = 0, []
+        for seed in seeds:
+            res = one_run(n, f, seed)
+            if ftss_check(res.history, SIGMA, stabilization_time=1).holds:
+                holds += 1
+            value = empirical_stabilization(res.history, SIGMA)
+            if value is not None:
+                measured.append(value)
+        worst = max(measured) if measured else None
+        report.add_row(n, f, len(seeds), f"{holds}/{len(seeds)}", worst)
+        expect.check(holds == len(seeds), f"n={n}: ftss@1 failed on some seed")
+        expect.check(
+            worst is not None and worst <= 1,
+            f"n={n}: measured stabilization {worst} exceeds the Thm 3 bound",
+        )
+    return ExperimentResult(report=report, failures=expect.failures)

@@ -1,0 +1,35 @@
+"""THM1: Tentative Definition 1 defeated at every candidate time."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.impossibility import theorem1_scenario
+from repro.experiments.base import Expectations, ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    candidates = [1, 4, 16] if fast else [1, 2, 4, 8, 16, 32, 64]
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="THM1",
+        title="Tentative Definition 1 vs Definition 2.4, reveal-time sweep",
+        claim="for every finite r some history violates the tentative "
+        "definition (Thm 1); the same history satisfies ftss@1",
+        headers=[
+            "candidate r",
+            "merge horn violates",
+            "free-run horn violates",
+            "ftss@1 survives",
+        ],
+    )
+    for candidate in candidates:
+        out = theorem1_scenario(candidate)
+        report.add_row(
+            candidate,
+            not out.merge_tentative.holds,
+            not out.twin_tentative.holds,
+            out.ftss_survives,
+        )
+        expect.check(out.tentative_defeated, f"r={candidate}: a horn survived")
+        expect.check(out.ftss_survives, f"r={candidate}: ftss@1 failed")
+    return ExperimentResult(report=report, failures=expect.failures)

@@ -1,0 +1,41 @@
+"""THM2: every self-check-and-halt rule defeated by the twin pair."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.impossibility import theorem2_scenario
+from repro.experiments.base import Expectations, ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rules = [None, 2] if fast else [None, 1, 2, 3, 5, 8]
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="THM2",
+        title="Self-check-and-halt rules vs the indistinguishability pair",
+        claim="no uniform protocol ftss-solves anything (Thm 2): halting "
+        "breaks rate in the twin, not halting breaks uniformity",
+        headers=[
+            "rule",
+            "views identical",
+            "pivot halted",
+            "uniformity (A)",
+            "rate (B)",
+            "defeated",
+        ],
+    )
+    for patience in rules:
+        rounds = 12 if patience is None else patience + 8
+        out = theorem2_scenario(patience, rounds=rounds)
+        rule = "never-halt" if patience is None else f"halt-after-{patience}"
+        report.add_row(
+            rule,
+            out.views_identical,
+            out.pivot_halted,
+            out.pivot_uniform_in_a,
+            out.pivot_rate_in_b,
+            out.rule_defeated,
+        )
+        expect.check(out.views_identical, f"{rule}: views diverged")
+        expect.check(out.rule_defeated, f"{rule}: both obligations held")
+    return ExperimentResult(report=report, failures=expect.failures)

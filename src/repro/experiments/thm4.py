@@ -1,0 +1,74 @@
+"""THM4: measured compiled-protocol stabilization vs final_round."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.compiler import compile_protocol
+from repro.core.problems import RepeatedConsensusProblem
+from repro.core.solvability import ftss_check
+from repro.experiments.base import Expectations, ExperimentResult
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+N = 6
+
+
+def compiled_history(pi, plus, seed):
+    adversary = RandomAdversary(n=N, f=pi.f, mode=FaultMode.CRASH, rate=0.15, seed=seed)
+    return run_sync(
+        plus,
+        n=N,
+        rounds=14 * pi.final_round,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=seed + 31),
+    ).history
+
+
+def smallest_passing_grace(history, sigma, limit):
+    for grace in range(0, limit + 1):
+        if ftss_check(history, sigma, grace).holds:
+            return grace
+    return None
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    seeds = range(3 if fast else 8)
+    budgets = [1, 2] if fast else [1, 2, 3]
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="THM4",
+        title=f"Compiled FloodMin stabilization, n={N}, fault-budget sweep",
+        claim="stabilization final_round (Thm 4); suspect corruption may "
+        "add up to final_round more (§2.4)",
+        headers=["f", "final_round", "graces (min/median/max)", "within 2*final_round"],
+    )
+    for f in budgets:
+        pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5, 9])
+        plus = compile_protocol(pi)
+        props = frozenset(pi.proposal_for(p) for p in range(N))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        limit = 3 * pi.final_round
+        graces = []
+        for seed in seeds:
+            grace = smallest_passing_grace(compiled_history(pi, plus, seed), sigma, limit)
+            if not expect.check(
+                grace is not None, f"f={f} seed={seed}: no grace up to {limit} passes"
+            ):
+                continue
+            graces.append(grace)
+        if not graces:
+            continue
+        graces.sort()
+        report.add_row(
+            f,
+            pi.final_round,
+            f"{graces[0]}/{graces[len(graces) // 2]}/{graces[-1]}",
+            max(graces) <= 2 * pi.final_round,
+        )
+        expect.check(
+            max(graces) <= 2 * pi.final_round,
+            f"f={f}: worst grace {max(graces)} exceeds 2*final_round",
+        )
+    return ExperimentResult(report=report, failures=expect.failures)

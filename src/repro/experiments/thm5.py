@@ -1,0 +1,79 @@
+"""THM5: ◇S convergence under stale in-flight state, vs the baseline."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.detectors.properties import eventual_weak_accuracy, strong_completeness
+from repro.detectors.strong import LastWriterDetector, StrongDetector
+from repro.experiments.base import Expectations, ExperimentResult
+from repro.sync.corruption import RandomCorruption
+
+GST = 40.0
+PRE_GST_DELAY = 120.0
+MAX_TIME = 350.0
+N = 6
+
+
+def one_run(proto_cls, seed: int):
+    crashes = {N - 1: 10.0}
+    oracle = WeakDetectorOracle(N, crashes, gst=GST, seed=seed, flicker_rate=0.5)
+    sched = AsyncScheduler(
+        proto_cls(),
+        N,
+        seed=seed,
+        gst=GST,
+        crash_times=crashes,
+        oracle=oracle,
+        corruption=RandomCorruption(seed=seed + 5),
+        pre_gst_delay_max=PRE_GST_DELAY,
+        sample_interval=2.0,
+    )
+    return sched.run(max_time=MAX_TIME)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    seeds = range(3 if fast else 6)
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="THM5",
+        title=f"◇S convergence under stale in-flight state, n={N}, "
+        f"GST={GST}, pre-GST delays up to {PRE_GST_DELAY}",
+        claim="Figure 4 needs no initialization (Thm 5); without version "
+        "counters, stale gossip re-infects until it drains",
+        headers=["detector", "SC holds", "EWA holds", "median EWA conv.", "max EWA conv."],
+    )
+    medians = {}
+    for proto_cls in (StrongDetector, LastWriterDetector):
+        sc_ok = ewa_ok = 0
+        ewa_times = []
+        for seed in seeds:
+            trace = one_run(proto_cls, seed)
+            sc = strong_completeness(trace)
+            ewa = eventual_weak_accuracy(trace)
+            sc_ok += sc.holds
+            ewa_ok += ewa.holds
+            if ewa.holds:
+                ewa_times.append(ewa.converged_at)
+        ewa_times.sort()
+        median = ewa_times[len(ewa_times) // 2] if ewa_times else None
+        medians[proto_cls.__name__] = median
+        report.add_row(
+            proto_cls.__name__,
+            f"{sc_ok}/{len(seeds)}",
+            f"{ewa_ok}/{len(seeds)}",
+            f"{median:.0f}" if median else "-",
+            f"{max(ewa_times):.0f}" if ewa_times else "-",
+        )
+        expect.check(
+            sc_ok == len(seeds) and ewa_ok == len(seeds),
+            f"{proto_cls.__name__}: a ◇S property failed to converge",
+        )
+    expect.check(
+        medians["StrongDetector"] is not None
+        and medians["LastWriterDetector"] is not None
+        and medians["StrongDetector"] < medians["LastWriterDetector"],
+        "version counters did not beat last-writer on convergence time",
+    )
+    return ExperimentResult(report=report, failures=expect.failures)

@@ -1,0 +1,53 @@
+"""Execution histories and the paper's formal machinery over them.
+
+This subpackage implements Section 2.1 of Gopal & Perry (PODC '93):
+
+- :mod:`repro.histories.history` — round histories and execution
+  histories (vectors of per-process state + actions, prefix/suffix
+  slicing, the faulty set :math:`\\mathcal{F}(H, \\Pi)`).
+- :mod:`repro.histories.causality` — Lamport happened-before over the
+  recorded message deliveries.
+- :mod:`repro.histories.coterie` — coteries (Definition 2.3) and their
+  evolution over prefixes of a history.
+- :mod:`repro.histories.stability` — stable-coterie windows, the raw
+  material for the ``ftss-solves`` checker (Definition 2.4).
+"""
+
+from repro.histories.causality import (
+    CausalityTracker,
+    happened_before,
+    knowledge_timeline,
+)
+from repro.histories.coterie import coterie, coterie_timeline
+from repro.histories.history import (
+    CLOCK_KEY,
+    ExecutionHistory,
+    Message,
+    ProcessRoundRecord,
+    RoundHistory,
+    renumber,
+)
+from repro.histories.stability import (
+    StableWindow,
+    is_coterie_monotone,
+    stable_windows,
+    windows_from_timeline,
+)
+
+__all__ = [
+    "CLOCK_KEY",
+    "CausalityTracker",
+    "ExecutionHistory",
+    "Message",
+    "ProcessRoundRecord",
+    "RoundHistory",
+    "StableWindow",
+    "coterie",
+    "coterie_timeline",
+    "happened_before",
+    "is_coterie_monotone",
+    "knowledge_timeline",
+    "renumber",
+    "stable_windows",
+    "windows_from_timeline",
+]

@@ -1,0 +1,105 @@
+"""Stable-coterie windows: the raw material for ``ftss-solves`` checks.
+
+Definition 2.4 (paper): ``Π`` ftss-solves ``Σ`` with stabilization time
+``r`` iff for every decomposition ``H = H1·H2·H3·H4`` with
+``coterie(H1·H2) = coterie(H1·H2·H3)`` and ``|H2| >= r``, the predicate
+``Σ(H3, F(H1·H2·H3))`` is satisfied.
+
+Because the coterie is monotone non-decreasing in the prefix length
+(see :mod:`.coterie`), "equal at the two cut points" is the same as
+"constant over the whole span", and the quantification over all
+decompositions collapses to a scan over the *maximal* constant runs of
+the coterie timeline: within a maximal run starting after prefix length
+``x`` and ending at prefix length ``y``, the protocol gets ``r`` rounds
+of grace and ``Σ`` must hold on every sub-window of rounds
+``(x + r, y]``.  (This is also exactly how the paper's own Theorem 3
+proof uses the definition: "suppose the coterie remains constant from
+rounds x to y ... for all rounds r with x < r <= y".)
+
+This module finds those maximal runs; :mod:`repro.core.solvability`
+evaluates problem predicates over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence
+
+from repro.histories.coterie import coterie_timeline
+from repro.histories.history import ExecutionHistory, ProcessId
+
+__all__ = ["StableWindow", "stable_windows", "is_coterie_monotone"]
+
+
+@dataclass(frozen=True)
+class StableWindow:
+    """A maximal run of rounds over which the coterie is constant.
+
+    ``first_round`` / ``last_round`` are actual round numbers (inclusive)
+    of the run; ``members`` is the coterie throughout the run.  With a
+    stabilization time of ``r``, a problem predicate is obliged to hold
+    on rounds ``first_round + r .. last_round`` (the *obligation span*),
+    provided the run is longer than ``r``.
+    """
+
+    first_round: int
+    last_round: int
+    members: FrozenSet[ProcessId]
+
+    @property
+    def length(self) -> int:
+        return self.last_round - self.first_round + 1
+
+    def obligation_span(self, stabilization_time: int) -> "tuple[int, int] | None":
+        """Rounds on which Σ must hold, or ``None`` if the run is too short.
+
+        The first ``stabilization_time`` rounds of the window are the
+        grace period (they play the role of ``H2`` in Definition 2.4).
+        """
+        start = self.first_round + stabilization_time
+        if start > self.last_round:
+            return None
+        return (start, self.last_round)
+
+
+def stable_windows(history: ExecutionHistory) -> List[StableWindow]:
+    """Maximal constant-coterie runs of ``history``, in order.
+
+    The runs partition the history's rounds: every round belongs to
+    exactly one window.  A single-round window is possible (the coterie
+    grew on consecutive rounds).
+    """
+    timeline = coterie_timeline(history)
+    return windows_from_timeline(timeline, history.first_round)
+
+
+def windows_from_timeline(
+    timeline: Sequence[FrozenSet[ProcessId]], first_round: int
+) -> List[StableWindow]:
+    """Group a coterie timeline into maximal constant runs."""
+    windows: List[StableWindow] = []
+    if not timeline:
+        return windows
+    run_start = 0
+    for i in range(1, len(timeline) + 1):
+        if i == len(timeline) or timeline[i] != timeline[run_start]:
+            windows.append(
+                StableWindow(
+                    first_round=first_round + run_start,
+                    last_round=first_round + i - 1,
+                    members=timeline[run_start],
+                )
+            )
+            run_start = i
+    return windows
+
+
+def is_coterie_monotone(history: ExecutionHistory) -> bool:
+    """Check the monotonicity invariant the stability scan relies on.
+
+    Returns True iff each prefix's coterie is a superset of the previous
+    prefix's.  Exposed for property-based testing; a False here would
+    invalidate the window-scan reduction of Definition 2.4.
+    """
+    timeline = coterie_timeline(history)
+    return all(prev <= nxt for prev, nxt in zip(timeline, timeline[1:]))

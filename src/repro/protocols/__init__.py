@@ -1,0 +1,42 @@
+"""Process-failure-tolerant protocols in the paper's canonical form.
+
+These are the protocols Π that the compiler (Figure 3) transforms.
+Each one is:
+
+- **round-based and full-information** — the transition is a pure
+  function of (pid, state, received states, protocol round);
+- **non-uniform** — it never restricts the behaviour of faulty
+  processes (no "self-check and halt"), which Theorem 2 makes a
+  prerequisite for compilability;
+- specified with an **unbounded** round counter (Python ints).
+
+Inventory:
+
+- :class:`~repro.protocols.floodmin.FloodMinConsensus` — crash faults,
+  any ``f < n``, ``f + 1`` rounds, decide the minimum value seen.
+- :class:`~repro.protocols.phaseking.PhaseQueenConsensus` — general
+  omission (indeed Byzantine) faults, ``n > 4f``, ``2(f + 1)`` rounds.
+- :class:`~repro.protocols.broadcast.FloodBroadcast` — crash-tolerant
+  reliable broadcast, ``f + 1`` rounds.
+- :mod:`~repro.protocols.repeated` — helpers for the repeated problem
+  Σ⁺ (extracting per-iteration decisions from compiled runs).
+"""
+
+from repro.protocols.broadcast import BroadcastProblem, FloodBroadcast
+from repro.protocols.earlydeciding import EarlyDecidingFloodMin
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.interactive import InteractiveConsistency, VectorConsensusProblem
+from repro.protocols.phaseking import PhaseQueenConsensus
+from repro.protocols.repeated import IterationDecision, iteration_decisions
+
+__all__ = [
+    "BroadcastProblem",
+    "EarlyDecidingFloodMin",
+    "FloodBroadcast",
+    "FloodMinConsensus",
+    "InteractiveConsistency",
+    "IterationDecision",
+    "PhaseQueenConsensus",
+    "VectorConsensusProblem",
+    "iteration_decisions",
+]

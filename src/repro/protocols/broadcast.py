@@ -1,0 +1,149 @@
+"""Crash-tolerant reliable broadcast in canonical form.
+
+A designated sender holds a value; everyone floods what they know for
+``f + 1`` rounds; at the final round each process delivers the value it
+has (or ``NOTHING`` if none arrived).  Under at most ``f`` crashes the
+usual chain argument gives *agreement* (all correct processes deliver
+the same outcome) and *validity* (a correct sender's value is delivered
+by all correct processes).
+
+Reliable broadcast is one of the staple process-failure-tolerant
+problems the paper cites ([GT89] etc.); compiled with Figure 3 it
+becomes a repeated broadcast service that survives systemic failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.core.problems import CheckReport, Problem, Violation
+from repro.histories.history import ExecutionHistory
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["FloodBroadcast", "BroadcastProblem", "NOTHING"]
+
+#: Delivered when no value reached the process ("sender said nothing").
+NOTHING = "<nothing>"
+
+
+class FloodBroadcast(CanonicalProtocol):
+    """Figure 2 instance: flood the sender's value, deliver after ``f+1`` rounds."""
+
+    def __init__(self, f: int, sender: int, value: Any, domain: Sequence[Any] = (0, 1)):
+        require_non_negative(f, "f")
+        require_non_negative(sender, "sender")
+        self.f = f
+        self.sender = sender
+        self.value = value
+        self.domain = tuple(domain)
+        self.final_round = f + 1
+        self.name = f"flood-broadcast(f={f}, sender={sender})"
+
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {
+            "known": self.value if pid == self.sender else None,
+            "delivered": None,
+        }
+
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        known = inner_state["known"]
+        if known is None:
+            candidates = [
+                their_state.get("known")
+                for _sender, their_state in messages
+                if their_state.get("known") is not None
+            ]
+            if candidates:
+                # A single-sender flood carries one value; min() makes the
+                # choice deterministic even under corrupted states.
+                known = min(candidates, key=repr)
+        delivered = inner_state["delivered"]
+        if k == self.final_round:
+            delivered = known if known is not None else NOTHING
+        return {"known": known, "delivered": delivered}
+
+    def decision_of(self, inner_state: Mapping[str, Any]) -> Optional[Any]:
+        return inner_state.get("delivered")
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        maybe_value = rng.choice([None] + list(self.domain))
+        return {
+            "known": maybe_value,
+            "delivered": rng.choice([None, NOTHING] + list(self.domain)),
+        }
+
+
+class BroadcastProblem(Problem):
+    """The reliable-broadcast specification as a predicate.
+
+    Evaluated against the deliveries non-faulty processes hold at the
+    end of the history:
+
+    - *agreement*: all non-faulty deliveries coincide;
+    - *validity*: if the sender is non-faulty, every non-faulty process
+      delivered the sender's value;
+    - *termination*: every non-faulty process delivered something.
+    """
+
+    name = "reliable-broadcast"
+
+    def __init__(self, sender: int, value: Any, decision_of=None):
+        self.sender = sender
+        self.value = value
+        self._decision_of = decision_of or (
+            lambda state: state.get("inner", {}).get("delivered")
+        )
+
+    def check(
+        self, history: ExecutionHistory, faulty: FrozenSet[int]
+    ) -> CheckReport:
+        violations: List[Violation] = []
+        last = history.last_round
+        deliveries: Dict[int, Any] = {}
+        for record in history.round(last).records:
+            if record.pid in faulty or record.state_before is None:
+                continue
+            delivered = self._decision_of(record.state_before)
+            if delivered is None:
+                violations.append(
+                    Violation(
+                        round_no=last,
+                        condition="termination",
+                        description=f"process {record.pid} delivered nothing yet",
+                    )
+                )
+            else:
+                deliveries[record.pid] = delivered
+        if len(set(map(repr, deliveries.values()))) > 1:
+            violations.append(
+                Violation(
+                    round_no=last,
+                    condition="agreement",
+                    description=f"non-faulty deliveries differ: {deliveries}",
+                )
+            )
+        if self.sender not in faulty:
+            for pid, delivered in deliveries.items():
+                if delivered != self.value:
+                    violations.append(
+                        Violation(
+                            round_no=last,
+                            condition="validity",
+                            description=(
+                                f"sender {self.sender} is correct but process "
+                                f"{pid} delivered {delivered!r} != {self.value!r}"
+                            ),
+                        )
+                    )
+        return CheckReport.from_violations(self.name, violations)

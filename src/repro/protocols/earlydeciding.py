@@ -1,0 +1,118 @@
+"""Early-deciding FloodMin: decide in ``f' + 2`` rounds, not ``f + 1``.
+
+The classic refinement of flooding consensus for crash faults: if only
+``f' < f`` crashes *actually* occur, waiting the worst-case ``f + 1``
+rounds is wasteful.  A process may decide as soon as it observes one
+**quiescent round** — a round in which it heard from exactly the same
+set of senders as the round before.  A quiescent round means no crash
+newly partitioned the information flow, so the process's value set
+already equals every other live process's ... after one more exchange;
+hence *early deciding* commits at the end of the quiescent round while
+the protocol keeps running (and keeps broadcasting) until the
+worst-case bound — deciding early but never *stopping* early, which
+keeps the protocol non-uniform and therefore compilable (Theorem 2
+forbids halting early, not deciding early).
+
+With ``f'`` actual crashes, every correct process decides by round
+``f' + 2`` (at most ``f'`` rounds can be non-quiescent for it, plus
+one round to witness quiescence, plus the first round has no
+predecessor to compare with); the EXT-EARLY bench measures the
+decision-round distribution against actual crash counts.
+
+Correctness sketch (crash faults): let round ``k`` be quiescent for
+``p`` with sender set ``S``.  Every process in ``S`` was alive at the
+start of round ``k`` and its round-``k`` broadcast carried everything
+it had merged through round ``k - 1`` — which includes everything any
+correct process will ever merge from senders outside ``S`` (those
+stopped before round ``k``... their surviving information had already
+reached some member of ``S`` by ``k - 1`` to survive at all).  So
+``p``'s merged set after round ``k`` contains every value that can
+still reach any correct process, and min over it is stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["EarlyDecidingFloodMin"]
+
+
+class EarlyDecidingFloodMin(CanonicalProtocol):
+    """FloodMin with the quiescent-round early-decision rule.
+
+    State adds ``last_senders`` (who was heard from in the previous
+    round) and ``decided_at_k`` (the protocol round at which the early
+    rule fired — ``None`` until then), so analyses can read the
+    decision latency per process.
+    """
+
+    def __init__(self, f: int, proposals: Sequence[int]):
+        require_non_negative(f, "f")
+        require(len(proposals) > 0, "at least one proposal is required")
+        self.f = f
+        self.final_round = f + 1
+        self.proposals = tuple(proposals)
+        self.name = f"early-floodmin(f={f})"
+
+    def proposal_for(self, pid: int) -> int:
+        return self.proposals[pid % len(self.proposals)]
+
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        value = self.proposal_for(pid)
+        return {
+            "proposal": value,
+            "values": frozenset({value}),
+            "last_senders": None,
+            "decision": None,
+            "decided_at_k": None,
+        }
+
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        values = set(inner_state["values"])
+        senders = frozenset(sender for sender, _ in messages)
+        for _sender, their_state in messages:
+            values |= set(their_state.get("values", frozenset()))
+
+        decision = inner_state.get("decision")
+        decided_at = inner_state.get("decided_at_k")
+        quiescent = (
+            inner_state["last_senders"] is not None
+            and senders == inner_state["last_senders"]
+        )
+        if decision is None and values and (quiescent or k == self.final_round):
+            decision = min(values)
+            decided_at = k
+        return {
+            "proposal": inner_state["proposal"],
+            "values": frozenset(values),
+            "last_senders": senders,
+            "decision": decision,
+            "decided_at_k": decided_at,
+        }
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        pool = [v for v in set(self.proposals) if rng.random() < 0.6] or [
+            self.proposals[0]
+        ]
+        return {
+            "proposal": rng.choice(self.proposals),
+            "values": frozenset(pool),
+            "last_senders": rng.choice(
+                [None, frozenset(q for q in range(n) if rng.random() < 0.5)]
+            ),
+            "decision": rng.choice([None, rng.choice(self.proposals)]),
+            "decided_at_k": rng.choice([None, rng.randrange(1, self.final_round + 1)]),
+        }

@@ -1,0 +1,99 @@
+"""FloodMin consensus: crash-tolerant, full-information, non-uniform.
+
+The classic flooding protocol for consensus under crash faults: for
+``f + 1`` rounds every process broadcasts the set of values it has
+seen and merges what it receives; in the final round it decides the
+minimum.  With at most ``f`` crashes there is at least one crash-free
+round among the ``f + 1``, after which all live processes hold the same
+value set — hence agreement.  Validity is immediate (only proposals
+circulate), and the protocol never restricts faulty behaviour, so it is
+compilable by Figure 3.
+
+This is the paper's running example shape: a terminating sub-protocol
+(Single Consensus) that the compiler turns into a non-terminating
+Repeated Consensus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["FloodMinConsensus"]
+
+
+class FloodMinConsensus(CanonicalProtocol):
+    """Figure 2 instance: flood value sets, decide min after ``f+1`` rounds.
+
+    Parameters
+    ----------
+    f:
+        Crash-fault budget; sets ``final_round = f + 1``.
+    proposals:
+        Per-process proposals, indexed by pid.  Processes beyond the
+        sequence wrap around (``proposals[pid % len]``), so one short
+        list serves sweeps over ``n``.
+    domain:
+        The value domain used by the systemic-failure generator; by
+        default the set of proposals.
+    """
+
+    def __init__(
+        self,
+        f: int,
+        proposals: Sequence[int],
+        domain: Optional[Sequence[int]] = None,
+    ):
+        require_non_negative(f, "f")
+        require(len(proposals) > 0, "at least one proposal is required")
+        self.f = f
+        self.final_round = f + 1
+        self.proposals = tuple(proposals)
+        self.domain = tuple(domain) if domain is not None else tuple(set(proposals))
+        self.name = f"floodmin(f={f})"
+
+    def proposal_for(self, pid: int) -> int:
+        return self.proposals[pid % len(self.proposals)]
+
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        value = self.proposal_for(pid)
+        return {
+            "proposal": value,
+            "values": frozenset({value}),
+            "decision": None,
+        }
+
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        values = set(inner_state["values"])
+        for _sender, their_state in messages:
+            values |= set(their_state.get("values", frozenset()))
+        decision = inner_state.get("decision")
+        if k == self.final_round and values:
+            decision = min(values)
+        return {
+            "proposal": inner_state["proposal"],
+            "values": frozenset(values),
+            "decision": decision,
+        }
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        pool = [v for v in self.domain if rng.random() < 0.5]
+        if not pool:
+            pool = [rng.choice(self.domain)]
+        return {
+            "proposal": rng.choice(self.domain),
+            "values": frozenset(pool),
+            "decision": rng.choice([None, rng.choice(self.domain)]),
+        }

@@ -1,0 +1,149 @@
+"""Interactive consistency: agree on the *vector* of all proposals.
+
+The classic crash-tolerant vector-consensus problem ([LSP82] lineage,
+cited by the paper among the staple process-failure-tolerant problems):
+after ``f + 1`` rounds of full-information flooding, every correct
+process decides a vector ``V`` with one slot per process, such that
+
+- *agreement*: all correct processes decide the same vector;
+- *validity*: ``V[q]`` is ``q``'s proposal whenever ``q`` is correct
+  (slots of faulty processes may hold the proposal or ``ABSENT``).
+
+The protocol floods (pid → proposal) maps and decides the merged map
+in the final round.  The standard crash-failure chain argument gives
+agreement: any entry known to a correct process by round ``f`` reaches
+everyone by ``f + 1``, and with at most ``f`` crashes some round is
+crash-free, equalizing views.  Non-uniform and full-information, hence
+compilable by Figure 3 — a repeated interactive-consistency service
+that survives systemic failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.core.problems import CheckReport, Problem, Violation
+from repro.histories.history import ExecutionHistory
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["InteractiveConsistency", "VectorConsensusProblem", "ABSENT"]
+
+#: Slot value for processes whose proposal never arrived.
+ABSENT = "<absent>"
+
+
+class InteractiveConsistency(CanonicalProtocol):
+    """Figure 2 instance: flood (pid → proposal) maps, decide the vector."""
+
+    def __init__(self, f: int, proposals: Sequence[Any]):
+        require_non_negative(f, "f")
+        require(len(proposals) > 0, "at least one proposal is required")
+        self.f = f
+        self.final_round = f + 1
+        self.proposals = tuple(proposals)
+        self.name = f"interactive-consistency(f={f})"
+
+    def proposal_for(self, pid: int) -> Any:
+        return self.proposals[pid % len(self.proposals)]
+
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {
+            "proposal": self.proposal_for(pid),
+            "known": {pid: self.proposal_for(pid)},
+            "decision": None,
+        }
+
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        known = dict(inner_state["known"])
+        for _sender, their_state in messages:
+            for origin, value in their_state.get("known", {}).items():
+                # First writer wins: a slot never flips once filled, so
+                # duplicate floods cannot perturb it.
+                if isinstance(origin, int) and 0 <= origin < n:
+                    known.setdefault(origin, value)
+        decision = inner_state.get("decision")
+        if k == self.final_round:
+            decision = tuple(known.get(slot, ABSENT) for slot in range(n))
+        return {
+            "proposal": inner_state["proposal"],
+            "known": known,
+            "decision": decision,
+        }
+
+    def decision_of(self, inner_state: Mapping[str, Any]) -> Optional[Any]:
+        return inner_state.get("decision")
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        pool = list(self.proposals)
+        known = {
+            q: rng.choice(pool) for q in range(n) if rng.random() < 0.5
+        }
+        maybe_vector = tuple(rng.choice(pool + [ABSENT]) for _ in range(n))
+        return {
+            "proposal": rng.choice(pool),
+            "known": known,
+            "decision": rng.choice([None, maybe_vector]),
+        }
+
+
+class VectorConsensusProblem(Problem):
+    """The interactive-consistency specification as a predicate.
+
+    Evaluated over the decision vectors non-faulty processes hold at
+    the end of the history.
+    """
+
+    name = "interactive-consistency"
+
+    def __init__(self, proposals_by_pid: Mapping[int, Any], decision_of=None):
+        self._proposals = dict(proposals_by_pid)
+        self._decision_of = decision_of or (
+            lambda state: state.get("inner", {}).get("decision")
+        )
+
+    def check(
+        self, history: ExecutionHistory, faulty: FrozenSet[int]
+    ) -> CheckReport:
+        violations: List[Violation] = []
+        last = history.last_round
+        vectors: Dict[int, Tuple] = {}
+        for record in history.round(last).records:
+            if record.pid in faulty or record.state_before is None:
+                continue
+            vector = self._decision_of(record.state_before)
+            if vector is None:
+                violations.append(
+                    Violation(last, "termination", f"process {record.pid} undecided")
+                )
+            else:
+                vectors[record.pid] = tuple(vector)
+        if len(set(vectors.values())) > 1:
+            violations.append(
+                Violation(last, "agreement", f"decision vectors differ: {vectors}")
+            )
+        for pid, vector in vectors.items():
+            for slot, value in enumerate(vector):
+                if slot in faulty:
+                    continue  # faulty slots unconstrained
+                expected = self._proposals.get(slot)
+                if expected is not None and value != expected:
+                    violations.append(
+                        Violation(
+                            last,
+                            "validity",
+                            f"process {pid} holds V[{slot}]={value!r}, "
+                            f"correct slot owner proposed {expected!r}",
+                        )
+                    )
+        return CheckReport.from_violations(self.name, violations)

@@ -1,0 +1,141 @@
+"""Phase-queen consensus: tolerant of general omission (and Byzantine).
+
+The paper's synchronous sections admit *general omission* failures.
+FloodMin is only safe against crashes (an omitting process can smuggle
+a value past the ``f+1``-round chain argument by relaying it privately
+among faulty processes), so for general omission we implement the
+phase-queen protocol of Berman & Garay: ``f + 1`` phases of two rounds
+each, requiring ``n > 4f``.
+
+Phase ``i`` (protocol rounds ``2i - 1`` and ``2i``):
+
+- *ballot round*: everyone broadcasts its current value; each process
+  tallies the received values and records the majority value and its
+  count (ties broken toward the smaller value; missing messages simply
+  do not count — an omission-faulty sender weakens nobody's safety).
+- *queen round*: everyone broadcasts its state (full information); the
+  phase's queen is process ``(i - 1) mod n``.  A process keeps its
+  majority value if its count exceeded ``n/2 + f`` (it is then sure
+  every correct process saw the same majority); otherwise it adopts the
+  queen's majority value, falling back to its own if the queen's
+  message is missing (a missing queen is necessarily faulty).
+
+With ``n > 4f`` this decides after the phase whose queen is correct —
+there is one among ``f + 1`` phases — and the decision persists.  The
+protocol tolerates full Byzantine behaviour, hence a fortiori the
+general-omission failures injected by our adversary.  Values are
+restricted to ``{0, 1}`` (the standard binary formulation; multivalued
+consensus reduces to it by standard techniques).
+
+The protocol is non-uniform (nobody ever halts or is told to halt), so
+it is compilable by Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Dict, Mapping, Sequence
+
+from repro.core.canonical import CanonicalProtocol, StateMessage
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["PhaseQueenConsensus"]
+
+
+class PhaseQueenConsensus(CanonicalProtocol):
+    """Figure 2 instance: 2-round phases with a rotating queen, ``n > 4f``."""
+
+    def __init__(self, f: int, n: int, proposals: Sequence[int]):
+        require_non_negative(f, "f")
+        require(n > 4 * f, f"phase-queen requires n > 4f, got n={n}, f={f}")
+        require(len(proposals) > 0, "at least one proposal is required")
+        for value in proposals:
+            require(value in (0, 1), f"binary consensus: proposals must be 0/1, got {value!r}")
+        self.f = f
+        self.n = n
+        self.final_round = 2 * (f + 1)
+        self.proposals = tuple(proposals)
+        self.name = f"phase-queen(f={f})"
+
+    def proposal_for(self, pid: int) -> int:
+        return self.proposals[pid % len(self.proposals)]
+
+    def initial_inner_state(self, pid: int, n: int) -> Dict[str, Any]:
+        value = self.proposal_for(pid)
+        return {
+            "proposal": value,
+            "value": value,
+            "majority": value,
+            "count": 0,
+            "decision": None,
+        }
+
+    def transition(
+        self,
+        pid: int,
+        inner_state: Mapping[str, Any],
+        messages: Sequence[StateMessage],
+        k: int,
+        n: int,
+    ) -> Dict[str, Any]:
+        state = dict(inner_state)
+        phase = (k + 1) // 2
+        if k % 2 == 1:
+            self._ballot_round(state, messages)
+        else:
+            self._queen_round(state, messages, phase, n)
+            if k == self.final_round:
+                state["decision"] = state["value"]
+        return state
+
+    def _ballot_round(
+        self, state: Dict[str, Any], messages: Sequence[StateMessage]
+    ) -> None:
+        tally: Counter = Counter()
+        for _sender, their_state in messages:
+            value = their_state.get("value")
+            if value in (0, 1):
+                tally[value] += 1
+        if tally:
+            # Majority value; ties break toward the smaller value so all
+            # correct processes break them identically.
+            best = max(sorted(tally), key=lambda v: tally[v])
+            state["majority"] = best
+            state["count"] = tally[best]
+        else:
+            state["majority"] = state["value"]
+            state["count"] = 0
+
+    def _queen_round(
+        self,
+        state: Dict[str, Any],
+        messages: Sequence[StateMessage],
+        phase: int,
+        n: int,
+    ) -> None:
+        queen = (phase - 1) % n
+        queen_majority = None
+        for sender, their_state in messages:
+            if sender == queen:
+                queen_majority = their_state.get("majority")
+                break
+        if state["count"] > n / 2 + self.f:
+            state["value"] = state["majority"]
+        elif queen_majority in (0, 1):
+            state["value"] = queen_majority
+        else:
+            # The queen's message is missing or malformed: the queen is
+            # faulty, keep the local majority.
+            state["value"] = state["majority"]
+
+    def arbitrary_inner_state(
+        self, pid: int, n: int, rng: random.Random
+    ) -> Dict[str, Any]:
+        return {
+            "proposal": rng.choice((0, 1)),
+            "value": rng.choice((0, 1)),
+            "majority": rng.choice((0, 1)),
+            "count": rng.randrange(0, n + 1),
+            "decision": rng.choice([None, 0, 1]),
+        }

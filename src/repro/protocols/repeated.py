@@ -1,0 +1,98 @@
+"""The repeated problem Σ⁺: observing iterations of a compiled protocol.
+
+The compiler turns a terminating Π into a non-terminating Π⁺ that
+solves Σ over and over (Σ⁺).  This module extracts, from a recorded
+history of Π⁺, the per-iteration decisions that the compiled protocol
+journals in its state (``last_decision`` / ``decided_at_clock``), so
+tests and benches can ask: *which iterations completed, who decided
+what, and from which iteration onward is every one of them correct?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from repro.histories.history import ExecutionHistory
+
+__all__ = ["IterationDecision", "iteration_decisions", "first_fully_correct_iteration"]
+
+
+@dataclass
+class IterationDecision:
+    """The outcome of one completed iteration of a compiled protocol.
+
+    ``completed_at_clock`` is the round-variable value at which the
+    iteration's final protocol round ran (a value ``≡ final_round - 1``
+    modulo ``final_round``); ``observed_round`` is the earliest actual
+    round at which some process's state already showed the decision.
+    """
+
+    completed_at_clock: int
+    observed_round: int
+    decisions: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def agreed(self) -> bool:
+        return len(set(map(repr, self.decisions.values()))) <= 1
+
+    def valid(self, proposals: FrozenSet[Any]) -> bool:
+        return all(decision in proposals for decision in self.decisions.values())
+
+
+def iteration_decisions(
+    history: ExecutionHistory,
+    faulty: Optional[FrozenSet[int]] = None,
+    from_round: Optional[int] = None,
+) -> List[IterationDecision]:
+    """Collect every iteration outcome visible in ``history``.
+
+    Only states of non-faulty, live processes are trusted.  Iterations
+    are keyed by the clock at which they completed; decisions recorded
+    by different processes for the same completion clock are grouped
+    (they *should* agree — that is Σ⁺'s iteration-agreement clause).
+
+    ``from_round`` restricts attention to states observed at or after
+    that actual round — the usual way to skip the stabilization
+    transient, where journalled decisions may be corrupted garbage.
+    """
+    faulty = faulty if faulty is not None else history.faulty()
+    start = from_round if from_round is not None else history.first_round
+    grouped: Dict[int, IterationDecision] = {}
+    for round_no in range(max(start, history.first_round), history.last_round + 1):
+        for record in history.round(round_no).records:
+            if record.pid in faulty or record.state_before is None:
+                continue
+            clock = record.state_before.get("decided_at_clock")
+            decision = record.state_before.get("last_decision")
+            if clock is None or decision is None:
+                continue
+            entry = grouped.get(clock)
+            if entry is None:
+                entry = IterationDecision(
+                    completed_at_clock=clock, observed_round=round_no
+                )
+                grouped[clock] = entry
+            entry.decisions.setdefault(record.pid, decision)
+    return [grouped[clock] for clock in sorted(grouped)]
+
+
+def first_fully_correct_iteration(
+    iterations: List[IterationDecision],
+    proposals: FrozenSet[Any],
+) -> Optional[int]:
+    """Index into ``iterations`` after which every iteration is correct.
+
+    Returns the smallest ``i`` such that iterations ``i..`` all agree
+    and are valid, or ``None`` if no such suffix exists.  Benches use
+    this to convert a run into an empirical stabilization measurement
+    in units of iterations.
+    """
+    good_from: Optional[int] = None
+    for index, iteration in enumerate(iterations):
+        if iteration.agreed and iteration.valid(proposals):
+            if good_from is None:
+                good_from = index
+        else:
+            good_from = None
+    return good_from

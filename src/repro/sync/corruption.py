@@ -1,0 +1,156 @@
+"""Systemic-failure injection: arbitrary state corruption.
+
+A *systemic failure* (self-stabilization failure) occurs when a process
+commences execution in a state other than the protocol's specified
+initial state — corrupted memory, unchanged program.  Following the
+paper (and the self-stabilization tradition) we concentrate on behaviour
+*after the final systemic failure*: an experiment applies a corruption
+at the start of execution (or at a chosen mid-run round, which simply
+restarts the analysis window) and then observes stabilization.
+
+Corruption plans rewrite process states wholesale.  States produced by
+:class:`RandomCorruption` are drawn from the protocol's own
+:meth:`~repro.sync.protocol.SyncProtocol.arbitrary_state`, i.e. they
+range over the protocol's full state space — the standard formal model
+of memory corruption (variables take arbitrary values of their domains;
+the program text is intact).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Mapping, Optional
+
+from repro.histories.history import CLOCK_KEY
+from repro.sync.protocol import SyncProtocol
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CorruptionPlan",
+    "ExplicitCorruption",
+    "NoCorruption",
+    "RandomCorruption",
+    "ClockSkewCorruption",
+]
+
+
+class CorruptionPlan(ABC):
+    """Produces corrupted states for a set of processes."""
+
+    @abstractmethod
+    def corrupt(
+        self,
+        protocol: SyncProtocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        """Return the post-corruption states.
+
+        ``states`` maps pid to its current state (``None`` = crashed).
+        Crashed processes are never revived: corruption scribbles on
+        memory, it does not restart processes.
+        """
+
+
+class NoCorruption(CorruptionPlan):
+    """Identity plan (failure-free systemically)."""
+
+    def corrupt(
+        self,
+        protocol: SyncProtocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        return {pid: None if s is None else dict(s) for pid, s in states.items()}
+
+
+class ExplicitCorruption(CorruptionPlan):
+    """Overwrite chosen processes' states with explicit values.
+
+    Used to realize the exact corrupted configurations from the paper's
+    proofs (e.g. "p and q store different values in their round
+    variables").  Processes absent from ``overrides`` keep their state.
+    """
+
+    def __init__(self, overrides: Mapping[int, Mapping[str, Any]]):
+        # No shape validation here: overrides model *arbitrary* memory
+        # contents, and the plan is shared by the synchronous engine
+        # (which validates the round variable on ingestion) and the
+        # asynchronous scheduler (whose states carry no round variable).
+        self._overrides = {pid: dict(state) for pid, state in overrides.items()}
+
+    def corrupt(
+        self,
+        protocol: SyncProtocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        out: Dict[int, Optional[Dict[str, Any]]] = {}
+        for pid, state in states.items():
+            if state is None or pid not in self._overrides:
+                out[pid] = None if state is None else dict(state)
+            else:
+                out[pid] = dict(self._overrides[pid])
+        return out
+
+
+class RandomCorruption(CorruptionPlan):
+    """Scramble every (or a chosen subset of) process state randomly.
+
+    Each affected process gets a state drawn from the protocol's
+    arbitrary-state generator.  The draw is seeded, so campaigns are
+    reproducible.  ``victims=None`` corrupts everyone — the headline
+    regime of self-stabilization, where *all* process memories may be
+    corrupted simultaneously (unlike Byzantine tolerance, which caps the
+    number of affected processes).
+    """
+
+    def __init__(self, seed: int, victims: Optional[frozenset] = None):
+        self._seed = seed
+        self._victims = victims
+
+    def corrupt(
+        self,
+        protocol: SyncProtocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        rng = make_rng(self._seed, f"corruption:{protocol.name}")
+        out: Dict[int, Optional[Dict[str, Any]]] = {}
+        for pid in sorted(states):
+            state = states[pid]
+            hit = self._victims is None or pid in self._victims
+            if state is None or not hit:
+                out[pid] = None if state is None else dict(state)
+            else:
+                out[pid] = protocol.arbitrary_state(pid, n, rng)
+        return out
+
+
+class ClockSkewCorruption(CorruptionPlan):
+    """Corrupt only the round variables, by explicit per-process skews.
+
+    The minimal systemic failure that already defeats naive protocols:
+    processes disagree on the current round number.  ``skews`` maps pid
+    to the absolute clock value to install.
+    """
+
+    def __init__(self, skews: Mapping[int, int]):
+        self._skews = dict(skews)
+
+    def corrupt(
+        self,
+        protocol: SyncProtocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        out: Dict[int, Optional[Dict[str, Any]]] = {}
+        for pid, state in states.items():
+            if state is None:
+                out[pid] = None
+                continue
+            fresh = dict(state)
+            if pid in self._skews:
+                fresh[CLOCK_KEY] = self._skews[pid]
+            out[pid] = fresh
+        return out

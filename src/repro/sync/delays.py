@@ -1,0 +1,83 @@
+"""Delivery-delay models: synchronous but not perfectly synchronized.
+
+The paper's synchronous results assume constant (one-round) delivery,
+and Section 3 opens by noting that round agreement and the compiler
+"readily adapt to synchronous, but not perfectly synchronized
+systems".  These models make that system executable: every message is
+still delivered within a *bounded* number of rounds (here, one or two),
+but the adversary/environment chooses which — so processes no longer
+share a lockstep view of "this round's messages".
+
+A delay of 0 extra rounds is the paper's perfect synchrony; the engine
+default uses :class:`NoDelay`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Tuple
+
+from repro.util.rng import make_rng
+from repro.util.validation import require
+
+__all__ = ["DelayModel", "NoDelay", "RandomDelay", "TargetedLag"]
+
+
+class DelayModel(ABC):
+    """Chooses, per message, how many extra rounds delivery takes."""
+
+    #: The bound Δ on extra rounds this model may impose (documentation
+    #: plus validation; the engine asserts the returned value).
+    max_extra_rounds: int = 0
+
+    @abstractmethod
+    def extra_rounds(self, round_no: int, sender: int, receiver: int) -> int:
+        """Extra rounds (0 = delivered within the sending round)."""
+
+
+class NoDelay(DelayModel):
+    """Perfect synchrony: every message delivered in its own round."""
+
+    max_extra_rounds = 0
+
+    def extra_rounds(self, round_no: int, sender: int, receiver: int) -> int:
+        return 0
+
+
+class RandomDelay(DelayModel):
+    """Each copy independently late with probability ``p_late``.
+
+    Self-deliveries are never delayed (a process's own broadcast is a
+    local event).
+    """
+
+    max_extra_rounds = 1
+
+    def __init__(self, seed: int, p_late: float = 0.3):
+        require(0.0 <= p_late <= 1.0, f"p_late must be in [0, 1], got {p_late}")
+        self._rng = make_rng(seed, "random-delay")
+        self.p_late = p_late
+
+    def extra_rounds(self, round_no: int, sender: int, receiver: int) -> int:
+        if sender == receiver:
+            return 0
+        return 1 if self._rng.random() < self.p_late else 0
+
+
+class TargetedLag(DelayModel):
+    """Specific (sender, receiver) links permanently one round late.
+
+    The worst case for skew: a partition of links that lags forever
+    keeps the affected processes exactly one round behind, which is
+    why the adapted agreement problem tolerates skew Δ.
+    """
+
+    max_extra_rounds = 1
+
+    def __init__(self, late_links: Iterable[Tuple[int, int]]):
+        self._late = frozenset(late_links)
+        for sender, receiver in self._late:
+            require(sender != receiver, "self-delivery cannot be delayed")
+
+    def extra_rounds(self, round_no: int, sender: int, receiver: int) -> int:
+        return 1 if (sender, receiver) in self._late else 0

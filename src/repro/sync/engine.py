@@ -1,0 +1,370 @@
+"""The lockstep round engine.
+
+Executes a :class:`~repro.sync.protocol.SyncProtocol` on ``n`` processes
+for a given number of rounds under a process-failure adversary and a
+systemic-failure (corruption) plan, and records the full
+:class:`~repro.histories.history.ExecutionHistory`.
+
+Round structure (paper, Section 2):
+
+1. *(systemic failures)* any corruption scheduled for this round is
+   applied to the surviving processes' memories;
+2. *start of round* — every alive process broadcasts one payload;
+   the adversary may crash a process mid-broadcast (its final message
+   reaches only a chosen subset) or drop individual copies
+   (send omission);
+3. *delivery* — every copy that survived send-side filtering is
+   delivered within the round (constant delivery time), except copies
+   dropped by receive omission at a faulty receiver.  Self-delivery is
+   never dropped (paper footnote: every process, correct or faulty,
+   correctly receives its own broadcast);
+4. *end of round* — every alive, non-crashing process applies the
+   protocol's transition function to its delivered messages.
+
+Everything that happened — states at round start, messages actually
+sent and delivered, crashes and omissions — is recorded, so all of the
+paper's predicates are later evaluated on the history alone.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.histories.history import (
+    CLOCK_KEY,
+    ExecutionHistory,
+    Message,
+    ProcessRoundRecord,
+    RoundHistory,
+)
+from repro.sync.adversary import Adversary, NullAdversary, RoundFaultPlan
+from repro.sync.corruption import CorruptionPlan
+from repro.sync.delays import DelayModel, NoDelay
+from repro.sync.protocol import SyncProtocol
+from repro.util.validation import require, require_positive, require_process_count
+
+__all__ = ["SyncRunResult", "run_sync", "ProtocolError"]
+
+ProcessId = int
+
+#: Signature of an early-stop predicate: (states-after-round, round_no) -> bool.
+StopCondition = Callable[[Dict[ProcessId, Optional[Dict[str, Any]]], int], bool]
+
+
+class ProtocolError(RuntimeError):
+    """A protocol implementation violated the engine's contract."""
+
+
+@dataclass
+class SyncRunResult:
+    """Everything produced by one synchronous run."""
+
+    protocol: SyncProtocol
+    n: int
+    history: ExecutionHistory
+    final_states: Dict[ProcessId, Optional[Dict[str, Any]]]
+    faulty: frozenset
+    stopped_early: bool = False
+
+    @property
+    def rounds_executed(self) -> int:
+        return len(self.history)
+
+    def final_clocks(self) -> Dict[ProcessId, Optional[int]]:
+        """Round variables after the last executed round (None = crashed)."""
+        return {
+            pid: None if state is None else state[CLOCK_KEY]
+            for pid, state in self.final_states.items()
+        }
+
+
+def run_sync(
+    protocol: SyncProtocol,
+    n: int,
+    rounds: int,
+    adversary: Optional[Adversary] = None,
+    corruption: Optional[CorruptionPlan] = None,
+    mid_run_corruptions: Optional[Mapping[int, CorruptionPlan]] = None,
+    initial_states: Optional[Mapping[ProcessId, Dict[str, Any]]] = None,
+    stop_condition: Optional[StopCondition] = None,
+    first_round: int = 1,
+    delay_model: Optional[DelayModel] = None,
+) -> SyncRunResult:
+    """Execute ``protocol`` on ``n`` processes for up to ``rounds`` rounds.
+
+    Parameters
+    ----------
+    protocol:
+        The round protocol to run.
+    n:
+        System size; processes are ``0 .. n-1``.
+    rounds:
+        Number of rounds to execute (actual rounds, observer-counted).
+    adversary:
+        Process-failure injector; defaults to :class:`NullAdversary`.
+    corruption:
+        Systemic failure applied to the *initial* states (after
+        ``initial_states``, if both are given).
+    mid_run_corruptions:
+        ``round_no -> plan``: corruption applied at the start of that
+        actual round, modelling systemic failures during execution.
+    initial_states:
+        Explicit initial states for some/all processes (overrides the
+        protocol's specified initial state; a systemic failure by
+        itself).
+    stop_condition:
+        Optional early-exit predicate evaluated after each round on the
+        post-round states.
+    first_round:
+        Actual round number of the first executed round (default 1).
+    delay_model:
+        Delivery-delay model for the "synchronous but not perfectly
+        synchronized" mode: each message may take a bounded number of
+        extra rounds to arrive (default: none — the paper's perfect
+        synchrony).  Messages still in flight when the run ends are
+        dropped (a truncation artifact of finite histories).
+
+    Returns
+    -------
+    SyncRunResult
+        History, final states, and the faulty set derived from the
+        recorded deviations.
+    """
+    require_process_count(n)
+    require_positive(rounds, "rounds")
+    adversary = adversary or NullAdversary()
+    delay_model = delay_model or NoDelay()
+    mid_run = dict(mid_run_corruptions or {})
+    in_flight: Dict[int, List[Message]] = {}
+
+    states: Dict[ProcessId, Optional[Dict[str, Any]]] = {}
+    for pid in range(n):
+        state = protocol.initial_state(pid, n)
+        if initial_states and pid in initial_states:
+            state = dict(initial_states[pid])
+        if CLOCK_KEY not in state:
+            raise ProtocolError(
+                f"{protocol.name}: initial state of process {pid} lacks "
+                f"the round variable ({CLOCK_KEY!r})"
+            )
+        states[pid] = state
+    if corruption is not None:
+        states = corruption.corrupt(protocol, states, n)
+
+    crashed: set = set()
+    faulty_so_far: frozenset = frozenset()
+    round_histories: List[RoundHistory] = []
+    stopped_early = False
+
+    for round_no in range(first_round, first_round + rounds):
+        if round_no in mid_run:
+            states = mid_run[round_no].corrupt(protocol, states, n)
+
+        alive = frozenset(pid for pid in range(n) if pid not in crashed)
+        plan = adversary.plan_round(round_no, alive, faulty_so_far)
+        adversary.validate(plan, faulty_so_far)
+
+        snapshots: Dict[ProcessId, Optional[Dict[str, Any]]] = {
+            pid: None if states[pid] is None else copy.deepcopy(states[pid])
+            for pid in range(n)
+        }
+
+        sent, omitted_sends, forged_sends, crashing_now = _send_phase(
+            protocol, n, round_no, states, alive, plan
+        )
+        immediate = _route_delays(sent, round_no, delay_model, in_flight)
+        arriving = immediate + in_flight.pop(round_no, [])
+        delivered, omitted_receives = _delivery_phase(
+            n, arriving, crashed, crashing_now, plan
+        )
+        records = _update_phase(
+            protocol,
+            n,
+            states,
+            snapshots,
+            sent,
+            delivered,
+            omitted_sends,
+            omitted_receives,
+            forged_sends,
+            crashed,
+            crashing_now,
+        )
+
+        crashed |= crashing_now
+        round_history = RoundHistory(round_no=round_no, records=tuple(records))
+        round_histories.append(round_history)
+        faulty_so_far = faulty_so_far | round_history.deviators()
+
+        if stop_condition is not None and stop_condition(states, round_no):
+            stopped_early = True
+            break
+
+    history = ExecutionHistory(round_histories)
+    return SyncRunResult(
+        protocol=protocol,
+        n=n,
+        history=history,
+        final_states={pid: states[pid] for pid in range(n)},
+        faulty=history.faulty(),
+        stopped_early=stopped_early,
+    )
+
+
+def _send_phase(
+    protocol: SyncProtocol,
+    n: int,
+    round_no: int,
+    states: Dict[ProcessId, Optional[Dict[str, Any]]],
+    alive: frozenset,
+    plan: RoundFaultPlan,
+):
+    """Compute the messages actually placed on the wire this round."""
+    sent: Dict[ProcessId, List[Message]] = {pid: [] for pid in range(n)}
+    omitted_sends: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
+    forged_sends: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
+    crashing_now: set = set()
+
+    for pid in sorted(alive):
+        payload = protocol.send(pid, states[pid])
+        crash_survivors = plan.crashes.get(pid)
+        if crash_survivors is not None:
+            crashing_now.add(pid)
+        if payload is None:
+            continue
+        payload = copy.deepcopy(payload)
+        if crash_survivors is not None:
+            receivers = set(crash_survivors)
+        else:
+            dropped = set(plan.send_omissions.get(pid, frozenset()))
+            dropped.discard(pid)  # self-delivery is sacred
+            omitted_sends[pid] = dropped
+            receivers = set(range(n)) - dropped
+        lies = plan.forgeries.get(pid, {})
+        for receiver in sorted(receivers):
+            copy_payload = payload
+            if receiver in lies and receiver != pid:  # own broadcast stays true
+                copy_payload = copy.deepcopy(lies[receiver](copy.deepcopy(payload)))
+                forged_sends[pid].add(receiver)
+            sent[pid].append(
+                Message(
+                    sender=pid,
+                    receiver=receiver,
+                    sent_round=round_no,
+                    payload=copy_payload,
+                )
+            )
+    return sent, omitted_sends, forged_sends, crashing_now
+
+
+def _route_delays(
+    sent: Dict[ProcessId, List[Message]],
+    round_no: int,
+    delay_model: DelayModel,
+    in_flight: Dict[int, List[Message]],
+) -> List[Message]:
+    """Split fresh sends into immediate arrivals and future deliveries."""
+    immediate: List[Message] = []
+    for sender in sorted(sent):
+        for message in sent[sender]:
+            extra = delay_model.extra_rounds(round_no, sender, message.receiver)
+            if not 0 <= extra <= delay_model.max_extra_rounds:
+                raise ProtocolError(
+                    f"delay model returned {extra} extra rounds, outside "
+                    f"[0, {delay_model.max_extra_rounds}]"
+                )
+            if extra == 0:
+                immediate.append(message)
+            else:
+                in_flight.setdefault(round_no + extra, []).append(message)
+    return immediate
+
+
+def _delivery_phase(
+    n: int,
+    arriving: List[Message],
+    crashed: set,
+    crashing_now: set,
+    plan: RoundFaultPlan,
+):
+    """Deliver surviving copies, applying receive omissions."""
+    delivered: Dict[ProcessId, List[Message]] = {pid: [] for pid in range(n)}
+    omitted_receives: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
+    dead = crashed | crashing_now
+
+    for message in arriving:
+        receiver, sender = message.receiver, message.sender
+        if receiver in dead:
+            continue  # a crashed process receives nothing
+        drops = plan.receive_omissions.get(receiver, frozenset())
+        if sender in drops and sender != receiver:
+            omitted_receives[receiver].add(sender)
+            continue
+        delivered[receiver].append(message)
+
+    for pid in delivered:
+        delivered[pid].sort(key=lambda m: (m.sender, m.sent_round))
+    return delivered, omitted_receives
+
+
+def _update_phase(
+    protocol: SyncProtocol,
+    n: int,
+    states: Dict[ProcessId, Optional[Dict[str, Any]]],
+    snapshots: Dict[ProcessId, Optional[Dict[str, Any]]],
+    sent: Dict[ProcessId, List[Message]],
+    delivered: Dict[ProcessId, List[Message]],
+    omitted_sends: Dict[ProcessId, set],
+    omitted_receives: Dict[ProcessId, set],
+    forged_sends: Dict[ProcessId, set],
+    crashed: set,
+    crashing_now: set,
+):
+    """Apply transitions and assemble the round's records."""
+    records: List[ProcessRoundRecord] = []
+    for pid in range(n):
+        if pid in crashed:
+            records.append(
+                ProcessRoundRecord(
+                    pid=pid, state_before=None, clock_before=None, crashed=True
+                )
+            )
+            continue
+        snapshot = snapshots[pid]
+        clock_before = None if snapshot is None else snapshot.get(CLOCK_KEY)
+        if pid in crashing_now:
+            states[pid] = None
+            records.append(
+                ProcessRoundRecord(
+                    pid=pid,
+                    state_before=snapshot,
+                    clock_before=clock_before,
+                    sent=tuple(sent[pid]),
+                    delivered=(),
+                    crashed=True,
+                )
+            )
+            continue
+        new_state = protocol.update(pid, states[pid], delivered[pid])
+        if not isinstance(new_state, dict) or CLOCK_KEY not in new_state:
+            raise ProtocolError(
+                f"{protocol.name}: update() for process {pid} must return a "
+                f"dict containing the round variable ({CLOCK_KEY!r})"
+            )
+        states[pid] = new_state
+        records.append(
+            ProcessRoundRecord(
+                pid=pid,
+                state_before=snapshot,
+                clock_before=clock_before,
+                sent=tuple(sent[pid]),
+                delivered=tuple(delivered[pid]),
+                crashed=False,
+                omitted_sends=frozenset(omitted_sends[pid]),
+                omitted_receives=frozenset(omitted_receives[pid]),
+                forged_sends=frozenset(forged_sends[pid]),
+            )
+        )
+    return records

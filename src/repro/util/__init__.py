@@ -1,0 +1,22 @@
+"""Shared utilities: seeded randomness, validation, and text formatting.
+
+These helpers are deliberately dependency-free so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_process_count,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_process_count",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark and analysis reports.
+
+The benchmark harness prints the same rows the paper's claims imply
+(see EXPERIMENTS.md).  We render them as aligned monospace tables so the
+output is directly readable in a terminal and diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, pairs: Iterable[tuple[object, object]]) -> str:
+    """Render an ``x -> y`` series on one line, e.g. for sweep results."""
+    body = ", ".join(f"{_cell(x)}={_cell(y)}" for x, y in pairs)
+    return f"{name}: {body}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

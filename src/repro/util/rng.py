@@ -1,0 +1,44 @@
+"""Deterministic, hierarchical random-number generation.
+
+Every randomized component in the library (adversaries, corruption
+injectors, workload generators, the asynchronous scheduler) takes an
+explicit integer seed.  Components that need several independent streams
+derive sub-seeds with :func:`derive_seed`, which hashes the parent seed
+together with a string label.  This keeps experiment runs reproducible:
+the same top-level seed always yields the same execution, regardless of
+the order in which sub-components draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "make_rng"]
+
+_SEED_BYTES = 8
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a child seed from ``parent_seed`` and a distinguishing label.
+
+    The derivation is stable across processes and Python versions (it uses
+    SHA-256 rather than ``hash()``, which is salted per-process).
+
+    >>> derive_seed(42, "adversary") == derive_seed(42, "adversary")
+    True
+    >>> derive_seed(42, "adversary") != derive_seed(42, "corruption")
+    True
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:_SEED_BYTES], "big")
+
+
+def make_rng(seed: int, label: str = "") -> random.Random:
+    """Return a private :class:`random.Random` for ``seed`` (and label).
+
+    A fresh generator is returned every call; callers own its state.
+    """
+    if label:
+        seed = derive_seed(seed, label)
+    return random.Random(seed)

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers.
+
+The simulators are configured with many integer parameters (process
+counts, fault budgets, round limits).  Misconfigurations should fail
+loudly at construction time rather than corrupt an experiment halfway
+through, so public constructors validate with these helpers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_process_count",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive int and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_non_negative(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative int and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def require_process_count(n: int) -> int:
+    """Validate a system size: at least two communicating processes."""
+    require_positive(n, "n")
+    require(n >= 2, f"a distributed system needs at least 2 processes, got {n}")
+    return n

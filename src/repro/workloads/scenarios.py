@@ -1,0 +1,201 @@
+"""Worst-case adversary schedules and targeted corruption patterns."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+from repro.sync.adversary import Adversary, RoundFaultPlan
+from repro.sync.corruption import CorruptionPlan
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_non_negative, require_positive
+
+__all__ = [
+    "LateRevealAdversary",
+    "ConsensusDeadlockCorruption",
+    "clock_skew_pattern",
+    "crash_schedule",
+]
+
+
+class LateRevealAdversary(Adversary):
+    """A general-omission process that hides its value, then leaks it late.
+
+    The attacker ``hider`` send-omits its broadcast to *everyone* in
+    every round except rounds ``r ≡ offset (mod period)``, in which the
+    broadcast reaches only ``victim``.  (It never receive-omits, so its
+    round variable stays merged with the pack and its messages carry
+    current tags.)
+
+    Against a compiled flooding protocol with ``period = final_round``
+    and the right ``offset``, the leak lands in an iteration's *final*
+    protocol round: the victim learns a value nobody else can relay in
+    time.  With suspect sets, the victim has long since suspected the
+    hider (missing messages are sticky suspicion within an iteration)
+    and discards the leak; without them, the victim merges it and
+    decides differently from everyone else — Σ⁺ falsified exactly as
+    §2.4 warns for out-of-date/stale senders.  The ABL-SUSPECT bench
+    sweeps ``offset`` over the period.
+    """
+
+    def __init__(
+        self,
+        hider: int,
+        victim: int,
+        n: int,
+        period: int,
+        offset: int = 0,
+    ):
+        super().__init__(f=1)
+        require(hider != victim, "the hider leaks to somebody else")
+        require(0 <= hider < n and 0 <= victim < n, "hider/victim must be pids")
+        require_positive(period, "period")
+        require_non_negative(offset, "offset")
+        self.hider = hider
+        self.victim = victim
+        self.n = n
+        self.period = period
+        self.offset = offset % period
+
+    def plan_round(
+        self,
+        round_no: int,
+        alive: FrozenSet[int],
+        faulty_so_far: FrozenSet[int],
+    ) -> RoundFaultPlan:
+        if self.hider not in alive:
+            return RoundFaultPlan.empty()
+        everyone = frozenset(range(self.n)) - {self.hider}
+        if round_no % self.period == self.offset:
+            dropped = everyone - {self.victim}
+        else:
+            dropped = everyone
+        return RoundFaultPlan(send_omissions={self.hider: dropped})
+
+
+class ConsensusDeadlockCorruption(CorruptionPlan):
+    """The [KP90] deadlock seed, surgically.
+
+    Corrupts only the consensus layer of a
+    :class:`~repro.detectors.consensus.CTConsensus` state: send-flags
+    claim every message was already sent, phases are scattered
+    mid-protocol, instance/round counters disagree — while the
+    embedded failure detector's sub-state stays *clean* (everyone
+    alive, version counters zero).  Without the clean-detector
+    restriction, planted false suspicions trigger nacks that kick the
+    system awake and mask the deadlock the retransmission exists to
+    break.
+    """
+
+    def __init__(self, seed: int, all_waiting: bool = False, instance_spread: int = 40):
+        self._seed = seed
+        self._all_waiting = all_waiting
+        self._instance_spread = instance_spread
+
+    def corrupt(
+        self,
+        protocol,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        rng = make_rng(self._seed, "consensus-deadlock")
+        out: Dict[int, Optional[Dict[str, Any]]] = {}
+        for pid in sorted(states):
+            state = states[pid]
+            if state is None:
+                out[pid] = None
+                continue
+            fresh = dict(state)
+            fresh["instance"] = rng.randrange(0, self._instance_spread)
+            fresh["round"] = rng.randrange(0, 3 * n)
+            fresh["phase"] = "wait" if self._all_waiting else rng.choice(["est", "wait"])
+            fresh["estimate"] = rng.randrange(0, 20)
+            fresh["ts"] = rng.randrange(0, 10)
+            fresh["sent_est"] = True  # "I already sent it" — the deadlock
+            fresh["est_received"] = {}
+            fresh["proposed"] = None
+            fresh["acks"], fresh["nacks"] = [], []
+            fresh["latest_decision"] = None
+            fresh["buffer"] = []
+            # fd sub-state deliberately left clean.
+            out[pid] = fresh
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Byzantine payload mutators (for the EXT-BYZ experiment: §1.2's
+# systemic-vs-malicious comparison).  Each takes (rng, true payload) and
+# returns the lie; all are shape-preserving so protocols keep parsing.
+# ---------------------------------------------------------------------------
+
+
+def flip_binary_fields(rng, payload):
+    """Lie for phase-queen: flip the binary ``value``/``majority`` fields.
+
+    Payloads are the full-information ``(pid, state)`` pairs of
+    :class:`~repro.core.canonical.CanonicalRunner`.
+    """
+    sender, state = payload
+    lie = dict(state)
+    for key in ("value", "majority"):
+        if lie.get(key) in (0, 1):
+            lie[key] = 1 - lie[key]
+    if "inner" in lie and isinstance(lie["inner"], dict):
+        inner = dict(lie["inner"])
+        for key in ("value", "majority"):
+            if inner.get(key) in (0, 1):
+                inner[key] = 1 - inner[key]
+        lie["inner"] = inner
+    return (sender, lie)
+
+
+def poison_floodmin(rng, payload):
+    """Lie for FloodMin: smuggle a bogus minimum into the value set."""
+    sender, state = payload
+    lie = dict(state)
+    if "values" in lie:
+        lie["values"] = frozenset(lie["values"]) | {-999}
+    if "inner" in lie and isinstance(lie["inner"], dict):
+        inner = dict(lie["inner"])
+        if "values" in inner:
+            inner["values"] = frozenset(inner["values"]) | {-999}
+        lie["inner"] = inner
+    return (sender, lie)
+
+
+def forge_clock(rng, payload):
+    """Lie for round agreement: claim a round number far in the future."""
+    if isinstance(payload, int):
+        return payload + rng.randrange(10, 1000)
+    return payload
+
+
+def clock_skew_pattern(
+    n: int, seed: int, magnitude: int = 1 << 20
+) -> Dict[int, int]:
+    """Random per-process clock values for skew corruption sweeps."""
+    rng = make_rng(seed, "clock-skew")
+    return {pid: rng.randrange(0, magnitude) for pid in range(n)}
+
+
+def crash_schedule(
+    n: int,
+    f: int,
+    seed: int,
+    horizon: float,
+    earliest: float = 0.0,
+) -> Dict[int, float]:
+    """Pick ``f`` victims and crash times in ``[earliest, horizon)``."""
+    require(0 <= f <= n, f"need 0 <= f <= n, got f={f}, n={n}")
+    rng = make_rng(seed, "crash-schedule")
+    victims = rng.sample(range(n), f)
+    return {pid: rng.uniform(earliest, horizon) for pid in victims}
+
+
+def random_crash_rounds(
+    n: int, f: int, seed: int, max_round: int
+) -> Dict[int, int]:
+    """Synchronous flavour: ``f`` victims with crash rounds in [1, max_round]."""
+    rng = make_rng(seed, "crash-rounds")
+    victims = rng.sample(range(n), f)
+    return {pid: rng.randrange(1, max_round + 1) for pid in victims}

@@ -1,0 +1,95 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rounds import RoundAgreementProtocol
+from repro.histories.history import (
+    ExecutionHistory,
+    Message,
+    ProcessRoundRecord,
+    RoundHistory,
+)
+
+
+@pytest.fixture
+def round_agreement():
+    return RoundAgreementProtocol()
+
+
+def make_record(
+    pid,
+    clock=1,
+    state=None,
+    sent=(),
+    delivered=(),
+    crashed=False,
+    omitted_sends=(),
+    omitted_receives=(),
+):
+    """Terse ProcessRoundRecord builder for hand-written histories."""
+    if crashed and state is None and clock is None:
+        return ProcessRoundRecord(pid=pid, state_before=None, clock_before=None, crashed=True)
+    state = state if state is not None else {"clock": clock}
+    return ProcessRoundRecord(
+        pid=pid,
+        state_before=state,
+        clock_before=clock,
+        sent=tuple(sent),
+        delivered=tuple(delivered),
+        crashed=crashed,
+        omitted_sends=frozenset(omitted_sends),
+        omitted_receives=frozenset(omitted_receives),
+    )
+
+
+def make_history(round_specs):
+    """Build an ExecutionHistory from a list of per-round record lists.
+
+    ``round_specs`` is a list (one element per round, starting at round
+    1) of lists of ProcessRoundRecord.
+    """
+    rounds = [
+        RoundHistory(round_no=i + 1, records=tuple(records))
+        for i, records in enumerate(round_specs)
+    ]
+    return ExecutionHistory(rounds)
+
+
+def broadcast_round(round_no, clocks, payloads=None, skip_deliveries=()):
+    """One all-to-all broadcast round among live processes.
+
+    ``clocks``: list of clock values (None = crashed).  Every live
+    process broadcasts its payload (default: its clock) to everyone
+    and receives everything, except (sender, receiver) pairs listed in
+    ``skip_deliveries``.
+    """
+    n = len(clocks)
+    payloads = payloads if payloads is not None else list(clocks)
+    records = []
+    for pid in range(n):
+        if clocks[pid] is None:
+            records.append(
+                ProcessRoundRecord(pid=pid, state_before=None, clock_before=None, crashed=True)
+            )
+            continue
+        sent = tuple(
+            Message(sender=pid, receiver=q, sent_round=round_no, payload=payloads[pid])
+            for q in range(n)
+        )
+        delivered = tuple(
+            Message(sender=q, receiver=pid, sent_round=round_no, payload=payloads[q])
+            for q in range(n)
+            if clocks[q] is not None and (q, pid) not in skip_deliveries
+        )
+        records.append(
+            ProcessRoundRecord(
+                pid=pid,
+                state_before={"clock": clocks[pid]},
+                clock_before=clocks[pid],
+                sent=sent,
+                delivered=delivered,
+            )
+        )
+    return RoundHistory(round_no=round_no, records=tuple(records))

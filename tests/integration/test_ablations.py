@@ -1,0 +1,146 @@
+"""Integration tests: the design-choice ablations DESIGN.md calls out.
+
+Each ablation disables one mechanism and shows the specific failure the
+paper's design averts (or, for the merge rule, records the measured
+symmetry finding).
+"""
+
+import pytest
+
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.core.compiler import compile_protocol
+from repro.core.problems import RepeatedConsensusProblem
+from repro.core.solvability import ftss_check
+from repro.detectors.consensus import CTConsensus, consensus_log_agreement
+from repro.detectors.properties import eventual_weak_accuracy
+from repro.detectors.strong import LastWriterDetector, StrongDetector
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+from repro.workloads.scenarios import ConsensusDeadlockCorruption, LateRevealAdversary
+
+
+class TestSuspectSetAblation:
+    """ABL-SUSPECT: Figure 3 without suspect filtering (paper §2.4)."""
+
+    def _run(self, use_suspects, offset, rounds=10):
+        n, f = 5, 1
+        # the hider proposes the global minimum, so a leaked value flips
+        # the flood-min decision at whoever merges it
+        pi = FloodMinConsensus(f=f, proposals=[3, 0, 4, 2, 5])
+        plus = compile_protocol(pi, use_suspects=use_suspects)
+        props = frozenset(pi.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        adv = LateRevealAdversary(
+            hider=1, victim=0, n=n, period=pi.final_round, offset=offset
+        )
+        res = run_sync(plus, n=n, rounds=rounds * pi.final_round, adversary=adv)
+        return ftss_check(res.history, sigma, pi.final_round)
+
+    def test_with_suspects_every_offset_safe(self):
+        for offset in range(2):
+            assert self._run(True, offset).holds
+
+    def test_without_suspects_some_offset_breaks(self):
+        outcomes = [self._run(False, offset).holds for offset in range(2)]
+        assert not all(outcomes)
+
+    def test_breakage_is_iteration_disagreement(self):
+        for offset in range(2):
+            report = self._run(False, offset)
+            if not report.holds:
+                assert any(
+                    "iteration-agreement" in v for v in report.violations()
+                )
+                return
+        pytest.fail("expected some offset to break without suspects")
+
+
+class TestRetransmissionAblation:
+    """ABL-RETX: the SS consensus without periodic re-sending ([KP90])."""
+
+    def _run(self, mode, all_waiting=False):
+        n = 5
+        oracle = WeakDetectorOracle(n, {}, gst=0.0, seed=1)
+        proto = CTConsensus(n, mode=mode)
+        sched = AsyncScheduler(
+            proto,
+            n,
+            seed=1,
+            gst=0.0,
+            oracle=oracle,
+            corruption=ConsensusDeadlockCorruption(seed=3, all_waiting=all_waiting),
+            sample_interval=5.0,
+        )
+        return sched.run(max_time=250.0)
+
+    def test_no_retransmit_deadlocks(self):
+        trace = self._run("ss-no-retransmit")
+        assert not consensus_log_agreement(trace).holds
+
+    def test_full_ss_recovers(self):
+        trace = self._run("ss")
+        assert consensus_log_agreement(trace).holds
+
+    def test_all_waiting_state_needs_ack_retransmission(self):
+        # Every process corrupted into the acked "wait" phase: only the
+        # re-sent acks can wake the system.
+        assert consensus_log_agreement(self._run("ss", all_waiting=True)).holds
+        assert not consensus_log_agreement(
+            self._run("ss-no-retransmit", all_waiting=True)
+        ).holds
+
+
+class TestJumpAblation:
+    """ABL-JUMP: retransmission without the round-agreement jump."""
+
+    def test_no_jump_fails_on_scattered_instances(self):
+        n = 5
+        oracle = WeakDetectorOracle(n, {}, gst=0.0, seed=1)
+        proto = CTConsensus(n, mode="ss-no-jump")
+        sched = AsyncScheduler(
+            proto,
+            n,
+            seed=1,
+            gst=0.0,
+            oracle=oracle,
+            corruption=ConsensusDeadlockCorruption(seed=3),
+            sample_interval=5.0,
+        )
+        trace = sched.run(max_time=250.0)
+        assert not consensus_log_agreement(trace).holds
+
+
+class TestVersionCounterAblation:
+    """THM5 ablation: Figure 4's num counters vs last-writer-wins."""
+
+    def _converge_time(self, proto_cls, seed=0):
+        n = 6
+        crashes = {5: 10.0}
+        gst = 40.0
+        oracle = WeakDetectorOracle(n, crashes, gst=gst, seed=seed, flicker_rate=0.5)
+        sched = AsyncScheduler(
+            proto_cls(),
+            n,
+            seed=seed,
+            gst=gst,
+            crash_times=crashes,
+            oracle=oracle,
+            corruption=RandomCorruption(seed=seed + 9),
+            pre_gst_delay_max=120.0,
+            sample_interval=2.0,
+        )
+        trace = sched.run(max_time=350.0)
+        verdict = eventual_weak_accuracy(trace)
+        assert verdict.holds
+        return verdict.converged_at
+
+    def test_version_counters_reject_stale_inflight_state(self):
+        # Fig 4 converges right at GST; last-writer only after every
+        # stale pre-GST message has drained (~GST + pre-GST delay bound).
+        fig4 = self._converge_time(StrongDetector)
+        ablated = self._converge_time(LastWriterDetector)
+        assert fig4 < ablated
+        assert fig4 <= 60.0
+        assert ablated >= 100.0

@@ -1,0 +1,36 @@
+"""Every shipped example must run to completion and show its point."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["ftss-solves clock agreement @ stabilization 1: True"]),
+    ("replicated_log.py", ["ftss-solves Σ⁺", "True"]),
+    ("async_consensus.py", ["self-stabilizing CT", "repeated-consensus spec holds: True"]),
+    ("fault_injection_campaign.py", ["ALL GREEN"]),
+    ("transaction_commit.py", ["all post-stabilization commit rounds agreed: True"]),
+    ("replicated_counter.py", ["service spec holds: True"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), "2"]
+        if script == "fault_injection_campaign.py"
+        else [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for needle in expected:
+        assert needle in completed.stdout, (
+            f"{script}: expected {needle!r} in output;\n"
+            f"tail: {completed.stdout[-1500:]}"
+        )

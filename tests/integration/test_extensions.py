@@ -1,0 +1,96 @@
+"""Integration tests for the extension features.
+
+- the bounded-counter impossibility (deferred by the paper to its full
+  version) vs the windowed-corruption escape hatch;
+- the new Π instances (interactive consistency, early-deciding
+  FloodMin) compiled with Figure 3 and run under corruption.
+"""
+
+import pytest
+
+from repro.core.bounded import bounded_refutation_sweep
+from repro.core.compiler import compile_protocol
+from repro.core.problems import ClockAgreementProblem, RepeatedConsensusProblem
+from repro.core.solvability import ftss_check
+from repro.protocols.earlydeciding import EarlyDecidingFloodMin
+from repro.protocols.interactive import InteractiveConsistency
+from repro.protocols.repeated import iteration_decisions
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+class TestBoundedCounterImpossibility:
+    @pytest.mark.parametrize("modulus", [8, 64, 4096])
+    def test_full_ring_corruption_refutes(self, modulus):
+        out = bounded_refutation_sweep(modulus, 1, trials=30, rounds=20)
+        assert out.refuted
+
+    @pytest.mark.parametrize("modulus", [64, 4096])
+    def test_windowed_corruption_safe(self, modulus):
+        out = bounded_refutation_sweep(
+            modulus, 1, trials=30, rounds=20, corruption_window=modulus // 8
+        )
+        assert not out.refuted
+
+    def test_unbounded_protocol_survives_the_same_configurations(self):
+        # The refuting ring configurations are harmless to Figure 1
+        # proper (its integers never wrap).
+        from repro.core.rounds import RoundAgreementProtocol
+        from repro.sync.corruption import ClockSkewCorruption
+
+        out = bounded_refutation_sweep(8, 1, trials=30, rounds=20)
+        assert out.first_refuting_clocks is not None
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=len(out.first_refuting_clocks),
+            rounds=20,
+            corruption=ClockSkewCorruption(out.first_refuting_clocks),
+        )
+        assert ftss_check(res.history, ClockAgreementProblem(), 1).holds
+
+
+class TestCompiledExtensions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compiled_interactive_consistency(self, seed):
+        n, f = 5, 1
+        ic = InteractiveConsistency(f=f, proposals=["a", "b", "c", "d", "e"])
+        plus = compile_protocol(ic)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=10 * ic.final_round,
+            adversary=RandomAdversary(n=n, f=f, mode=FaultMode.CRASH, rate=0.15, seed=seed),
+            corruption=RandomCorruption(seed=seed + 31),
+        )
+        # vectors are tuples; Σ⁺ iteration agreement applies verbatim
+        sigma = RepeatedConsensusProblem(ic.final_round)
+        assert ftss_check(res.history, sigma, ic.final_round).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compiled_early_deciding(self, seed):
+        n, f = 5, 2
+        ed = EarlyDecidingFloodMin(f=f, proposals=[3, 1, 4, 1, 5])
+        plus = compile_protocol(ed)
+        props = frozenset(ed.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(ed.final_round, valid_proposals=props)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=10 * ed.final_round,
+            adversary=RandomAdversary(n=n, f=f, mode=FaultMode.CRASH, rate=0.15, seed=seed),
+            corruption=RandomCorruption(seed=seed + 77),
+        )
+        assert ftss_check(res.history, sigma, ed.final_round).holds
+
+    def test_compiled_interactive_consistency_decides_vectors(self):
+        n, f = 4, 1
+        ic = InteractiveConsistency(f=f, proposals=["w", "x", "y", "z"])
+        plus = compile_protocol(ic)
+        res = run_sync(plus, n=n, rounds=8 * ic.final_round)
+        iterations = iteration_decisions(res.history)
+        assert iterations
+        for iteration in iterations:
+            assert iteration.agreed
+            (vector,) = set(iteration.decisions.values())
+            assert vector == ("w", "x", "y", "z")

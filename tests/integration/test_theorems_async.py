@@ -1,0 +1,138 @@
+"""Integration tests: the paper's asynchronous results end-to-end.
+
+Theorem 5 (Figure 4 is a ◇S detector tolerant of both failure types)
+and the Section 3 consensus claims, each exercised through the full
+stack: scheduler + oracle + detector + consensus + spec checkers.
+"""
+
+import pytest
+
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.detectors.consensus import CTConsensus, consensus_log_agreement
+from repro.detectors.properties import (
+    eventual_weak_accuracy,
+    strong_completeness,
+    weak_completeness,
+)
+from repro.detectors.strong import StrongDetector
+from repro.sync.corruption import RandomCorruption
+from repro.workloads.scenarios import ConsensusDeadlockCorruption
+
+
+def detector_trace(
+    n=6, crashes=None, gst=30.0, seed=0, corruption=None, max_time=250.0, **kw
+):
+    crashes = crashes if crashes is not None else {n - 1: 15.0}
+    oracle = WeakDetectorOracle(n, crashes, gst=gst, seed=seed)
+    sched = AsyncScheduler(
+        StrongDetector(),
+        n,
+        seed=seed,
+        gst=gst,
+        crash_times=crashes,
+        oracle=oracle,
+        corruption=corruption,
+        sample_interval=2.0,
+        **kw,
+    )
+    return sched.run(max_time=max_time)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_strong_completeness_from_clean_start(self, seed):
+        trace = detector_trace(seed=seed)
+        assert strong_completeness(trace).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_accuracy_from_clean_start(self, seed):
+        trace = detector_trace(seed=seed)
+        assert eventual_weak_accuracy(trace).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_initialization_required(self, seed):
+        # The headline: arbitrary initial detector state (huge version
+        # counters, wrong statuses) and the properties still converge.
+        trace = detector_trace(seed=seed, corruption=RandomCorruption(seed=seed + 50))
+        assert strong_completeness(trace).holds
+        assert eventual_weak_accuracy(trace).holds
+
+    def test_weak_to_strong_amplification(self):
+        # The oracle provides only weak completeness (one watcher per
+        # crashed process); Figure 4's gossip yields the strong form.
+        trace = detector_trace(crashes={4: 10.0, 5: 20.0})
+        assert weak_completeness(trace).holds
+        assert strong_completeness(trace).holds
+
+    def test_multiple_crashes_with_corruption(self):
+        trace = detector_trace(
+            n=8,
+            crashes={5: 10.0, 6: 25.0, 7: 40.0},
+            corruption=RandomCorruption(seed=3),
+            max_time=300.0,
+        )
+        assert strong_completeness(trace).holds
+        assert eventual_weak_accuracy(trace).holds
+
+    def test_convergence_independent_of_corruption_magnitude(self):
+        # Version adoption bootstraps the counters: recovery takes a
+        # few message delays whether the planted num is 10 or 2^30.
+        times = []
+        for magnitude_seed in (1, 2):
+            trace = detector_trace(
+                gst=0.0,
+                crashes={},
+                corruption=RandomCorruption(seed=magnitude_seed),
+                max_time=150.0,
+            )
+            verdict = eventual_weak_accuracy(trace)
+            assert verdict.holds
+            times.append(verdict.converged_at)
+        assert all(t < 60.0 for t in times)
+
+
+class TestAsyncConsensusIntegration:
+    def _run(self, mode, corruption=None, crashes=None, gst=10.0, seed=2,
+             max_time=300.0):
+        n = 5
+        crashes = crashes or {}
+        oracle = WeakDetectorOracle(n, crashes, gst=gst, seed=seed)
+        proto = CTConsensus(n, mode=mode)
+        sched = AsyncScheduler(
+            proto, n, seed=seed, gst=gst, crash_times=crashes, oracle=oracle,
+            corruption=corruption, sample_interval=5.0,
+        )
+        return sched.run(max_time=max_time)
+
+    def test_ss_with_crash_and_corruption(self):
+        trace = self._run(
+            "ss", corruption=RandomCorruption(seed=21), crashes={4: 50.0}
+        )
+        verdict = consensus_log_agreement(trace)
+        assert verdict.holds
+        assert verdict.instances_checked > 10
+
+    def test_plain_ct_fails_exactly_where_the_paper_says(self):
+        # The [KP90] deadlock: a corrupted state claiming messages were
+        # sent freezes plain CT forever; the SS version sails through.
+        corruption = ConsensusDeadlockCorruption(seed=9)
+        plain = self._run("plain", corruption=corruption, gst=0.0)
+        ss = self._run("ss", corruption=corruption, gst=0.0)
+        assert not consensus_log_agreement(plain).holds
+        assert consensus_log_agreement(ss).holds
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ss_recovery_across_seeds(self, seed):
+        trace = self._run(
+            "ss", corruption=RandomCorruption(seed=seed + 400), seed=seed
+        )
+        assert consensus_log_agreement(trace).holds
+
+    def test_ss_stabilization_measured_in_instances(self):
+        trace = self._run("ss", corruption=RandomCorruption(seed=77))
+        verdict = consensus_log_agreement(trace)
+        assert verdict.holds
+        # the corrupted instance counters scatter below 50, so the
+        # stable suffix begins within the corruption spread
+        assert verdict.stable_from is not None and verdict.stable_from <= 60

@@ -1,0 +1,212 @@
+"""Integration tests: the paper's synchronous theorems end-to-end.
+
+Each test class runs a theorem's claim against the full stack —
+protocols on the simulator, failures from adversaries, systemic
+failures from corruption plans, verdicts from the history checkers.
+"""
+
+import pytest
+
+from repro.analysis.stabilization import empirical_stabilization
+from repro.core.compiler import compile_protocol
+from repro.core.impossibility import theorem1_scenario, theorem2_scenario
+from repro.core.problems import ClockAgreementProblem, RepeatedConsensusProblem
+from repro.core.rounds import (
+    FreeRunningRoundProtocol,
+    MinMergeRoundProtocol,
+    RoundAgreementProtocol,
+)
+from repro.core.solvability import ftss_check
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.phaseking import PhaseQueenConsensus
+from repro.sync.adversary import FaultMode, RandomAdversary, ScriptedAdversary
+from repro.sync.corruption import ClockSkewCorruption, RandomCorruption
+from repro.sync.engine import run_sync
+from repro.workloads.scenarios import clock_skew_pattern
+
+SIGMA = ClockAgreementProblem()
+
+
+class TestTheorem1Integration:
+    """No finite stabilization time under Tentative Definition 1."""
+
+    @pytest.mark.parametrize("candidate", [1, 2, 4, 8, 16, 32])
+    def test_every_candidate_defeated(self, candidate):
+        out = theorem1_scenario(candidate)
+        assert out.tentative_defeated
+        assert out.ftss_survives
+
+
+class TestTheorem2Integration:
+    """Uniform (self-halting) protocols cannot ftss-solve anything."""
+
+    @pytest.mark.parametrize("patience", [None, 1, 2, 3, 5, 8])
+    def test_every_halting_rule_defeated(self, patience):
+        out = theorem2_scenario(patience)
+        assert out.views_identical
+        assert out.rule_defeated
+
+
+class TestTheorem3Integration:
+    """Round agreement ftss-solves clock agreement, stabilization 1."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12])
+    def test_across_system_sizes(self, n):
+        skews = clock_skew_pattern(n, seed=n)
+        adversary = RandomAdversary(
+            n=n, f=min(2, n - 1), mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=n
+        )
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=n,
+            rounds=30,
+            adversary=adversary,
+            corruption=ClockSkewCorruption(skews),
+        )
+        assert ftss_check(res.history, SIGMA, stabilization_time=1).holds
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_measured_stabilization_within_bound(self, seed):
+        adversary = RandomAdversary(
+            n=6, f=2, mode=FaultMode.GENERAL_OMISSION, rate=0.5, seed=seed
+        )
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=6,
+            rounds=40,
+            adversary=adversary,
+            corruption=RandomCorruption(seed=seed),
+        )
+        measured = empirical_stabilization(res.history, SIGMA)
+        assert measured is not None and measured <= 1
+
+    def test_huge_corruption_magnitude_irrelevant(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=4,
+            rounds=6,
+            corruption=ClockSkewCorruption({0: 1, 1: 10**15, 2: 7, 3: 10**9}),
+        )
+        assert ftss_check(res.history, SIGMA, stabilization_time=1).holds
+
+    @staticmethod
+    def _selective_drag_adversary(n, rounds):
+        # Process 2 receive-omits everything (its clock free-runs,
+        # permanently stale) and send-omits to all but process 0: a
+        # faulty coterie member feeding its stale clock to exactly one
+        # correct process every round.
+        from repro.sync.adversary import RoundFaultPlan
+
+        everyone = frozenset(range(n))
+        script = {
+            r: RoundFaultPlan(
+                receive_omissions={2: everyone - {2}},
+                send_omissions={2: everyone - {0, 2}},
+            )
+            for r in range(1, rounds + 1)
+        }
+        return ScriptedAdversary(f=1, script=script)
+
+    def test_min_merge_symmetry_finding(self):
+        # Reproduction finding (EXPERIMENTS.md): in this model the min
+        # rule is empirically symmetric to the max rule for standalone
+        # clock agreement — the +1 rate exactly compensates one-round
+        # propagation delay, whichever extremal timeline wins.
+        rounds = 20
+        res = run_sync(
+            MinMergeRoundProtocol(),
+            n=3,
+            rounds=rounds,
+            adversary=self._selective_drag_adversary(3, rounds),
+            corruption=ClockSkewCorruption({0: 50, 1: 50, 2: 1}),
+        )
+        assert ftss_check(res.history, SIGMA, stabilization_time=1).holds
+
+    def test_max_merge_is_monotone_min_merge_is_not(self):
+        # The load-bearing difference: under max a correct process's
+        # round variable never decreases; under min the selective drag
+        # yanks it backwards, destroying the progress measure Figure 3
+        # relies on.
+        rounds = 20
+
+        def clock_drops(proto):
+            res = run_sync(
+                proto,
+                n=3,
+                rounds=rounds,
+                adversary=self._selective_drag_adversary(3, rounds),
+                corruption=ClockSkewCorruption({0: 50, 1: 50, 2: 1}),
+            )
+            h = res.history
+            for pid in (0, 1):
+                clocks = [h.clock(pid, r) for r in range(1, rounds + 1)]
+                if any(b < a for a, b in zip(clocks, clocks[1:])):
+                    return True
+            return False
+
+        assert clock_drops(MinMergeRoundProtocol())
+        assert not clock_drops(RoundAgreementProtocol())
+
+    def test_free_running_ablation_fails_theorem3(self):
+        res = run_sync(
+            FreeRunningRoundProtocol(),
+            n=2,
+            rounds=10,
+            corruption=ClockSkewCorruption({0: 5, 1: 50}),
+        )
+        assert not ftss_check(res.history, SIGMA, stabilization_time=1).holds
+
+
+class TestTheorem4Integration:
+    """The compiler: Π ft-solves Σ ⇒ Π⁺ ftss-solves Σ⁺, stab final_round."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_floodmin_crash(self, seed):
+        n, f = 5, 2
+        pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5])
+        plus = compile_protocol(pi)
+        props = frozenset(pi.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=60,
+            adversary=RandomAdversary(n=n, f=f, mode=FaultMode.CRASH, rate=0.2, seed=seed),
+            corruption=RandomCorruption(seed=seed + 99),
+        )
+        assert ftss_check(res.history, sigma, pi.final_round).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_phasequeen_general_omission(self, seed):
+        n, f = 9, 2
+        pi = PhaseQueenConsensus(f=f, n=n, proposals=[0, 1, 1, 0, 1, 0, 0, 1, 1])
+        plus = compile_protocol(pi)
+        props = frozenset(pi.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=80,
+            adversary=RandomAdversary(
+                n=n, f=f, mode=FaultMode.GENERAL_OMISSION, rate=0.2, seed=seed
+            ),
+            corruption=RandomCorruption(seed=seed + 4242),
+        )
+        assert ftss_check(res.history, sigma, pi.final_round).holds
+
+    def test_mid_run_corruption_restarts_convergence(self):
+        # The "final systemic failure" framing: corruption mid-run is
+        # just a new initial state; the suffix after it stabilizes too.
+        n = 5
+        pi = FloodMinConsensus(f=1, proposals=[3, 1, 4, 1, 5])
+        plus = compile_protocol(pi)
+        props = frozenset(pi.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=40,
+            mid_run_corruptions={20: RandomCorruption(seed=5)},
+        )
+        suffix = res.history.suffix(20)
+        assert ftss_check(suffix, sigma, pi.final_round).holds

@@ -1,0 +1,98 @@
+"""Property-based tests for the compiler Π⁺ (Figure 3).
+
+The paper's Theorem 4 quantifies over all corrupted configurations and
+all (tolerated) failure patterns.  Hypothesis drives both and the tests
+assert the headline contract plus the arithmetic scaffolding.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import compile_protocol, normalize
+from repro.core.problems import RepeatedConsensusProblem
+from repro.core.solvability import ftss_check
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+class TestNormalizeProperties:
+    @settings(max_examples=200)
+    @given(
+        clock=st.integers(min_value=0, max_value=1 << 48),
+        final_round=st.integers(min_value=1, max_value=50),
+    )
+    def test_range(self, clock, final_round):
+        assert 1 <= normalize(clock, final_round) <= final_round
+
+    @settings(max_examples=200)
+    @given(
+        clock=st.integers(min_value=0, max_value=1 << 48),
+        final_round=st.integers(min_value=1, max_value=50),
+    )
+    def test_successor_cycles(self, clock, final_round):
+        here = normalize(clock, final_round)
+        there = normalize(clock + 1, final_round)
+        if here == final_round:
+            assert there == 1
+        else:
+            assert there == here + 1
+
+    @settings(max_examples=100)
+    @given(
+        iteration=st.integers(min_value=0, max_value=1000),
+        final_round=st.integers(min_value=1, max_value=20),
+    )
+    def test_iteration_boundaries(self, iteration, final_round):
+        assert normalize(iteration * final_round, final_round) == 1
+
+
+class TestCompiledFtss:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        f=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    def test_theorem4_under_crash_and_corruption(self, f, seed):
+        n = 5
+        pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5])
+        plus = compile_protocol(pi)
+        props = frozenset(pi.proposal_for(p) for p in range(n))
+        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+        adversary = RandomAdversary(n=n, f=f, mode=FaultMode.CRASH, rate=0.2, seed=seed)
+        res = run_sync(
+            plus,
+            n=n,
+            rounds=8 * pi.final_round,
+            adversary=adversary,
+            corruption=RandomCorruption(seed=seed + 777),
+        )
+        report = ftss_check(res.history, sigma, stabilization_time=pi.final_round)
+        assert report.holds, report.violations()[:3]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_clock_agreement_among_survivors(self, seed):
+        n = 4
+        pi = FloodMinConsensus(f=1, proposals=[2, 9, 4, 7])
+        plus = compile_protocol(pi)
+        res = run_sync(
+            plus, n=n, rounds=12, corruption=RandomCorruption(seed=seed)
+        )
+        clocks = set(res.final_clocks().values())
+        assert len(clocks) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_suspects_empty_after_stable_boundary(self, seed):
+        # Once the system is stable and an iteration boundary passes,
+        # correct processes never suspect each other again.
+        n = 4
+        pi = FloodMinConsensus(f=1, proposals=[2, 9, 4, 7])
+        plus = compile_protocol(pi)
+        res = run_sync(
+            plus, n=n, rounds=4 * pi.final_round + 2, corruption=RandomCorruption(seed=seed)
+        )
+        for state in res.final_states.values():
+            assert state["suspect"] == frozenset()

@@ -1,0 +1,91 @@
+"""Property-based tests for coteries and stable windows.
+
+The ``ftss_check`` reduction (Definition 2.4 → maximal constant runs)
+rests on the coterie being monotone non-decreasing over prefixes.
+These tests drive randomized runs — arbitrary corruption, arbitrary
+omission/crash schedules — and assert the structural invariants on the
+recorded histories.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounds import RoundAgreementProtocol
+from repro.histories.coterie import coterie_timeline
+from repro.histories.stability import is_coterie_monotone, stable_windows
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+MODES = [
+    FaultMode.CRASH,
+    FaultMode.SEND_OMISSION,
+    FaultMode.RECEIVE_OMISSION,
+    FaultMode.GENERAL_OMISSION,
+]
+
+
+def random_run(n, f, mode, seed, rounds=14):
+    adversary = RandomAdversary(n=n, f=f, mode=mode, rate=0.5, seed=seed)
+    return run_sync(
+        RoundAgreementProtocol(),
+        n=n,
+        rounds=rounds,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=seed + 31337),
+    ).history
+
+
+run_params = st.tuples(
+    st.integers(min_value=2, max_value=7),  # n
+    st.integers(min_value=0, max_value=3),  # f (clamped to n-1)
+    st.sampled_from(MODES),
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(run_params)
+def test_coterie_monotone_under_arbitrary_failures(params):
+    n, f, mode, seed = params
+    history = random_run(n, min(f, n - 1), mode, seed)
+    assert is_coterie_monotone(history)
+
+
+@settings(max_examples=40, deadline=None)
+@given(run_params)
+def test_correct_processes_enter_coterie_by_round_two(params):
+    # Every correct process broadcasts in round 1 and all correct
+    # processes receive it, so corrects are coterie members from the
+    # 2nd prefix onward.
+    n, f, mode, seed = params
+    history = random_run(n, min(f, n - 1), mode, seed)
+    timeline = coterie_timeline(history)
+    correct = history.correct()
+    if len(timeline) >= 2 and correct:
+        assert correct <= timeline[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(run_params)
+def test_windows_partition_history(params):
+    n, f, mode, seed = params
+    history = random_run(n, min(f, n - 1), mode, seed)
+    windows = stable_windows(history)
+    covered = []
+    for w in windows:
+        covered.extend(range(w.first_round, w.last_round + 1))
+    assert covered == list(range(history.first_round, history.last_round + 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(run_params)
+def test_faulty_set_is_subset_of_victims(params):
+    n, f, mode, seed = params
+    f = min(f, n - 1)
+    adversary = RandomAdversary(n=n, f=f, mode=mode, rate=0.5, seed=seed)
+    history = run_sync(
+        RoundAgreementProtocol(), n=n, rounds=10, adversary=adversary
+    ).history
+    assert history.faulty() <= adversary.victims
+    assert len(history.faulty()) <= f

@@ -1,0 +1,67 @@
+"""Property-based tests for the Figure 4 detector's version lattice."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.strong import ALIVE, DEAD, fd_adopt, fd_initial, fd_suspects
+
+status = st.sampled_from([ALIVE, DEAD])
+
+
+@st.composite
+def gossip(draw, n):
+    nums = tuple(draw(st.integers(min_value=0, max_value=1 << 32)) for _ in range(n))
+    statuses = tuple(draw(status) for _ in range(n))
+    return ("fd", nums, statuses)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_versions_never_decrease(data):
+    n = 4
+    fd = fd_initial(n)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        before = list(fd["num"])
+        fd_adopt(fd, data.draw(gossip(n)), n)
+        assert all(after >= prev for after, prev in zip(fd["num"], before))
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_adoption_order_independent_for_distinct_versions(data):
+    # With all version numbers distinct, the final state is the
+    # pointwise max regardless of delivery order — the CRDT-ish
+    # property that makes Figure 4 insensitive to message reordering.
+    n = 3
+    messages = data.draw(st.lists(gossip(n), min_size=2, max_size=6))
+    # force distinct versions per slot across messages
+    seen = set()
+    filtered = []
+    for kind, nums, statuses in messages:
+        if any((s, v) in seen for s, v in enumerate(nums)):
+            continue
+        seen.update((s, v) for s, v in enumerate(nums))
+        filtered.append((kind, nums, statuses))
+    if len(filtered) < 2:
+        return
+    import itertools
+
+    results = set()
+    for order in itertools.permutations(filtered):
+        fd = fd_initial(n)
+        for message in order:
+            fd_adopt(fd, message, n)
+        results.add((tuple(fd["num"]), tuple(fd["status"])))
+    assert len(results) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_suspects_reflect_status_exactly(data):
+    n = 5
+    fd = fd_initial(n)
+    for _ in range(data.draw(st.integers(min_value=0, max_value=5))):
+        fd_adopt(fd, data.draw(gossip(n)), n)
+    suspects = fd_suspects(fd)
+    for s in range(n):
+        assert (s in suspects) == (fd["status"][s] == DEAD)

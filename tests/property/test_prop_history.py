@@ -1,0 +1,81 @@
+"""Property-based tests for execution-history algebra.
+
+Slicing laws the solvability checkers rely on: prefix·suffix
+reassembles the original, window faithfully restricts, and the faulty
+set respects decomposition (paper: both halves of ``H = H'·H''`` are
+themselves histories consistent with Π).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounds import RoundAgreementProtocol
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+@st.composite
+def histories(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    rounds = draw(st.integers(min_value=2, max_value=12))
+    f = draw(st.integers(min_value=0, max_value=n - 1))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    mode = draw(st.sampled_from(list(FaultMode)))
+    adversary = RandomAdversary(n=n, f=f, mode=mode, rate=0.5, seed=seed)
+    return run_sync(
+        RoundAgreementProtocol(),
+        n=n,
+        rounds=rounds,
+        adversary=adversary,
+        corruption=RandomCorruption(seed=seed),
+    ).history
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=histories(), data=st.data())
+def test_prefix_suffix_concat_identity(h, data):
+    cut = data.draw(st.integers(min_value=1, max_value=len(h) - 1))
+    rebuilt = h.prefix(cut).concat(h.suffix(cut))
+    assert len(rebuilt) == len(h)
+    assert rebuilt.faulty() == h.faulty()
+    assert rebuilt.messages_sent() == h.messages_sent()
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=histories(), data=st.data())
+def test_window_round_identity(h, data):
+    first = data.draw(st.integers(min_value=h.first_round, max_value=h.last_round))
+    last = data.draw(st.integers(min_value=first, max_value=h.last_round))
+    w = h.window(first, last)
+    for r in range(first, last + 1):
+        assert w.round(r) is h.round(r)
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=histories(), data=st.data())
+def test_faulty_union_of_parts(h, data):
+    cut = data.draw(st.integers(min_value=1, max_value=len(h) - 1))
+    assert h.prefix(cut).faulty() | h.suffix(cut).faulty() == h.faulty()
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=histories())
+def test_faulty_by_round_monotone_and_final(h):
+    cumulative = h.faulty_by_round()
+    for a, b in zip(cumulative, cumulative[1:]):
+        assert a <= b
+    assert cumulative[-1] == h.faulty()
+
+
+@settings(max_examples=50, deadline=None)
+@given(h=histories())
+def test_deliveries_subset_of_sends(h):
+    assert h.messages_delivered() <= h.messages_sent()
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=histories())
+def test_correct_faulty_partition(h):
+    assert h.correct() | h.faulty() == frozenset(h.processes)
+    assert not (h.correct() & h.faulty())

@@ -1,0 +1,97 @@
+"""Property-based tests for the round agreement protocol (Theorem 3).
+
+The theorem quantifies over all initial states and all general-omission
+failure patterns; hypothesis supplies the breadth.  The key invariants:
+
+- from *any* corrupted configuration, the ftss check at stabilization
+  time 1 passes;
+- in failure-free runs, all clocks are equal from round 2 onward and
+  advance by exactly 1;
+- the merged clock always equals ``max(initial clocks) + elapsed``
+  in failure-free runs (max-merge's lattice behaviour).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import ftss_check
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+SIGMA = ClockAgreementProblem()
+
+clock_vectors = st.lists(
+    st.integers(min_value=0, max_value=1 << 40), min_size=2, max_size=7
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(clocks=clock_vectors)
+def test_failure_free_convergence_in_one_round(clocks):
+    n = len(clocks)
+    skew = ClockSkewCorruption(dict(enumerate(clocks)))
+    res = run_sync(RoundAgreementProtocol(), n=n, rounds=4, corruption=skew)
+    expected = max(clocks) + 1
+    assert set(res.history.clocks(2).values()) == {expected}
+    assert set(res.history.clocks(3).values()) == {expected + 1}
+
+
+@settings(max_examples=60, deadline=None)
+@given(clocks=clock_vectors)
+def test_clock_value_is_max_plus_elapsed(clocks):
+    n = len(clocks)
+    skew = ClockSkewCorruption(dict(enumerate(clocks)))
+    res = run_sync(RoundAgreementProtocol(), n=n, rounds=5, corruption=skew)
+    assert set(res.final_clocks().values()) == {max(clocks) + 5}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    clocks=clock_vectors,
+    f=st.integers(min_value=0, max_value=3),
+    mode=st.sampled_from(list(FaultMode)),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_ftss_holds_at_stabilization_one(clocks, f, mode, seed):
+    n = len(clocks)
+    f = min(f, n - 1)
+    adversary = RandomAdversary(n=n, f=f, mode=mode, rate=0.45, seed=seed)
+    res = run_sync(
+        RoundAgreementProtocol(),
+        n=n,
+        rounds=16,
+        adversary=adversary,
+        corruption=ClockSkewCorruption(dict(enumerate(clocks))),
+    )
+    report = ftss_check(res.history, SIGMA, stabilization_time=1)
+    assert report.holds, report.violations()[:3]
+
+
+@settings(max_examples=40, deadline=None)
+@given(clocks=clock_vectors, seed=st.integers(min_value=0, max_value=10_000))
+def test_clocks_never_decrease(clocks, seed):
+    # max-merge is inflationary: no correct process's clock ever drops.
+    n = len(clocks)
+    adversary = RandomAdversary(
+        n=n, f=min(2, n - 1), mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=seed
+    )
+    res = run_sync(
+        RoundAgreementProtocol(),
+        n=n,
+        rounds=10,
+        adversary=adversary,
+        corruption=ClockSkewCorruption(dict(enumerate(clocks))),
+    )
+    h = res.history
+    for pid in range(n):
+        previous = None
+        for r in range(h.first_round, h.last_round + 1):
+            clock = h.clock(pid, r)
+            if clock is None:
+                break
+            if previous is not None:
+                assert clock >= previous
+            previous = clock

@@ -1,0 +1,80 @@
+"""Property-based tests for the RSM fold and the bounded-counter ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rsm import NOOP, applied_commands
+from repro.core.bounded import ahead_of
+
+
+commands = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=9),
+    st.text(min_size=1, max_size=4),
+)
+log_values = st.one_of(
+    commands,
+    st.just(NOOP),
+    st.integers(),  # corruption-planted garbage
+    st.text(max_size=3),
+)
+logs = st.dictionaries(
+    st.integers(min_value=0, max_value=40), log_values, max_size=25
+)
+
+
+class TestAppliedCommandsProperties:
+    @settings(max_examples=100)
+    @given(log=logs)
+    def test_no_duplicates_in_output(self, log):
+        applied = applied_commands(log)
+        assert len(applied) == len(set(applied))
+
+    @settings(max_examples=100)
+    @given(log=logs)
+    def test_output_subset_of_wellformed_log_values(self, log):
+        applied = set(applied_commands(log))
+        wellformed = {
+            v for v in log.values() if isinstance(v, tuple) and len(v) == 3
+        }
+        assert applied <= wellformed
+
+    @settings(max_examples=100)
+    @given(log=logs, data=st.data())
+    def test_horizon_yields_prefix(self, log, data):
+        # Applying with a smaller horizon always yields a prefix of the
+        # full application — the property replica folds rely on.
+        horizon = data.draw(st.integers(min_value=0, max_value=45))
+        full = applied_commands(log)
+        cut = applied_commands(log, horizon=horizon)
+        assert full[: len(cut)] == cut
+
+    @settings(max_examples=50)
+    @given(log=logs)
+    def test_idempotent(self, log):
+        assert applied_commands(log) == applied_commands(dict(log))
+
+
+class TestAheadOfProperties:
+    @settings(max_examples=200)
+    @given(
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+    )
+    def test_antisymmetric(self, a, b):
+        m = 64
+        assert not (ahead_of(a, b, m) and ahead_of(b, a, m))
+
+    @settings(max_examples=200)
+    @given(a=st.integers(min_value=0, max_value=63))
+    def test_irreflexive(self, a):
+        assert not ahead_of(a, a, 64)
+
+    @settings(max_examples=200)
+    @given(
+        a=st.integers(min_value=0, max_value=62),
+        step=st.integers(min_value=1, max_value=31),
+    )
+    def test_small_forward_steps_are_ahead(self, a, step):
+        m = 64
+        assert ahead_of((a + step) % m, a, m)

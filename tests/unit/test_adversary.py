@@ -1,0 +1,126 @@
+"""Unit tests for repro.sync.adversary."""
+
+import pytest
+
+from repro.sync.adversary import (
+    FaultBudgetExceeded,
+    FaultMode,
+    NullAdversary,
+    RandomAdversary,
+    RoundFaultPlan,
+    ScriptedAdversary,
+)
+
+
+class TestRoundFaultPlan:
+    def test_targets_unions_all_fault_kinds(self):
+        plan = RoundFaultPlan(
+            crashes={0: frozenset()},
+            send_omissions={1: frozenset({0})},
+            receive_omissions={2: frozenset({0})},
+        )
+        assert plan.targets() == frozenset({0, 1, 2})
+
+    def test_empty(self):
+        assert RoundFaultPlan.empty().targets() == frozenset()
+
+
+class TestNullAdversary:
+    def test_never_plans_faults(self):
+        adv = NullAdversary()
+        for r in range(1, 10):
+            plan = adv.plan_round(r, frozenset({0, 1}), frozenset())
+            assert plan.targets() == frozenset()
+
+    def test_budget_is_zero(self):
+        adv = NullAdversary()
+        bad = RoundFaultPlan(crashes={0: frozenset()})
+        with pytest.raises(FaultBudgetExceeded):
+            adv.validate(bad, frozenset())
+
+
+class TestScriptedAdversary:
+    def test_replays_script(self):
+        plan = RoundFaultPlan(send_omissions={0: frozenset({1})})
+        adv = ScriptedAdversary(f=1, script={3: plan})
+        assert adv.plan_round(3, frozenset({0, 1}), frozenset()) is plan
+        assert adv.plan_round(2, frozenset({0, 1}), frozenset()).targets() == frozenset()
+
+    def test_budget_validation(self):
+        plan = RoundFaultPlan(
+            send_omissions={0: frozenset({1}), 1: frozenset({0})}
+        )
+        adv = ScriptedAdversary(f=1, script={1: plan})
+        with pytest.raises(FaultBudgetExceeded, match="f=1"):
+            adv.validate(plan, frozenset())
+
+    def test_budget_counts_previous_faulty(self):
+        plan = RoundFaultPlan(send_omissions={0: frozenset({1})})
+        adv = ScriptedAdversary(f=1, script={})
+        # 0 is new, 2 already faulty -> 2 total > f=1
+        with pytest.raises(FaultBudgetExceeded):
+            adv.validate(plan, frozenset({2}))
+        # same process again is fine
+        adv.validate(plan, frozenset({0}))
+
+    def test_silence_builder_silences_both_directions(self):
+        adv = ScriptedAdversary.silence([1], rounds=[1, 2], n=3)
+        plan = adv.plan_round(1, frozenset({0, 1, 2}), frozenset())
+        assert plan.send_omissions[1] == frozenset({0, 2})
+        assert plan.receive_omissions[1] == frozenset({0, 2})
+        assert adv.plan_round(3, frozenset({0, 1, 2}), frozenset()).targets() == frozenset()
+
+
+class TestRandomAdversary:
+    def test_victim_pool_bounded_by_f(self):
+        adv = RandomAdversary(n=8, f=3, seed=1)
+        assert len(adv.victims) == 3
+
+    def test_deterministic_given_seed(self):
+        plans_a = []
+        plans_b = []
+        for plans, seed in ((plans_a, 5), (plans_b, 5)):
+            adv = RandomAdversary(n=6, f=2, seed=seed, rate=0.7)
+            for r in range(1, 8):
+                plan = adv.plan_round(r, frozenset(range(6)), frozenset())
+                plans.append(
+                    (dict(plan.crashes), dict(plan.send_omissions), dict(plan.receive_omissions))
+                )
+        assert plans_a == plans_b
+
+    def test_never_exceeds_budget_over_long_run(self):
+        adv = RandomAdversary(n=6, f=2, seed=3, rate=0.9)
+        faulty = frozenset()
+        for r in range(1, 60):
+            plan = adv.plan_round(r, frozenset(range(6)), faulty)
+            adv.validate(plan, faulty)  # must not raise
+            faulty = faulty | plan.targets()
+        assert len(faulty) <= 2
+
+    def test_crash_mode_only_crashes(self):
+        adv = RandomAdversary(n=6, f=2, mode=FaultMode.CRASH, seed=2, rate=1.0)
+        plan = adv.plan_round(1, frozenset(range(6)), frozenset())
+        assert not plan.send_omissions and not plan.receive_omissions
+        assert plan.crashes
+
+    def test_crashed_victim_stays_dead(self):
+        adv = RandomAdversary(n=4, f=1, mode=FaultMode.CRASH, seed=2, rate=1.0)
+        first = adv.plan_round(1, frozenset(range(4)), frozenset())
+        (victim,) = first.crashes
+        later = adv.plan_round(2, frozenset(range(4)) - {victim}, frozenset({victim}))
+        assert victim not in later.crashes
+
+    def test_send_omission_mode(self):
+        adv = RandomAdversary(
+            n=6, f=2, mode=FaultMode.SEND_OMISSION, seed=4, rate=1.0, crash_probability=0.0
+        )
+        plan = adv.plan_round(1, frozenset(range(6)), frozenset())
+        assert plan.send_omissions and not plan.receive_omissions
+
+    def test_rejects_f_larger_than_n(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(n=3, f=4)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(n=3, f=1, rate=1.5)

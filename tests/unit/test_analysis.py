@@ -1,0 +1,137 @@
+"""Unit tests for repro.analysis (stabilization, metrics, report)."""
+
+import pytest
+
+from repro.analysis.metrics import message_overhead, run_message_stats
+from repro.analysis.report import ExperimentReport
+from repro.analysis.stabilization import (
+    empirical_stabilization,
+    window_stabilization_times,
+)
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import FreeRunningRoundProtocol, RoundAgreementProtocol
+from repro.sync.adversary import ScriptedAdversary
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+SIGMA = ClockAgreementProblem()
+
+
+class TestWindowStabilization:
+    def test_clean_run_stabilizes_immediately(self):
+        h = run_sync(RoundAgreementProtocol(), n=3, rounds=6).history
+        measurements = window_stabilization_times(h, SIGMA)
+        assert len(measurements) == 1
+        assert measurements[0].stabilized_after == 0
+
+    def test_skew_costs_one_round(self):
+        h = run_sync(
+            RoundAgreementProtocol(),
+            n=3,
+            rounds=6,
+            corruption=ClockSkewCorruption({0: 1, 1: 50, 2: 9}),
+        ).history
+        measurements = window_stabilization_times(h, SIGMA)
+        assert measurements[0].stabilized_after == 1
+
+    def test_free_running_never_stabilizes(self):
+        h = run_sync(
+            FreeRunningRoundProtocol(),
+            n=2,
+            rounds=8,
+            corruption=ClockSkewCorruption({0: 1, 1: 50}),
+        ).history
+        measurements = window_stabilization_times(h, SIGMA)
+        assert measurements[0].stabilized_after is None
+
+    def test_reveal_splits_measurements(self):
+        adv = ScriptedAdversary.silence([1], range(1, 4), n=2)
+        h = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=8,
+            adversary=adv,
+            corruption=ClockSkewCorruption({0: 1, 1: 60}),
+        ).history
+        measurements = window_stabilization_times(h, SIGMA)
+        assert len(measurements) == 2
+        assert all(
+            m.stabilized_after is not None and m.stabilized_after <= 1
+            for m in measurements
+        )
+
+
+class TestEmpiricalStabilization:
+    def test_bounded_by_theorem3(self):
+        for seed in range(5):
+            from repro.sync.adversary import FaultMode, RandomAdversary
+            from repro.sync.corruption import RandomCorruption
+
+            h = run_sync(
+                RoundAgreementProtocol(),
+                n=5,
+                rounds=30,
+                adversary=RandomAdversary(
+                    n=5, f=2, mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=seed
+                ),
+                corruption=RandomCorruption(seed=seed),
+            ).history
+            measured = empirical_stabilization(h, SIGMA)
+            assert measured is not None and measured <= 1
+
+    def test_refutation_returns_none(self):
+        h = run_sync(
+            FreeRunningRoundProtocol(),
+            n=2,
+            rounds=8,
+            corruption=ClockSkewCorruption({0: 1, 1: 50}),
+        ).history
+        assert empirical_stabilization(h, SIGMA) is None
+
+    def test_short_windows_ignored(self):
+        h = run_sync(RoundAgreementProtocol(), n=2, rounds=3).history
+        assert empirical_stabilization(h, SIGMA, min_window_length=99) == 0
+
+
+class TestMessageStats:
+    def test_counts_broadcast_traffic(self):
+        h = run_sync(RoundAgreementProtocol(), n=3, rounds=2).history
+        stats = run_message_stats(h)
+        assert stats.messages_sent == 2 * 3 * 3
+        assert stats.rounds == 2
+        assert stats.messages_per_round == 9.0
+        assert stats.payload_bytes > 0
+
+    def test_overhead_ratio(self):
+        base = run_message_stats(run_sync(RoundAgreementProtocol(), n=3, rounds=4).history)
+        from repro.core.compiler import compile_protocol
+        from repro.protocols.floodmin import FloodMinConsensus
+
+        plus = compile_protocol(FloodMinConsensus(f=1, proposals=[1, 2, 3]))
+        rich = run_message_stats(run_sync(plus, n=3, rounds=4).history)
+        ratio = message_overhead(base, rich)
+        assert ratio is not None and ratio > 1.0
+
+
+class TestExperimentReport:
+    def test_render_includes_claim_and_rows(self):
+        report = ExperimentReport(
+            experiment_id="X1",
+            title="t",
+            claim="bound <= 1",
+            headers=["n", "measured"],
+        )
+        report.add_row(3, 1)
+        out = report.render()
+        assert "X1" in out and "bound <= 1" in out and "measured" in out
+
+    def test_row_arity_checked(self):
+        report = ExperimentReport("X", "t", "c", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row(1)
+
+    def test_emit_prints(self, capsys):
+        report = ExperimentReport("X", "t", "c", headers=["a"])
+        report.add_row(1)
+        report.emit()
+        assert "X" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.bounded (the bounded-counter hazard)."""
+
+import pytest
+
+from repro.core.bounded import (
+    BoundedClockAgreementProblem,
+    BoundedRoundAgreement,
+    antipodal_scenario,
+    bounded_refutation_sweep,
+)
+from repro.core.bounded import ahead_of
+from repro.histories.history import CLOCK_KEY, Message
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+
+def deliveries(payloads, receiver=0):
+    return [
+        Message(sender=s, receiver=receiver, sent_round=1, payload=c)
+        for s, c in enumerate(payloads)
+    ]
+
+
+class TestAheadOf:
+    def test_simple_order(self):
+        assert ahead_of(5, 3, 16)
+        assert not ahead_of(3, 5, 16)
+
+    def test_wraparound(self):
+        assert ahead_of(1, 15, 16)  # 1 is just past 15 on the ring
+        assert not ahead_of(15, 1, 16)
+
+    def test_antipodal_is_not_ahead(self):
+        assert not ahead_of(8, 0, 16)
+        assert not ahead_of(0, 8, 16)
+
+    def test_cyclic_for_three_points(self):
+        # The trap: thirds of the ring each see the next as ahead.
+        m = 15
+        a, b, c = 0, 5, 10
+        assert ahead_of(b, a, m) and ahead_of(c, b, m) and ahead_of(a, c, m)
+
+
+class TestBoundedProtocol:
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            BoundedRoundAgreement(3)
+
+    def test_wraps_at_modulus(self):
+        proto = BoundedRoundAgreement(8)
+        new = proto.update(0, {CLOCK_KEY: 7}, deliveries([7]))
+        assert new[CLOCK_KEY] == 0
+
+    def test_adopts_ahead_clock(self):
+        proto = BoundedRoundAgreement(16)
+        new = proto.update(0, {CLOCK_KEY: 2}, deliveries([2, 6]))
+        assert new[CLOCK_KEY] == 7
+
+    def test_ignores_behind_clock(self):
+        proto = BoundedRoundAgreement(16)
+        new = proto.update(0, {CLOCK_KEY: 6}, deliveries([6, 2]))
+        assert new[CLOCK_KEY] == 7
+
+    def test_wraparound_adoption(self):
+        proto = BoundedRoundAgreement(16)
+        new = proto.update(0, {CLOCK_KEY: 15}, deliveries([15, 1]))
+        assert new[CLOCK_KEY] == 2
+
+    def test_matches_unbounded_within_window(self):
+        # Corruption within a half-ring window: behaves like Figure 1.
+        proto = BoundedRoundAgreement(1 << 16)
+        res = run_sync(
+            proto,
+            n=3,
+            rounds=5,
+            corruption=ClockSkewCorruption({0: 10, 1: 500, 2: 77}),
+        )
+        assert set(res.final_clocks().values()) == {505}
+
+    def test_arbitrary_state_on_ring(self):
+        from repro.util.rng import make_rng
+
+        proto = BoundedRoundAgreement(32)
+        for seed in range(5):
+            state = proto.arbitrary_state(0, 3, make_rng(seed))
+            assert 0 <= state[CLOCK_KEY] < 32
+
+
+class TestBoundedProblem:
+    def test_mod_rate_accepted(self):
+        proto = BoundedRoundAgreement(8)
+        res = run_sync(proto, n=2, rounds=12)
+        sigma = BoundedClockAgreementProblem(8)
+        assert sigma.check(res.history, frozenset()).holds
+
+    def test_skipped_step_rejected(self):
+        from tests.conftest import broadcast_round
+        from repro.histories.history import ExecutionHistory
+
+        h = ExecutionHistory([broadcast_round(1, [1, 1]), broadcast_round(2, [3, 3])])
+        sigma = BoundedClockAgreementProblem(8)
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "rate" for v in report.violations)
+
+
+class TestImpossibilitySweep:
+    def test_antipodal_scenario_shape(self):
+        clocks = antipodal_scenario(15, n=3)
+        assert clocks == {0: 0, 1: 5, 2: 10}
+
+    def test_full_ring_corruption_refutes_every_modulus(self):
+        for modulus in (8, 64, 1 << 16):
+            out = bounded_refutation_sweep(modulus, 1, trials=30, rounds=20)
+            assert out.refuted, f"M={modulus} unexpectedly survived"
+
+    def test_windowed_corruption_is_safe(self):
+        for modulus in (64, 1 << 16):
+            out = bounded_refutation_sweep(
+                modulus, 1, trials=30, rounds=20, corruption_window=modulus // 8
+            )
+            assert not out.refuted
+
+    def test_refuting_configuration_reported(self):
+        out = bounded_refutation_sweep(8, 1, trials=30, rounds=20)
+        assert out.first_refuting_clocks is not None

@@ -1,0 +1,62 @@
+"""Unit tests for repro.protocols.broadcast."""
+
+import pytest
+
+from repro.core.canonical import run_ft
+from repro.core.solvability import ft_check
+from repro.protocols.broadcast import NOTHING, BroadcastProblem, FloodBroadcast
+from repro.sync.adversary import FaultMode, RandomAdversary, RoundFaultPlan, ScriptedAdversary
+
+
+class TestFloodBroadcast:
+    def test_sender_knows_value_initially(self):
+        bc = FloodBroadcast(f=1, sender=2, value="v")
+        assert bc.initial_inner_state(2, 3)["known"] == "v"
+        assert bc.initial_inner_state(0, 3)["known"] is None
+
+    def test_adopts_flooded_value(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        state = bc.initial_inner_state(1, 3)
+        new = bc.transition(1, state, [(0, {"known": "v"})], k=1, n=3)
+        assert new["known"] == "v"
+
+    def test_delivers_at_final_round(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        state = {"known": "v", "delivered": None}
+        new = bc.transition(1, state, [], k=bc.final_round, n=3)
+        assert new["delivered"] == "v"
+
+    def test_delivers_nothing_if_no_value(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        state = {"known": None, "delivered": None}
+        new = bc.transition(1, state, [], k=bc.final_round, n=3)
+        assert new["delivered"] == NOTHING
+
+    def test_failure_free_delivery(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        res = run_ft(bc, n=4)
+        problem = BroadcastProblem(sender=0, value="v")
+        assert ft_check(res.history, problem).holds
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_crash_sweeps(self, seed):
+        bc = FloodBroadcast(f=2, sender=0, value="v")
+        adv = RandomAdversary(n=5, f=2, mode=FaultMode.CRASH, rate=0.5, seed=seed)
+        res = run_ft(bc, n=5, adversary=adv)
+        assert ft_check(res.history, BroadcastProblem(sender=0, value="v")).holds
+
+    def test_sender_crash_before_sending_delivers_nothing_everywhere(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        script = {1: RoundFaultPlan(crashes={0: frozenset()})}
+        res = run_ft(bc, n=4, adversary=ScriptedAdversary(1, script))
+        assert ft_check(res.history, BroadcastProblem(sender=0, value="v")).holds
+        assert res.final_states[1]["inner"]["delivered"] == NOTHING
+
+
+class TestBroadcastProblem:
+    def test_validity_violation_reported(self):
+        bc = FloodBroadcast(f=1, sender=0, value="v")
+        res = run_ft(bc, n=3)
+        wrong = BroadcastProblem(sender=0, value="other")
+        report = ft_check(res.history, wrong)
+        assert any(v.condition == "validity" for v in report.violations)

@@ -1,0 +1,126 @@
+"""Unit tests for the Byzantine-value fault mode."""
+
+import pytest
+
+from repro.histories.history import CLOCK_KEY
+from repro.sync.adversary import (
+    ByzantineAdversary,
+    FaultBudgetExceeded,
+    RoundFaultPlan,
+    ScriptedAdversary,
+)
+from repro.sync.engine import run_sync
+from repro.sync.protocol import SyncProtocol
+from repro.workloads.scenarios import forge_clock
+
+
+class EchoProtocol(SyncProtocol):
+    name = "echo"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1, "heard": {}}
+
+    def send(self, pid, state):
+        return f"truth-{pid}"
+
+    def update(self, pid, state, delivered):
+        heard = {m.sender: m.payload for m in delivered}
+        return {CLOCK_KEY: state[CLOCK_KEY] + 1, "heard": heard}
+
+
+def forgery_plan(pid, lies_by_receiver):
+    return RoundFaultPlan(
+        forgeries={pid: {r: (lambda p, lie=lie: lie) for r, lie in lies_by_receiver.items()}}
+    )
+
+
+class TestEngineForgery:
+    def test_lie_replaces_payload_for_target_only(self):
+        script = {1: forgery_plan(0, {1: "LIE"})}
+        res = run_sync(EchoProtocol(), n=3, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert res.final_states[1]["heard"][0] == "LIE"
+        assert res.final_states[2]["heard"][0] == "truth-0"
+
+    def test_two_faced_lies(self):
+        script = {1: forgery_plan(0, {1: "LIE-A", 2: "LIE-B"})}
+        res = run_sync(EchoProtocol(), n=3, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert res.final_states[1]["heard"][0] == "LIE-A"
+        assert res.final_states[2]["heard"][0] == "LIE-B"
+
+    def test_own_broadcast_stays_true(self):
+        script = {1: forgery_plan(0, {0: "SELF-LIE", 1: "LIE"})}
+        res = run_sync(EchoProtocol(), n=2, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert res.final_states[0]["heard"][0] == "truth-0"
+
+    def test_forger_is_faulty(self):
+        script = {1: forgery_plan(0, {1: "LIE"})}
+        res = run_sync(EchoProtocol(), n=3, rounds=2, adversary=ScriptedAdversary(1, script))
+        assert res.faulty == frozenset({0})
+        record = res.history.round(1).record(0)
+        assert record.forged_sends == frozenset({1})
+
+    def test_budget_counts_forgers(self):
+        plan = RoundFaultPlan(
+            forgeries={
+                0: {1: lambda p: "x"},
+                1: {0: lambda p: "y"},
+            }
+        )
+        adversary = ScriptedAdversary(1, {1: plan})
+        with pytest.raises(FaultBudgetExceeded):
+            run_sync(EchoProtocol(), n=3, rounds=1, adversary=adversary)
+
+
+class TestByzantineAdversary:
+    def test_victim_pool_bounded(self):
+        adversary = ByzantineAdversary(6, 2, forge_clock, seed=1)
+        assert len(adversary.victims) == 2
+
+    def test_deterministic(self):
+        def lies(seed):
+            adversary = ByzantineAdversary(4, 1, forge_clock, rate=1.0, seed=seed)
+            plan = adversary.plan_round(1, frozenset(range(4)), frozenset())
+            (pid,) = plan.forgeries
+            return pid, sorted(plan.forgeries[pid])
+
+        assert lies(7) == lies(7)
+
+    def test_budget_respected_over_run(self):
+        adversary = ByzantineAdversary(6, 2, forge_clock, rate=1.0, seed=3)
+        faulty = frozenset()
+        for r in range(1, 20):
+            plan = adversary.plan_round(r, frozenset(range(6)), faulty)
+            adversary.validate(plan, faulty)
+            faulty |= plan.targets()
+        assert len(faulty) <= 2
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ByzantineAdversary(4, 1, forge_clock, rate=-0.1)
+
+
+class TestMutators:
+    def test_forge_clock_increases(self):
+        from repro.util.rng import make_rng
+
+        rng = make_rng(1)
+        assert forge_clock(rng, 100) > 100
+
+    def test_forge_clock_leaves_non_ints(self):
+        from repro.util.rng import make_rng
+
+        assert forge_clock(make_rng(1), "not-a-clock") == "not-a-clock"
+
+    def test_flip_binary_fields(self):
+        from repro.util.rng import make_rng
+        from repro.workloads.scenarios import flip_binary_fields
+
+        lie = flip_binary_fields(make_rng(1), (3, {"value": 1, "majority": 0, "x": 9}))
+        assert lie == (3, {"value": 0, "majority": 1, "x": 9})
+
+    def test_poison_floodmin(self):
+        from repro.util.rng import make_rng
+        from repro.workloads.scenarios import poison_floodmin
+
+        lie = poison_floodmin(make_rng(1), (2, {"values": frozenset({4, 5})}))
+        assert -999 in lie[1]["values"]

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.canonical (Figure 2)."""
+
+import pytest
+
+from repro.core.canonical import CanonicalProtocol, CanonicalRunner, run_ft
+from repro.histories.history import CLOCK_KEY
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+
+class CountingProtocol(CanonicalProtocol):
+    """Counts rounds and peers; decides the round count at the end."""
+
+    name = "counting"
+    final_round = 3
+
+    def initial_inner_state(self, pid, n):
+        return {"steps": 0, "peers_seen": frozenset(), "decision": None}
+
+    def transition(self, pid, inner_state, messages, k, n):
+        peers = frozenset(s for s, _ in messages)
+        return {
+            "steps": inner_state["steps"] + 1,
+            "peers_seen": inner_state["peers_seen"] | peers,
+            "decision": k if k == self.final_round else inner_state["decision"],
+        }
+
+
+class TestCanonicalRunner:
+    def test_clean_run_counts_every_round(self):
+        res = run_ft(CountingProtocol(), n=3)
+        for state in res.final_states.values():
+            assert state["inner"]["steps"] == 3
+            assert state["inner"]["decision"] == 3
+
+    def test_full_information_payload_is_state(self):
+        runner = CanonicalRunner(CountingProtocol())
+        state = runner.initial_state(0, 3)
+        sender, inner = runner.send(0, state)
+        assert sender == 0
+        assert inner == state["inner"]
+
+    def test_halts_after_final_round(self):
+        res = run_ft(CountingProtocol(), n=3)
+        for state in res.final_states.values():
+            assert state["halted"]
+        # the halt round is silent
+        last = res.history.round(res.history.last_round)
+        assert all(record.sent == () for record in last.records)
+
+    def test_halted_state_frozen(self):
+        runner = CanonicalRunner(CountingProtocol())
+        res = run_sync(runner, n=2, rounds=6)
+        assert res.final_states[0]["inner"]["steps"] == 3
+        assert res.final_states[0][CLOCK_KEY] == 4
+
+    def test_clock_passed_as_protocol_round(self):
+        res = run_ft(CountingProtocol(), n=2)
+        # decision == k at final round == final_round
+        assert res.final_states[0]["inner"]["decision"] == 3
+
+    def test_terminating_protocol_defenceless_against_skew(self):
+        # [KP90]: terminating protocols cannot tolerate systemic
+        # failures — a clock corrupted past final_round halts at once.
+        runner = CanonicalRunner(CountingProtocol())
+        res = run_sync(
+            runner, n=2, rounds=2, corruption=ClockSkewCorruption({0: 3, 1: 3})
+        )
+        assert res.final_states[0]["halted"]
+        assert res.final_states[0]["inner"]["steps"] == 1  # only one round ran
+
+    def test_decision_accessor(self):
+        runner = CanonicalRunner(CountingProtocol())
+        res = run_ft(CountingProtocol(), n=2)
+        assert runner.decision_of(res.final_states[0]) == 3
+
+    def test_arbitrary_state_shape(self):
+        from repro.util.rng import make_rng
+
+        runner = CanonicalRunner(CountingProtocol())
+        state = runner.arbitrary_state(0, 3, make_rng(0))
+        assert {"clock", "inner", "halted", "n"} <= set(state)
+
+
+class TestAbstractInterface:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            CanonicalProtocol()

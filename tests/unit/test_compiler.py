@@ -1,0 +1,191 @@
+"""Unit tests for repro.core.compiler (Figure 3)."""
+
+from repro.core.compiler import compile_protocol, normalize
+from repro.core.canonical import CanonicalProtocol
+from repro.histories.history import CLOCK_KEY, Message
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+from repro.util.rng import make_rng
+
+
+class RecordingProtocol(CanonicalProtocol):
+    """Records the (k, senders) pairs its transition was called with."""
+
+    name = "recording"
+    final_round = 3
+
+    def initial_inner_state(self, pid, n):
+        return {"calls": (), "decision": None}
+
+    def transition(self, pid, inner_state, messages, k, n):
+        senders = tuple(s for s, _ in messages)
+        return {
+            "calls": inner_state["calls"] + ((k, senders),),
+            "decision": "done" if k == self.final_round else None,
+        }
+
+
+def payload(sender, inner, tag):
+    return ((sender, inner), tag)
+
+
+def msg(sender, receiver, tag, inner=None, round_no=1):
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        sent_round=round_no,
+        payload=payload(sender, inner or {}, tag),
+    )
+
+
+class TestNormalize:
+    def test_cycle(self):
+        fr = 3
+        assert [normalize(c, fr) for c in range(7)] == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_boundary_is_multiple_of_final_round(self):
+        assert normalize(0, 5) == 1
+        assert normalize(5, 5) == 1
+
+    def test_negative_clock_still_in_range(self):
+        # Arbitrary states could be negative in principle; Python's mod
+        # keeps normalize in 1..final_round.
+        for c in range(-10, 0):
+            assert 1 <= normalize(c, 4) <= 4
+
+
+class TestCompiledUpdate:
+    def _plus(self):
+        return compile_protocol(RecordingProtocol())
+
+    def _state(self, plus, clock=0, suspects=frozenset(), n=3):
+        state = plus.initial_state(0, n)
+        state[CLOCK_KEY] = clock
+        state["suspect"] = suspects
+        return state
+
+    def test_clean_round_feeds_all_messages(self):
+        plus = self._plus()
+        state = self._state(plus, clock=0)
+        delivered = [msg(q, 0, tag=0) for q in range(3)]
+        new = plus.update(0, state, delivered)
+        (call,) = new["inner"]["calls"]
+        assert call == (1, (0, 1, 2))
+
+    def test_round_tag_mismatch_suspects_sender(self):
+        plus = self._plus()
+        state = self._state(plus, clock=0)
+        delivered = [msg(0, 0, tag=0), msg(1, 0, tag=0), msg(2, 0, tag=7)]
+        new = plus.update(0, state, delivered)
+        assert 2 in new["suspect"]
+
+    def test_missing_message_suspects_sender(self):
+        plus = self._plus()
+        state = self._state(plus, clock=0)
+        delivered = [msg(0, 0, tag=0), msg(1, 0, tag=0)]
+        new = plus.update(0, state, delivered)
+        assert 2 in new["suspect"]
+
+    def test_suspected_sender_filtered_from_inner(self):
+        plus = self._plus()
+        state = self._state(plus, clock=0, suspects=frozenset({1}))
+        delivered = [msg(q, 0, tag=0) for q in range(3)]
+        new = plus.update(0, state, delivered)
+        (call,) = new["inner"]["calls"]
+        assert call[1] == (0, 2)
+
+    def test_suspect_filter_disabled_in_ablation(self):
+        plus = compile_protocol(RecordingProtocol(), use_suspects=False)
+        state = self._state(plus, clock=0, suspects=frozenset({1}))
+        delivered = [msg(q, 0, tag=0) for q in range(3)]
+        new = plus.update(0, state, delivered)
+        (call,) = new["inner"]["calls"]
+        assert call[1] == (0, 1, 2)
+
+    def test_round_merge_uses_unfiltered_tags(self):
+        # A suspected process's tag still drags the merge forward.
+        plus = self._plus()
+        state = self._state(plus, clock=0, suspects=frozenset({2}))
+        delivered = [msg(0, 0, tag=0), msg(1, 0, tag=0), msg(2, 0, tag=50)]
+        new = plus.update(0, state, delivered)
+        assert new[CLOCK_KEY] == 51
+
+    def test_reset_at_iteration_boundary(self):
+        plus = self._plus()
+        # clock 2 -> k = 3 = final_round; new clock 3 -> normalize 1 -> reset
+        state = self._state(plus, clock=2, suspects=frozenset({1}))
+        delivered = [msg(q, 0, tag=2) for q in range(3)]
+        new = plus.update(0, state, delivered)
+        assert new["inner"]["calls"] == ()  # fresh s_init
+        assert new["suspect"] == frozenset()
+
+    def test_decision_journalled_before_reset(self):
+        plus = self._plus()
+        state = self._state(plus, clock=2)
+        delivered = [msg(q, 0, tag=2) for q in range(3)]
+        new = plus.update(0, state, delivered)
+        assert new["last_decision"] == "done"
+        assert new["decided_at_clock"] == 2
+
+    def test_jump_skips_reset_off_boundary(self):
+        plus = self._plus()
+        state = self._state(plus, clock=0)
+        # merged clock = 51+1? tag 50 -> new clock 51; normalize(51,3)=1? 51%3=0 -> reset
+        delivered = [msg(0, 0, tag=0), msg(1, 0, tag=49)]
+        new = plus.update(0, state, delivered)
+        # 49+1 = 50; 50 % 3 = 2 -> normalize = 3, no reset; inner kept
+        assert new[CLOCK_KEY] == 50
+        assert new["inner"]["calls"] != ()
+
+
+class TestCompiledLifecycle:
+    def test_clean_run_iterates(self):
+        pi = FloodMinConsensus(f=1, proposals=[2, 1, 3])
+        plus = compile_protocol(pi)
+        res = run_sync(plus, n=3, rounds=3 * pi.final_round + 1)
+        state = res.final_states[0]
+        assert state["last_decision"] == 1
+        assert state["decided_at_clock"] is not None
+
+    def test_initial_clock_zero_starts_protocol_round_one(self):
+        pi = FloodMinConsensus(f=1, proposals=[2, 1, 3])
+        plus = compile_protocol(pi)
+        assert plus.initial_state(0, 3)[CLOCK_KEY] == 0
+        assert normalize(0, pi.final_round) == 1
+
+    def test_never_halts(self):
+        pi = FloodMinConsensus(f=1, proposals=[2, 1, 3])
+        plus = compile_protocol(pi)
+        res = run_sync(plus, n=3, rounds=20)
+        assert all(s is not None for s in res.final_states.values())
+        assert res.history.round(20).record(0).sent != ()
+
+    def test_clock_skew_realigns(self):
+        pi = FloodMinConsensus(f=1, proposals=[2, 1, 3])
+        plus = compile_protocol(pi)
+        res = run_sync(
+            plus, n=3, rounds=10, corruption=ClockSkewCorruption({0: 0, 1: 33, 2: 7})
+        )
+        clocks = set(res.final_clocks().values())
+        assert len(clocks) == 1
+
+    def test_iteration_of_clock(self):
+        pi = FloodMinConsensus(f=2, proposals=[1])
+        plus = compile_protocol(pi)
+        assert plus.iteration_of_clock(0) == 0
+        assert plus.iteration_of_clock(pi.final_round) == 1
+
+    def test_arbitrary_state_scrambles_suspects(self):
+        pi = FloodMinConsensus(f=1, proposals=[2, 1, 3])
+        plus = compile_protocol(pi)
+        seen_nonempty = False
+        for seed in range(10):
+            state = plus.arbitrary_state(0, 5, make_rng(seed))
+            if state["suspect"]:
+                seen_nonempty = True
+        assert seen_nonempty
+
+    def test_name_reflects_ablation(self):
+        pi = FloodMinConsensus(f=1, proposals=[1])
+        assert "nosuspect" in compile_protocol(pi, use_suspects=False).name

@@ -1,0 +1,159 @@
+"""Unit tests for repro.detectors.consensus (CT consensus + SS variant)."""
+
+import pytest
+
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.detectors.consensus import (
+    CTConsensus,
+    LogVerdict,
+    consensus_log_agreement,
+    default_proposals,
+)
+from repro.sync.corruption import RandomCorruption
+from repro.workloads.scenarios import ConsensusDeadlockCorruption
+
+
+def run_consensus(
+    mode,
+    n=5,
+    seed=1,
+    corruption=None,
+    crashes=None,
+    gst=0.0,
+    max_time=150.0,
+):
+    crashes = crashes or {}
+    oracle = WeakDetectorOracle(n, crashes, gst=gst, seed=seed)
+    proto = CTConsensus(n, mode=mode)
+    sched = AsyncScheduler(
+        proto,
+        n,
+        seed=seed,
+        gst=gst,
+        crash_times=crashes,
+        oracle=oracle,
+        corruption=corruption,
+        sample_interval=5.0,
+    )
+    return proto, sched.run(max_time=max_time)
+
+
+class TestConstruction:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            CTConsensus(3, mode="bogus")
+
+    def test_mode_flags(self):
+        assert CTConsensus(3, mode="ss").retransmit and CTConsensus(3, mode="ss").jump
+        assert not CTConsensus(3, mode="plain").retransmit
+        assert not CTConsensus(3, mode="plain").jump
+        assert not CTConsensus(3, mode="ss-no-retransmit").retransmit
+        assert CTConsensus(3, mode="ss-no-retransmit").jump
+
+    def test_majority(self):
+        assert CTConsensus(5).majority == 3
+        assert CTConsensus(4).majority == 3
+
+    def test_coordinator_rotates(self):
+        proto = CTConsensus(3)
+        assert [proto.coordinator(r) for r in range(4)] == [0, 1, 2, 0]
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("mode", ["plain", "ss"])
+    def test_decides_repeatedly(self, mode):
+        proto, trace = run_consensus(mode)
+        verdict = consensus_log_agreement(trace)
+        assert verdict.holds
+        assert verdict.stable_from == 0
+        assert verdict.instances_checked > 5
+
+    def test_decisions_are_proposals(self):
+        proto, trace = run_consensus("ss")
+        log = trace.final_states[0]["log"]
+        for instance, value in list(log.items())[:20]:
+            proposals = {default_proposals(p, instance) for p in range(5)}
+            assert value in proposals
+
+    def test_crash_tolerated(self):
+        proto, trace = run_consensus(
+            "ss", crashes={4: 20.0}, gst=10.0, max_time=200.0
+        )
+        assert consensus_log_agreement(trace).holds
+
+    def test_two_crashes_with_majority_left(self):
+        proto, trace = run_consensus(
+            "ss", crashes={3: 15.0, 4: 30.0}, gst=10.0, max_time=250.0
+        )
+        assert consensus_log_agreement(trace).holds
+
+
+class TestCorruptedRuns:
+    def test_ss_recovers_from_random_corruption(self):
+        proto, trace = run_consensus(
+            "ss", corruption=RandomCorruption(seed=11), max_time=300.0
+        )
+        verdict = consensus_log_agreement(trace)
+        assert verdict.holds
+        assert verdict.stable_from is not None
+
+    def test_plain_deadlocks_on_deadlock_seed(self):
+        proto, trace = run_consensus(
+            "plain", corruption=ConsensusDeadlockCorruption(seed=3), max_time=300.0
+        )
+        assert not consensus_log_agreement(trace).holds
+
+    def test_no_retransmit_deadlocks(self):
+        proto, trace = run_consensus(
+            "ss-no-retransmit",
+            corruption=ConsensusDeadlockCorruption(seed=3),
+            max_time=300.0,
+        )
+        assert not consensus_log_agreement(trace).holds
+
+    def test_ss_survives_deadlock_seed(self):
+        proto, trace = run_consensus(
+            "ss", corruption=ConsensusDeadlockCorruption(seed=3), max_time=300.0
+        )
+        assert consensus_log_agreement(trace).holds
+
+    def test_ss_survives_all_waiting_seed(self):
+        proto, trace = run_consensus(
+            "ss",
+            corruption=ConsensusDeadlockCorruption(seed=3, all_waiting=True),
+            max_time=300.0,
+        )
+        assert consensus_log_agreement(trace).holds
+
+
+class TestLogVerdict:
+    def test_no_states(self):
+        from repro.asyncnet.scheduler import AsyncTrace
+
+        trace = AsyncTrace(n=2, duration=1.0, final_states={0: None, 1: None},
+                           crashed=frozenset({0, 1}))
+        verdict = consensus_log_agreement(trace)
+        assert not verdict.holds
+
+    def test_min_suffix_enforced(self):
+        proto, trace = run_consensus("ss", max_time=60.0)
+        strict = consensus_log_agreement(trace, min_suffix=10 ** 6)
+        assert not strict.holds
+
+
+class TestPerpetualFalseSuspicion:
+    def test_ct_tolerates_everlasting_mistakes(self):
+        # ◇S permits forever-wrong suspicion of non-anchor processes;
+        # rounds with a falsely-suspected coordinator are nacked past,
+        # and the anchor's rounds still decide.
+        n = 5
+        oracle = WeakDetectorOracle(
+            n, {}, gst=0.0, seed=2, perpetual_false_suspicions=[(1, 3), (2, 3)]
+        )
+        proto = CTConsensus(n, mode="ss")
+        sched = AsyncScheduler(
+            proto, n, seed=2, gst=0.0, oracle=oracle, sample_interval=5.0
+        )
+        trace = sched.run(max_time=200.0)
+        assert consensus_log_agreement(trace).holds

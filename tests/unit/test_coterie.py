@@ -1,0 +1,88 @@
+"""Unit tests for repro.histories.coterie (Definition 2.3)."""
+
+from repro.histories.coterie import coterie, coterie_timeline
+from repro.histories.history import ExecutionHistory, Message, RoundHistory
+
+from tests.conftest import broadcast_round, make_record
+
+
+def hidden_process_round(round_no, n, hidden):
+    """All-to-all broadcast except `hidden`, which omits all sends and
+    receives (it still self-delivers)."""
+    records = []
+    for pid in range(n):
+        if pid == hidden:
+            own = Message(sender=pid, receiver=pid, sent_round=round_no, payload=round_no)
+            records.append(
+                make_record(
+                    pid,
+                    clock=round_no,
+                    sent=[own],
+                    delivered=[own],
+                    omitted_sends=set(range(n)) - {pid},
+                    omitted_receives=set(range(n)) - {pid},
+                )
+            )
+            continue
+        sent = [
+            Message(sender=pid, receiver=q, sent_round=round_no, payload=round_no)
+            for q in range(n)
+            if q != hidden
+        ]
+        delivered = [
+            Message(sender=q, receiver=pid, sent_round=round_no, payload=round_no)
+            for q in range(n)
+            if q != hidden
+        ]
+        records.append(make_record(pid, clock=round_no, sent=sent, delivered=delivered))
+    return RoundHistory(round_no=round_no, records=tuple(records))
+
+
+class TestCoterie:
+    def test_full_broadcast_everyone_in_coterie(self):
+        h = ExecutionHistory([broadcast_round(1, [1, 1, 1])])
+        assert coterie(h) == frozenset({0, 1, 2})
+
+    def test_hidden_faulty_process_excluded(self):
+        h = ExecutionHistory([hidden_process_round(1, 3, hidden=2)])
+        assert coterie(h) == frozenset({0, 1})
+
+    def test_reveal_admits_process(self):
+        # Hidden for 2 rounds, then a full broadcast round: the hidden
+        # process reaches everyone and joins.
+        h = ExecutionHistory(
+            [
+                hidden_process_round(1, 3, hidden=2),
+                hidden_process_round(2, 3, hidden=2),
+                broadcast_round(3, [3, 3, 3]),
+            ]
+        )
+        timeline = coterie_timeline(h)
+        assert timeline[0] == frozenset({0, 1})
+        assert timeline[1] == frozenset({0, 1})
+        assert timeline[2] == frozenset({0, 1, 2})
+
+    def test_all_faulty_coterie_is_everyone(self):
+        # If every process has deviated the for-all-correct condition is
+        # vacuous; the coterie degenerates to the full set.
+        rh = RoundHistory(
+            1,
+            (
+                make_record(0, omitted_sends=[1]),
+                make_record(1, omitted_sends=[0]),
+            ),
+        )
+        h = ExecutionHistory([rh])
+        assert coterie(h) == frozenset({0, 1})
+
+    def test_crashed_process_leaves_coterie_frozen(self):
+        # A process that broadcast in round 1 then crashed stays in the
+        # coterie (monotonicity): its early influence reached everyone.
+        h = ExecutionHistory(
+            [broadcast_round(1, [1, 1, 1]), broadcast_round(2, [2, None, 2])]
+        )
+        assert 1 in coterie(h)
+
+    def test_timeline_length_matches_history(self):
+        h = ExecutionHistory([broadcast_round(r, [r, r]) for r in range(1, 6)])
+        assert len(coterie_timeline(h)) == 5

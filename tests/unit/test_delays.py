@@ -1,0 +1,167 @@
+"""Unit tests for the not-perfectly-synchronized engine mode."""
+
+import pytest
+
+from repro.core.problems import BoundedSkewAgreementProblem, ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import ftss_check
+from repro.histories.causality import happened_before
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.delays import NoDelay, RandomDelay, TargetedLag
+from repro.sync.engine import ProtocolError, run_sync
+from repro.sync.protocol import SyncProtocol
+from repro.histories.history import CLOCK_KEY
+
+
+class EchoProtocol(SyncProtocol):
+    name = "echo"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1, "heard": ()}
+
+    def send(self, pid, state):
+        return pid
+
+    def update(self, pid, state, delivered):
+        heard = tuple((m.sender, m.sent_round) for m in delivered)
+        return {CLOCK_KEY: state[CLOCK_KEY] + 1, "heard": heard}
+
+
+class TestDelayModels:
+    def test_no_delay_is_identity(self):
+        model = NoDelay()
+        assert model.extra_rounds(1, 0, 1) == 0
+
+    def test_random_delay_never_delays_self(self):
+        model = RandomDelay(seed=1, p_late=1.0)
+        assert model.extra_rounds(1, 2, 2) == 0
+        assert model.extra_rounds(1, 2, 3) == 1
+
+    def test_random_delay_deterministic(self):
+        a = RandomDelay(seed=5, p_late=0.5)
+        b = RandomDelay(seed=5, p_late=0.5)
+        seq_a = [a.extra_rounds(r, 0, 1) for r in range(20)]
+        seq_b = [b.extra_rounds(r, 0, 1) for r in range(20)]
+        assert seq_a == seq_b
+
+    def test_targeted_lag_rejects_self_link(self):
+        with pytest.raises(ValueError):
+            TargetedLag([(1, 1)])
+
+    def test_random_delay_validates_probability(self):
+        with pytest.raises(ValueError):
+            RandomDelay(seed=1, p_late=2.0)
+
+
+class TestEngineDelays:
+    def test_late_message_arrives_next_round(self):
+        res = run_sync(
+            EchoProtocol(), n=2, rounds=3, delay_model=TargetedLag([(0, 1)])
+        )
+        heard_round_1 = res.history.round(1).record(1).delivered
+        assert [(m.sender, m.sent_round) for m in heard_round_1] == [(1, 1)]
+        heard_round_2 = res.history.round(2).record(1).delivered
+        assert (0, 1) in [(m.sender, m.sent_round) for m in heard_round_2]
+
+    def test_sent_records_unaffected_by_delay(self):
+        res = run_sync(
+            EchoProtocol(), n=2, rounds=2, delay_model=TargetedLag([(0, 1)])
+        )
+        sent = res.history.round(1).record(0).sent
+        assert {m.receiver for m in sent} == {0, 1}
+
+    def test_in_flight_at_end_dropped(self):
+        res = run_sync(
+            EchoProtocol(), n=2, rounds=1, delay_model=TargetedLag([(0, 1)])
+        )
+        assert res.history.messages_delivered() == 3  # 4 sent - 1 in flight
+
+    def test_bad_model_rejected(self):
+        class Rogue(NoDelay):
+            def extra_rounds(self, round_no, sender, receiver):
+                return 5
+
+        with pytest.raises(ProtocolError, match="delay model"):
+            run_sync(EchoProtocol(), n=2, rounds=1, delay_model=Rogue())
+
+    def test_delayed_message_to_crashed_receiver_dropped(self):
+        from repro.sync.adversary import RoundFaultPlan, ScriptedAdversary
+
+        script = {2: RoundFaultPlan(crashes={1: frozenset()})}
+        res = run_sync(
+            EchoProtocol(),
+            n=2,
+            rounds=3,
+            adversary=ScriptedAdversary(1, script),
+            delay_model=TargetedLag([(0, 1)]),
+        )
+        # the round-2 arrival to process 1 vanished with its crash
+        assert res.history.round(2).record(1).delivered == ()
+
+
+class TestCausalityAcrossRounds:
+    def test_late_message_carries_send_time_knowledge(self):
+        # 0's round-1 broadcast to 1 is late.  1 hears it in round 2;
+        # the influence is 0's (0 -> 1), not anything 0 learned later.
+        res = run_sync(
+            EchoProtocol(), n=3, rounds=3, delay_model=TargetedLag([(0, 1)])
+        )
+        assert happened_before(res.history, 0, 1)
+
+    def test_no_retroactive_influence(self):
+        # 2 -> 0 in round 2; 0's round-1 message (late, arrives round 2
+        # at 1) must NOT carry 2's round-2 influence... it was sent in
+        # round 1, before 0 heard anything.
+        from repro.histories.causality import CausalityTracker
+
+        res = run_sync(
+            EchoProtocol(),
+            n=3,
+            rounds=2,
+            delay_model=TargetedLag([(0, 1), (1, 0), (2, 0), (2, 1), (1, 2)]),
+        )
+        # after round 1, only self-influence plus 0 -> 2 (the only
+        # on-time cross link)
+        tracker = CausalityTracker(3)
+        tracker.advance(res.history.round(1))
+        assert tracker.know(2) == frozenset({0, 2})
+        assert tracker.know(1) == frozenset({1})
+
+
+class TestSkewAgreement:
+    def test_skew_zero_equals_exact(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=3,
+            rounds=10,
+            corruption=ClockSkewCorruption({0: 5, 1: 50, 2: 9}),
+        )
+        exact = ftss_check(res.history, ClockAgreementProblem(), 1).holds
+        skew0 = ftss_check(res.history, BoundedSkewAgreementProblem(0), 1).holds
+        assert exact == skew0 is True
+
+    def test_targeted_lag_breaks_exact_not_skew1(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=3,
+            rounds=25,
+            corruption=ClockSkewCorruption({0: 100, 1: 3, 2: 7}),
+            delay_model=TargetedLag([(0, 1), (2, 1)]),
+        )
+        assert not ftss_check(res.history, ClockAgreementProblem(), 2).holds
+        assert ftss_check(res.history, BoundedSkewAgreementProblem(1), 2).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_delays_skew1_always_holds(self, seed):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=5,
+            rounds=30,
+            corruption=ClockSkewCorruption({0: 9, 1: 500, 2: 13, 3: 77, 4: 1}),
+            delay_model=RandomDelay(seed=seed, p_late=0.4),
+        )
+        assert ftss_check(res.history, BoundedSkewAgreementProblem(1), 2).holds
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedSkewAgreementProblem(-1)

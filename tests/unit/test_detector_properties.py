@@ -1,0 +1,94 @@
+"""Unit tests for repro.detectors.properties."""
+
+from repro.asyncnet.scheduler import AsyncTrace
+from repro.detectors.properties import (
+    eventual_weak_accuracy,
+    strong_completeness,
+    weak_completeness,
+)
+
+
+def trace_from(samples, n=3, crashed=frozenset()):
+    return AsyncTrace(
+        n=n,
+        duration=float(len(samples)),
+        samples=[(float(t), outputs) for t, outputs in enumerate(samples, start=1)],
+        crashed=frozenset(crashed),
+    )
+
+
+class TestStrongCompleteness:
+    def test_holds_from_convergence_point(self):
+        samples = [
+            {0: frozenset(), 1: frozenset()},
+            {0: frozenset({2}), 1: frozenset()},
+            {0: frozenset({2}), 1: frozenset({2})},
+            {0: frozenset({2}), 1: frozenset({2})},
+        ]
+        verdict = strong_completeness(trace_from(samples, crashed={2}))
+        assert verdict.holds
+        assert verdict.converged_at == 3.0
+
+    def test_relapse_resets_convergence(self):
+        samples = [
+            {0: frozenset({2}), 1: frozenset({2})},
+            {0: frozenset(), 1: frozenset({2})},  # relapse
+            {0: frozenset({2}), 1: frozenset({2})},
+        ]
+        verdict = strong_completeness(trace_from(samples, crashed={2}))
+        assert verdict.converged_at == 3.0
+
+    def test_fails_without_convergence(self):
+        samples = [{0: frozenset(), 1: frozenset()}] * 3
+        verdict = strong_completeness(trace_from(samples, crashed={2}))
+        assert not verdict.holds
+        assert verdict.converged_at is None
+
+    def test_vacuous_without_crashes(self):
+        samples = [{0: frozenset(), 1: frozenset(), 2: frozenset()}]
+        assert strong_completeness(trace_from(samples)).holds
+
+
+class TestWeakCompleteness:
+    def test_one_watcher_suffices(self):
+        samples = [{0: frozenset({2}), 1: frozenset()}] * 2
+        assert weak_completeness(trace_from(samples, crashed={2})).holds
+
+    def test_nobody_suspecting_fails(self):
+        samples = [{0: frozenset(), 1: frozenset()}] * 2
+        assert not weak_completeness(trace_from(samples, crashed={2})).holds
+
+
+class TestEventualWeakAccuracy:
+    def test_stable_witness(self):
+        samples = [
+            {0: frozenset({1}), 1: frozenset({0})},  # everyone accused
+            {0: frozenset({1}), 1: frozenset()},  # 0 clean from here
+            {0: frozenset({1}), 1: frozenset()},
+        ]
+        verdict = eventual_weak_accuracy(trace_from(samples, n=2))
+        assert verdict.holds
+        assert verdict.converged_at == 2.0
+
+    def test_witness_must_be_the_same_process(self):
+        # 0 clean then accused, 1 accused then clean: no single witness
+        # spans a suffix until sample 2; witness switches are handled.
+        samples = [
+            {0: frozenset({1}), 1: frozenset()},  # 0 clean
+            {0: frozenset(), 1: frozenset({0})},  # 1 clean, 0 accused
+            {0: frozenset(), 1: frozenset({0})},
+        ]
+        verdict = eventual_weak_accuracy(trace_from(samples, n=2))
+        assert verdict.holds
+        assert verdict.converged_at == 2.0
+
+    def test_oscillation_fails(self):
+        a = {0: frozenset({1}), 1: frozenset({0})}
+        samples = [a, a, a]
+        assert not eventual_weak_accuracy(trace_from(samples, n=2)).holds
+
+    def test_crashed_processes_cannot_be_witnesses(self):
+        samples = [{0: frozenset(), 1: frozenset()}] * 2
+        verdict = eventual_weak_accuracy(trace_from(samples, n=3, crashed={2}))
+        # witnesses drawn from correct set only; 0/1 are clean -> holds
+        assert verdict.holds

@@ -1,0 +1,60 @@
+"""Unit tests for message duplication in the asynchronous scheduler."""
+
+import pytest
+
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.asyncnet.scheduler import AsyncProtocol, AsyncScheduler
+from repro.detectors.consensus import CTConsensus, consensus_log_agreement
+
+
+class DeliveryCounter(AsyncProtocol):
+    name = "delivery-counter"
+
+    def initial_state(self, pid, n):
+        return {"sent": 0, "received": 0}
+
+    def on_tick(self, ctx):
+        ctx.state["sent"] += 1
+        ctx.broadcast("x")
+
+    def on_message(self, ctx, sender, payload):
+        ctx.state["received"] += 1
+
+
+class TestDuplication:
+    def test_zero_probability_no_duplicates(self):
+        sched = AsyncScheduler(DeliveryCounter(), n=2, seed=1)
+        trace = sched.run(max_time=30.0)
+        # every broadcast = 2 copies; deliveries can't exceed sends
+        assert trace.deliveries <= trace.messages_sent
+
+    def test_duplicates_inflate_deliveries(self):
+        base = AsyncScheduler(DeliveryCounter(), n=2, seed=1).run(max_time=50.0)
+        dup = AsyncScheduler(
+            DeliveryCounter(), n=2, seed=1, duplicate_probability=0.5
+        ).run(max_time=50.0)
+        base_ratio = base.deliveries / base.messages_sent
+        dup_ratio = dup.deliveries / dup.messages_sent
+        assert dup_ratio > base_ratio * 1.2
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            AsyncScheduler(DeliveryCounter(), n=2, duplicate_probability=1.5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consensus_idempotent_under_duplication(self, seed):
+        n = 4
+        oracle = WeakDetectorOracle(n, {}, gst=5.0, seed=seed)
+        proto = CTConsensus(n, mode="ss")
+        sched = AsyncScheduler(
+            proto,
+            n,
+            seed=seed,
+            gst=5.0,
+            oracle=oracle,
+            sample_interval=5.0,
+            duplicate_probability=0.4,
+        )
+        trace = sched.run(max_time=150.0)
+        verdict = consensus_log_agreement(trace)
+        assert verdict.holds

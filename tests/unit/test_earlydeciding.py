@@ -1,0 +1,91 @@
+"""Unit tests for repro.protocols.earlydeciding."""
+
+import pytest
+
+from repro.core.canonical import run_ft
+from repro.core.problems import ConsensusProblem
+from repro.core.solvability import ft_check
+from repro.protocols.earlydeciding import EarlyDecidingFloodMin
+from repro.sync.adversary import (
+    FaultMode,
+    RandomAdversary,
+    RoundFaultPlan,
+    ScriptedAdversary,
+)
+
+SIGMA = ConsensusProblem(
+    decision_of=lambda s: s["inner"].get("decision"),
+    proposal_of=lambda s: s["inner"].get("proposal"),
+)
+
+
+def decision_rounds(res):
+    return {
+        pid: state["inner"]["decided_at_k"]
+        for pid, state in res.final_states.items()
+        if state is not None and pid not in res.faulty
+    }
+
+
+class TestQuiescenceRule:
+    def test_failure_free_decides_at_round_two(self):
+        ed = EarlyDecidingFloodMin(f=3, proposals=[5, 2, 9, 1])
+        res = run_ft(ed, n=4)
+        assert ft_check(res.history, SIGMA).holds
+        assert set(decision_rounds(res).values()) == {2}
+
+    def test_no_decision_in_round_one(self):
+        # Round 1 has no predecessor sender set to compare with.
+        ed = EarlyDecidingFloodMin(f=2, proposals=[1, 2, 3])
+        state = ed.initial_inner_state(0, 3)
+        new = ed.transition(0, state, [(q, {"values": frozenset({q})}) for q in range(3)], k=1, n=3)
+        assert new["decision"] is None
+
+    def test_worst_case_bound_still_decides(self):
+        # A fresh crash every round delays quiescence; the f+1 fallback
+        # fires.
+        ed = EarlyDecidingFloodMin(f=2, proposals=[5, 2, 9, 1, 7])
+        script = {
+            1: RoundFaultPlan(crashes={0: frozenset({1})}),
+            2: RoundFaultPlan(crashes={1: frozenset({2})}),
+        }
+        res = run_ft(ed, n=5, adversary=ScriptedAdversary(2, script))
+        assert ft_check(res.history, SIGMA).holds
+
+    def test_latency_tracks_actual_crashes(self):
+        # No crashes -> everyone decides at 2 even though f is large.
+        ed = EarlyDecidingFloodMin(f=4, proposals=[5, 2, 9, 1, 7, 4])
+        res = run_ft(ed, n=6)
+        rounds = decision_rounds(res)
+        assert set(rounds.values()) == {2}
+        assert ed.final_round == 5
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_crash_sweeps_agree(self, seed):
+        ed = EarlyDecidingFloodMin(f=3, proposals=[5, 2, 9, 1, 7, 4])
+        adv = RandomAdversary(n=6, f=3, mode=FaultMode.CRASH, rate=0.5, seed=seed)
+        res = run_ft(ed, n=6, adversary=adv)
+        assert ft_check(res.history, SIGMA).holds
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_early_decisions_match_final_ones(self, seed):
+        # Early deciders and worst-case deciders must agree — the rule
+        # is only a latency optimization.
+        ed = EarlyDecidingFloodMin(f=3, proposals=[5, 2, 9, 1, 7, 4])
+        adv = RandomAdversary(n=6, f=3, mode=FaultMode.CRASH, rate=0.6, seed=seed)
+        res = run_ft(ed, n=6, adversary=adv)
+        decisions = {
+            state["inner"]["decision"]
+            for pid, state in res.final_states.items()
+            if state is not None and pid not in res.faulty
+        }
+        assert len(decisions) == 1
+
+    def test_latency_bound_f_prime_plus_two(self):
+        # With f' actual crashes all in the first round, decisions come
+        # by round f' + 2 even though f is much larger.
+        ed = EarlyDecidingFloodMin(f=4, proposals=[5, 2, 9, 1, 7, 4])
+        script = {1: RoundFaultPlan(crashes={0: frozenset({1}), 1: frozenset()})}
+        res = run_ft(ed, n=6, adversary=ScriptedAdversary(2, script))
+        assert ft_check(res.history, SIGMA).holds
+        assert max(decision_rounds(res).values()) <= 4  # f'=2 -> <= 4 < 5

@@ -1,0 +1,234 @@
+"""Unit tests for repro.sync.engine (the lockstep round engine)."""
+
+import pytest
+
+from repro.core.rounds import RoundAgreementProtocol
+from repro.histories.history import CLOCK_KEY
+from repro.sync.adversary import (
+    FaultBudgetExceeded,
+    RoundFaultPlan,
+    ScriptedAdversary,
+)
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import ProtocolError, run_sync
+from repro.sync.protocol import SyncProtocol
+
+
+class EchoProtocol(SyncProtocol):
+    """Broadcasts its pid; counts distinct senders heard."""
+
+    name = "echo"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1, "heard": frozenset()}
+
+    def send(self, pid, state):
+        return pid
+
+    def update(self, pid, state, delivered):
+        heard = frozenset(m.sender for m in delivered)
+        return {CLOCK_KEY: state[CLOCK_KEY] + 1, "heard": heard}
+
+
+class SilentProtocol(SyncProtocol):
+    name = "silent"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1}
+
+    def send(self, pid, state):
+        return None
+
+    def update(self, pid, state, delivered):
+        assert not delivered
+        return {CLOCK_KEY: state[CLOCK_KEY] + 1}
+
+
+class BadProtocol(SyncProtocol):
+    name = "bad"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1}
+
+    def send(self, pid, state):
+        return None
+
+    def update(self, pid, state, delivered):
+        return {"no-clock": True}
+
+
+class TestBasicExecution:
+    def test_runs_requested_rounds(self):
+        res = run_sync(EchoProtocol(), n=3, rounds=5)
+        assert res.rounds_executed == 5
+        assert res.history.last_round == 5
+
+    def test_full_delivery_failure_free(self):
+        res = run_sync(EchoProtocol(), n=4, rounds=1)
+        for state in res.final_states.values():
+            assert state["heard"] == frozenset(range(4))
+
+    def test_silent_protocol_sends_nothing(self):
+        res = run_sync(SilentProtocol(), n=3, rounds=2)
+        assert res.history.messages_sent() == 0
+
+    def test_states_recorded_before_round(self):
+        res = run_sync(EchoProtocol(), n=2, rounds=3)
+        assert res.history.clock(0, 1) == 1
+        assert res.history.clock(0, 3) == 3
+
+    def test_missing_clock_in_update_raises(self):
+        with pytest.raises(ProtocolError, match="round variable"):
+            run_sync(BadProtocol(), n=2, rounds=1)
+
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            run_sync(EchoProtocol(), n=1, rounds=1)
+
+    def test_first_round_offset(self):
+        res = run_sync(EchoProtocol(), n=2, rounds=3, first_round=10)
+        assert res.history.first_round == 10
+        assert res.history.last_round == 12
+
+
+class TestCrashSemantics:
+    def _crash_script(self, pid, round_no, survivors=frozenset()):
+        return ScriptedAdversary(
+            f=1, script={round_no: RoundFaultPlan(crashes={pid: frozenset(survivors)})}
+        )
+
+    def test_clean_crash_sends_nothing(self):
+        res = run_sync(EchoProtocol(), n=3, rounds=2, adversary=self._crash_script(0, 1))
+        record = res.history.round(1).record(0)
+        assert record.crashed and record.sent == ()
+        assert res.final_states[0] is None
+
+    def test_crash_with_partial_sends(self):
+        res = run_sync(
+            EchoProtocol(), n=3, rounds=1, adversary=self._crash_script(0, 1, {2})
+        )
+        record = res.history.round(1).record(0)
+        assert [m.receiver for m in record.sent] == [2]
+        # receiver 2 heard the dying gasp, receiver 1 did not
+        assert 0 in res.final_states[2]["heard"]
+        assert 0 not in res.final_states[1]["heard"]
+
+    def test_crashed_state_undefined_thereafter(self):
+        res = run_sync(EchoProtocol(), n=3, rounds=3, adversary=self._crash_script(1, 1))
+        assert res.history.round(2).record(1).state_before is None
+        assert res.history.round(3).record(1).clock_before is None
+
+    def test_crashed_process_receives_nothing(self):
+        res = run_sync(EchoProtocol(), n=3, rounds=2, adversary=self._crash_script(1, 1))
+        assert res.history.round(2).record(1).delivered == ()
+
+    def test_crash_marks_faulty(self):
+        res = run_sync(EchoProtocol(), n=3, rounds=2, adversary=self._crash_script(2, 2))
+        assert res.faulty == frozenset({2})
+
+
+class TestOmissionSemantics:
+    def test_send_omission_drops_copies(self):
+        script = {1: RoundFaultPlan(send_omissions={0: frozenset({1, 2})})}
+        res = run_sync(EchoProtocol(), n=3, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert 0 not in res.final_states[1]["heard"]
+        assert 0 not in res.final_states[2]["heard"]
+        assert 0 in res.final_states[0]["heard"]  # self-delivery sacred
+
+    def test_self_send_omission_ignored(self):
+        script = {1: RoundFaultPlan(send_omissions={0: frozenset({0})})}
+        res = run_sync(EchoProtocol(), n=2, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert 0 in res.final_states[0]["heard"]
+        record = res.history.round(1).record(0)
+        assert record.omitted_sends == frozenset()
+
+    def test_receive_omission_drops_incoming(self):
+        script = {1: RoundFaultPlan(receive_omissions={1: frozenset({0})})}
+        res = run_sync(EchoProtocol(), n=3, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert 0 not in res.final_states[1]["heard"]
+        assert res.history.round(1).record(1).omitted_receives == frozenset({0})
+
+    def test_self_receive_omission_ignored(self):
+        script = {1: RoundFaultPlan(receive_omissions={1: frozenset({1})})}
+        res = run_sync(EchoProtocol(), n=2, rounds=1, adversary=ScriptedAdversary(1, script))
+        assert 1 in res.final_states[1]["heard"]
+
+    def test_omission_of_unsent_message_not_charged(self):
+        # Receive omission of a sender that send-omitted the same copy:
+        # only the sender deviated for that copy.
+        script = {
+            1: RoundFaultPlan(
+                send_omissions={0: frozenset({1})},
+                receive_omissions={1: frozenset({0})},
+            )
+        }
+        res = run_sync(EchoProtocol(), n=2, rounds=1, adversary=ScriptedAdversary(2, script))
+        assert res.history.round(1).record(1).omitted_receives == frozenset()
+
+    def test_budget_enforced_at_runtime(self):
+        script = {
+            1: RoundFaultPlan(
+                send_omissions={0: frozenset({1}), 1: frozenset({0})}
+            )
+        }
+        with pytest.raises(FaultBudgetExceeded):
+            run_sync(EchoProtocol(), n=3, rounds=1, adversary=ScriptedAdversary(1, script))
+
+
+class TestCorruptionAndStop:
+    def test_initial_corruption_applied(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=1,
+            corruption=ClockSkewCorruption({0: 50}),
+        )
+        assert res.history.clock(0, 1) == 50
+
+    def test_explicit_initial_states(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=1,
+            initial_states={1: {CLOCK_KEY: 9}},
+        )
+        assert res.history.clock(1, 1) == 9
+
+    def test_mid_run_corruption(self):
+        res = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=4,
+            mid_run_corruptions={3: ClockSkewCorruption({0: 1000, 1: 1000})},
+        )
+        assert res.history.clock(0, 3) == 1000
+        assert res.history.clock(0, 4) == 1001
+
+    def test_stop_condition(self):
+        res = run_sync(
+            EchoProtocol(),
+            n=2,
+            rounds=50,
+            stop_condition=lambda states, r: r >= 4,
+        )
+        assert res.stopped_early
+        assert res.rounds_executed == 4
+
+    def test_snapshot_isolated_from_mutation(self):
+        # The recorded state_before must not alias live state.
+        res = run_sync(EchoProtocol(), n=2, rounds=2)
+        first = res.history.round(1).record(0).state_before
+        assert first[CLOCK_KEY] == 1
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        a = run_sync(EchoProtocol(), n=4, rounds=6)
+        b = run_sync(EchoProtocol(), n=4, rounds=6)
+        assert a.final_states == b.final_states
+        assert a.history.messages_sent() == b.history.messages_sent()
+
+    def test_delivery_order_sorted_by_sender(self):
+        res = run_sync(EchoProtocol(), n=4, rounds=1)
+        senders = [m.sender for m in res.history.round(1).record(2).delivered]
+        assert senders == sorted(senders)

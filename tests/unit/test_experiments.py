@@ -1,0 +1,90 @@
+"""Unit tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.base import Expectations, ExperimentResult, Registry
+from repro.analysis.report import ExperimentReport
+
+
+class TestExpectations:
+    def test_collects_failures(self):
+        expect = Expectations()
+        assert expect.check(True, "fine")
+        assert not expect.check(False, "broken")
+        assert expect.failures == ["broken"]
+
+    def test_multiple_failures_all_kept(self):
+        expect = Expectations()
+        expect.check(False, "a")
+        expect.check(False, "b")
+        assert expect.failures == ["a", "b"]
+
+
+class TestExperimentResult:
+    def _result(self, failures):
+        report = ExperimentReport("X", "t", "c", headers=["a"])
+        report.add_row(1)
+        return ExperimentResult(report=report, failures=failures)
+
+    def test_passed(self):
+        assert self._result([]).passed
+        assert not self._result(["boom"]).passed
+
+    def test_render_has_verdict(self):
+        assert "verdict: PASS" in self._result([]).render()
+        rendered = self._result(["boom"]).render()
+        assert "verdict: FAIL" in rendered and "boom" in rendered
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        registry = Registry()
+        registry.add("A", lambda fast=False: None)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add("A", lambda fast=False: None)
+
+    def test_unknown_id(self):
+        registry = Registry()
+        with pytest.raises(KeyError, match="unknown experiment"):
+            registry.get("NOPE")
+
+    def test_global_registry_covers_design_index(self):
+        expected = {
+            "FIG1", "FIG2", "FIG3", "FIG4",
+            "THM1", "THM2", "THM3", "THM4", "THM5",
+            "ASYNC-CONS", "ABL-SUSPECT", "ABL-RETX", "ABL-MERGE",
+            "EXT-BOUNDED", "EXT-BYZ", "EXT-EARLY", "EXT-HEARTBEAT",
+            "EXT-SKEW", "EXT-RSM",
+        }
+        assert set(REGISTRY.ids()) == expected
+
+
+# The cheap experiments run in fast mode as part of the unit suite; the
+# expensive (async) ones are covered by the benchmark harness.
+FAST_IDS = ["FIG1", "THM1", "THM2", "THM3", "ABL-MERGE", "EXT-BOUNDED", "EXT-SKEW"]
+
+
+@pytest.mark.parametrize("experiment_id", FAST_IDS)
+def test_fast_mode_passes(experiment_id):
+    result = REGISTRY.run(experiment_id, fast=True)
+    assert result.passed, result.failures
+    assert result.report.rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out and "EXT-RSM" in out
+
+    def test_run_selection_fast(self, capsys, tmp_path):
+        code = cli_main(["FIG1", "--fast", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert (tmp_path / "FIG1.txt").exists()
+
+    def test_unknown_id_is_an_error(self, capsys):
+        assert cli_main(["NOPE"]) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for repro.protocols.floodmin."""
+
+import pytest
+
+from repro.core.canonical import run_ft
+from repro.core.problems import ConsensusProblem
+from repro.core.solvability import ft_check
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.adversary import RandomAdversary, FaultMode, RoundFaultPlan, ScriptedAdversary
+from repro.util.rng import make_rng
+
+SIGMA = ConsensusProblem(
+    decision_of=lambda s: s["inner"].get("decision"),
+    proposal_of=lambda s: s["inner"].get("proposal"),
+)
+
+
+class TestConstruction:
+    def test_final_round_is_f_plus_one(self):
+        assert FloodMinConsensus(f=3, proposals=[1]).final_round == 4
+
+    def test_rejects_empty_proposals(self):
+        with pytest.raises(ValueError):
+            FloodMinConsensus(f=1, proposals=[])
+
+    def test_proposals_wrap(self):
+        pi = FloodMinConsensus(f=1, proposals=[7, 8])
+        assert pi.proposal_for(0) == 7
+        assert pi.proposal_for(5) == 8
+
+    def test_initial_state(self):
+        pi = FloodMinConsensus(f=1, proposals=[7])
+        state = pi.initial_inner_state(0, 3)
+        assert state == {"proposal": 7, "values": frozenset({7}), "decision": None}
+
+
+class TestTransition:
+    def test_merges_values(self):
+        pi = FloodMinConsensus(f=2, proposals=[5])
+        state = pi.initial_inner_state(0, 3)
+        new = pi.transition(0, state, [(1, {"values": frozenset({2, 9})})], k=1, n=3)
+        assert new["values"] == frozenset({2, 5, 9})
+        assert new["decision"] is None
+
+    def test_decides_min_at_final_round(self):
+        pi = FloodMinConsensus(f=1, proposals=[5])
+        state = {"proposal": 5, "values": frozenset({5, 2}), "decision": None}
+        new = pi.transition(0, state, [], k=pi.final_round, n=3)
+        assert new["decision"] == 2
+
+    def test_tolerates_missing_values_field(self):
+        # Corrupted peers may broadcast garbage states.
+        pi = FloodMinConsensus(f=1, proposals=[5])
+        state = pi.initial_inner_state(0, 3)
+        new = pi.transition(0, state, [(1, {})], k=1, n=3)
+        assert new["values"] == frozenset({5})
+
+
+class TestFtSolves:
+    def test_failure_free(self):
+        pi = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
+        res = run_ft(pi, n=5)
+        assert ft_check(res.history, SIGMA).holds
+        assert res.final_states[0]["inner"]["decision"] == 1
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_crash_sweeps(self, seed):
+        pi = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
+        adv = RandomAdversary(n=5, f=2, mode=FaultMode.CRASH, rate=0.5, seed=seed)
+        res = run_ft(pi, n=5, adversary=adv)
+        assert ft_check(res.history, SIGMA).holds
+
+    def test_chain_hiding_scenario_handled(self):
+        # Process 0 (value 0 = global min) crashes in round 1 sending
+        # only to process 1, which crashes in round 2 sending only to 2.
+        # With f=2 and 3 rounds the value still reaches every survivor.
+        pi = FloodMinConsensus(f=2, proposals=[0, 5, 6, 7])
+        script = {
+            1: RoundFaultPlan(crashes={0: frozenset({1})}),
+            2: RoundFaultPlan(crashes={1: frozenset({2})}),
+        }
+        res = run_ft(pi, n=4, adversary=ScriptedAdversary(2, script))
+        assert ft_check(res.history, SIGMA).holds
+        assert res.final_states[2]["inner"]["decision"] == 0
+        assert res.final_states[3]["inner"]["decision"] == 0
+
+
+class TestArbitraryState:
+    def test_stays_in_domain(self):
+        pi = FloodMinConsensus(f=1, proposals=[1, 2], domain=[1, 2, 3])
+        for seed in range(5):
+            state = pi.arbitrary_inner_state(0, 3, make_rng(seed))
+            assert state["proposal"] in (1, 2, 3)
+            assert state["values"] <= {1, 2, 3}
+            assert state["values"]  # never empty
+
+    def test_deterministic_under_seed(self):
+        pi = FloodMinConsensus(f=1, proposals=[1, 2])
+        assert pi.arbitrary_inner_state(0, 3, make_rng(7)) == pi.arbitrary_inner_state(
+            0, 3, make_rng(7)
+        )

@@ -1,0 +1,37 @@
+"""Unit tests for repro.util.formatting."""
+
+import pytest
+
+from repro.util.formatting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        out = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        # header separator mirrors widths
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert "333" in lines[3]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_floats_rendered_with_three_decimals(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_renders_pairs(self):
+        out = format_series("lat", [(1, 2.0), (2, 4.0)])
+        assert out == "lat: 1=2.000, 2=4.000"

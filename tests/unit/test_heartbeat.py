@@ -1,0 +1,134 @@
+"""Unit tests for repro.detectors.heartbeat (adaptive-timeout ◇P)."""
+
+import pytest
+
+from repro.asyncnet.scheduler import AsyncScheduler
+from repro.detectors.heartbeat import (
+    HeartbeatDetector,
+    hb_heartbeat,
+    hb_initial,
+    hb_suspects,
+    hb_tick,
+)
+from repro.detectors.properties import (
+    eventual_weak_accuracy,
+    strong_completeness,
+)
+from repro.sync.corruption import RandomCorruption
+
+
+class FakeCtx:
+    def __init__(self, pid, n, time):
+        self.pid, self.n, self.time = pid, n, time
+        self.broadcasts = []
+
+    def broadcast(self, payload):
+        self.broadcasts.append(payload)
+
+
+class TestPrimitives:
+    def test_initial_nothing_suspected(self):
+        hb = hb_initial(3, 2.0)
+        assert hb_suspects(hb) == frozenset()
+
+    def test_silence_past_timeout_suspects(self):
+        hb = hb_initial(3, 2.0)
+        ctx = FakeCtx(0, 3, time=5.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert hb_suspects(hb) == frozenset({1, 2})
+
+    def test_never_suspects_self(self):
+        hb = hb_initial(3, 0.1)
+        ctx = FakeCtx(0, 3, time=100.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert 0 not in hb_suspects(hb)
+
+    def test_heartbeat_refreshes(self):
+        hb = hb_initial(2, 2.0)
+        hb_heartbeat(hb, 1, now=4.0, backoff=1.5, max_timeout=60.0)
+        ctx = FakeCtx(0, 2, time=5.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert 1 not in hb_suspects(hb)
+
+    def test_false_suspicion_adapts_timeout(self):
+        hb = hb_initial(2, 2.0)
+        ctx = FakeCtx(0, 2, time=5.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert 1 in hb_suspects(hb)
+        hb_heartbeat(hb, 1, now=5.5, backoff=1.5, max_timeout=60.0)
+        assert 1 not in hb_suspects(hb)
+        assert hb["timeout"][1] == pytest.approx(3.0)
+
+    def test_timeout_capped(self):
+        hb = hb_initial(2, 50.0)
+        hb["suspected"][1] = True
+        hb_heartbeat(hb, 1, now=1.0, backoff=10.0, max_timeout=60.0)
+        assert hb["timeout"][1] == 60.0
+
+    def test_future_last_heard_clamped(self):
+        # Corruption guard: a planted future timestamp cannot mask a
+        # crash forever.
+        hb = hb_initial(2, 2.0)
+        hb["last_heard"][1] = 1e9
+        ctx = FakeCtx(0, 2, time=5.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert hb["last_heard"][1] == 5.0
+
+    def test_corrupted_timeout_reset(self):
+        hb = hb_initial(2, 2.0)
+        hb["timeout"][1] = -3.0
+        ctx = FakeCtx(0, 2, time=1.0)
+        hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert hb["timeout"][1] == 60.0
+
+    def test_unknown_sender_ignored(self):
+        hb = hb_initial(2, 2.0)
+        hb_heartbeat(hb, 99, now=1.0, backoff=1.5, max_timeout=60.0)
+        assert len(hb["last_heard"]) == 2
+
+    def test_tick_emits_heartbeat(self):
+        hb = hb_initial(2, 2.0)
+        ctx = FakeCtx(1, 2, time=0.5)
+        payload = hb_tick(hb, ctx, backoff=1.5, max_timeout=60.0)
+        assert payload == ("hb", 1)
+
+
+class TestDetectorValidation:
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ValueError):
+            HeartbeatDetector(backoff=1.0)
+
+    def test_rejects_bad_timeouts(self):
+        with pytest.raises(ValueError):
+            HeartbeatDetector(initial_timeout=0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(initial_timeout=5.0, max_timeout=1.0)
+
+
+class TestEndToEnd:
+    def _trace(self, seed, corrupt):
+        crashes = {4: 30.0}
+        sched = AsyncScheduler(
+            HeartbeatDetector(),
+            5,
+            seed=seed,
+            gst=20.0,
+            crash_times=crashes,
+            corruption=RandomCorruption(seed=seed + 3) if corrupt else None,
+            sample_interval=2.0,
+        )
+        return sched.run(max_time=250.0)
+
+    @pytest.mark.parametrize("corrupt", [False, True])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diamond_p_properties(self, corrupt, seed):
+        trace = self._trace(seed, corrupt)
+        assert strong_completeness(trace).holds
+        assert eventual_weak_accuracy(trace).holds
+
+    def test_crashed_process_suspected_within_capped_time(self):
+        trace = self._trace(0, corrupt=True)
+        verdict = strong_completeness(trace)
+        # the cap bounds recovery: well before the end of the run
+        assert verdict.converged_at is not None
+        assert verdict.converged_at < 150.0

@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.impossibility (Theorems 1 & 2 scenarios)."""
+
+import pytest
+
+from repro.core.impossibility import (
+    UniformRoundAgreement,
+    local_view,
+    theorem1_scenario,
+    theorem2_scenario,
+)
+from repro.histories.history import CLOCK_KEY, Message
+
+
+class TestTheorem1:
+    def test_both_horns_defeat_tentative(self):
+        out = theorem1_scenario(candidate_stabilization=3)
+        assert not out.merge_tentative.holds
+        assert not out.twin_tentative.holds
+        assert out.tentative_defeated
+
+    def test_merge_horn_is_a_rate_violation(self):
+        out = theorem1_scenario(candidate_stabilization=3)
+        assert any(
+            v.condition == "rate" for v in out.merge_tentative.violations
+        )
+
+    def test_twin_horn_is_an_agreement_violation(self):
+        out = theorem1_scenario(candidate_stabilization=3)
+        assert all(
+            v.condition == "agreement" for v in out.twin_tentative.violations
+        )
+
+    def test_same_history_satisfies_ftss(self):
+        # The paper's punchline: the definition, not the protocol, was
+        # at fault.  Definition 2.4 accepts the very same execution.
+        out = theorem1_scenario(candidate_stabilization=3)
+        assert out.ftss_survives
+
+    def test_defeat_for_every_candidate_in_sweep(self):
+        for r in (1, 2, 5, 9):
+            assert theorem1_scenario(r).tentative_defeated
+
+    def test_reveal_changes_coterie(self):
+        from repro.histories.coterie import coterie_timeline
+
+        out = theorem1_scenario(candidate_stabilization=4)
+        timeline = coterie_timeline(out.merge_history)
+        assert timeline[3] != timeline[4]  # the reveal at round r+1
+
+    def test_rejects_zero_candidate(self):
+        with pytest.raises(ValueError):
+            theorem1_scenario(0)
+
+    def test_rejects_nonpositive_skew(self):
+        with pytest.raises(ValueError):
+            theorem1_scenario(2, skew=0)
+
+
+class TestUniformRoundAgreement:
+    def _deliver(self, sender, clock):
+        return Message(sender=sender, receiver=0, sent_round=1, payload=clock)
+
+    def test_never_halt_rule(self):
+        proto = UniformRoundAgreement(patience=None)
+        state = proto.initial_state(0, 2)
+        for _ in range(10):
+            state = proto.update(0, state, [self._deliver(0, state[CLOCK_KEY])])
+        assert not state["halted"]
+
+    def test_halts_after_patience_lonely_rounds(self):
+        proto = UniformRoundAgreement(patience=3)
+        state = proto.initial_state(0, 2)
+        for _ in range(3):
+            state = proto.update(0, state, [self._deliver(0, state[CLOCK_KEY])])
+        assert state["halted"]
+
+    def test_company_resets_loneliness(self):
+        proto = UniformRoundAgreement(patience=2)
+        state = proto.initial_state(0, 2)
+        state = proto.update(0, state, [self._deliver(0, 1)])
+        state = proto.update(0, state, [self._deliver(0, 2), self._deliver(1, 2)])
+        assert state["lonely_rounds"] == 0
+        assert not state["halted"]
+
+    def test_halted_is_silent_and_frozen(self):
+        proto = UniformRoundAgreement(patience=1)
+        state = proto.initial_state(0, 2)
+        state = proto.update(0, state, [self._deliver(0, 1)])
+        assert state["halted"]
+        assert proto.send(0, state) is None
+        frozen = proto.update(0, state, [])
+        assert frozen[CLOCK_KEY] == state[CLOCK_KEY]
+
+
+class TestTheorem2:
+    def test_views_identical_across_scenarios(self):
+        for patience in (None, 2, 4):
+            assert theorem2_scenario(patience).views_identical
+
+    def test_never_halt_breaks_uniformity(self):
+        out = theorem2_scenario(None)
+        assert not out.pivot_halted
+        assert not out.pivot_uniform_in_a
+        assert out.pivot_rate_in_b
+        assert out.rule_defeated
+
+    def test_halting_rules_break_rate(self):
+        for patience in (2, 3, 5):
+            out = theorem2_scenario(patience)
+            assert out.pivot_halted
+            assert out.pivot_uniform_in_a
+            assert not out.pivot_rate_in_b
+            assert out.rule_defeated
+
+    def test_round_count_validated(self):
+        with pytest.raises(ValueError, match="rounds"):
+            theorem2_scenario(patience=20, rounds=5)
+
+
+class TestLocalView:
+    def test_view_shape(self):
+        out = theorem1_scenario(2)
+        view = local_view(out.merge_history, 0)
+        assert len(view) == len(out.merge_history)
+        round_no, deliveries = view[0]
+        assert round_no == 1
+        assert all(isinstance(s, int) for s, _ in deliveries)

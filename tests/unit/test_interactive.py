@@ -1,0 +1,105 @@
+"""Unit tests for repro.protocols.interactive."""
+
+import pytest
+
+from repro.core.canonical import run_ft
+from repro.core.solvability import ft_check
+from repro.protocols.interactive import (
+    ABSENT,
+    InteractiveConsistency,
+    VectorConsensusProblem,
+)
+from repro.sync.adversary import FaultMode, RandomAdversary, RoundFaultPlan, ScriptedAdversary
+
+
+def sigma_for(ic, n):
+    return VectorConsensusProblem({p: ic.proposal_for(p) for p in range(n)})
+
+
+class TestProtocol:
+    def test_initial_state_knows_own_proposal(self):
+        ic = InteractiveConsistency(f=1, proposals=["a", "b"])
+        state = ic.initial_inner_state(1, 2)
+        assert state["known"] == {1: "b"}
+
+    def test_merge_is_first_writer_wins(self):
+        ic = InteractiveConsistency(f=1, proposals=["a", "b"])
+        state = {"proposal": "a", "known": {0: "a", 1: "x"}, "decision": None}
+        new = ic.transition(0, state, [(1, {"known": {1: "b"}})], k=1, n=2)
+        assert new["known"][1] == "x"  # existing slot untouched
+
+    def test_garbage_slots_ignored(self):
+        ic = InteractiveConsistency(f=1, proposals=["a"])
+        state = ic.initial_inner_state(0, 2)
+        new = ic.transition(
+            0, state, [(1, {"known": {99: "junk", "weird": 1, 1: "a"}})], k=1, n=2
+        )
+        assert set(new["known"]) == {0, 1}
+
+    def test_decides_vector_at_final_round(self):
+        ic = InteractiveConsistency(f=1, proposals=["a", "b", "c"])
+        state = {"proposal": "a", "known": {0: "a", 2: "c"}, "decision": None}
+        new = ic.transition(0, state, [], k=ic.final_round, n=3)
+        assert new["decision"] == ("a", ABSENT, "c")
+
+
+class TestFtSolves:
+    def test_failure_free_full_vector(self):
+        ic = InteractiveConsistency(f=2, proposals=["a", "b", "c", "d", "e"])
+        res = run_ft(ic, n=5)
+        assert ft_check(res.history, sigma_for(ic, 5)).holds
+        assert res.final_states[0]["inner"]["decision"] == ("a", "b", "c", "d", "e")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_crash_sweeps(self, seed):
+        ic = InteractiveConsistency(f=2, proposals=["a", "b", "c", "d", "e"])
+        adv = RandomAdversary(n=5, f=2, mode=FaultMode.CRASH, rate=0.5, seed=seed)
+        res = run_ft(ic, n=5, adversary=adv)
+        assert ft_check(res.history, sigma_for(ic, 5)).holds
+
+    def test_silent_crasher_yields_absent_slot(self):
+        ic = InteractiveConsistency(f=1, proposals=["a", "b", "c"])
+        script = {1: RoundFaultPlan(crashes={2: frozenset()})}
+        res = run_ft(ic, n=3, adversary=ScriptedAdversary(1, script))
+        assert ft_check(res.history, sigma_for(ic, 3)).holds
+        assert res.final_states[0]["inner"]["decision"][2] == ABSENT
+
+
+class TestVectorProblem:
+    def test_detects_vector_disagreement(self):
+        from tests.conftest import make_record, make_history
+
+        def state(vector):
+            return {"clock": 1, "inner": {"decision": vector}}
+
+        h = make_history(
+            [[make_record(0, state=state(("a", "b"))), make_record(1, state=state(("a", "x")))]]
+        )
+        sigma = VectorConsensusProblem({0: "a", 1: "b"})
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "agreement" for v in report.violations)
+
+    def test_detects_wrong_correct_slot(self):
+        from tests.conftest import make_record, make_history
+
+        def state(vector):
+            return {"clock": 1, "inner": {"decision": vector}}
+
+        h = make_history(
+            [[make_record(0, state=state(("z", "b"))), make_record(1, state=state(("z", "b")))]]
+        )
+        sigma = VectorConsensusProblem({0: "a", 1: "b"})
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "validity" for v in report.violations)
+
+    def test_faulty_slot_unconstrained(self):
+        from tests.conftest import make_record, make_history
+
+        def state(vector):
+            return {"clock": 1, "inner": {"decision": vector}}
+
+        h = make_history(
+            [[make_record(0, state=state(("a", ABSENT))), make_record(1, state=state(("a", ABSENT)))]]
+        )
+        sigma = VectorConsensusProblem({0: "a", 1: "b"})
+        assert sigma.check(h, frozenset({1})).holds

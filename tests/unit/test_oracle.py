@@ -1,0 +1,104 @@
+"""Unit tests for repro.asyncnet.oracle (the ◇W oracle)."""
+
+import pytest
+
+from repro.asyncnet.oracle import WeakDetectorOracle
+
+
+class TestPostGstBehaviour:
+    def test_watcher_suspects_crashed(self):
+        oracle = WeakDetectorOracle(n=4, crash_times={3: 5.0}, gst=10.0, seed=1)
+        watcher = oracle.watcher_of(3)
+        assert watcher is not None and watcher != 3
+        assert 3 in oracle.suspects(watcher, 20.0)
+
+    def test_non_watchers_do_not_suspect(self):
+        oracle = WeakDetectorOracle(n=4, crash_times={3: 5.0}, gst=10.0, seed=1)
+        watcher = oracle.watcher_of(3)
+        for pid in range(4):
+            if pid != watcher:
+                assert 3 not in oracle.suspects(pid, 20.0)
+
+    def test_weak_not_strong_completeness(self):
+        # Exactly one correct process suspects each crashed one: the
+        # Figure 4 transformation has real work to do.
+        oracle = WeakDetectorOracle(n=5, crash_times={4: 1.0}, gst=2.0, seed=1)
+        suspecting = [p for p in range(4) if 4 in oracle.suspects(p, 100.0)]
+        assert len(suspecting) == 1
+
+    def test_not_suspected_before_crash_time(self):
+        oracle = WeakDetectorOracle(n=4, crash_times={3: 50.0}, gst=10.0, seed=1)
+        watcher = oracle.watcher_of(3)
+        assert 3 not in oracle.suspects(watcher, 20.0)
+
+    def test_anchor_never_suspected_after_gst(self):
+        oracle = WeakDetectorOracle(n=4, crash_times={3: 5.0}, gst=10.0, seed=1)
+        for pid in range(4):
+            for t in (10.0, 50.0, 500.0):
+                assert oracle.anchor not in oracle.suspects(pid, t)
+
+    def test_anchor_is_correct(self):
+        oracle = WeakDetectorOracle(n=4, crash_times={0: 1.0, 1: 1.0}, gst=2.0, seed=1)
+        assert oracle.anchor == 2
+
+
+class TestPreGstFlicker:
+    def test_flicker_can_accuse_correct_processes(self):
+        oracle = WeakDetectorOracle(
+            n=6, crash_times={}, gst=100.0, seed=3, flicker_rate=0.5
+        )
+        accused = set()
+        for t in range(0, 100, 2):
+            for p in range(6):
+                accused |= oracle.suspects(p, float(t))
+        assert accused  # mistakes happen before GST
+
+    def test_never_suspects_self(self):
+        oracle = WeakDetectorOracle(
+            n=4, crash_times={}, gst=100.0, seed=3, flicker_rate=1.0
+        )
+        for t in (0.0, 5.0, 50.0):
+            for p in range(4):
+                assert p not in oracle.suspects(p, t)
+
+    def test_deterministic(self):
+        a = WeakDetectorOracle(n=4, crash_times={}, gst=10.0, seed=5)
+        b = WeakDetectorOracle(n=4, crash_times={}, gst=10.0, seed=5)
+        assert a.suspects(0, 3.0) == b.suspects(0, 3.0)
+
+
+class TestPerpetualFalseSuspicion:
+    def test_kept_after_gst(self):
+        oracle = WeakDetectorOracle(
+            n=4,
+            crash_times={},
+            gst=1.0,
+            seed=1,
+            perpetual_false_suspicions=[(1, 2)],
+        )
+        assert 2 in oracle.suspects(1, 100.0)
+        assert 2 not in oracle.suspects(3, 100.0)
+
+    def test_anchor_protected(self):
+        with pytest.raises(ValueError, match="anchor"):
+            WeakDetectorOracle(
+                n=4,
+                crash_times={},
+                gst=1.0,
+                seed=1,
+                perpetual_false_suspicions=[(1, 0)],
+            )
+
+    def test_watcher_must_be_correct(self):
+        with pytest.raises(ValueError, match="correct"):
+            WeakDetectorOracle(
+                n=4,
+                crash_times={3: 1.0},
+                gst=1.0,
+                seed=1,
+                perpetual_false_suspicions=[(3, 1)],
+            )
+
+    def test_all_crashed_rejected(self):
+        with pytest.raises(ValueError, match="correct process"):
+            WeakDetectorOracle(n=2, crash_times={0: 1.0, 1: 1.0}, gst=1.0)

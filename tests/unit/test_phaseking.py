@@ -1,0 +1,136 @@
+"""Unit tests for repro.protocols.phaseking (phase-queen consensus)."""
+
+import pytest
+
+from repro.core.canonical import run_ft
+from repro.core.problems import ConsensusProblem
+from repro.core.solvability import ft_check
+from repro.protocols.phaseking import PhaseQueenConsensus
+from repro.sync.adversary import FaultMode, RandomAdversary
+
+SIGMA = ConsensusProblem(
+    decision_of=lambda s: s["inner"].get("decision"),
+    proposal_of=lambda s: s["inner"].get("proposal"),
+)
+
+
+def queen_protocol(n=9, f=2, proposals=None):
+    return PhaseQueenConsensus(
+        f=f, n=n, proposals=proposals or [(i % 2) for i in range(n)]
+    )
+
+
+class TestConstruction:
+    def test_requires_n_gt_4f(self):
+        with pytest.raises(ValueError, match="n > 4f"):
+            PhaseQueenConsensus(f=2, n=8, proposals=[0])
+
+    def test_final_round(self):
+        assert queen_protocol().final_round == 2 * 3
+
+    def test_binary_proposals_enforced(self):
+        with pytest.raises(ValueError, match="0/1"):
+            PhaseQueenConsensus(f=1, n=5, proposals=[0, 2])
+
+
+class TestBallotRound:
+    def test_majority_and_count(self):
+        pi = queen_protocol(n=5, f=1)
+        state = pi.initial_inner_state(0, 5)
+        messages = [(q, {"value": v}) for q, v in enumerate([1, 1, 1, 0, 0])]
+        new = pi.transition(0, state, messages, k=1, n=5)
+        assert new["majority"] == 1
+        assert new["count"] == 3
+
+    def test_tie_breaks_to_smaller_value(self):
+        pi = queen_protocol(n=5, f=1)
+        state = pi.initial_inner_state(0, 5)
+        messages = [(q, {"value": v}) for q, v in enumerate([1, 1, 0, 0])]
+        new = pi.transition(0, state, messages, k=1, n=5)
+        assert new["majority"] == 0
+
+    def test_garbage_values_not_counted(self):
+        pi = queen_protocol(n=5, f=1)
+        state = pi.initial_inner_state(0, 5)
+        messages = [(0, {"value": "junk"}), (1, {"value": 1})]
+        new = pi.transition(0, state, messages, k=1, n=5)
+        assert new["majority"] == 1
+        assert new["count"] == 1
+
+    def test_no_messages_keeps_own_value(self):
+        pi = queen_protocol(n=5, f=1)
+        state = dict(pi.initial_inner_state(2, 5))
+        new = pi.transition(2, state, [], k=1, n=5)
+        assert new["majority"] == state["value"]
+        assert new["count"] == 0
+
+
+class TestQueenRound:
+    def _mid_state(self, pi, majority, count):
+        state = pi.initial_inner_state(0, pi.n)
+        state["majority"], state["count"] = majority, count
+        return state
+
+    def test_high_count_keeps_majority(self):
+        pi = queen_protocol(n=9, f=2)
+        state = self._mid_state(pi, majority=1, count=8)  # > 9/2+2 = 6.5
+        new = pi.transition(0, state, [(0, {"majority": 0})], k=2, n=9)
+        assert new["value"] == 1
+
+    def test_low_count_adopts_queen(self):
+        pi = queen_protocol(n=9, f=2)
+        state = self._mid_state(pi, majority=1, count=5)
+        # queen of phase 1 is process 0
+        new = pi.transition(3, state, [(0, {"majority": 0})], k=2, n=9)
+        assert new["value"] == 0
+
+    def test_missing_queen_keeps_majority(self):
+        pi = queen_protocol(n=9, f=2)
+        state = self._mid_state(pi, majority=1, count=5)
+        new = pi.transition(3, state, [(4, {"majority": 0})], k=2, n=9)
+        assert new["value"] == 1
+
+    def test_queen_rotates_with_phase(self):
+        pi = queen_protocol(n=9, f=2)
+        state = self._mid_state(pi, majority=1, count=5)
+        # phase 2 -> queen is process 1
+        new = pi.transition(3, state, [(1, {"majority": 0})], k=4, n=9)
+        assert new["value"] == 0
+
+    def test_decides_at_final_round(self):
+        pi = queen_protocol(n=9, f=2)
+        state = self._mid_state(pi, majority=1, count=8)
+        new = pi.transition(0, state, [], k=pi.final_round, n=9)
+        assert new["decision"] == 1
+
+
+class TestFtSolves:
+    def test_failure_free_unanimous(self):
+        pi = queen_protocol(n=5, f=1, proposals=[1, 1, 1, 1, 1])
+        res = run_ft(pi, n=5)
+        assert ft_check(res.history, SIGMA).holds
+        assert res.final_states[0]["inner"]["decision"] == 1
+
+    def test_validity_under_unanimity_with_faults(self):
+        pi = queen_protocol(n=9, f=2, proposals=[1] * 9)
+        adv = RandomAdversary(n=9, f=2, mode=FaultMode.GENERAL_OMISSION, rate=0.8, seed=4)
+        res = run_ft(pi, n=9, adversary=adv)
+        for pid, state in res.final_states.items():
+            if state is not None and pid not in res.faulty:
+                assert state["inner"]["decision"] == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_general_omission_sweeps(self, seed):
+        pi = queen_protocol(n=9, f=2)
+        adv = RandomAdversary(
+            n=9, f=2, mode=FaultMode.GENERAL_OMISSION, rate=0.6, seed=seed
+        )
+        res = run_ft(pi, n=9, adversary=adv)
+        assert ft_check(res.history, SIGMA).holds
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_crash_sweeps(self, seed):
+        pi = queen_protocol(n=9, f=2)
+        adv = RandomAdversary(n=9, f=2, mode=FaultMode.CRASH, rate=0.4, seed=seed)
+        res = run_ft(pi, n=9, adversary=adv)
+        assert ft_check(res.history, SIGMA).holds

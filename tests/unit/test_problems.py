@@ -1,0 +1,250 @@
+"""Unit tests for repro.core.problems (Σ predicates, Assumptions 1–2)."""
+
+from repro.core.problems import (
+    ClockAgreementProblem,
+    ConjunctionProblem,
+    ConsensusProblem,
+    RepeatedConsensusProblem,
+    UniformityCondition,
+    Violation,
+)
+from repro.histories.history import ExecutionHistory, RoundHistory
+
+from tests.conftest import broadcast_round, make_record
+
+
+def clock_history(rows):
+    """rows: list of per-round clock lists (None = crashed)."""
+    return ExecutionHistory(
+        [broadcast_round(i + 1, row) for i, row in enumerate(rows)]
+    )
+
+
+class TestClockAgreement:
+    def test_perfect_history_holds(self):
+        h = clock_history([[1, 1], [2, 2], [3, 3]])
+        assert ClockAgreementProblem().check(h, frozenset()).holds
+
+    def test_disagreement_detected_per_round(self):
+        h = clock_history([[1, 2], [2, 3]])
+        report = ClockAgreementProblem().check(h, frozenset())
+        assert not report.holds
+        agreement = [v for v in report.violations if v.condition == "agreement"]
+        assert {v.round_no for v in agreement} == {1, 2}
+
+    def test_faulty_excused_from_agreement(self):
+        h = clock_history([[1, 99], [2, 100]])
+        assert ClockAgreementProblem().check(h, frozenset({1})).holds
+
+    def test_rate_violation_detected(self):
+        h = clock_history([[1, 1], [5, 5]])  # jumped by 4
+        report = ClockAgreementProblem().check(h, frozenset())
+        rate = [v for v in report.violations if v.condition == "rate"]
+        assert len(rate) == 2  # both processes jumped
+
+    def test_stalled_clock_is_rate_violation(self):
+        h = clock_history([[3, 3], [3, 3]])
+        report = ClockAgreementProblem().check(h, frozenset())
+        assert any(v.condition == "rate" for v in report.violations)
+
+    def test_corrupted_but_agreed_clocks_hold(self):
+        # Assumption 1 does not require c_p == actual round number.
+        h = clock_history([[500, 500], [501, 501]])
+        assert ClockAgreementProblem().check(h, frozenset()).holds
+
+    def test_crashed_processes_skipped(self):
+        h = clock_history([[1, 1], [2, None]])
+        assert ClockAgreementProblem().check(h, frozenset()).holds
+
+    def test_single_round_history(self):
+        h = clock_history([[4, 4]])
+        assert ClockAgreementProblem().check(h, frozenset()).holds
+
+
+def consensus_history(states_by_round, n=3):
+    rounds = []
+    for i, states in enumerate(states_by_round):
+        records = tuple(
+            make_record(pid, clock=i + 1, state=state)
+            if state is not None
+            else make_record(pid, clock=None, state=None, crashed=True)
+            for pid, state in enumerate(states)
+        )
+        rounds.append(RoundHistory(round_no=i + 1, records=records))
+    return ExecutionHistory(rounds)
+
+
+class TestConsensusProblem:
+    def _state(self, proposal, decision):
+        return {"clock": 1, "proposal": proposal, "decision": decision}
+
+    def test_agreement_validity_termination_hold(self):
+        h = consensus_history([[self._state(1, None)] * 3, [self._state(1, 1)] * 3])
+        assert ConsensusProblem().check(h, frozenset()).holds
+
+    def test_disagreement_detected(self):
+        h = consensus_history(
+            [[self._state(1, 1), self._state(2, 2), self._state(1, 1)]]
+        )
+        report = ConsensusProblem().check(h, frozenset())
+        assert any(v.condition == "agreement" for v in report.violations)
+
+    def test_faulty_disagreement_excused(self):
+        h = consensus_history(
+            [[self._state(1, 1), self._state(2, 99), self._state(1, 1)]]
+        )
+        assert ConsensusProblem().check(h, frozenset({1})).holds
+
+    def test_invalid_decision_detected(self):
+        h = consensus_history([[self._state(1, 7), self._state(2, 7)], ], n=2)
+        report = ConsensusProblem().check(h, frozenset())
+        assert any(v.condition == "validity" for v in report.violations)
+
+    def test_termination_required_by_default(self):
+        h = consensus_history([[self._state(1, None)] * 2], n=2)
+        report = ConsensusProblem().check(h, frozenset())
+        assert any(v.condition == "termination" for v in report.violations)
+
+    def test_termination_optional(self):
+        h = consensus_history([[self._state(1, None)] * 2], n=2)
+        assert ConsensusProblem(require_termination=False).check(h, frozenset()).holds
+
+    def test_explicit_proposal_universe(self):
+        h = consensus_history([[self._state(None, 5)] * 2], n=2)
+        ok = ConsensusProblem(valid_proposals=frozenset({5}))
+        bad = ConsensusProblem(valid_proposals=frozenset({1}))
+        assert ok.check(h, frozenset()).holds
+        assert not bad.check(h, frozenset()).holds
+
+
+class TestRepeatedConsensus:
+    def _state(self, clock, decided_at, decision):
+        return {
+            "clock": clock,
+            "decided_at_clock": decided_at,
+            "last_decision": decision,
+        }
+
+    def _history(self, per_round):
+        rounds = []
+        for i, states in enumerate(per_round):
+            records = tuple(
+                make_record(pid, clock=s["clock"], state=s)
+                for pid, s in enumerate(states)
+            )
+            rounds.append(RoundHistory(round_no=i + 1, records=records))
+        return ExecutionHistory(rounds)
+
+    def test_fresh_agreeing_writes_hold(self):
+        h = self._history(
+            [
+                [self._state(5, None, None), self._state(5, None, None)],
+                [self._state(6, 5, "v"), self._state(6, 5, "v")],
+            ]
+        )
+        sigma = RepeatedConsensusProblem(final_round=3, valid_proposals=frozenset({"v"}))
+        assert sigma.check(h, frozenset()).holds
+
+    def test_fresh_disagreeing_writes_fail(self):
+        h = self._history(
+            [
+                [self._state(5, None, None), self._state(5, None, None)],
+                [self._state(6, 5, "a"), self._state(6, 5, "b")],
+            ]
+        )
+        sigma = RepeatedConsensusProblem(final_round=3)
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "iteration-agreement" for v in report.violations)
+
+    def test_stale_entries_ignored(self):
+        # The same (clock, decision) present from the first round is a
+        # grace-period leftover, not this window's obligation.
+        h = self._history(
+            [
+                [self._state(5, 2, "stale-a"), self._state(5, 2, "stale-b")],
+                [self._state(6, 2, "stale-a"), self._state(6, 2, "stale-b")],
+            ]
+        )
+        sigma = RepeatedConsensusProblem(final_round=3)
+        assert sigma.check(h, frozenset()).holds
+
+    def test_invalid_fresh_decision_fails(self):
+        h = self._history(
+            [
+                [self._state(5, None, None), self._state(5, None, None)],
+                [self._state(6, 5, "junk"), self._state(6, 5, "junk")],
+            ]
+        )
+        sigma = RepeatedConsensusProblem(final_round=3, valid_proposals=frozenset({"v"}))
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "iteration-validity" for v in report.violations)
+
+    def test_clock_agreement_folded_in(self):
+        h = self._history(
+            [[self._state(5, None, None), self._state(9, None, None)]]
+        )
+        sigma = RepeatedConsensusProblem(final_round=3)
+        report = sigma.check(h, frozenset())
+        assert any(v.condition == "agreement" for v in report.violations)
+
+
+class TestUniformity:
+    def test_agreeing_faulty_ok(self):
+        h = clock_history([[5, 5]])
+        assert UniformityCondition().check(h, frozenset({1})).holds
+
+    def test_divergent_running_faulty_violates(self):
+        h = clock_history([[5, 9]])
+        report = UniformityCondition().check(h, frozenset({1}))
+        assert not report.holds
+
+    def test_halted_faulty_ok(self):
+        h = ExecutionHistory(
+            [
+                RoundHistory(
+                    1,
+                    (
+                        make_record(0, clock=5),
+                        make_record(
+                            1, clock=9, state={"clock": 9, "halted": True}
+                        ),
+                    ),
+                )
+            ]
+        )
+        assert UniformityCondition().check(h, frozenset({1})).holds
+
+    def test_crashed_faulty_counts_as_halted(self):
+        h = clock_history([[5, None]])
+        assert UniformityCondition().check(h, frozenset({1})).holds
+
+    def test_skipped_when_correct_disagree(self):
+        # If Assumption 1 is already broken the reference clock is
+        # undefined; uniformity reports nothing extra.
+        h = clock_history([[5, 6, 99]])
+        assert UniformityCondition().check(h, frozenset({2})).holds
+
+
+class TestConjunction:
+    def test_all_must_hold(self):
+        h = clock_history([[5, 9]])
+        sigma = ConjunctionProblem(ClockAgreementProblem(), UniformityCondition())
+        report = sigma.check(h, frozenset({1}))
+        # agreement excused (1 faulty) but uniformity broken
+        assert not report.holds
+
+    def test_name_combines(self):
+        sigma = ConjunctionProblem(ClockAgreementProblem(), UniformityCondition())
+        assert "clock-agreement" in sigma.name and "uniformity" in sigma.name
+
+    def test_rejects_empty(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConjunctionProblem()
+
+
+class TestViolationRendering:
+    def test_str(self):
+        v = Violation(round_no=3, condition="rate", description="d")
+        assert str(v) == "[round 3] rate: d"

@@ -1,0 +1,77 @@
+"""Unit tests for repro.protocols.repeated."""
+
+from repro.core.compiler import compile_protocol
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.repeated import (
+    IterationDecision,
+    first_fully_correct_iteration,
+    iteration_decisions,
+)
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+def compiled_run(rounds=20, corruption=None, n=4):
+    pi = FloodMinConsensus(f=1, proposals=[4, 2, 7, 5])
+    plus = compile_protocol(pi)
+    res = run_sync(plus, n=n, rounds=rounds, corruption=corruption)
+    return pi, res
+
+
+class TestIterationDecisions:
+    def test_clean_run_every_iteration_agreed(self):
+        pi, res = compiled_run()
+        iterations = iteration_decisions(res.history)
+        assert iterations
+        for it in iterations:
+            assert it.agreed
+            assert set(it.decisions.values()) == {2}
+
+    def test_completion_clocks_spaced_by_final_round(self):
+        pi, res = compiled_run()
+        clocks = [it.completed_at_clock for it in iteration_decisions(res.history)]
+        assert all(b - a == pi.final_round for a, b in zip(clocks, clocks[1:]))
+
+    def test_from_round_filters_early_observations(self):
+        pi, res = compiled_run()
+        full = iteration_decisions(res.history)
+        late = iteration_decisions(res.history, from_round=res.history.last_round)
+        assert len(late) <= len(full)
+
+    def test_corrupted_run_eventually_correct(self):
+        pi, res = compiled_run(rounds=30, corruption=RandomCorruption(seed=5))
+        proposals = frozenset(pi.proposal_for(p) for p in range(4))
+        iterations = iteration_decisions(res.history)
+        index = first_fully_correct_iteration(iterations, proposals)
+        assert index is not None
+
+    def test_crashed_and_faulty_states_ignored(self):
+        pi, res = compiled_run()
+        everyone_faulty = frozenset(range(4))
+        assert iteration_decisions(res.history, faulty=everyone_faulty) == []
+
+
+class TestFirstFullyCorrect:
+    def _it(self, clock, decisions):
+        return IterationDecision(
+            completed_at_clock=clock, observed_round=1, decisions=decisions
+        )
+
+    def test_all_good(self):
+        iters = [self._it(2, {0: 1, 1: 1}), self._it(5, {0: 1, 1: 1})]
+        assert first_fully_correct_iteration(iters, frozenset({1})) == 0
+
+    def test_bad_head_skipped(self):
+        iters = [self._it(2, {0: 1, 1: 2}), self._it(5, {0: 1, 1: 1})]
+        assert first_fully_correct_iteration(iters, frozenset({1, 2})) == 1
+
+    def test_bad_tail_means_none(self):
+        iters = [self._it(2, {0: 1}), self._it(5, {0: 99})]
+        assert first_fully_correct_iteration(iters, frozenset({1})) is None
+
+    def test_invalid_decision_rejected(self):
+        iters = [self._it(2, {0: 42})]
+        assert first_fully_correct_iteration(iters, frozenset({1})) is None
+
+    def test_empty(self):
+        assert first_fully_correct_iteration([], frozenset()) is None

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.rounds (Figure 1 and ablation variants)."""
+
+from repro.core.rounds import (
+    FreeRunningRoundProtocol,
+    MinMergeRoundProtocol,
+    RoundAgreementProtocol,
+)
+from repro.histories.history import CLOCK_KEY, Message
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+from repro.util.rng import make_rng
+
+
+def deliveries(payload_by_sender, receiver=0, round_no=1):
+    return [
+        Message(sender=s, receiver=receiver, sent_round=round_no, payload=c)
+        for s, c in payload_by_sender.items()
+    ]
+
+
+class TestRoundAgreementProtocol:
+    def test_broadcasts_clock(self, round_agreement):
+        assert round_agreement.send(0, {CLOCK_KEY: 7}) == 7
+
+    def test_update_is_max_plus_one(self, round_agreement):
+        new = round_agreement.update(0, {CLOCK_KEY: 3}, deliveries({0: 3, 1: 9, 2: 5}))
+        assert new[CLOCK_KEY] == 10
+
+    def test_update_with_only_self(self, round_agreement):
+        new = round_agreement.update(0, {CLOCK_KEY: 3}, deliveries({0: 3}))
+        assert new[CLOCK_KEY] == 4
+
+    def test_defensive_empty_delivery(self, round_agreement):
+        # Unreachable under the engine, but the protocol degrades to
+        # free-running rather than crashing.
+        new = round_agreement.update(0, {CLOCK_KEY: 3}, [])
+        assert new[CLOCK_KEY] == 4
+
+    def test_arbitrary_state_has_only_clock(self, round_agreement):
+        state = round_agreement.arbitrary_state(0, 3, make_rng(1))
+        assert set(state) == {CLOCK_KEY}
+        assert 0 <= state[CLOCK_KEY] < round_agreement.max_corrupt_clock
+
+    def test_convergence_from_skew_in_one_round(self, round_agreement):
+        res = run_sync(
+            round_agreement,
+            n=3,
+            rounds=3,
+            corruption=ClockSkewCorruption({0: 5, 1: 100, 2: 17}),
+        )
+        # After round 1 all clocks equal max+1 = 101.
+        assert res.history.clocks(2) == {0: 101, 1: 101, 2: 101}
+        assert res.history.clocks(3) == {0: 102, 1: 102, 2: 102}
+
+
+class TestMinMergeAblation:
+    def test_min_merge_adopts_laggard(self):
+        proto = MinMergeRoundProtocol()
+        new = proto.update(0, {CLOCK_KEY: 50}, deliveries({0: 50, 1: 2}))
+        assert new[CLOCK_KEY] == 3
+
+    def test_min_merge_converges_downwards(self):
+        res = run_sync(
+            MinMergeRoundProtocol(),
+            n=2,
+            rounds=2,
+            corruption=ClockSkewCorruption({0: 5, 1: 100}),
+        )
+        assert res.history.clocks(2) == {0: 6, 1: 6}
+
+
+class TestFreeRunningAblation:
+    def test_ignores_messages(self):
+        proto = FreeRunningRoundProtocol()
+        new = proto.update(0, {CLOCK_KEY: 5}, deliveries({1: 999}))
+        assert new[CLOCK_KEY] == 6
+
+    def test_skew_persists_forever(self):
+        res = run_sync(
+            FreeRunningRoundProtocol(),
+            n=2,
+            rounds=5,
+            corruption=ClockSkewCorruption({0: 1, 1: 100}),
+        )
+        clocks = res.final_clocks()
+        assert clocks[1] - clocks[0] == 99

@@ -1,0 +1,85 @@
+"""Unit tests for rsm_verdict's failure paths (synthetic traces)."""
+
+from repro.apps.rsm import ClientWorkload, rsm_verdict
+from repro.asyncnet.scheduler import AsyncTrace
+
+
+def trace_with_logs(logs, instances, crashed=frozenset(), n=3):
+    final_states = {}
+    for pid in range(n):
+        if pid in crashed:
+            final_states[pid] = None
+        else:
+            final_states[pid] = {
+                "log": logs.get(pid, {}),
+                "instance": instances.get(pid, 10),
+            }
+    return AsyncTrace(
+        n=n, duration=100.0, final_states=final_states, crashed=frozenset(crashed)
+    )
+
+
+WORKLOAD = ClientWorkload({0: [(1.0, "a")], 1: [(2.0, "b")]})
+CMD_A, CMD_B = (0, 0, "a"), (1, 0, "b")
+
+
+class TestVerdictPaths:
+    def test_happy_path(self):
+        logs = {pid: {0: CMD_A, 1: CMD_B} for pid in range(3)}
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {p: 10 for p in range(3)}), WORKLOAD, 50.0
+        )
+        assert verdict.holds
+        assert verdict.applied_count == 2
+
+    def test_sequence_divergence_detected(self):
+        logs = {
+            0: {0: CMD_A, 1: CMD_B},
+            1: {0: CMD_B, 1: CMD_A},  # different order
+            2: {0: CMD_A, 1: CMD_B},
+        }
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {p: 10 for p in range(3)}), WORKLOAD, 50.0
+        )
+        assert not verdict.holds
+        assert not verdict.sequences_agree
+        assert any("diverge" in d for d in verdict.details)
+
+    def test_missing_command_detected(self):
+        logs = {pid: {0: CMD_A} for pid in range(3)}  # b never applied
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {p: 10 for p in range(3)}), WORKLOAD, 50.0
+        )
+        assert not verdict.holds
+        assert verdict.missing_commands == [CMD_B]
+
+    def test_late_submissions_not_owed(self):
+        logs = {pid: {0: CMD_A} for pid in range(3)}
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {p: 10 for p in range(3)}), WORKLOAD, 1.5
+        )
+        assert verdict.holds  # b was submitted after the cutoff
+
+    def test_crashed_owner_not_owed(self):
+        logs = {pid: {0: CMD_A} for pid in (0, 2)}
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {0: 10, 2: 10}, crashed={1}),
+            WORKLOAD,
+            50.0,
+        )
+        assert verdict.holds
+
+    def test_all_crashed(self):
+        verdict = rsm_verdict(
+            trace_with_logs({}, {}, crashed={0, 1, 2}), WORKLOAD, 50.0
+        )
+        assert not verdict.holds
+
+    def test_unsettled_instances_excluded(self):
+        # command decided at instance 9 but the horizon (min instance 10
+        # minus margin 3 = 7) excludes it: neither counted nor judged.
+        logs = {pid: {0: CMD_A, 9: CMD_B} for pid in range(3)}
+        verdict = rsm_verdict(
+            trace_with_logs(logs, {p: 10 for p in range(3)}), WORKLOAD, 1.5
+        )
+        assert verdict.applied_count == 1

@@ -1,0 +1,134 @@
+"""Unit tests for repro.asyncnet.scheduler."""
+
+import pytest
+
+from repro.asyncnet.scheduler import AsyncProtocol, AsyncScheduler
+
+
+class PingCounter(AsyncProtocol):
+    """Broadcasts 'ping' every tick; counts pings received per sender."""
+
+    name = "ping-counter"
+
+    def initial_state(self, pid, n):
+        return {"ticks": 0, "pings": {}}
+
+    def on_tick(self, ctx):
+        ctx.state["ticks"] += 1
+        ctx.broadcast(("ping", ctx.pid))
+
+    def on_message(self, ctx, sender, payload):
+        ctx.state["pings"][sender] = ctx.state["pings"].get(sender, 0) + 1
+
+    def output(self, state):
+        return state["ticks"]
+
+
+class TestBasicRun:
+    def test_everyone_ticks_and_talks(self):
+        sched = AsyncScheduler(PingCounter(), n=3, seed=1)
+        trace = sched.run(max_time=30.0)
+        for pid, state in trace.final_states.items():
+            assert state["ticks"] > 0
+            assert set(state["pings"]) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = AsyncScheduler(PingCounter(), n=3, seed=9).run(max_time=20.0)
+        b = AsyncScheduler(PingCounter(), n=3, seed=9).run(max_time=20.0)
+        assert a.final_states == b.final_states
+        assert a.messages_sent == b.messages_sent
+
+    def test_seed_changes_run(self):
+        a = AsyncScheduler(PingCounter(), n=3, seed=1).run(max_time=20.0)
+        b = AsyncScheduler(PingCounter(), n=3, seed=2).run(max_time=20.0)
+        assert a.final_states != b.final_states
+
+    def test_speeds_differ_across_processes(self):
+        trace = AsyncScheduler(PingCounter(), n=4, seed=3).run(max_time=60.0)
+        ticks = [s["ticks"] for s in trace.final_states.values()]
+        assert len(set(ticks)) > 1  # unbounded relative speeds in effect
+
+    def test_sampling_cadence(self):
+        sched = AsyncScheduler(PingCounter(), n=2, seed=1, sample_interval=5.0)
+        trace = sched.run(max_time=21.0)
+        times = [t for t, _ in trace.samples]
+        assert times == [5.0, 10.0, 15.0, 20.0]
+
+    def test_outputs_over_time(self):
+        sched = AsyncScheduler(PingCounter(), n=2, seed=1, sample_interval=5.0)
+        trace = sched.run(max_time=20.0)
+        series = trace.outputs_over_time(0)
+        assert all(isinstance(v, int) for _, v in series)
+        assert [v for _, v in series] == sorted(v for _, v in series)
+
+
+class TestCrashes:
+    def test_crashed_process_stops(self):
+        sched = AsyncScheduler(
+            PingCounter(), n=3, seed=1, crash_times={2: 10.0}
+        )
+        trace = sched.run(max_time=50.0)
+        assert trace.crashed == frozenset({2})
+        assert trace.final_states[2] is None
+        assert trace.correct == frozenset({0, 1})
+
+    def test_crashed_receives_nothing_after(self):
+        # samples exclude crashed processes
+        sched = AsyncScheduler(
+            PingCounter(), n=3, seed=1, crash_times={2: 10.0}, sample_interval=5.0
+        )
+        trace = sched.run(max_time=30.0)
+        late = [outputs for t, outputs in trace.samples if t > 10.0]
+        assert all(2 not in outputs for outputs in late)
+
+    def test_pre_crash_messages_still_delivered(self):
+        sched = AsyncScheduler(PingCounter(), n=2, seed=1, crash_times={1: 5.0})
+        trace = sched.run(max_time=30.0)
+        assert trace.final_states[0]["pings"].get(1, 0) > 0
+
+
+class TestCorruption:
+    def test_corruption_applied(self):
+        from repro.sync.corruption import ExplicitCorruption
+
+        plan = ExplicitCorruption({0: {"ticks": 999, "pings": {}}})
+        sched = AsyncScheduler(PingCounter(), n=2, seed=1, corruption=plan)
+        trace = sched.run(max_time=5.0)
+        assert trace.final_states[0]["ticks"] >= 999
+
+
+class TestValidation:
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ValueError):
+            AsyncScheduler(PingCounter(), n=2, delay=(0.0, 1.0))
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            AsyncScheduler(PingCounter(), n=1)
+
+    def test_rejects_bad_max_time(self):
+        sched = AsyncScheduler(PingCounter(), n=2)
+        with pytest.raises(ValueError):
+            sched.run(max_time=0)
+
+
+class TestStopCondition:
+    def test_stops_early(self):
+        sched = AsyncScheduler(PingCounter(), n=2, seed=1)
+        trace = sched.run(
+            max_time=1000.0,
+            stop_condition=lambda s: s.now > 10.0,
+        )
+        assert trace.final_states[0]["ticks"] < 100
+
+
+class TestWeakSuspectsWithoutOracle:
+    def test_empty_when_unconfigured(self):
+        captured = []
+
+        class Probe(PingCounter):
+            def on_tick(self, ctx):
+                captured.append(ctx.weak_suspects())
+
+        AsyncScheduler(Probe(), n=2, seed=1).run(max_time=3.0)
+        assert captured and all(s == frozenset() for s in captured)

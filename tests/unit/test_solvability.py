@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.solvability (Definitions 2.1–2.4)."""
+
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import ft_check, ftss_check, ss_check, tentative_check
+from repro.histories.history import ExecutionHistory
+from repro.sync.adversary import ScriptedAdversary
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+from tests.conftest import broadcast_round
+
+SIGMA = ClockAgreementProblem()
+
+
+def skewed_then_reveal(r, skew=50, tail=5):
+    """The Theorem 1 merge history: peer hidden for r rounds, ahead by skew."""
+    adv = ScriptedAdversary.silence([1], range(1, r + 1), n=2)
+    return run_sync(
+        RoundAgreementProtocol(),
+        n=2,
+        rounds=r + tail,
+        adversary=adv,
+        corruption=ClockSkewCorruption({0: 1, 1: 1 + skew}),
+    ).history
+
+
+class TestFtCheck:
+    def test_clean_run_ft_solves(self):
+        h = run_sync(RoundAgreementProtocol(), n=3, rounds=5).history
+        assert ft_check(h, SIGMA).holds
+
+    def test_skew_without_failures_fails_ft(self):
+        h = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=1,
+            corruption=ClockSkewCorruption({0: 1, 1: 9}),
+        ).history
+        assert not ft_check(h, SIGMA).holds
+
+
+class TestSsCheck:
+    def test_skew_heals_within_stabilization(self):
+        h = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=5,
+            corruption=ClockSkewCorruption({0: 1, 1: 9}),
+        ).history
+        assert not ss_check(h, SIGMA, 0).holds
+        assert ss_check(h, SIGMA, 1).holds
+
+    def test_vacuous_when_stabilization_exceeds_history(self):
+        h = run_sync(RoundAgreementProtocol(), n=2, rounds=2).history
+        assert ss_check(h, SIGMA, 10).holds
+
+    def test_rejects_negative_stabilization(self):
+        import pytest
+
+        h = run_sync(RoundAgreementProtocol(), n=2, rounds=2).history
+        with pytest.raises(ValueError):
+            ss_check(h, SIGMA, -1)
+
+
+class TestTentativeCheck:
+    def test_fails_when_reveal_lands_in_suffix(self):
+        h = skewed_then_reveal(r=4)
+        report = tentative_check(h, SIGMA, 4)
+        assert not report.holds
+        assert any(v.condition == "rate" for v in report.violations)
+
+    def test_holds_if_reveal_absorbed_before_suffix(self):
+        # With a grace long enough to cover the reveal's jump, the
+        # suffix is clean — tentative is satisfiable per-history, just
+        # not for all histories (Theorem 1 quantifies over adversaries).
+        h = skewed_then_reveal(r=4)
+        assert tentative_check(h, SIGMA, 6).holds
+
+
+class TestFtssCheck:
+    def test_reveal_is_a_window_boundary(self):
+        h = skewed_then_reveal(r=4)
+        report = ftss_check(h, SIGMA, stabilization_time=1)
+        assert report.holds
+        assert len(report.outcomes) == 2  # pre- and post-reveal windows
+
+    def test_zero_stabilization_fails_on_skew(self):
+        h = skewed_then_reveal(r=4)
+        report = ftss_check(h, SIGMA, stabilization_time=0)
+        assert not report.holds
+
+    def test_short_windows_owe_nothing(self):
+        h = skewed_then_reveal(r=1, tail=1)
+        report = ftss_check(h, SIGMA, stabilization_time=5)
+        assert report.holds
+        assert all(not o.obliged for o in report.outcomes)
+
+    def test_violations_name_windows(self):
+        h = skewed_then_reveal(r=4)
+        report = ftss_check(h, SIGMA, stabilization_time=0)
+        assert report.violations()
+        assert all(v.startswith("window [") for v in report.violations())
+
+    def test_faulty_set_accumulates_through_window(self):
+        # The hidden process is faulty during the first window; its
+        # divergent clock must be excused there.
+        h = skewed_then_reveal(r=6)
+        report = ftss_check(h, SIGMA, stabilization_time=1)
+        first_window = report.outcomes[0]
+        assert first_window.obliged and first_window.holds
+
+    def test_report_bool(self):
+        h = skewed_then_reveal(r=4)
+        assert bool(ftss_check(h, SIGMA, 1))
+        assert not bool(ftss_check(h, SIGMA, 0))

@@ -1,0 +1,64 @@
+"""Edge-path tests for solvability reports and stabilization scans."""
+
+from repro.analysis.stabilization import window_stabilization_times
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import WindowOutcome, ftss_check
+from repro.histories.stability import StableWindow
+from repro.sync.adversary import ScriptedAdversary
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+SIGMA = ClockAgreementProblem()
+
+
+class TestWindowOutcome:
+    def test_unobliged_window_holds_vacuously(self):
+        window = StableWindow(first_round=1, last_round=1, members=frozenset())
+        outcome = WindowOutcome(window=window, obligation_span=None, report=None)
+        assert not outcome.obliged
+        assert outcome.holds
+
+
+class TestFtssReportStructure:
+    def _history(self):
+        adversary = ScriptedAdversary.silence([1], range(1, 4), n=2)
+        return run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=10,
+            adversary=adversary,
+            corruption=ClockSkewCorruption({0: 1, 1: 60}),
+        ).history
+
+    def test_obliged_windows_listed(self):
+        report = ftss_check(self._history(), SIGMA, 1)
+        assert report.obliged_windows
+        assert all(o.obliged for o in report.obliged_windows)
+
+    def test_stabilization_time_recorded(self):
+        report = ftss_check(self._history(), SIGMA, 4)
+        assert report.stabilization_time == 4
+
+    def test_problem_name_recorded(self):
+        report = ftss_check(self._history(), SIGMA, 1)
+        assert report.problem == "clock-agreement"
+
+
+class TestStabilizationScanEdges:
+    def test_single_round_window(self):
+        # Very short run: one-round windows produce vacuous grace.
+        history = run_sync(RoundAgreementProtocol(), n=2, rounds=1).history
+        measurements = window_stabilization_times(history, SIGMA)
+        assert len(measurements) == 1
+        assert measurements[0].stabilized_after == 0
+
+    def test_two_round_window_with_skew(self):
+        history = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=2,
+            corruption=ClockSkewCorruption({0: 1, 1: 9}),
+        ).history
+        (measurement,) = window_stabilization_times(history, SIGMA)
+        assert measurement.stabilized_after == 1

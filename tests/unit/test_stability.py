@@ -1,0 +1,72 @@
+"""Unit tests for repro.histories.stability."""
+
+from repro.histories.stability import (
+    StableWindow,
+    is_coterie_monotone,
+    stable_windows,
+    windows_from_timeline,
+)
+from repro.histories.history import ExecutionHistory
+
+from tests.conftest import broadcast_round
+
+
+class TestStableWindow:
+    def test_length(self):
+        w = StableWindow(first_round=3, last_round=7, members=frozenset({0}))
+        assert w.length == 5
+
+    def test_obligation_span_with_grace(self):
+        w = StableWindow(first_round=3, last_round=7, members=frozenset())
+        assert w.obligation_span(2) == (5, 7)
+
+    def test_obligation_span_zero_grace_covers_window(self):
+        w = StableWindow(first_round=3, last_round=7, members=frozenset())
+        assert w.obligation_span(0) == (3, 7)
+
+    def test_too_short_window_owes_nothing(self):
+        w = StableWindow(first_round=3, last_round=4, members=frozenset())
+        assert w.obligation_span(2) is None
+
+
+class TestWindowsFromTimeline:
+    def test_single_run(self):
+        a = frozenset({0})
+        ws = windows_from_timeline([a, a, a], first_round=1)
+        assert len(ws) == 1
+        assert (ws[0].first_round, ws[0].last_round) == (1, 3)
+
+    def test_change_splits_runs(self):
+        a, b = frozenset({0}), frozenset({0, 1})
+        ws = windows_from_timeline([a, a, b, b, b], first_round=1)
+        assert [(w.first_round, w.last_round) for w in ws] == [(1, 2), (3, 5)]
+        assert ws[1].members == b
+
+    def test_windows_partition_rounds(self):
+        a, b, c = frozenset(), frozenset({1}), frozenset({1, 2})
+        ws = windows_from_timeline([a, b, b, c], first_round=10)
+        covered = []
+        for w in ws:
+            covered.extend(range(w.first_round, w.last_round + 1))
+        assert covered == [10, 11, 12, 13]
+
+    def test_empty_timeline(self):
+        assert windows_from_timeline([], first_round=1) == []
+
+    def test_respects_first_round_offset(self):
+        ws = windows_from_timeline([frozenset()], first_round=5)
+        assert (ws[0].first_round, ws[0].last_round) == (5, 5)
+
+
+class TestStableWindows:
+    def test_failure_free_run_single_window(self):
+        h = ExecutionHistory([broadcast_round(r, [r, r, r]) for r in range(1, 6)])
+        ws = stable_windows(h)
+        assert len(ws) == 1
+        assert ws[0].members == frozenset({0, 1, 2})
+
+
+class TestMonotonicity:
+    def test_failure_free_history_monotone(self):
+        h = ExecutionHistory([broadcast_round(r, [r, r]) for r in range(1, 6)])
+        assert is_coterie_monotone(h)

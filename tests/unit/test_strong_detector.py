@@ -1,0 +1,129 @@
+"""Unit tests for repro.detectors.strong (Figure 4)."""
+
+from repro.detectors.strong import (
+    ALIVE,
+    DEAD,
+    LastWriterDetector,
+    StrongDetector,
+    fd_adopt,
+    fd_arbitrary,
+    fd_initial,
+    fd_suspects,
+)
+from repro.util.rng import make_rng
+
+
+class TestFdPrimitives:
+    def test_initial_all_alive(self):
+        fd = fd_initial(3)
+        assert fd_suspects(fd) == frozenset()
+
+    def test_adopt_higher_version_wins(self):
+        fd = fd_initial(3)
+        fd_adopt(fd, ("fd", (5, 0, 0), (DEAD, ALIVE, ALIVE)), 3)
+        assert fd["num"][0] == 5
+        assert fd_suspects(fd) == frozenset({0})
+
+    def test_adopt_equal_version_rejected(self):
+        fd = fd_initial(3)
+        fd["num"][0] = 5
+        fd["status"][0] = ALIVE
+        fd_adopt(fd, ("fd", (5, 0, 0), (DEAD, ALIVE, ALIVE)), 3)
+        assert fd["status"][0] == ALIVE
+
+    def test_adopt_lower_version_rejected(self):
+        fd = fd_initial(3)
+        fd["num"][0] = 10
+        fd_adopt(fd, ("fd", (5, 0, 0), (DEAD, ALIVE, ALIVE)), 3)
+        assert fd["status"][0] == ALIVE
+
+    def test_adopt_truncates_foreign_vector_length(self):
+        fd = fd_initial(2)
+        # A corrupted peer gossips a longer vector: no crash, extras
+        # ignored.
+        fd_adopt(fd, ("fd", (1, 1, 99), (DEAD, DEAD, DEAD)), 2)
+        assert len(fd["num"]) == 2
+
+    def test_arbitrary_state_scrambles(self):
+        fd = fd_arbitrary(4, make_rng(2))
+        assert len(fd["num"]) == 4
+        assert any(v > 0 for v in fd["num"])
+
+
+class TestStrongDetectorProtocol:
+    class FakeCtx:
+        def __init__(self, pid, n, suspected=frozenset()):
+            self.pid, self.n = pid, n
+            self._suspected = suspected
+            self.state = fd_initial(n)
+            self.broadcasts = []
+
+        def weak_suspects(self):
+            return self._suspected
+
+        def broadcast(self, payload):
+            self.broadcasts.append(payload)
+
+    def test_tick_self_increments_alive(self):
+        proto = StrongDetector()
+        ctx = self.FakeCtx(1, 3)
+        proto.on_tick(ctx)
+        assert ctx.state["num"][1] == 1
+        assert ctx.state["status"][1] == ALIVE
+
+    def test_tick_detect_marks_dead(self):
+        proto = StrongDetector()
+        ctx = self.FakeCtx(0, 3, suspected=frozenset({2}))
+        proto.on_tick(ctx)
+        assert ctx.state["status"][2] == DEAD
+        assert ctx.state["num"][2] == 1
+
+    def test_self_detection_resolves_alive(self):
+        # "when detect(s)" then "when p = s" both fire: own liveness
+        # wins (Figure 4 order) and the version advances twice.
+        proto = StrongDetector()
+        ctx = self.FakeCtx(0, 3, suspected=frozenset({0}))
+        proto.on_tick(ctx)
+        assert ctx.state["status"][0] == ALIVE
+        assert ctx.state["num"][0] == 2
+
+    def test_tick_gossips_vector(self):
+        proto = StrongDetector()
+        ctx = self.FakeCtx(0, 3)
+        proto.on_tick(ctx)
+        (payload,) = ctx.broadcasts
+        assert payload[0] == "fd"
+        assert len(payload[1]) == 3
+
+    def test_output_is_dead_set(self):
+        proto = StrongDetector()
+        state = fd_initial(3)
+        state["status"][1] = DEAD
+        assert proto.output(state) == frozenset({1})
+
+    def test_non_fd_messages_ignored(self):
+        proto = StrongDetector()
+        ctx = self.FakeCtx(0, 3)
+        before = dict(ctx.state)
+        proto.on_message(ctx, 1, ("other", "junk"))
+        assert ctx.state == before
+
+    def test_corruption_recovery_via_adoption(self):
+        # The key self-stabilization mechanism: a planted huge version
+        # is overtaken by adopt-then-increment, not by counting to it.
+        proto = StrongDetector()
+        ctx = self.FakeCtx(0, 2)
+        fd_adopt(ctx.state, ("fd", (1 << 30, 0), (DEAD, ALIVE)), 2)
+        proto.on_tick(ctx)  # self-increment from the adopted version
+        assert ctx.state["num"][0] == (1 << 30) + 1
+        assert ctx.state["status"][0] == ALIVE
+
+
+class TestLastWriterAblation:
+    def test_adopts_lower_versions(self):
+        proto = LastWriterDetector()
+        ctx = TestStrongDetectorProtocol.FakeCtx(0, 2)
+        ctx.state["num"][1] = 100
+        proto.on_message(ctx, 1, ("fd", (0, 5), (ALIVE, DEAD)))
+        assert ctx.state["status"][1] == DEAD
+        assert ctx.state["num"][1] == 5

@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.tracefmt."""
+
+from repro.analysis.tracefmt import format_async_trace, format_history
+from repro.asyncnet.scheduler import AsyncTrace
+from repro.core.rounds import RoundAgreementProtocol
+from repro.sync.adversary import RoundFaultPlan, ScriptedAdversary
+from repro.sync.corruption import ClockSkewCorruption
+from repro.sync.engine import run_sync
+
+
+def small_history(rounds=4, adversary=None):
+    return run_sync(
+        RoundAgreementProtocol(),
+        n=3,
+        rounds=rounds,
+        adversary=adversary,
+        corruption=ClockSkewCorruption({0: 1, 1: 10, 2: 1}),
+    ).history
+
+
+class TestFormatHistory:
+    def test_contains_round_rows_and_clocks(self):
+        out = format_history(small_history())
+        assert "p0" in out and "p2" in out
+        assert "10" in out  # the corrupted clock shows
+
+    def test_crash_marked(self):
+        script = {2: RoundFaultPlan(crashes={1: frozenset()})}
+        out = format_history(small_history(adversary=ScriptedAdversary(1, script)))
+        assert "†" in out
+
+    def test_omission_marked(self):
+        script = {1: RoundFaultPlan(send_omissions={0: frozenset({1})})}
+        out = format_history(small_history(adversary=ScriptedAdversary(1, script)))
+        assert "!" in out
+
+    def test_forgery_marked(self):
+        script = {
+            1: RoundFaultPlan(forgeries={0: {1: (lambda p: 999)}})
+        }
+        out = format_history(small_history(adversary=ScriptedAdversary(1, script)))
+        assert "?" in out
+
+    def test_custom_fields_rendered(self):
+        out = format_history(small_history(), fields=[lambda s: "X"])
+        assert " X" in out
+
+    def test_field_exceptions_degrade(self):
+        def boom(state):
+            raise RuntimeError
+
+        out = format_history(small_history(), fields=[boom])
+        assert "~" in out
+
+    def test_long_history_elided(self):
+        out = format_history(small_history(rounds=200), max_rounds=10)
+        assert "elided" in out
+        # far fewer rows than rounds
+        assert out.count("\n") < 30
+
+    def test_coterie_growth_flagged(self):
+        # silenced process reveals at round 3 -> coterie grows
+        adversary = ScriptedAdversary.silence([1], [1, 2], n=3)
+        out = format_history(small_history(rounds=5, adversary=adversary))
+        assert "+" in out
+
+    def test_title(self):
+        out = format_history(small_history(), title="MY RUN")
+        assert out.startswith("MY RUN")
+
+
+class TestFormatAsyncTrace:
+    def _trace(self, samples):
+        return AsyncTrace(n=2, duration=10.0, samples=samples)
+
+    def test_outputs_rendered(self):
+        out = format_async_trace(
+            self._trace([(1.0, {0: frozenset({1}), 1: frozenset()})])
+        )
+        assert "{1}" in out
+
+    def test_crashed_shown(self):
+        out = format_async_trace(self._trace([(1.0, {0: "x"})]))
+        assert "†" in out
+
+    def test_long_output_truncated(self):
+        out = format_async_trace(self._trace([(1.0, {0: "y" * 100, 1: ""})]))
+        assert "…" in out
+
+    def test_elision(self):
+        samples = [(float(t), {0: t, 1: t}) for t in range(100)]
+        out = format_async_trace(self._trace(samples), max_samples=10)
+        assert "elided" in out

@@ -1,0 +1,52 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_process_count,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True, None])
+    def test_rejects_non_positive_ints(self, bad):
+        with pytest.raises(ValueError):
+            require_positive(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="rounds"):
+            require_positive(-2, "rounds")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "f") == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.0, False])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            require_non_negative(bad, "f")
+
+
+class TestRequireProcessCount:
+    def test_accepts_two(self):
+        assert require_process_count(2) == 2
+
+    def test_rejects_singleton_system(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            require_process_count(1)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.workloads.scenarios."""
+
+import pytest
+
+from repro.detectors.consensus import CTConsensus
+from repro.workloads.scenarios import (
+    ConsensusDeadlockCorruption,
+    LateRevealAdversary,
+    clock_skew_pattern,
+    crash_schedule,
+    random_crash_rounds,
+)
+
+
+class TestLateRevealAdversary:
+    def test_hides_off_cadence(self):
+        adv = LateRevealAdversary(hider=1, victim=0, n=4, period=3, offset=1)
+        plan = adv.plan_round(3, frozenset(range(4)), frozenset())
+        assert plan.send_omissions[1] == frozenset({0, 2, 3})
+
+    def test_reveals_to_victim_only_on_cadence(self):
+        adv = LateRevealAdversary(hider=1, victim=0, n=4, period=3, offset=1)
+        plan = adv.plan_round(4, frozenset(range(4)), frozenset())
+        assert plan.send_omissions[1] == frozenset({2, 3})
+
+    def test_dead_hider_plans_nothing(self):
+        adv = LateRevealAdversary(hider=1, victim=0, n=4, period=3)
+        plan = adv.plan_round(1, frozenset({0, 2, 3}), frozenset({1}))
+        assert plan.targets() == frozenset()
+
+    def test_budget_is_one(self):
+        adv = LateRevealAdversary(hider=1, victim=0, n=4, period=3)
+        assert adv.f == 1
+
+    def test_rejects_self_leak(self):
+        with pytest.raises(ValueError):
+            LateRevealAdversary(hider=1, victim=1, n=4, period=3)
+
+    def test_offset_wraps(self):
+        adv = LateRevealAdversary(hider=1, victim=0, n=4, period=3, offset=7)
+        assert adv.offset == 1
+
+
+class TestConsensusDeadlockCorruption:
+    def _states(self, proto, n):
+        return {pid: proto.initial_state(pid, n) for pid in range(n)}
+
+    def test_sets_deadlock_flags(self):
+        proto = CTConsensus(4)
+        out = ConsensusDeadlockCorruption(seed=1).corrupt(proto, self._states(proto, 4), 4)
+        for state in out.values():
+            assert state["sent_est"] is True
+            assert state["proposed"] is None
+
+    def test_leaves_detector_clean(self):
+        proto = CTConsensus(4)
+        out = ConsensusDeadlockCorruption(seed=1).corrupt(proto, self._states(proto, 4), 4)
+        for state in out.values():
+            assert all(v == 0 for v in state["fd"]["num"])
+            assert all(s == "alive" for s in state["fd"]["status"])
+
+    def test_all_waiting_variant(self):
+        proto = CTConsensus(4)
+        out = ConsensusDeadlockCorruption(seed=1, all_waiting=True).corrupt(
+            proto, self._states(proto, 4), 4
+        )
+        assert all(state["phase"] == "wait" for state in out.values())
+
+    def test_deterministic(self):
+        proto = CTConsensus(4)
+        a = ConsensusDeadlockCorruption(seed=5).corrupt(proto, self._states(proto, 4), 4)
+        b = ConsensusDeadlockCorruption(seed=5).corrupt(proto, self._states(proto, 4), 4)
+        assert a == b
+
+    def test_crashed_untouched(self):
+        proto = CTConsensus(4)
+        states = self._states(proto, 4)
+        states[2] = None
+        out = ConsensusDeadlockCorruption(seed=1).corrupt(proto, states, 4)
+        assert out[2] is None
+
+
+class TestSweepHelpers:
+    def test_clock_skew_pattern_shape(self):
+        skews = clock_skew_pattern(n=5, seed=1, magnitude=100)
+        assert set(skews) == set(range(5))
+        assert all(0 <= v < 100 for v in skews.values())
+
+    def test_crash_schedule_budget(self):
+        schedule = crash_schedule(n=6, f=2, seed=1, horizon=50.0)
+        assert len(schedule) == 2
+        assert all(0.0 <= t < 50.0 for t in schedule.values())
+
+    def test_crash_schedule_validates_f(self):
+        with pytest.raises(ValueError):
+            crash_schedule(n=3, f=5, seed=1, horizon=10.0)
+
+    def test_random_crash_rounds(self):
+        schedule = random_crash_rounds(n=6, f=3, seed=2, max_round=10)
+        assert len(schedule) == 3
+        assert all(1 <= r <= 10 for r in schedule.values())
+
+    def test_determinism(self):
+        assert crash_schedule(6, 2, 7, 50.0) == crash_schedule(6, 2, 7, 50.0)
