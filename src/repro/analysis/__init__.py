@@ -2,16 +2,24 @@
 
 - :mod:`repro.analysis.stabilization` — empirical stabilization times:
   the smallest grace period under which a problem predicate holds on
-  every stable-coterie window of a history.
+  every stable-coterie window of a history.  Includes a streaming
+  (observer-based) counterpart for the clock-agreement problem.
 - :mod:`repro.analysis.metrics` — message/overhead accounting for the
-  compiler's and superimposition's cost benches.
+  compiler's and superimposition's cost benches, with a streaming
+  counterpart that accumulates the same totals from the kernel's
+  event bus.
 - :mod:`repro.analysis.report` — "paper claim vs measured" tables the
   benchmark harness prints and EXPERIMENTS.md records.
 """
 
-from repro.analysis.metrics import message_overhead, run_message_stats
+from repro.analysis.metrics import (
+    StreamingMessageStats,
+    message_overhead,
+    run_message_stats,
+)
 from repro.analysis.report import ExperimentReport
 from repro.analysis.stabilization import (
+    StreamingClockStabilization,
     empirical_stabilization,
     window_stabilization_times,
 )
@@ -19,6 +27,8 @@ from repro.analysis.tracefmt import format_async_trace, format_history
 
 __all__ = [
     "ExperimentReport",
+    "StreamingClockStabilization",
+    "StreamingMessageStats",
     "empirical_stabilization",
     "format_async_trace",
     "format_history",

@@ -13,8 +13,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.histories.history import ExecutionHistory
+from repro.kernel.events import Observer
 
-__all__ = ["MessageStats", "run_message_stats", "message_overhead"]
+__all__ = [
+    "MessageStats",
+    "StreamingMessageStats",
+    "run_message_stats",
+    "message_overhead",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +56,46 @@ def run_message_stats(history: ExecutionHistory) -> MessageStats:
         messages_delivered=history.messages_delivered(),
         payload_bytes=payload_bytes,
     )
+
+
+class StreamingMessageStats(Observer):
+    """Streaming counterpart of :func:`run_message_stats`.
+
+    Attach to a run's observer bus (``run_sync(...,
+    observers=(stats,))``) to accumulate the same traffic totals
+    directly from the event stream, without reading (or even keeping)
+    the full history.  After the run, :meth:`stats` equals
+    ``run_message_stats(result.history)`` exactly — property-tested.
+
+    Also works on the asynchronous substrate, where "rounds" stays 0
+    (the async stream has no ``on_round_end``) and the per-round
+    ratio is meaningless; the raw counters remain valid.
+    """
+
+    def __init__(self) -> None:
+        self._rounds = 0
+        self._sent = 0
+        self._delivered = 0
+        self._payload_bytes = 0
+
+    def on_send(self, message, time):
+        self._sent += 1
+        self._payload_bytes += len(repr(message.payload))
+
+    def on_deliver(self, message, time):
+        self._delivered += 1
+
+    def on_round_end(self, round_no):
+        self._rounds += 1
+
+    def stats(self) -> MessageStats:
+        """The totals accumulated so far."""
+        return MessageStats(
+            rounds=self._rounds,
+            messages_sent=self._sent,
+            messages_delivered=self._delivered,
+            payload_bytes=self._payload_bytes,
+        )
 
 
 def message_overhead(

@@ -14,13 +14,16 @@ against the paper's claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.problems import Problem
+from repro.histories.causality import CausalityTracker
 from repro.histories.history import ExecutionHistory
 from repro.histories.stability import StableWindow, stable_windows
+from repro.kernel.recorders import HistoryRecorder
 
 __all__ = [
+    "StreamingClockStabilization",
     "WindowStabilization",
     "window_stabilization_times",
     "empirical_stabilization",
@@ -107,3 +110,127 @@ def empirical_stabilization(
         if worst is None or measurement.stabilized_after > worst:
             worst = measurement.stabilized_after
     return worst
+
+
+class StreamingClockStabilization(HistoryRecorder):
+    """Streaming ``empirical_stabilization`` for the clock-agreement Σ.
+
+    Attach to a synchronous run's observer bus to measure the run's
+    empirical stabilization time *as the run executes*, retaining only
+    per-round clock digests of the current stable-coterie window — no
+    :class:`ExecutionHistory` is materialized.  After the run,
+    :meth:`result` equals ``empirical_stabilization(result.history,
+    ClockAgreementProblem(), min_window_length)`` exactly
+    (property-tested).
+
+    How: each round's records are assembled (reusing the history
+    recorder's round-building, then discarded), fed to a private
+    :class:`CausalityTracker` to maintain the coterie incrementally;
+    whenever the coterie grows, the closing window is scored on its
+    buffered ``(round, clocks)`` rows by scanning for the last
+    agreement/rate violation w.r.t. the faulty set at the window's end
+    — the same grace :func:`window_stabilization_times` finds by
+    binary search, since the "holds after grace s" predicate is
+    monotone in ``s``.
+
+    Clock-agreement only: general problem predicates need arbitrary
+    sub-histories and go through the recorded-history path above.
+    """
+
+    def __init__(self, min_window_length: int = 2):
+        super().__init__()
+        self._min_window_length = min_window_length
+        self._tracker: Optional[CausalityTracker] = None
+        self._faulty: set = set()
+        self._window_start: Optional[int] = None
+        self._window_members: Optional[frozenset] = None
+        self._window_rows: List[Tuple[int, Dict[int, Optional[int]]]] = []
+        self._worst: Optional[int] = 0
+        self._refuted = False
+
+    def on_run_start(self, n, protocol, first_round=1):
+        super().on_run_start(n, protocol, first_round)
+        self._tracker = CausalityTracker(n)
+
+    def on_round_end(self, round_no):
+        round_history = self._finish_round(round_no)  # built, scored, dropped
+        faulty_before = frozenset(self._faulty)
+        assert self._tracker is not None
+        self._tracker.advance(round_history)
+        self._faulty |= round_history.deviators()
+
+        everyone = frozenset(range(self._n or 0))
+        correct = everyone - self._faulty
+        if not correct:
+            members = everyone
+        else:
+            members_set = set(everyone)
+            for q in correct:
+                members_set &= self._tracker.know(q)
+                if not members_set:
+                    break
+            members = frozenset(members_set)
+
+        if self._window_members is not None and members != self._window_members:
+            # The coterie grew: the previous window closed at the
+            # previous round, with the faulty set as of that round.
+            self._close_window(faulty_before)
+        if self._window_members is None:
+            self._window_start = round_no
+            self._window_members = members
+            self._window_rows = []
+        self._window_rows.append(
+            (
+                round_no,
+                {
+                    record.pid: record.clock_before
+                    for record in round_history.records
+                },
+            )
+        )
+
+    def on_run_end(self, time, final_states):
+        if self._window_members is not None:
+            self._close_window(frozenset(self._faulty))
+
+    def _close_window(self, faulty: frozenset) -> None:
+        rows = self._window_rows
+        first_round = self._window_start
+        self._window_start = None
+        self._window_members = None
+        self._window_rows = []
+        assert first_round is not None
+        length = len(rows)
+        if length < self._min_window_length:
+            return
+
+        live: List[Dict[int, int]] = [
+            {
+                pid: clock
+                for pid, clock in clocks.items()
+                if pid not in faulty and clock is not None
+            }
+            for _, clocks in rows
+        ]
+        last_bad: Optional[int] = None  # window-relative index
+        for idx, clocks in enumerate(live):
+            if len(set(clocks.values())) > 1:
+                last_bad = idx
+            if idx + 1 < length:
+                nxt = live[idx + 1]
+                for pid, clock in clocks.items():
+                    if pid in nxt and nxt[pid] != clock + 1:
+                        last_bad = idx
+                        break
+        grace = 0 if last_bad is None else last_bad + 1
+        if grace >= length:
+            # Only the vacuous grace passed: the window refutes every
+            # finite stabilization time.
+            self._refuted = True
+            return
+        if self._worst is None or grace > self._worst:
+            self._worst = grace
+
+    def result(self) -> Optional[int]:
+        """The run's empirical stabilization time (None = refuted)."""
+        return None if self._refuted else self._worst

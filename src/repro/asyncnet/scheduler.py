@@ -9,6 +9,15 @@ oracle.  Unlike the synchronous engine's pure-functional transitions,
 handlers mutate ``ctx.state`` in place — the conventional event-driven
 idiom.
 
+Like the synchronous engine, the scheduler is built on the simulation
+kernel (:mod:`repro.kernel`): faults may be supplied through the
+classic ``crash_times``/``corruption``/``gst`` knobs or as one unified
+:class:`~repro.kernel.faults.FaultPlan`, and the run is narrated to an
+observer bus (sends, deliveries, crashes, corruption, state commits,
+samples).  The :class:`AsyncTrace` is rebuilt from that event stream by
+an :class:`~repro.kernel.recorders.AsyncTraceRecorder`; callers may
+attach further observers via ``observers``.
+
 Asynchrony knobs:
 
 - per-process speed factors and per-tick jitter (unbounded *relative*
@@ -24,12 +33,25 @@ exactly reproducible.
 
 from __future__ import annotations
 
-import copy
 import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.kernel.events import AsyncMessage, EventBus, FaultEvent, FaultKind, Observer
+from repro.kernel.faults import FaultPlan
+from repro.kernel.recorders import AsyncTraceRecorder
+from repro.kernel.snapshot import copy_payload
 from repro.util.rng import make_rng
 from repro.util.validation import require, require_process_count
 
@@ -174,6 +196,15 @@ class AsyncScheduler:
         Probability that a message is delivered *twice* (with
         independent delays).  Real networks duplicate; protocols built
         here are expected to be idempotent, and tests exercise that.
+    fault_plan:
+        A unified :class:`~repro.kernel.faults.FaultPlan` (the kernel's
+        substrate-independent fault description), supplying the crash
+        schedule, initial and mid-run corruption, and GST.  Mutually
+        exclusive with ``crash_times``/``corruption`` (and overrides
+        ``gst``).
+    observers:
+        Extra :class:`~repro.kernel.events.Observer` instances attached
+        to the run's event bus alongside the trace recorder.
     """
 
     def __init__(
@@ -190,6 +221,8 @@ class AsyncScheduler:
         corruption: Optional[Any] = None,
         sample_interval: float = 2.0,
         duplicate_probability: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        observers: Sequence[Observer] = (),
     ):
         require_process_count(n)
         require(tick_interval > 0, "tick_interval must be positive")
@@ -198,6 +231,17 @@ class AsyncScheduler:
             0.0 <= duplicate_probability <= 1.0,
             f"duplicate_probability must be in [0, 1], got {duplicate_probability}",
         )
+        mid_corruptions: Dict[float, Any] = {}
+        if fault_plan is not None:
+            require(
+                crash_times is None and corruption is None,
+                "pass either fault_plan or crash_times/corruption, not both",
+            )
+            view = fault_plan.to_async()
+            crash_times = view.crash_times
+            corruption = view.corruption
+            mid_corruptions = dict(view.mid_corruptions)
+            gst = view.gst
         self._duplicate_probability = duplicate_probability
         self.protocol = protocol
         self.n = n
@@ -212,22 +256,25 @@ class AsyncScheduler:
         )
         self._sample_interval = sample_interval
         self._crash_times = dict(crash_times or {})
+        self._mid_corruptions = mid_corruptions
         self._speed = {
             pid: self._rng.uniform(0.5, 1.5) for pid in range(n)
         }
+
+        self._recorder = AsyncTraceRecorder()
+        self._bus = EventBus((self._recorder, *observers))
+        self._bus.on_run_start(n, protocol)
 
         states: Dict[int, Optional[Dict[str, Any]]] = {
             pid: protocol.initial_state(pid, n) for pid in range(n)
         }
         if corruption is not None:
-            states = corruption.corrupt(protocol, states, n)
+            states = self._corrupt(corruption, states, time=0.0)
         self.states = states
 
         self._crashed: set = set()
         self._queue: List[Tuple[float, int, str, Tuple]] = []
         self._seq = 0
-        self._messages_sent = 0
-        self._deliveries = 0
         self._contexts = {pid: ProcessContext(self, pid) for pid in range(n)}
 
     # -- event plumbing ------------------------------------------------------
@@ -236,8 +283,28 @@ class AsyncScheduler:
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, kind, data))
 
+    def _corrupt(
+        self,
+        plan: Any,
+        states: Dict[int, Optional[Dict[str, Any]]],
+        time: float,
+    ) -> Dict[int, Optional[Dict[str, Any]]]:
+        """Apply one corruption plan and narrate which memories it touched."""
+        corrupted = plan.corrupt(self.protocol, states, self.n)
+        for pid in range(self.n):
+            if corrupted.get(pid) != states.get(pid):
+                self._bus.on_fault(
+                    FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
+                )
+        return corrupted
+
     def _enqueue_message(self, sender: int, dest: int, payload: Any) -> None:
-        self._messages_sent += 1
+        self._bus.on_send(
+            AsyncMessage(
+                sender=sender, receiver=dest, payload=payload, sent_time=self.now
+            ),
+            self.now,
+        )
         copies = 1
         if self._duplicate_probability and self._rng.random() < self._duplicate_probability:
             copies = 2
@@ -248,7 +315,9 @@ class AsyncScheduler:
             else:
                 delay = self._rng.uniform(lo, hi)
             self._push(
-                self.now + delay, "deliver", (dest, sender, copy.deepcopy(payload))
+                self.now + delay,
+                "deliver",
+                (dest, sender, copy_payload(payload), self.now),
             )
 
     def _next_tick_delay(self, pid: int) -> float:
@@ -264,12 +333,13 @@ class AsyncScheduler:
     ) -> AsyncTrace:
         """Execute until ``max_time`` (or the stop condition) and trace it."""
         require(max_time > 0, "max_time must be positive")
-        trace = AsyncTrace(n=self.n, duration=max_time)
 
         for pid in range(self.n):
             self._push(self._next_tick_delay(pid), "tick", (pid,))
         for pid, time in self._crash_times.items():
             self._push(time, "crash", (pid,))
+        for time in sorted(self._mid_corruptions):
+            self._push(time, "corrupt", (self._mid_corruptions[time],))
         self._push(self._sample_interval, "sample", ())
 
         while self._queue:
@@ -281,34 +351,45 @@ class AsyncScheduler:
                 (pid,) = data
                 self._crashed.add(pid)
                 self.states[pid] = None
+                self._bus.on_fault(
+                    FaultEvent(kind=FaultKind.CRASH, time=time, pid=pid)
+                )
+                self._bus.on_state_commit(pid, time, None)
             elif kind == "tick":
                 (pid,) = data
                 if pid in self._crashed:
                     continue
                 self.protocol.on_tick(self._contexts[pid])
+                self._bus.on_state_commit(pid, time, self.states[pid])
                 self._push(time + self._next_tick_delay(pid), "tick", (pid,))
             elif kind == "deliver":
-                dest, sender, payload = data
+                dest, sender, payload, sent_at = data
                 if dest in self._crashed:
                     continue
-                self._deliveries += 1
+                self._bus.on_deliver(
+                    AsyncMessage(
+                        sender=sender,
+                        receiver=dest,
+                        payload=payload,
+                        sent_time=sent_at,
+                    ),
+                    time,
+                )
                 self.protocol.on_message(self._contexts[dest], sender, payload)
+                self._bus.on_state_commit(dest, time, self.states[dest])
+            elif kind == "corrupt":
+                (plan,) = data
+                self.states = self._corrupt(plan, self.states, time)
             elif kind == "sample":
                 outputs = {
                     pid: self.protocol.output(state)
                     for pid, state in self.states.items()
                     if state is not None
                 }
-                trace.samples.append((time, outputs))
+                self._bus.on_sample(time, outputs)
                 self._push(time + self._sample_interval, "sample", ())
             if stop_condition is not None and stop_condition(self):
                 break
 
-        trace.final_states = {
-            pid: None if state is None else dict(state)
-            for pid, state in self.states.items()
-        }
-        trace.crashed = frozenset(self._crashed)
-        trace.messages_sent = self._messages_sent
-        trace.deliveries = self._deliveries
-        return trace
+        self._bus.on_run_end(max_time, self.states)
+        return self._recorder.trace()

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.experiments [IDS...] [--fast] [--list] [--out DIR]
+    python -m repro.experiments [IDS...] [--fast] [--jobs N] [--list] [--out DIR]
 
 Runs the requested experiments (all by default), prints each
 claim-vs-measured table with its PASS/FAIL verdict, optionally writes
@@ -35,6 +35,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="smoke settings: fewer seeds, shorter runs",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per sweep (default: REPRO_JOBS or 1)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--out",
@@ -57,7 +64,7 @@ def main(argv=None) -> int:
     for experiment_id in ids:
         started = time.monotonic()
         try:
-            result = REGISTRY.run(experiment_id, fast=args.fast)
+            result = REGISTRY.run(experiment_id, fast=args.fast, jobs=args.jobs)
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2

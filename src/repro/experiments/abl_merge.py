@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.problems import ClockAgreementProblem
 from repro.core.rounds import (
@@ -10,7 +12,7 @@ from repro.core.rounds import (
     RoundAgreementProtocol,
 )
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.adversary import (
     FaultMode,
     RandomAdversary,
@@ -19,21 +21,38 @@ from repro.sync.adversary import (
 )
 from repro.sync.corruption import ClockSkewCorruption, RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 
 SIGMA = ClockAgreementProblem()
 N, F, ROUNDS = 5, 2, 25
 
+_PROTOCOLS = {
+    cls().name: cls
+    for cls in (
+        RoundAgreementProtocol,
+        MinMergeRoundProtocol,
+        FreeRunningRoundProtocol,
+    )
+}
+
 
 def random_run(protocol, seed: int):
+    point = protocol.name
     adversary = RandomAdversary(
-        n=N, f=F, mode=FaultMode.GENERAL_OMISSION, rate=0.5, seed=seed
+        n=N,
+        f=F,
+        mode=FaultMode.GENERAL_OMISSION,
+        rate=0.5,
+        seed=sweep_seed("ABL-MERGE", f"{point}:adversary", seed),
     )
     return run_sync(
         protocol,
         n=N,
         rounds=ROUNDS,
         adversary=adversary,
-        corruption=RandomCorruption(seed=seed),
+        corruption=RandomCorruption(
+            seed=sweep_seed("ABL-MERGE", f"{point}:corruption", seed)
+        ),
     )
 
 
@@ -68,7 +87,13 @@ def clock_monotone(history) -> bool:
     return True
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[str, int]):
+    name, seed = task
+    history = random_run(_PROTOCOLS[name](), seed).history
+    return ftss_check(history, SIGMA, 1).holds
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(4 if fast else 10)
     expect = Expectations()
     report = ExperimentReport(
@@ -79,18 +104,13 @@ def run(fast: bool = False) -> ExperimentResult:
         "free-running never re-agrees",
         headers=["rule", "ftss@1 holds", "monotone under drag"],
     )
+    names = list(_PROTOCOLS)
+    tasks = [(name, seed) for name in names for seed in seeds]
+    sweep = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     outcomes = {}
-    for protocol_cls in (
-        RoundAgreementProtocol,
-        MinMergeRoundProtocol,
-        FreeRunningRoundProtocol,
-    ):
-        holds = sum(
-            ftss_check(random_run(protocol_cls(), seed).history, SIGMA, 1).holds
-            for seed in seeds
-        )
-        monotone = clock_monotone(drag_run(protocol_cls()).history)
-        name = protocol_cls().name
+    for name in names:
+        holds = sum(sweep[(name, seed)] for seed in seeds)
+        monotone = clock_monotone(drag_run(_PROTOCOLS[name]()).history)
         outcomes[name] = (holds, monotone)
         report.add_row(name, f"{holds}/{len(seeds)}", monotone)
 

@@ -2,33 +2,48 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.oracle import WeakDetectorOracle
 from repro.asyncnet.scheduler import AsyncScheduler
 from repro.detectors.consensus import CTConsensus, consensus_log_agreement
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
+from repro.util.rng import sweep_seed
 from repro.workloads.scenarios import ConsensusDeadlockCorruption
 
 N = 5
 MODES = ("plain", "ss-no-retransmit", "ss-no-jump", "ss")
+VARIANTS = ((False, "scattered"), (True, "all-waiting"))
 
 
 def one_run(mode: str, all_waiting: bool, seed: int = 1, max_time: float = 250.0):
     oracle = WeakDetectorOracle(N, {}, gst=0.0, seed=seed)
     proto = CTConsensus(N, mode=mode)
+    variant = "all-waiting" if all_waiting else "scattered"
     sched = AsyncScheduler(
         proto,
         N,
         seed=seed,
         gst=0.0,
         oracle=oracle,
-        corruption=ConsensusDeadlockCorruption(seed=seed + 2, all_waiting=all_waiting),
+        corruption=ConsensusDeadlockCorruption(
+            seed=sweep_seed("ABL-RETX", f"{mode}:{variant}:corruption", seed),
+            all_waiting=all_waiting,
+        ),
         sample_interval=5.0,
     )
     return sched.run(max_time=max_time)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[str, bool, float]):
+    mode, all_waiting, max_time = task
+    trace = one_run(mode, all_waiting, max_time=max_time)
+    verdict = consensus_log_agreement(trace)
+    return verdict.holds, verdict.instances_checked
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     max_time = 150.0 if fast else 250.0
     expect = Expectations()
     report = ExperimentReport(
@@ -38,15 +53,16 @@ def run(fast: bool = False) -> ExperimentResult:
         "the jump re-aligns scattered instances — both necessary (Section 3)",
         headers=["mode", "seed variant", "recovers", "instances decided"],
     )
+    tasks = [
+        (mode, all_waiting, max_time) for mode in MODES for all_waiting, _ in VARIANTS
+    ]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for mode in MODES:
-        for all_waiting, label in ((False, "scattered"), (True, "all-waiting")):
-            trace = one_run(mode, all_waiting, max_time=max_time)
-            verdict = consensus_log_agreement(trace)
-            report.add_row(mode, label, verdict.holds, verdict.instances_checked)
+        for all_waiting, label in VARIANTS:
+            holds, instances = outcomes[(mode, all_waiting, max_time)]
+            report.add_row(mode, label, holds, instances)
             if mode == "ss":
-                expect.check(verdict.holds, f"ss/{label}: failed to recover")
+                expect.check(holds, f"ss/{label}: failed to recover")
             else:
-                expect.check(
-                    not verdict.holds, f"{mode}/{label}: unexpectedly recovered"
-                )
+                expect.check(not holds, f"{mode}/{label}: unexpectedly recovered")
     return ExperimentResult(report=report, failures=expect.failures)

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.compiler import compile_protocol
 from repro.core.problems import RepeatedConsensusProblem
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.sync.engine import run_sync
 from repro.workloads.scenarios import LateRevealAdversary
@@ -26,7 +28,14 @@ def one_run(use_suspects: bool, offset: int, iterations: int = 10):
     return ftss_check(res.history, sigma, pi.final_round)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int]):
+    offset, iterations = task
+    with_report = one_run(True, offset, iterations)
+    without_report = one_run(False, offset, iterations)
+    return with_report.holds, without_report.holds
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     pi = FloodMinConsensus(f=F, proposals=[3, 0, 4, 2, 5, 6])
     iterations = 6 if fast else 10
     expect = Expectations()
@@ -37,12 +46,13 @@ def run(fast: bool = False) -> ExperimentResult:
         "inside the coterie (§2.4); with it, every offset is safe",
         headers=["leak offset", "with suspects", "without suspects"],
     )
+    tasks = [(offset, iterations) for offset in range(pi.final_round)]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     broken_without = 0
     for offset in range(pi.final_round):
-        with_report = one_run(True, offset, iterations)
-        without_report = one_run(False, offset, iterations)
-        report.add_row(offset, with_report.holds, without_report.holds)
-        expect.check(with_report.holds, f"offset {offset}: suspects did not protect")
-        broken_without += not without_report.holds
+        with_holds, without_holds = outcomes[(offset, iterations)]
+        report.add_row(offset, with_holds, without_holds)
+        expect.check(with_holds, f"offset {offset}: suspects did not protect")
+        broken_without += not without_holds
     expect.check(broken_without >= 1, "no offset falsified the ablated compiler")
     return ExperimentResult(report=report, failures=expect.failures)

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.oracle import WeakDetectorOracle
 from repro.asyncnet.scheduler import AsyncScheduler
 from repro.detectors.consensus import CTConsensus, consensus_log_agreement
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
 
 MAX_TIME = 300.0
 N = 5
@@ -17,6 +20,11 @@ def one_run(mode: str, seed: int, corrupt: bool, gst: float = 10.0):
     crashes = {N - 1: 60.0}
     oracle = WeakDetectorOracle(N, crashes, gst=gst, seed=seed)
     proto = CTConsensus(N, mode=mode)
+    corruption = None
+    if corrupt:
+        corruption = RandomCorruption(
+            seed=sweep_seed("ASYNC-CONS", f"{mode}:corruption", seed)
+        )
     sched = AsyncScheduler(
         proto,
         N,
@@ -24,13 +32,20 @@ def one_run(mode: str, seed: int, corrupt: bool, gst: float = 10.0):
         gst=gst,
         crash_times=crashes,
         oracle=oracle,
-        corruption=RandomCorruption(seed=seed + 123) if corrupt else None,
+        corruption=corruption,
         sample_interval=5.0,
     )
     return sched.run(max_time=MAX_TIME)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[str, bool, int]):
+    mode, corrupt, seed = task
+    trace = one_run(mode, seed, corrupt)
+    verdict = consensus_log_agreement(trace)
+    return verdict.holds, verdict.instances_checked, trace.messages_sent
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(2 if fast else 5)
     expect = Expectations()
     report = ExperimentReport(
@@ -40,15 +55,21 @@ def run(fast: bool = False) -> ExperimentResult:
         "plain CT deadlocks or corrupts from bad states (Section 3)",
         headers=["mode", "start", "holds", "median instances", "median msgs"],
     )
+    tasks = [
+        (mode, corrupt, seed)
+        for mode in ("plain", "ss")
+        for corrupt in (False, True)
+        for seed in seeds
+    ]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for mode in ("plain", "ss"):
         for corrupt in (False, True):
             holds, instances, msgs = 0, [], []
             for seed in seeds:
-                trace = one_run(mode, seed, corrupt)
-                verdict = consensus_log_agreement(trace)
-                holds += verdict.holds
-                instances.append(verdict.instances_checked)
-                msgs.append(trace.messages_sent)
+                ok, checked, sent = outcomes[(mode, corrupt, seed)]
+                holds += ok
+                instances.append(checked)
+                msgs.append(sent)
             instances.sort()
             msgs.sort()
             label = "corrupted" if corrupt else "clean"

@@ -1,24 +1,95 @@
-"""Experiment plumbing: results, expectations, and the registry contract.
+"""Experiment plumbing: results, expectations, sweeps, and the registry.
 
-Every experiment module exposes ``run(fast: bool = False) ->
-ExperimentResult``: it executes the sweep, builds the claim-vs-measured
-table, and *checks the paper's claim itself* via :class:`Expectations`
-— so the pass/fail knowledge lives with the experiment, and every
-front-end (the pytest-benchmark harness, the ``python -m
-repro.experiments`` CLI, a notebook) gets the same verdicts.
+Every experiment module exposes ``run(fast: bool = False, jobs:
+Optional[int] = None) -> ExperimentResult``: it executes the sweep,
+builds the claim-vs-measured table, and *checks the paper's claim
+itself* via :class:`Expectations` — so the pass/fail knowledge lives
+with the experiment, and every front-end (the pytest-benchmark harness,
+the ``python -m repro.experiments`` CLI, a notebook) gets the same
+verdicts.
 
 ``fast=True`` shrinks seed counts and run lengths for smoke runs; the
 recorded EXPERIMENTS.md numbers come from the full (default) settings.
+
+Sweeps run through :func:`run_sweep`, the kernel-era replacement for
+the hand-rolled ``for seed in seeds`` loops: one executor that is
+deterministic (results in input order, seeds namespaced per point via
+:func:`repro.util.rng.sweep_seed` inside the workers), per-point
+isolated (with ``jobs > 1`` each point runs in its own forked worker
+process), and parallel on demand (``--jobs N`` on the CLI, or the
+``REPRO_JOBS`` environment knob).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.analysis.report import ExperimentReport
 
-__all__ = ["ExperimentResult", "Expectations", "Registry"]
+__all__ = [
+    "ExperimentResult",
+    "Expectations",
+    "Registry",
+    "default_jobs",
+    "run_sweep",
+]
+
+Point = TypeVar("Point")
+Outcome = TypeVar("Outcome")
+
+
+def default_jobs() -> int:
+    """Sweep parallelism when the caller passes ``jobs=None``.
+
+    Reads the ``REPRO_JOBS`` environment variable (default 1 —
+    sequential, zero-surprise).  Invalid or non-positive values fall
+    back to 1.
+    """
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return jobs if jobs >= 1 else 1
+
+
+def run_sweep(
+    worker: Callable[[Point], Outcome],
+    points: Sequence[Point],
+    jobs: Optional[int] = None,
+) -> List[Outcome]:
+    """Run ``worker`` over every sweep point, optionally in parallel.
+
+    Results come back in input order regardless of completion order, so
+    verdicts never depend on scheduling.  With ``jobs <= 1`` the sweep
+    runs sequentially in-process (no pickling constraints); with
+    ``jobs > 1`` the points are fanned out over a ``fork``-based
+    :class:`~concurrent.futures.ProcessPoolExecutor`, which requires
+    ``worker`` to be a module-level function and ``points``/outcomes to
+    be picklable — experiment workers therefore return small summary
+    tuples/dicts, not engine objects.  Each point then executes in its
+    own process: a crash or runaway allocation at one point cannot
+    corrupt another (per-seed isolation).
+
+    Determinism does not rely on ``jobs``: workers derive all
+    randomness from their point via
+    :func:`repro.util.rng.sweep_seed`-namespaced seeds, so
+    ``run_sweep(w, ps, jobs=4) == run_sweep(w, ps, jobs=1)``.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(points) <= 1:
+        return [worker(point) for point in points]
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(points)), mp_context=context
+    ) as pool:
+        return list(pool.map(worker, points))
 
 
 @dataclass
@@ -81,5 +152,10 @@ class Registry:
                 f"known: {', '.join(self._runners)}"
             ) from None
 
-    def run(self, experiment_id: str, fast: bool = False) -> ExperimentResult:
-        return self.get(experiment_id)(fast=fast)
+    def run(
+        self,
+        experiment_id: str,
+        fast: bool = False,
+        jobs: Optional[int] = None,
+    ) -> ExperimentResult:
+        return self.get(experiment_id)(fast=fast, jobs=jobs)

@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.bounded import bounded_refutation_sweep
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int]):
+    modulus, trials = task
+    full = bounded_refutation_sweep(modulus, 1, trials=trials, rounds=20)
+    windowed = bounded_refutation_sweep(
+        modulus,
+        1,
+        trials=trials,
+        rounds=20,
+        corruption_window=max(2, modulus // 8),
+    )
+    return (
+        full.refutations,
+        full.trials,
+        full.refuted,
+        windowed.refutations,
+        windowed.trials,
+        windowed.refuted,
+    )
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     moduli = [8, 64] if fast else [8, 64, 1024, 1 << 16]
     trials = 15 if fast else 30
     expect = Expectations()
@@ -18,22 +40,17 @@ def run(fast: bool = False) -> ExperimentResult:
         "impossibility, §2.4); corruption within a half-ring window is safe",
         headers=["modulus", "full-ring refutations", "windowed (M/8) refutations"],
     )
+    tasks = [(modulus, trials) for modulus in moduli]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for modulus in moduli:
-        full = bounded_refutation_sweep(modulus, 1, trials=trials, rounds=20)
-        windowed = bounded_refutation_sweep(
-            modulus,
-            1,
-            trials=trials,
-            rounds=20,
-            corruption_window=max(2, modulus // 8),
+        full_refs, full_trials, full_refuted, win_refs, win_trials, win_refuted = (
+            outcomes[(modulus, trials)]
         )
         report.add_row(
             modulus,
-            f"{full.refutations}/{full.trials}",
-            f"{windowed.refutations}/{windowed.trials}",
+            f"{full_refs}/{full_trials}",
+            f"{win_refs}/{win_trials}",
         )
-        expect.check(full.refuted, f"M={modulus}: full-ring corruption survived")
-        expect.check(
-            not windowed.refuted, f"M={modulus}: windowed corruption refuted"
-        )
+        expect.check(full_refuted, f"M={modulus}: full-ring corruption survived")
+        expect.check(not win_refuted, f"M={modulus}: windowed corruption refuted")
     return ExperimentResult(report=report, failures=expect.failures)

@@ -18,17 +18,20 @@ different.  This experiment runs the comparison:
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.canonical import run_ft
 from repro.core.problems import ClockAgreementProblem, ConsensusProblem
 from repro.core.rounds import RoundAgreementProtocol
 from repro.core.solvability import ft_check, ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.sync.adversary import ByzantineAdversary
 from repro.sync.corruption import RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 from repro.workloads.scenarios import flip_binary_fields, forge_clock, poison_floodmin
 
 SIGMA = ConsensusProblem(
@@ -39,18 +42,27 @@ SIGMA = ConsensusProblem(
 
 def phasequeen_under_lies(seed: int) -> bool:
     pq = PhaseQueenConsensus(f=2, n=9, proposals=[0, 1, 1, 0, 1, 0, 0, 1, 1])
-    adversary = ByzantineAdversary(9, 2, flip_binary_fields, rate=0.8, seed=seed)
+    adversary = ByzantineAdversary(
+        9, 2, flip_binary_fields, rate=0.8,
+        seed=sweep_seed("EXT-BYZ", "phase-queen:adversary", seed),
+    )
     return ft_check(run_ft(pq, n=9, adversary=adversary).history, SIGMA).holds
 
 
 def floodmin_under_poison(seed: int) -> bool:
     fm = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
-    adversary = ByzantineAdversary(5, 2, poison_floodmin, rate=0.8, seed=seed)
+    adversary = ByzantineAdversary(
+        5, 2, poison_floodmin, rate=0.8,
+        seed=sweep_seed("EXT-BYZ", "floodmin:adversary", seed),
+    )
     return ft_check(run_ft(fm, n=5, adversary=adversary).history, SIGMA).holds
 
 
 def rounds_under_forgery(seed: int) -> bool:
-    adversary = ByzantineAdversary(5, 1, forge_clock, rate=0.5, seed=seed)
+    adversary = ByzantineAdversary(
+        5, 1, forge_clock, rate=0.5,
+        seed=sweep_seed("EXT-BYZ", "forgery:adversary", seed),
+    )
     history = run_sync(
         RoundAgreementProtocol(), n=5, rounds=25, adversary=adversary
     ).history
@@ -62,12 +74,27 @@ def rounds_under_total_corruption(seed: int) -> bool:
         RoundAgreementProtocol(),
         n=5,
         rounds=25,
-        corruption=RandomCorruption(seed=seed),
+        corruption=RandomCorruption(
+            seed=sweep_seed("EXT-BYZ", "total:corruption", seed)
+        ),
     ).history
     return ftss_check(history, ClockAgreementProblem(), 1).holds
 
 
-def run(fast: bool = False) -> ExperimentResult:
+_ROWS = (
+    ("phase-queen (n>4f) / continual Byzantine lies", phasequeen_under_lies, True),
+    ("floodmin (crash-only) / continual poisoning", floodmin_under_poison, False),
+    ("round agreement / continual clock forgery", rounds_under_forgery, False),
+    ("round agreement / all processes corrupted once", rounds_under_total_corruption, True),
+)
+
+
+def _measure(task: Tuple[int, int]) -> bool:
+    row_index, seed = task
+    return _ROWS[row_index][1](seed)
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(4 if fast else 12)
     expect = Expectations()
     report = ExperimentReport(
@@ -78,14 +105,10 @@ def run(fast: bool = False) -> ExperimentResult:
         "neither implies the other",
         headers=["protocol / failure regime", "survives"],
     )
-    rows = [
-        ("phase-queen (n>4f) / continual Byzantine lies", phasequeen_under_lies, True),
-        ("floodmin (crash-only) / continual poisoning", floodmin_under_poison, False),
-        ("round agreement / continual clock forgery", rounds_under_forgery, False),
-        ("round agreement / all processes corrupted once", rounds_under_total_corruption, True),
-    ]
-    for label, runner, should_survive in rows:
-        ok = sum(runner(seed) for seed in seeds)
+    tasks = [(row_index, seed) for row_index in range(len(_ROWS)) for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    for row_index, (label, _, should_survive) in enumerate(_ROWS):
+        ok = sum(outcomes[(row_index, seed)] for seed in seeds)
         report.add_row(label, f"{ok}/{len(seeds)}")
         if should_survive:
             expect.check(ok == len(seeds), f"{label}: unexpectedly failed")

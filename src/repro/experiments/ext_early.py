@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.canonical import run_ft
 from repro.core.problems import ConsensusProblem
 from repro.core.solvability import ft_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.earlydeciding import EarlyDecidingFloodMin
 from repro.sync.adversary import RoundFaultPlan, ScriptedAdversary
-from repro.util.rng import make_rng
+from repro.util.rng import make_rng, sweep_seed
 
 SIGMA = ConsensusProblem(
     decision_of=lambda s: s["inner"].get("decision"),
@@ -20,7 +22,7 @@ N, F = 8, 5
 
 def staggered_crash_adversary(f_actual: int, seed: int) -> ScriptedAdversary:
     """f' victims crashing in consecutive rounds (the worst stagger)."""
-    rng = make_rng(seed, "ext-early")
+    rng = make_rng(sweep_seed("EXT-EARLY", f"f'={f_actual}", seed), "ext-early")
     victims = rng.sample(range(N), f_actual)
     script = {}
     for index, victim in enumerate(victims):
@@ -29,22 +31,20 @@ def staggered_crash_adversary(f_actual: int, seed: int) -> ScriptedAdversary:
     return ScriptedAdversary(f=f_actual, script=script)
 
 
-def worst_decision_round(f_actual: int, seed: int, expect: Expectations) -> int:
+def _measure(task: Tuple[int, int]):
+    f_actual, seed = task
     ed = EarlyDecidingFloodMin(f=F, proposals=[5, 2, 9, 1, 7, 4, 8, 3])
     res = run_ft(ed, n=N, adversary=staggered_crash_adversary(f_actual, seed))
-    expect.check(
-        ft_check(res.history, SIGMA).holds,
-        f"f'={f_actual} seed={seed}: consensus spec failed",
-    )
+    spec_holds = ft_check(res.history, SIGMA).holds
     rounds = [
         state["inner"]["decided_at_k"]
         for pid, state in res.final_states.items()
         if state is not None and pid not in res.faulty
     ]
-    return max(rounds)
+    return spec_holds, max(rounds)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 8)
     expect = Expectations()
     report = ExperimentReport(
@@ -55,8 +55,16 @@ def run(fast: bool = False) -> ExperimentResult:
         "deciding (not stopping) keeps the protocol compilable",
         headers=["actual crashes f'", "worst decision round", "f'+2", "bound f+1"],
     )
+    tasks = [(f_actual, seed) for f_actual in range(0, F + 1) for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for f_actual in range(0, F + 1):
-        worst = max(worst_decision_round(f_actual, seed, expect) for seed in seeds)
+        worst = 0
+        for seed in seeds:
+            spec_holds, decision_round = outcomes[(f_actual, seed)]
+            expect.check(
+                spec_holds, f"f'={f_actual} seed={seed}: consensus spec failed"
+            )
+            worst = max(worst, decision_round)
         report.add_row(f_actual, worst, f_actual + 2, F + 1)
         expect.check(
             worst <= min(f_actual + 2, F + 1),

@@ -2,26 +2,34 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.scheduler import AsyncScheduler
 from repro.detectors.consensus import CTConsensus, consensus_log_agreement
 from repro.detectors.heartbeat import HeartbeatDetector
 from repro.detectors.properties import strong_completeness
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
 
 N = 5
 
 
 def consensus_run(seed: int, corrupt: bool, max_time: float):
     proto = CTConsensus(N, mode="ss", detector="heartbeat")
+    corruption = None
+    if corrupt:
+        corruption = RandomCorruption(
+            seed=sweep_seed("EXT-HEARTBEAT", "consensus:corruption", seed)
+        )
     sched = AsyncScheduler(
         proto,
         N,
         seed=seed,
         gst=20.0,
         crash_times={N - 1: 30.0},
-        corruption=RandomCorruption(seed=seed + 9) if corrupt else None,
+        corruption=corruption,
         sample_interval=5.0,
     )
     return sched.run(max_time=max_time)
@@ -35,13 +43,27 @@ def detector_run(seed: int, max_timeout: float):
         seed=seed,
         gst=20.0,
         crash_times={N - 1: 30.0},
-        corruption=RandomCorruption(seed=seed + 3),
+        corruption=RandomCorruption(
+            seed=sweep_seed("EXT-HEARTBEAT", f"detector:cap={max_timeout:.0f}", seed)
+        ),
         sample_interval=2.0,
     )
     return sched.run(max_time=400.0)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure_consensus(task: Tuple[bool, int, float]):
+    corrupt, seed, max_time = task
+    verdict = consensus_log_agreement(consensus_run(seed, corrupt, max_time))
+    return verdict.holds, verdict.instances_checked
+
+
+def _measure_detector(task: Tuple[float, int]):
+    cap, seed = task
+    verdict = strong_completeness(detector_run(seed, cap))
+    return verdict.holds, verdict.converged_at if verdict.holds else None
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(2 if fast else 5)
     max_time = 180.0 if fast else 300.0
     expect = Expectations()
@@ -52,12 +74,23 @@ def run(fast: bool = False) -> ExperimentResult:
         "self-stabilizing given the timeout cap; consensus runs on it",
         headers=["series", "parameter", "holds / converged", "detail"],
     )
+    consensus_tasks = [
+        (corrupt, seed, max_time) for corrupt in (False, True) for seed in seeds
+    ]
+    consensus_outcomes = dict(
+        zip(consensus_tasks, run_sweep(_measure_consensus, consensus_tasks, jobs))
+    )
+    caps = (15.0, 60.0) if fast else (15.0, 60.0, 240.0)
+    detector_tasks = [(cap, seed) for cap in caps for seed in seeds]
+    detector_outcomes = dict(
+        zip(detector_tasks, run_sweep(_measure_detector, detector_tasks, jobs))
+    )
     for corrupt in (False, True):
         ok, instances = 0, []
         for seed in seeds:
-            verdict = consensus_log_agreement(consensus_run(seed, corrupt, max_time))
-            ok += verdict.holds
-            instances.append(verdict.instances_checked)
+            holds, checked = consensus_outcomes[(corrupt, seed, max_time)]
+            ok += holds
+            instances.append(checked)
         label = "corrupted" if corrupt else "clean"
         report.add_row(
             "consensus",
@@ -67,14 +100,13 @@ def run(fast: bool = False) -> ExperimentResult:
         )
         expect.check(ok == len(seeds), f"consensus/{label}: failed on some seed")
 
-    caps = (15.0, 60.0) if fast else (15.0, 60.0, 240.0)
     for cap in caps:
         times = []
         for seed in seeds:
-            verdict = strong_completeness(detector_run(seed, cap))
-            expect.check(verdict.holds, f"cap={cap}: completeness never converged")
-            if verdict.holds:
-                times.append(verdict.converged_at)
+            holds, converged_at = detector_outcomes[(cap, seed)]
+            expect.check(holds, f"cap={cap}: completeness never converged")
+            if holds:
+                times.append(converged_at)
         report.add_row(
             "detector (corrupted)",
             f"cap={cap:.0f}",

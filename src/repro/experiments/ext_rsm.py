@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.apps.rsm import ClientWorkload, ReplicatedStateMachine, rsm_verdict
 from repro.asyncnet.oracle import WeakDetectorOracle
 from repro.asyncnet.scheduler import AsyncScheduler
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
 
 N = 5
 CUTOFF = 110.0
@@ -31,6 +34,11 @@ def one_run(detector: str, corrupt: bool, seed: int, max_time: float):
         if detector == "fig4"
         else None
     )
+    corruption = None
+    if corrupt:
+        corruption = RandomCorruption(
+            seed=sweep_seed("EXT-RSM", f"{detector}:corruption", seed)
+        )
     sched = AsyncScheduler(
         rsm,
         N,
@@ -38,14 +46,20 @@ def one_run(detector: str, corrupt: bool, seed: int, max_time: float):
         gst=15.0,
         crash_times=crashes,
         oracle=oracle,
-        corruption=RandomCorruption(seed=seed + 5) if corrupt else None,
+        corruption=corruption,
         sample_interval=5.0,
     )
     trace = sched.run(max_time=max_time)
     return rsm_verdict(trace, w, liveness_cutoff=CUTOFF)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[str, bool, int, float]):
+    detector, corrupt, seed, max_time = task
+    verdict = one_run(detector, corrupt, seed, max_time)
+    return verdict.holds, verdict.applied_count
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(2 if fast else 4)
     max_time = 250.0 if fast else 350.0
     expect = Expectations()
@@ -57,13 +71,20 @@ def run(fast: bool = False) -> ExperimentResult:
         "over Section 3)",
         headers=["detector", "start", "crash", "holds", "median applied"],
     )
+    tasks = [
+        (detector, corrupt, seed, max_time)
+        for detector in ("fig4", "heartbeat")
+        for corrupt in (False, True)
+        for seed in seeds
+    ]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for detector in ("fig4", "heartbeat"):
         for corrupt in (False, True):
             holds, applied = 0, []
             for seed in seeds:
-                verdict = one_run(detector, corrupt, seed, max_time)
-                holds += verdict.holds
-                applied.append(verdict.applied_count)
+                ok, applied_count = outcomes[(detector, corrupt, seed, max_time)]
+                holds += ok
+                applied.append(applied_count)
             label = "corrupted" if corrupt else "clean"
             report.add_row(
                 detector,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.compiler import compile_protocol
 from repro.core.problems import (
@@ -11,22 +13,29 @@ from repro.core.problems import (
 )
 from repro.core.rounds import RoundAgreementProtocol
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.sync.corruption import ClockSkewCorruption
 from repro.sync.delays import RandomDelay, TargetedLag
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 from repro.workloads.scenarios import clock_skew_pattern
 
 N, ROUNDS = 5, 30
 
+P_LATES = (0.1, 0.4, 0.8)
+COMPILED_P_LATES = (0.1, 0.3)
 
-def run_with(delay_model, seed: int):
+
+def run_with(delay_model, point: str, seed: int):
+    skews = clock_skew_pattern(
+        N, seed=sweep_seed("EXT-SKEW", f"{point}:skews", seed)
+    )
     return run_sync(
         RoundAgreementProtocol(),
         n=N,
         rounds=ROUNDS,
-        corruption=ClockSkewCorruption(clock_skew_pattern(N, seed=seed)),
+        corruption=ClockSkewCorruption(skews),
         delay_model=delay_model,
     )
 
@@ -47,12 +56,35 @@ def compiled_under_lateness(p_late: float, seed: int) -> bool:
         plus,
         n=N,
         rounds=15 * pi.final_round,
-        delay_model=RandomDelay(seed=seed, p_late=p_late),
+        delay_model=RandomDelay(
+            seed=sweep_seed("EXT-SKEW", f"compiled,p_late={p_late}:delay", seed),
+            p_late=p_late,
+        ),
     )
     return ftss_check(res.history, sigma, 2 * pi.final_round).holds
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _agreement_pair(history):
+    exact = ftss_check(history, ClockAgreementProblem(), 2).holds
+    skew1 = ftss_check(history, BoundedSkewAgreementProblem(1), 2).holds
+    return exact, skew1
+
+
+def _measure(task: Tuple[str, Optional[float], int]):
+    kind, p_late, seed = task
+    if kind == "random":
+        point = f"p_late={p_late}"
+        delay = RandomDelay(
+            seed=sweep_seed("EXT-SKEW", f"{point}:delay", seed), p_late=p_late
+        )
+        return _agreement_pair(run_with(delay, point, seed).history)
+    if kind == "targeted":
+        lag_all_into_victim = TargetedLag([(q, 0) for q in range(1, N)])
+        return _agreement_pair(run_with(lag_all_into_victim, "targeted", seed).history)
+    return compiled_under_lateness(p_late, seed)
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 8)
     expect = Expectations()
     report = ExperimentReport(
@@ -64,12 +96,18 @@ def run(fast: bool = False) -> ExperimentResult:
         "permanently lagged link",
         headers=["delay regime", "exact agreement", "skew-1 agreement"],
     )
-    for p_late in (0.1, 0.4, 0.8):
+    tasks = (
+        [("random", p_late, seed) for p_late in P_LATES for seed in seeds]
+        + [("targeted", None, seed) for seed in seeds]
+        + [("compiled", p_late, seed) for p_late in COMPILED_P_LATES for seed in seeds]
+    )
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    for p_late in P_LATES:
         exact = skew1 = 0
         for seed in seeds:
-            history = run_with(RandomDelay(seed=seed, p_late=p_late), seed).history
-            exact += ftss_check(history, ClockAgreementProblem(), 2).holds
-            skew1 += ftss_check(history, BoundedSkewAgreementProblem(1), 2).holds
+            exact_ok, skew1_ok = outcomes[("random", p_late, seed)]
+            exact += exact_ok
+            skew1 += skew1_ok
         report.add_row(
             f"random, p_late={p_late}",
             f"{exact}/{len(seeds)}",
@@ -77,12 +115,11 @@ def run(fast: bool = False) -> ExperimentResult:
         )
         expect.check(skew1 == len(seeds), f"p_late={p_late}: skew-1 failed")
 
-    lag_all_into_victim = TargetedLag([(q, 0) for q in range(1, N)])
     exact = skew1 = 0
     for seed in seeds:
-        history = run_with(lag_all_into_victim, seed).history
-        exact += ftss_check(history, ClockAgreementProblem(), 2).holds
-        skew1 += ftss_check(history, BoundedSkewAgreementProblem(1), 2).holds
+        exact_ok, skew1_ok = outcomes[("targeted", None, seed)]
+        exact += exact_ok
+        skew1 += skew1_ok
     report.add_row(
         "targeted: every link into process 0 lags",
         f"{exact}/{len(seeds)}",
@@ -97,8 +134,8 @@ def run(fast: bool = False) -> ExperimentResult:
     # lateness as crash-like exclusion; heavy lateness exceeds Π's
     # budget and Σ⁺ breaks — the compiler, unlike round agreement, does
     # NOT "readily adapt" without further changes.
-    light = sum(compiled_under_lateness(0.1, seed) for seed in seeds)
-    heavy = sum(compiled_under_lateness(0.3, seed) for seed in seeds)
+    light = sum(outcomes[("compiled", 0.1, seed)] for seed in seeds)
+    heavy = sum(outcomes[("compiled", 0.3, seed)] for seed in seeds)
     report.add_row("compiled FloodMin, p_late=0.1", f"{light}/{len(seeds)} (Σ⁺)", "-")
     report.add_row("compiled FloodMin, p_late=0.3", f"{heavy}/{len(seeds)} (Σ⁺)", "-")
     expect.check(light == len(seeds), "compiler failed under light lateness")

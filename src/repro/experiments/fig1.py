@@ -2,34 +2,51 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.analysis.stabilization import empirical_stabilization
 from repro.core.problems import ClockAgreementProblem
 from repro.core.rounds import RoundAgreementProtocol
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.adversary import FaultMode, RandomAdversary
 from repro.sync.corruption import RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 
 SIGMA = ClockAgreementProblem()
 POINTS = [(3, 1), (6, 2), (10, 3), (16, 5)]
 
 
 def one_run(n: int, f: int, seed: int, rounds: int = 40):
+    point = f"n={n},f={f}"
     adversary = RandomAdversary(
-        n=n, f=f, mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=seed
+        n=n,
+        f=f,
+        mode=FaultMode.GENERAL_OMISSION,
+        rate=0.4,
+        seed=sweep_seed("FIG1", f"{point}:adversary", seed),
     )
     return run_sync(
         RoundAgreementProtocol(),
         n=n,
         rounds=rounds,
         adversary=adversary,
-        corruption=RandomCorruption(seed=seed + 1000),
+        corruption=RandomCorruption(
+            seed=sweep_seed("FIG1", f"{point}:corruption", seed)
+        ),
     )
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int, int]):
+    n, f, seed = task
+    res = one_run(n, f, seed)
+    holds = ftss_check(res.history, SIGMA, stabilization_time=1).holds
+    return holds, empirical_stabilization(res.history, SIGMA)
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 8)
     expect = Expectations()
     report = ExperimentReport(
@@ -38,13 +55,13 @@ def run(fast: bool = False) -> ExperimentResult:
         claim="ftss-solves clock agreement with stabilization time 1 (Thm 3)",
         headers=["n", "f", "seeds", "ftss@1 holds", "max measured stabilization"],
     )
+    tasks = [(n, f, seed) for n, f in POINTS for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for n, f in POINTS:
         holds, measured = 0, []
         for seed in seeds:
-            res = one_run(n, f, seed)
-            if ftss_check(res.history, SIGMA, stabilization_time=1).holds:
-                holds += 1
-            value = empirical_stabilization(res.history, SIGMA)
+            ok, value = outcomes[(n, f, seed)]
+            holds += ok
             if value is not None:
                 measured.append(value)
         worst = max(measured) if measured else None

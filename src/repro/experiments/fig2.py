@@ -2,16 +2,19 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.canonical import CanonicalRunner, run_ft
 from repro.core.problems import ConsensusProblem
 from repro.core.solvability import ft_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.sync.adversary import FaultMode, RandomAdversary
 from repro.sync.corruption import RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 
 SIGMA = ConsensusProblem(
     decision_of=lambda s: s["inner"].get("decision"),
@@ -30,7 +33,30 @@ def cases():
     ]
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int]):
+    index, seed = task
+    pi, n, mode = cases()[index]
+    adversary = RandomAdversary(
+        n=n,
+        f=pi.f,
+        mode=mode,
+        rate=0.5,
+        seed=sweep_seed("FIG2", f"{pi.name}:adversary", seed),
+    )
+    res = run_ft(pi, n=n, adversary=adversary)
+    clean_ok = ft_check(res.history, SIGMA).holds
+    corrupted = run_sync(
+        CanonicalRunner(pi),
+        n=n,
+        rounds=pi.final_round + 1,
+        corruption=RandomCorruption(
+            seed=sweep_seed("FIG2", f"{pi.name}:corruption", seed)
+        ),
+    )
+    return clean_ok, ft_check(corrupted.history, SIGMA).holds
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(4 if fast else 10)
     expect = Expectations()
     report = ExperimentReport(
@@ -40,19 +66,12 @@ def run(fast: bool = False) -> ExperimentResult:
         "defenceless against systemic failures [KP90]",
         headers=["protocol", "fault mode", "clean ft-solves", "corrupted survives"],
     )
-    for pi, n, mode in cases():
-        clean_ok = corrupted_ok = 0
-        for seed in seeds:
-            adversary = RandomAdversary(n=n, f=pi.f, mode=mode, rate=0.5, seed=seed)
-            res = run_ft(pi, n=n, adversary=adversary)
-            clean_ok += ft_check(res.history, SIGMA).holds
-            corrupted = run_sync(
-                CanonicalRunner(pi),
-                n=n,
-                rounds=pi.final_round + 1,
-                corruption=RandomCorruption(seed=seed),
-            )
-            corrupted_ok += ft_check(corrupted.history, SIGMA).holds
+    all_cases = cases()
+    tasks = [(index, seed) for index in range(len(all_cases)) for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    for index, (pi, _n, mode) in enumerate(all_cases):
+        clean_ok = sum(outcomes[(index, seed)][0] for seed in seeds)
+        corrupted_ok = sum(outcomes[(index, seed)][1] for seed in seeds)
         report.add_row(
             pi.name, mode.value, f"{clean_ok}/{len(seeds)}", f"{corrupted_ok}/{len(seeds)}"
         )

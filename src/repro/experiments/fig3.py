@@ -2,19 +2,22 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.metrics import message_overhead, run_message_stats
 from repro.analysis.report import ExperimentReport
 from repro.core.canonical import CanonicalRunner
 from repro.core.compiler import compile_protocol
 from repro.core.problems import RepeatedConsensusProblem
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.protocols.repeated import iteration_decisions
 from repro.sync.adversary import FaultMode, RandomAdversary
 from repro.sync.corruption import RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 
 
 def cases():
@@ -28,7 +31,33 @@ def cases():
     ]
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int]):
+    index, seed = task
+    pi, n, mode = cases()[index]
+    plus = compile_protocol(pi)
+    props = frozenset(pi.proposal_for(p) for p in range(n))
+    sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+    adversary = RandomAdversary(
+        n=n,
+        f=pi.f,
+        mode=mode,
+        rate=0.2,
+        seed=sweep_seed("FIG3", f"{pi.name}:adversary", seed),
+    )
+    res = run_sync(
+        plus,
+        n=n,
+        rounds=12 * pi.final_round,
+        adversary=adversary,
+        corruption=RandomCorruption(
+            seed=sweep_seed("FIG3", f"{pi.name}:corruption", seed)
+        ),
+    )
+    ftss_ok = ftss_check(res.history, sigma, pi.final_round).holds
+    return ftss_ok, len(iteration_decisions(res.history))
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 8)
     expect = Expectations()
     report = ExperimentReport(
@@ -44,27 +73,16 @@ def run(fast: bool = False) -> ExperimentResult:
             "byte overhead vs bare Π",
         ],
     )
-    for pi, n, mode in cases():
+    all_cases = cases()
+    tasks = [(index, seed) for index in range(len(all_cases)) for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    for index, (pi, n, _mode) in enumerate(all_cases):
         plus = compile_protocol(pi)
-        props = frozenset(pi.proposal_for(p) for p in range(n))
-        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
-        rounds = 12 * pi.final_round
-
-        ftss_ok, decisions_per_run = 0, []
-        for seed in seeds:
-            adversary = RandomAdversary(n=n, f=pi.f, mode=mode, rate=0.2, seed=seed)
-            res = run_sync(
-                plus,
-                n=n,
-                rounds=rounds,
-                adversary=adversary,
-                corruption=RandomCorruption(seed=seed + 500),
-            )
-            ftss_ok += ftss_check(res.history, sigma, pi.final_round).holds
-            decisions_per_run.append(len(iteration_decisions(res.history)))
+        ftss_ok = sum(outcomes[(index, seed)][0] for seed in seeds)
+        decisions_per_run = [outcomes[(index, seed)][1] for seed in seeds]
 
         bare = run_sync(CanonicalRunner(pi), n=n, rounds=pi.final_round)
-        rich = run_sync(plus, n=n, rounds=rounds)
+        rich = run_sync(plus, n=n, rounds=12 * pi.final_round)
         overhead = message_overhead(
             run_message_stats(bare.history), run_message_stats(rich.history)
         )

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.oracle import WeakDetectorOracle
 from repro.asyncnet.scheduler import AsyncScheduler
 from repro.detectors.properties import eventual_weak_accuracy, strong_completeness
 from repro.detectors.strong import StrongDetector
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
 
 GST = 30.0
 MAX_TIME = 250.0
@@ -17,6 +20,11 @@ MAX_TIME = 250.0
 def one_run(n: int, seed: int, corrupt: bool):
     crashes = {n - 1: 10.0, n - 2: 20.0}
     oracle = WeakDetectorOracle(n, crashes, gst=GST, seed=seed)
+    corruption = None
+    if corrupt:
+        corruption = RandomCorruption(
+            seed=sweep_seed("FIG4", f"n={n}:corruption", seed)
+        )
     sched = AsyncScheduler(
         StrongDetector(),
         n,
@@ -24,13 +32,26 @@ def one_run(n: int, seed: int, corrupt: bool):
         gst=GST,
         crash_times=crashes,
         oracle=oracle,
-        corruption=RandomCorruption(seed=seed + 77) if corrupt else None,
+        corruption=corruption,
         sample_interval=2.0,
     )
     return sched.run(max_time=MAX_TIME)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, bool, int]):
+    n, corrupt, seed = task
+    trace = one_run(n, seed, corrupt)
+    sc = strong_completeness(trace)
+    ewa = eventual_weak_accuracy(trace)
+    return (
+        sc.holds,
+        ewa.holds,
+        sc.converged_at if sc.holds else None,
+        ewa.converged_at if ewa.holds else None,
+    )
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     sizes = [4, 6] if fast else [4, 6, 8, 12]
     seeds = range(3 if fast else 6)
     expect = Expectations()
@@ -41,20 +62,25 @@ def run(fast: bool = False) -> ExperimentResult:
         "convergence governed by delays, not corruption magnitude",
         headers=["n", "start", "SC holds", "EWA holds", "max SC conv.", "max EWA conv."],
     )
+    tasks = [
+        (n, corrupt, seed)
+        for n in sizes
+        for corrupt in (False, True)
+        for seed in seeds
+    ]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for n in sizes:
         for corrupt, label in ((False, "clean"), (True, "corrupted")):
             sc_ok = ewa_ok = 0
             sc_times, ewa_times = [], []
             for seed in seeds:
-                trace = one_run(n, seed, corrupt)
-                sc = strong_completeness(trace)
-                ewa = eventual_weak_accuracy(trace)
-                sc_ok += sc.holds
-                ewa_ok += ewa.holds
-                if sc.holds:
-                    sc_times.append(sc.converged_at)
-                if ewa.holds:
-                    ewa_times.append(ewa.converged_at)
+                sc_holds, ewa_holds, sc_at, ewa_at = outcomes[(n, corrupt, seed)]
+                sc_ok += sc_holds
+                ewa_ok += ewa_holds
+                if sc_at is not None:
+                    sc_times.append(sc_at)
+                if ewa_at is not None:
+                    ewa_times.append(ewa_at)
             report.add_row(
                 n,
                 label,

@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.report import ExperimentReport
 from repro.core.impossibility import theorem1_scenario
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(candidate: int):
+    out = theorem1_scenario(candidate)
+    return (
+        not out.merge_tentative.holds,
+        not out.twin_tentative.holds,
+        out.ftss_survives,
+        out.tentative_defeated,
+    )
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     candidates = [1, 4, 16] if fast else [1, 2, 4, 8, 16, 32, 64]
     expect = Expectations()
     report = ExperimentReport(
@@ -22,14 +34,11 @@ def run(fast: bool = False) -> ExperimentResult:
             "ftss@1 survives",
         ],
     )
-    for candidate in candidates:
-        out = theorem1_scenario(candidate)
-        report.add_row(
-            candidate,
-            not out.merge_tentative.holds,
-            not out.twin_tentative.holds,
-            out.ftss_survives,
-        )
-        expect.check(out.tentative_defeated, f"r={candidate}: a horn survived")
-        expect.check(out.ftss_survives, f"r={candidate}: ftss@1 failed")
+    outcomes = run_sweep(_measure, candidates, jobs)
+    for candidate, (merge_violates, twin_violates, survives, defeated) in zip(
+        candidates, outcomes
+    ):
+        report.add_row(candidate, merge_violates, twin_violates, survives)
+        expect.check(defeated, f"r={candidate}: a horn survived")
+        expect.check(survives, f"r={candidate}: ftss@1 failed")
     return ExperimentResult(report=report, failures=expect.failures)

@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.report import ExperimentReport
 from repro.core.impossibility import theorem2_scenario
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(patience: Optional[int]):
+    rounds = 12 if patience is None else patience + 8
+    out = theorem2_scenario(patience, rounds=rounds)
+    return (
+        out.views_identical,
+        out.pivot_halted,
+        out.pivot_uniform_in_a,
+        out.pivot_rate_in_b,
+        out.rule_defeated,
+    )
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     rules = [None, 2] if fast else [None, 1, 2, 3, 5, 8]
     expect = Expectations()
     report = ExperimentReport(
@@ -24,18 +38,11 @@ def run(fast: bool = False) -> ExperimentResult:
             "defeated",
         ],
     )
-    for patience in rules:
-        rounds = 12 if patience is None else patience + 8
-        out = theorem2_scenario(patience, rounds=rounds)
+    outcomes = run_sweep(_measure, rules, jobs)
+    for patience, row in zip(rules, outcomes):
+        identical, halted, uniform_a, rate_b, defeated = row
         rule = "never-halt" if patience is None else f"halt-after-{patience}"
-        report.add_row(
-            rule,
-            out.views_identical,
-            out.pivot_halted,
-            out.pivot_uniform_in_a,
-            out.pivot_rate_in_b,
-            out.rule_defeated,
-        )
-        expect.check(out.views_identical, f"{rule}: views diverged")
-        expect.check(out.rule_defeated, f"{rule}: both obligations held")
+        report.add_row(rule, identical, halted, uniform_a, rate_b, defeated)
+        expect.check(identical, f"{rule}: views diverged")
+        expect.check(defeated, f"{rule}: both obligations held")
     return ExperimentResult(report=report, failures=expect.failures)

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.analysis.stabilization import empirical_stabilization
 from repro.core.problems import ClockAgreementProblem
 from repro.core.rounds import RoundAgreementProtocol
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.adversary import FaultMode, RandomAdversary
 from repro.sync.corruption import ClockSkewCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 from repro.workloads.scenarios import clock_skew_pattern
 
 SIGMA = ClockAgreementProblem()
@@ -17,8 +20,17 @@ N, F = 6, 2
 
 
 def one_run(magnitude: int, mode: FaultMode, seed: int):
-    skews = clock_skew_pattern(N, seed=seed, magnitude=magnitude)
-    adversary = RandomAdversary(n=N, f=F, mode=mode, rate=0.4, seed=seed)
+    point = f"mag=2^{magnitude.bit_length() - 1},mode={mode.value}"
+    skews = clock_skew_pattern(
+        N, seed=sweep_seed("THM3", f"{point}:skews", seed), magnitude=magnitude
+    )
+    adversary = RandomAdversary(
+        n=N,
+        f=F,
+        mode=mode,
+        rate=0.4,
+        seed=sweep_seed("THM3", f"{point}:adversary", seed),
+    )
     return run_sync(
         RoundAgreementProtocol(),
         n=N,
@@ -28,9 +40,15 @@ def one_run(magnitude: int, mode: FaultMode, seed: int):
     )
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, FaultMode, int]):
+    magnitude, mode, seed = task
+    return empirical_stabilization(one_run(magnitude, mode, seed).history, SIGMA)
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(4 if fast else 10)
     magnitudes = [1 << 4, 1 << 40] if fast else [1 << 4, 1 << 20, 1 << 40]
+    modes = (FaultMode.CRASH, FaultMode.GENERAL_OMISSION)
     expect = Expectations()
     report = ExperimentReport(
         experiment_id="THM3",
@@ -39,13 +57,18 @@ def run(fast: bool = False) -> ExperimentResult:
         "magnitude (Thm 3)",
         headers=["corruption magnitude", "fault mode", "measured max", "refutations"],
     )
+    tasks = [
+        (magnitude, mode, seed)
+        for magnitude in magnitudes
+        for mode in modes
+        for seed in seeds
+    ]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for magnitude in magnitudes:
-        for mode in (FaultMode.CRASH, FaultMode.GENERAL_OMISSION):
+        for mode in modes:
             measured, refuted = [], 0
             for seed in seeds:
-                value = empirical_stabilization(
-                    one_run(magnitude, mode, seed).history, SIGMA
-                )
+                value = outcomes[(magnitude, mode, seed)]
                 if value is None:
                     refuted += 1
                 else:

@@ -2,27 +2,39 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.core.compiler import compile_protocol
 from repro.core.problems import RepeatedConsensusProblem
 from repro.core.solvability import ftss_check
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.protocols.floodmin import FloodMinConsensus
 from repro.sync.adversary import FaultMode, RandomAdversary
 from repro.sync.corruption import RandomCorruption
 from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
 
 N = 6
 
 
 def compiled_history(pi, plus, seed):
-    adversary = RandomAdversary(n=N, f=pi.f, mode=FaultMode.CRASH, rate=0.15, seed=seed)
+    point = f"f={pi.f}"
+    adversary = RandomAdversary(
+        n=N,
+        f=pi.f,
+        mode=FaultMode.CRASH,
+        rate=0.15,
+        seed=sweep_seed("THM4", f"{point}:adversary", seed),
+    )
     return run_sync(
         plus,
         n=N,
         rounds=14 * pi.final_round,
         adversary=adversary,
-        corruption=RandomCorruption(seed=seed + 31),
+        corruption=RandomCorruption(
+            seed=sweep_seed("THM4", f"{point}:corruption", seed)
+        ),
     ).history
 
 
@@ -33,7 +45,17 @@ def smallest_passing_grace(history, sigma, limit):
     return None
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[int, int]):
+    f, seed = task
+    pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5, 9])
+    plus = compile_protocol(pi)
+    props = frozenset(pi.proposal_for(p) for p in range(N))
+    sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+    limit = 3 * pi.final_round
+    return smallest_passing_grace(compiled_history(pi, plus, seed), sigma, limit)
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 8)
     budgets = [1, 2] if fast else [1, 2, 3]
     expect = Expectations()
@@ -44,15 +66,14 @@ def run(fast: bool = False) -> ExperimentResult:
         "add up to final_round more (§2.4)",
         headers=["f", "final_round", "graces (min/median/max)", "within 2*final_round"],
     )
+    tasks = [(f, seed) for f in budgets for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     for f in budgets:
         pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5, 9])
-        plus = compile_protocol(pi)
-        props = frozenset(pi.proposal_for(p) for p in range(N))
-        sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
         limit = 3 * pi.final_round
         graces = []
         for seed in seeds:
-            grace = smallest_passing_grace(compiled_history(pi, plus, seed), sigma, limit)
+            grace = outcomes[(f, seed)]
             if not expect.check(
                 grace is not None, f"f={f} seed={seed}: no grace up to {limit} passes"
             ):

@@ -2,18 +2,26 @@
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.oracle import WeakDetectorOracle
 from repro.asyncnet.scheduler import AsyncScheduler
 from repro.detectors.properties import eventual_weak_accuracy, strong_completeness
 from repro.detectors.strong import LastWriterDetector, StrongDetector
-from repro.experiments.base import Expectations, ExperimentResult
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
 from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
 
 GST = 40.0
 PRE_GST_DELAY = 120.0
 MAX_TIME = 350.0
 N = 6
+
+_DETECTORS = {
+    "StrongDetector": StrongDetector,
+    "LastWriterDetector": LastWriterDetector,
+}
 
 
 def one_run(proto_cls, seed: int):
@@ -26,14 +34,24 @@ def one_run(proto_cls, seed: int):
         gst=GST,
         crash_times=crashes,
         oracle=oracle,
-        corruption=RandomCorruption(seed=seed + 5),
+        corruption=RandomCorruption(
+            seed=sweep_seed("THM5", f"{proto_cls.__name__}:corruption", seed)
+        ),
         pre_gst_delay_max=PRE_GST_DELAY,
         sample_interval=2.0,
     )
     return sched.run(max_time=MAX_TIME)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _measure(task: Tuple[str, int]):
+    name, seed = task
+    trace = one_run(_DETECTORS[name], seed)
+    sc = strong_completeness(trace)
+    ewa = eventual_weak_accuracy(trace)
+    return sc.holds, ewa.holds, ewa.converged_at if ewa.holds else None
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     seeds = range(3 if fast else 6)
     expect = Expectations()
     report = ExperimentReport(
@@ -44,23 +62,24 @@ def run(fast: bool = False) -> ExperimentResult:
         "counters, stale gossip re-infects until it drains",
         headers=["detector", "SC holds", "EWA holds", "median EWA conv.", "max EWA conv."],
     )
+    names = list(_DETECTORS)
+    tasks = [(name, seed) for name in names for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
     medians = {}
-    for proto_cls in (StrongDetector, LastWriterDetector):
+    for name in names:
         sc_ok = ewa_ok = 0
         ewa_times = []
         for seed in seeds:
-            trace = one_run(proto_cls, seed)
-            sc = strong_completeness(trace)
-            ewa = eventual_weak_accuracy(trace)
-            sc_ok += sc.holds
-            ewa_ok += ewa.holds
-            if ewa.holds:
-                ewa_times.append(ewa.converged_at)
+            sc_holds, ewa_holds, ewa_at = outcomes[(name, seed)]
+            sc_ok += sc_holds
+            ewa_ok += ewa_holds
+            if ewa_at is not None:
+                ewa_times.append(ewa_at)
         ewa_times.sort()
         median = ewa_times[len(ewa_times) // 2] if ewa_times else None
-        medians[proto_cls.__name__] = median
+        medians[name] = median
         report.add_row(
-            proto_cls.__name__,
+            name,
             f"{sc_ok}/{len(seeds)}",
             f"{ewa_ok}/{len(seeds)}",
             f"{median:.0f}" if median else "-",
@@ -68,7 +87,7 @@ def run(fast: bool = False) -> ExperimentResult:
         )
         expect.check(
             sc_ok == len(seeds) and ewa_ok == len(seeds),
-            f"{proto_cls.__name__}: a ◇S property failed to converge",
+            f"{name}: a ◇S property failed to converge",
         )
     expect.check(
         medians["StrongDetector"] is not None

@@ -1,0 +1,57 @@
+"""The simulation kernel shared by both substrates.
+
+The synchronous lockstep engine (:mod:`repro.sync.engine`) and the
+asynchronous discrete-event scheduler (:mod:`repro.asyncnet.scheduler`)
+simulate very different system models, but everything *around* the
+model is the same job twice: injecting faults, copying process states,
+and recording what happened.  This package extracts that common layer:
+
+- :mod:`repro.kernel.faults` — one :class:`FaultPlan` describing a
+  fault scenario (crash schedule, omission adversary, systemic
+  corruption, asynchrony knobs) that can be aimed at either substrate;
+- :mod:`repro.kernel.events` — the observer/event-bus API
+  (``on_round_start``, ``on_send``, ``on_deliver``, ``on_fault``,
+  ``on_state_commit``, ...) both engines emit instead of doing inline
+  history bookkeeping;
+- :mod:`repro.kernel.recorders` — the observers that rebuild the
+  classic artifacts (:class:`~repro.histories.history.ExecutionHistory`
+  and :class:`~repro.asyncnet.scheduler.AsyncTrace`) from the event
+  stream;
+- :mod:`repro.kernel.snapshot` — the state-snapshot helper both
+  engines use instead of blanket ``copy.deepcopy``.
+"""
+
+from repro.kernel.events import (
+    AsyncMessage,
+    EventBus,
+    FaultEvent,
+    FaultKind,
+    Observer,
+)
+from repro.kernel.faults import (
+    AsyncFaultView,
+    ComposedAdversary,
+    CrashScheduleAdversary,
+    FaultPlan,
+    SyncFaultView,
+)
+from repro.kernel.recorders import AsyncTraceRecorder, HistoryRecorder
+from repro.kernel.snapshot import copy_payload, snapshot_state, snapshot_states
+
+__all__ = [
+    "AsyncFaultView",
+    "AsyncMessage",
+    "AsyncTraceRecorder",
+    "ComposedAdversary",
+    "CrashScheduleAdversary",
+    "EventBus",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "HistoryRecorder",
+    "Observer",
+    "SyncFaultView",
+    "copy_payload",
+    "snapshot_state",
+    "snapshot_states",
+]

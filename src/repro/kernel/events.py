@@ -1,0 +1,169 @@
+"""The kernel's observer/event-bus API.
+
+Both engines narrate their execution as a stream of events instead of
+doing inline history bookkeeping.  An :class:`Observer` subscribes to
+the hooks it cares about; an :class:`EventBus` fans each event out to
+every registered observer.  The classic artifacts —
+:class:`~repro.histories.history.ExecutionHistory` and
+:class:`~repro.asyncnet.scheduler.AsyncTrace` — are rebuilt by two
+observers over this stream (:mod:`repro.kernel.recorders`), and the
+streaming analyses (:mod:`repro.analysis.metrics`,
+:mod:`repro.analysis.stabilization`) are further observers that compute
+their measurements without materializing a full history.
+
+Event vocabulary (``time`` is the actual round number in the
+synchronous substrate and the virtual time in the asynchronous one):
+
+================== ======================================================
+``on_run_start``    system size, protocol, first round
+``on_round_start``  (sync) round number + state snapshots at round start
+``on_send``         one message actually placed on the network
+``on_deliver``      one message actually delivered
+``on_fault``        one :class:`FaultEvent` (crash, omission, forgery,
+                    corruption)
+``on_state_commit`` a process committed a new state (``None`` = crashed)
+``on_sample``       (async) sampled outputs at the trace cadence
+``on_round_end``    (sync) the round's records are complete
+``on_run_end``      final states at the end of the run
+================== ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence
+
+__all__ = ["AsyncMessage", "EventBus", "FaultEvent", "FaultKind", "Observer"]
+
+ProcessId = int
+
+
+class FaultKind:
+    """The fault vocabulary shared by both substrates."""
+
+    CRASH = "crash"
+    SEND_OMISSION = "send-omission"
+    RECEIVE_OMISSION = "receive-omission"
+    FORGERY = "forgery"
+    CORRUPTION = "corruption"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as seen by observers.
+
+    ``time`` is the actual round number (sync) or virtual time (async).
+    ``targets`` depends on the kind: crash → receivers of the final
+    broadcast; send omission → receivers dropped; receive omission →
+    senders dropped; forgery → receivers lied to; corruption → empty
+    (the corrupted process is ``pid`` itself).
+    """
+
+    kind: str
+    time: float
+    pid: ProcessId
+    targets: FrozenSet[ProcessId] = frozenset()
+
+
+@dataclass(frozen=True)
+class AsyncMessage:
+    """A message in the asynchronous substrate (no round numbers)."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+    sent_time: float
+
+
+class Observer:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_run_start(self, n: int, protocol: Any, first_round: int = 1) -> None:
+        pass
+
+    def on_round_start(
+        self,
+        round_no: int,
+        snapshots: Mapping[ProcessId, Optional[Dict[str, Any]]],
+    ) -> None:
+        pass
+
+    def on_send(self, message: Any, time: float) -> None:
+        pass
+
+    def on_deliver(self, message: Any, time: float) -> None:
+        pass
+
+    def on_fault(self, fault: FaultEvent) -> None:
+        pass
+
+    def on_state_commit(
+        self, pid: ProcessId, time: float, state: Optional[Dict[str, Any]]
+    ) -> None:
+        pass
+
+    def on_sample(self, time: float, outputs: Dict[ProcessId, Any]) -> None:
+        pass
+
+    def on_round_end(self, round_no: int) -> None:
+        pass
+
+    def on_run_end(
+        self,
+        time: float,
+        final_states: Mapping[ProcessId, Optional[Dict[str, Any]]],
+    ) -> None:
+        pass
+
+
+class EventBus(Observer):
+    """Fans every event out to a fixed tuple of observers.
+
+    The bus is itself an :class:`Observer`, so buses nest if a run ever
+    needs to splice streams.
+    """
+
+    __slots__ = ("_observers",)
+
+    def __init__(self, observers: Sequence[Observer] = ()):
+        self._observers = tuple(observers)
+
+    @property
+    def observers(self) -> "tuple[Observer, ...]":
+        return self._observers
+
+    def on_run_start(self, n, protocol, first_round=1):
+        for observer in self._observers:
+            observer.on_run_start(n, protocol, first_round)
+
+    def on_round_start(self, round_no, snapshots):
+        for observer in self._observers:
+            observer.on_round_start(round_no, snapshots)
+
+    def on_send(self, message, time):
+        for observer in self._observers:
+            observer.on_send(message, time)
+
+    def on_deliver(self, message, time):
+        for observer in self._observers:
+            observer.on_deliver(message, time)
+
+    def on_fault(self, fault):
+        for observer in self._observers:
+            observer.on_fault(fault)
+
+    def on_state_commit(self, pid, time, state):
+        for observer in self._observers:
+            observer.on_state_commit(pid, time, state)
+
+    def on_sample(self, time, outputs):
+        for observer in self._observers:
+            observer.on_sample(time, outputs)
+
+    def on_round_end(self, round_no):
+        for observer in self._observers:
+            observer.on_round_end(round_no)
+
+    def on_run_end(self, time, final_states):
+        for observer in self._observers:
+            observer.on_run_end(time, final_states)

@@ -1,0 +1,181 @@
+"""Observers that rebuild the classic run artifacts from the event stream.
+
+The engines used to assemble :class:`ExecutionHistory` /
+:class:`AsyncTrace` inline; now they only narrate events and these two
+observers do the bookkeeping.  Any other observer on the same bus sees
+exactly the information the recorders see — which is the point: the
+recorded history is *derived from* the event stream, never privileged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.histories.history import (
+    CLOCK_KEY,
+    ExecutionHistory,
+    ProcessRoundRecord,
+    RoundHistory,
+)
+from repro.kernel.events import FaultEvent, FaultKind, Observer
+
+__all__ = ["AsyncTraceRecorder", "HistoryRecorder"]
+
+ProcessId = int
+
+
+class HistoryRecorder(Observer):
+    """Rebuilds the synchronous :class:`ExecutionHistory` from events.
+
+    Byte-for-byte compatible with the engine's pre-kernel inline
+    bookkeeping (property-tested on the FIG1/FIG3 workloads): records
+    appear in pid order, sent tuples in emission order, delivered
+    tuples in the engine's (sender, sent_round) order, and deviation
+    flags exactly as the fault events report them.
+    """
+
+    def __init__(self) -> None:
+        self._n: Optional[int] = None
+        self._rounds: List[RoundHistory] = []
+        self._crashed: Set[ProcessId] = set()
+        self._round_no: Optional[int] = None
+        self._snapshots: Dict[ProcessId, Optional[Dict[str, Any]]] = {}
+        self._sent: Dict[ProcessId, list] = {}
+        self._delivered: Dict[ProcessId, list] = {}
+        self._crashing: Set[ProcessId] = set()
+        self._omitted_sends: Dict[ProcessId, frozenset] = {}
+        self._omitted_receives: Dict[ProcessId, frozenset] = {}
+        self._forged_sends: Dict[ProcessId, frozenset] = {}
+
+    def on_run_start(self, n, protocol, first_round=1):
+        self._n = n
+
+    def on_round_start(self, round_no, snapshots):
+        self._round_no = round_no
+        self._snapshots = snapshots
+        self._sent = {}
+        self._delivered = {}
+        self._crashing = set()
+        self._omitted_sends = {}
+        self._omitted_receives = {}
+        self._forged_sends = {}
+
+    def on_send(self, message, time):
+        self._sent.setdefault(message.sender, []).append(message)
+
+    def on_deliver(self, message, time):
+        self._delivered.setdefault(message.receiver, []).append(message)
+
+    def on_fault(self, fault: FaultEvent):
+        if self._round_no is None:
+            return  # initial corruption: not part of any round's records
+        if fault.kind == FaultKind.CRASH:
+            self._crashing.add(fault.pid)
+        elif fault.kind == FaultKind.SEND_OMISSION:
+            self._omitted_sends[fault.pid] = frozenset(fault.targets)
+        elif fault.kind == FaultKind.RECEIVE_OMISSION:
+            self._omitted_receives[fault.pid] = frozenset(fault.targets)
+        elif fault.kind == FaultKind.FORGERY:
+            self._forged_sends[fault.pid] = frozenset(fault.targets)
+        # FaultKind.CORRUPTION: systemic failures are visible in the
+        # snapshots themselves; histories carry no separate mark (the
+        # paper's faulty set counts process failures only).
+
+    def on_round_end(self, round_no):
+        self._rounds.append(self._finish_round(round_no))
+
+    def _finish_round(self, round_no) -> RoundHistory:
+        """Assemble this round's records (subclasses may discard them)."""
+        records = []
+        for pid in range(self._n or 0):
+            if pid in self._crashed:
+                records.append(
+                    ProcessRoundRecord(
+                        pid=pid, state_before=None, clock_before=None, crashed=True
+                    )
+                )
+                continue
+            snapshot = self._snapshots.get(pid)
+            clock_before = None if snapshot is None else snapshot.get(CLOCK_KEY)
+            if pid in self._crashing:
+                records.append(
+                    ProcessRoundRecord(
+                        pid=pid,
+                        state_before=snapshot,
+                        clock_before=clock_before,
+                        sent=tuple(self._sent.get(pid, ())),
+                        delivered=(),
+                        crashed=True,
+                    )
+                )
+                continue
+            records.append(
+                ProcessRoundRecord(
+                    pid=pid,
+                    state_before=snapshot,
+                    clock_before=clock_before,
+                    sent=tuple(self._sent.get(pid, ())),
+                    delivered=tuple(self._delivered.get(pid, ())),
+                    crashed=False,
+                    omitted_sends=self._omitted_sends.get(pid, frozenset()),
+                    omitted_receives=self._omitted_receives.get(pid, frozenset()),
+                    forged_sends=self._forged_sends.get(pid, frozenset()),
+                )
+            )
+        self._crashed |= self._crashing
+        self._round_no = None
+        return RoundHistory(round_no=round_no, records=tuple(records))
+
+    def history(self) -> ExecutionHistory:
+        """The reconstructed execution history (≥ 1 round required)."""
+        return ExecutionHistory(self._rounds)
+
+
+class AsyncTraceRecorder(Observer):
+    """Rebuilds the asynchronous :class:`AsyncTrace` from events."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._samples: List[tuple] = []
+        self._crashed: Set[ProcessId] = set()
+        self._messages_sent = 0
+        self._deliveries = 0
+        self._final_states: Dict[ProcessId, Optional[Dict[str, Any]]] = {}
+        self._duration = 0.0
+
+    def on_run_start(self, n, protocol, first_round=1):
+        self._n = n
+
+    def on_send(self, message, time):
+        self._messages_sent += 1
+
+    def on_deliver(self, message, time):
+        self._deliveries += 1
+
+    def on_fault(self, fault: FaultEvent):
+        if fault.kind == FaultKind.CRASH:
+            self._crashed.add(fault.pid)
+
+    def on_sample(self, time, outputs):
+        self._samples.append((time, outputs))
+
+    def on_run_end(self, time, final_states):
+        self._duration = time
+        self._final_states = {
+            pid: None if state is None else dict(state)
+            for pid, state in final_states.items()
+        }
+
+    def trace(self):
+        """The reconstructed :class:`~repro.asyncnet.scheduler.AsyncTrace`."""
+        from repro.asyncnet.scheduler import AsyncTrace
+
+        return AsyncTrace(
+            n=self._n,
+            duration=self._duration,
+            samples=self._samples,
+            final_states=self._final_states,
+            crashed=frozenset(self._crashed),
+            messages_sent=self._messages_sent,
+            deliveries=self._deliveries,
+        )

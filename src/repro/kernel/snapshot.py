@@ -1,0 +1,71 @@
+"""State snapshots without blanket ``copy.deepcopy``.
+
+Both engines must snapshot process states (for ``state_before`` records
+and final states) and defensively copy message payloads.  The states in
+this library are overwhelmingly flat ``dict``s of immutable values —
+ints, strings, tuples of ints, frozensets — for which ``copy.deepcopy``
+pays its full recursive-memoization cost to produce what a shallow copy
+would.  These helpers walk the value once: deeply-immutable values are
+shared (safe — nobody can mutate them), mutable containers are rebuilt
+recursively, and anything exotic falls back to ``copy.deepcopy``.
+
+The observable semantics match ``deepcopy`` for simulation purposes:
+mutating the original after a snapshot never affects the snapshot.
+(The one deliberate difference: aliasing between two *mutable* values
+inside one state is not preserved — each reference gets its own copy.
+No protocol in the library relies on intra-state aliasing.)
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["copy_payload", "copy_value", "snapshot_state", "snapshot_states"]
+
+_ATOMS = (int, float, complex, bool, str, bytes, type(None))
+
+
+def _is_deeply_immutable(value: Any) -> bool:
+    if isinstance(value, _ATOMS):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_is_deeply_immutable(item) for item in value)
+    return False
+
+
+def copy_value(value: Any) -> Any:
+    """A defensive copy of ``value``, sharing immutable substructure."""
+    if _is_deeply_immutable(value):
+        return value
+    kind = type(value)
+    if kind is dict:
+        return {key: copy_value(item) for key, item in value.items()}
+    if kind is list:
+        return [copy_value(item) for item in value]
+    if kind is set:
+        return {copy_value(item) for item in value}
+    if kind is tuple:
+        return tuple(copy_value(item) for item in value)
+    if kind is frozenset:
+        return frozenset(copy_value(item) for item in value)
+    return copy.deepcopy(value)
+
+
+def copy_payload(payload: Any) -> Any:
+    """Defensive copy of a message payload (immutable fast path)."""
+    return copy_value(payload)
+
+
+def snapshot_state(state: Optional[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Snapshot one process state (``None`` = crashed, stays ``None``)."""
+    if state is None:
+        return None
+    return {key: copy_value(item) for key, item in state.items()}
+
+
+def snapshot_states(
+    states: Mapping[int, Optional[Mapping[str, Any]]],
+) -> Dict[int, Optional[Dict[str, Any]]]:
+    """Snapshot a whole state vector, preserving pid keys."""
+    return {pid: snapshot_state(state) for pid, state in states.items()}

@@ -2,8 +2,16 @@
 
 Executes a :class:`~repro.sync.protocol.SyncProtocol` on ``n`` processes
 for a given number of rounds under a process-failure adversary and a
-systemic-failure (corruption) plan, and records the full
-:class:`~repro.histories.history.ExecutionHistory`.
+systemic-failure (corruption) plan.  The engine is built on the
+simulation kernel (:mod:`repro.kernel`): faults may be supplied either
+through the classic ``adversary``/``corruption`` arguments or as one
+unified :class:`~repro.kernel.faults.FaultPlan`, and everything that
+happens — states at round start, messages actually sent and delivered,
+crashes, omissions, corruption — is narrated to an observer bus.  The
+full :class:`~repro.histories.history.ExecutionHistory` is rebuilt from
+that event stream by a :class:`~repro.kernel.recorders.HistoryRecorder`
+(the engine does no inline history bookkeeping), and callers may attach
+further observers (streaming metrics, custom probes) via ``observers``.
 
 Round structure (paper, Section 2):
 
@@ -21,24 +29,35 @@ Round structure (paper, Section 2):
 4. *end of round* — every alive, non-crashing process applies the
    protocol's transition function to its delivered messages.
 
-Everything that happened — states at round start, messages actually
-sent and delivered, crashes and omissions — is recorded, so all of the
-paper's predicates are later evaluated on the history alone.
+All of the paper's predicates are later evaluated on the recorded
+history alone.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from repro.histories.history import (
     CLOCK_KEY,
     ExecutionHistory,
     Message,
-    ProcessRoundRecord,
-    RoundHistory,
 )
+from repro.kernel.events import EventBus, FaultEvent, FaultKind, Observer
+from repro.kernel.recorders import HistoryRecorder
+
+if TYPE_CHECKING:  # runtime import would close the kernel↔sync cycle
+    from repro.kernel.faults import FaultPlan
+from repro.kernel.snapshot import copy_payload, snapshot_states
 from repro.sync.adversary import Adversary, NullAdversary, RoundFaultPlan
 from repro.sync.corruption import CorruptionPlan
 from repro.sync.delays import DelayModel, NoDelay
@@ -80,6 +99,24 @@ class SyncRunResult:
         }
 
 
+def _corrupt_states(
+    bus: EventBus,
+    plan: CorruptionPlan,
+    protocol: SyncProtocol,
+    states: Dict[ProcessId, Optional[Dict[str, Any]]],
+    n: int,
+    time: float,
+) -> Dict[ProcessId, Optional[Dict[str, Any]]]:
+    """Apply one corruption plan and narrate which memories it touched."""
+    corrupted = plan.corrupt(protocol, states, n)
+    for pid in range(n):
+        if corrupted.get(pid) != states.get(pid):
+            bus.on_fault(
+                FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
+            )
+    return corrupted
+
+
 def run_sync(
     protocol: SyncProtocol,
     n: int,
@@ -91,6 +128,8 @@ def run_sync(
     stop_condition: Optional[StopCondition] = None,
     first_round: int = 1,
     delay_model: Optional[DelayModel] = None,
+    fault_plan: "Optional[FaultPlan]" = None,
+    observers: Sequence[Observer] = (),
 ) -> SyncRunResult:
     """Execute ``protocol`` on ``n`` processes for up to ``rounds`` rounds.
 
@@ -125,6 +164,13 @@ def run_sync(
         extra rounds to arrive (default: none — the paper's perfect
         synchrony).  Messages still in flight when the run ends are
         dropped (a truncation artifact of finite histories).
+    fault_plan:
+        A unified :class:`~repro.kernel.faults.FaultPlan`, the kernel's
+        substrate-independent fault description.  Mutually exclusive
+        with ``adversary``/``corruption``/``mid_run_corruptions``.
+    observers:
+        Extra :class:`~repro.kernel.events.Observer` instances attached
+        to the run's event bus alongside the history recorder.
 
     Returns
     -------
@@ -134,10 +180,24 @@ def run_sync(
     """
     require_process_count(n)
     require_positive(rounds, "rounds")
+    if fault_plan is not None:
+        require(
+            adversary is None and corruption is None and mid_run_corruptions is None,
+            "pass either fault_plan or adversary/corruption/"
+            "mid_run_corruptions, not both",
+        )
+        view = fault_plan.to_sync()
+        adversary = view.adversary
+        corruption = view.corruption
+        mid_run_corruptions = view.mid_run_corruptions
     adversary = adversary or NullAdversary()
     delay_model = delay_model or NoDelay()
     mid_run = dict(mid_run_corruptions or {})
     in_flight: Dict[int, List[Message]] = {}
+
+    recorder = HistoryRecorder()
+    bus = EventBus((recorder, *observers))
+    bus.on_run_start(n, protocol, first_round)
 
     states: Dict[ProcessId, Optional[Dict[str, Any]]] = {}
     for pid in range(n):
@@ -151,63 +211,110 @@ def run_sync(
             )
         states[pid] = state
     if corruption is not None:
-        states = corruption.corrupt(protocol, states, n)
+        states = _corrupt_states(
+            bus, corruption, protocol, states, n, time=first_round - 1
+        )
 
     crashed: set = set()
     faulty_so_far: frozenset = frozenset()
-    round_histories: List[RoundHistory] = []
     stopped_early = False
+    last_round = first_round
 
     for round_no in range(first_round, first_round + rounds):
+        last_round = round_no
         if round_no in mid_run:
-            states = mid_run[round_no].corrupt(protocol, states, n)
+            states = _corrupt_states(
+                bus, mid_run[round_no], protocol, states, n, time=round_no
+            )
 
         alive = frozenset(pid for pid in range(n) if pid not in crashed)
         plan = adversary.plan_round(round_no, alive, faulty_so_far)
         adversary.validate(plan, faulty_so_far)
 
-        snapshots: Dict[ProcessId, Optional[Dict[str, Any]]] = {
-            pid: None if states[pid] is None else copy.deepcopy(states[pid])
-            for pid in range(n)
-        }
+        snapshots = snapshot_states(states)
+        bus.on_round_start(round_no, snapshots)
 
         sent, omitted_sends, forged_sends, crashing_now = _send_phase(
             protocol, n, round_no, states, alive, plan
         )
+        for pid in sorted(crashing_now):
+            bus.on_fault(
+                FaultEvent(
+                    kind=FaultKind.CRASH,
+                    time=round_no,
+                    pid=pid,
+                    targets=plan.crashes.get(pid, frozenset()),
+                )
+            )
+        for pid in range(n):
+            if omitted_sends[pid]:
+                bus.on_fault(
+                    FaultEvent(
+                        kind=FaultKind.SEND_OMISSION,
+                        time=round_no,
+                        pid=pid,
+                        targets=frozenset(omitted_sends[pid]),
+                    )
+                )
+            if forged_sends[pid]:
+                bus.on_fault(
+                    FaultEvent(
+                        kind=FaultKind.FORGERY,
+                        time=round_no,
+                        pid=pid,
+                        targets=frozenset(forged_sends[pid]),
+                    )
+                )
+        for pid in range(n):
+            for message in sent[pid]:
+                bus.on_send(message, round_no)
+
         immediate = _route_delays(sent, round_no, delay_model, in_flight)
         arriving = immediate + in_flight.pop(round_no, [])
         delivered, omitted_receives = _delivery_phase(
             n, arriving, crashed, crashing_now, plan
         )
-        records = _update_phase(
-            protocol,
-            n,
-            states,
-            snapshots,
-            sent,
-            delivered,
-            omitted_sends,
-            omitted_receives,
-            forged_sends,
-            crashed,
-            crashing_now,
+        for pid in range(n):
+            if omitted_receives[pid]:
+                bus.on_fault(
+                    FaultEvent(
+                        kind=FaultKind.RECEIVE_OMISSION,
+                        time=round_no,
+                        pid=pid,
+                        targets=frozenset(omitted_receives[pid]),
+                    )
+                )
+        for pid in range(n):
+            for message in delivered[pid]:
+                bus.on_deliver(message, round_no)
+
+        _update_phase(
+            protocol, n, bus, round_no, states, delivered, crashed, crashing_now
         )
 
         crashed |= crashing_now
-        round_history = RoundHistory(round_no=round_no, records=tuple(records))
-        round_histories.append(round_history)
-        faulty_so_far = faulty_so_far | round_history.deviators()
+        deviators = (
+            crashed
+            | {pid for pid in range(n) if omitted_sends[pid]}
+            | {pid for pid in range(n) if omitted_receives[pid]}
+            | {pid for pid in range(n) if forged_sends[pid]}
+        )
+        faulty_so_far = faulty_so_far | frozenset(deviators)
+
+        bus.on_round_end(round_no)
 
         if stop_condition is not None and stop_condition(states, round_no):
             stopped_early = True
             break
 
-    history = ExecutionHistory(round_histories)
+    final_states = {pid: states[pid] for pid in range(n)}
+    bus.on_run_end(last_round, final_states)
+    history = recorder.history()
     return SyncRunResult(
         protocol=protocol,
         n=n,
         history=history,
-        final_states={pid: states[pid] for pid in range(n)},
+        final_states=final_states,
         faulty=history.faulty(),
         stopped_early=stopped_early,
     )
@@ -234,7 +341,7 @@ def _send_phase(
             crashing_now.add(pid)
         if payload is None:
             continue
-        payload = copy.deepcopy(payload)
+        payload = copy_payload(payload)
         if crash_survivors is not None:
             receivers = set(crash_survivors)
         else:
@@ -244,16 +351,16 @@ def _send_phase(
             receivers = set(range(n)) - dropped
         lies = plan.forgeries.get(pid, {})
         for receiver in sorted(receivers):
-            copy_payload = payload
+            message_payload = payload
             if receiver in lies and receiver != pid:  # own broadcast stays true
-                copy_payload = copy.deepcopy(lies[receiver](copy.deepcopy(payload)))
+                message_payload = copy_payload(lies[receiver](copy_payload(payload)))
                 forged_sends[pid].add(receiver)
             sent[pid].append(
                 Message(
                     sender=pid,
                     receiver=receiver,
                     sent_round=round_no,
-                    payload=copy_payload,
+                    payload=message_payload,
                 )
             )
     return sent, omitted_sends, forged_sends, crashing_now
@@ -312,40 +419,20 @@ def _delivery_phase(
 def _update_phase(
     protocol: SyncProtocol,
     n: int,
+    bus: EventBus,
+    round_no: int,
     states: Dict[ProcessId, Optional[Dict[str, Any]]],
-    snapshots: Dict[ProcessId, Optional[Dict[str, Any]]],
-    sent: Dict[ProcessId, List[Message]],
     delivered: Dict[ProcessId, List[Message]],
-    omitted_sends: Dict[ProcessId, set],
-    omitted_receives: Dict[ProcessId, set],
-    forged_sends: Dict[ProcessId, set],
     crashed: set,
     crashing_now: set,
-):
-    """Apply transitions and assemble the round's records."""
-    records: List[ProcessRoundRecord] = []
+) -> None:
+    """Apply transitions and narrate the committed states."""
     for pid in range(n):
         if pid in crashed:
-            records.append(
-                ProcessRoundRecord(
-                    pid=pid, state_before=None, clock_before=None, crashed=True
-                )
-            )
             continue
-        snapshot = snapshots[pid]
-        clock_before = None if snapshot is None else snapshot.get(CLOCK_KEY)
         if pid in crashing_now:
             states[pid] = None
-            records.append(
-                ProcessRoundRecord(
-                    pid=pid,
-                    state_before=snapshot,
-                    clock_before=clock_before,
-                    sent=tuple(sent[pid]),
-                    delivered=(),
-                    crashed=True,
-                )
-            )
+            bus.on_state_commit(pid, round_no, None)
             continue
         new_state = protocol.update(pid, states[pid], delivered[pid])
         if not isinstance(new_state, dict) or CLOCK_KEY not in new_state:
@@ -354,17 +441,4 @@ def _update_phase(
                 f"dict containing the round variable ({CLOCK_KEY!r})"
             )
         states[pid] = new_state
-        records.append(
-            ProcessRoundRecord(
-                pid=pid,
-                state_before=snapshot,
-                clock_before=clock_before,
-                sent=tuple(sent[pid]),
-                delivered=tuple(delivered[pid]),
-                crashed=False,
-                omitted_sends=frozenset(omitted_sends[pid]),
-                omitted_receives=frozenset(omitted_receives[pid]),
-                forged_sends=frozenset(forged_sends[pid]),
-            )
-        )
-    return records
+        bus.on_state_commit(pid, round_no, new_state)

@@ -7,7 +7,7 @@ from repro.histories.causality import (
 )
 from repro.histories.history import ExecutionHistory, Message
 
-from tests.conftest import broadcast_round, make_history, make_record
+from tests.conftest import broadcast_round, make_record
 
 
 def silent_round(round_no, n, senders_to_receivers):

@@ -1,6 +1,5 @@
 """Unit tests for repro.sync.corruption."""
 
-from repro.core.rounds import RoundAgreementProtocol
 from repro.histories.history import CLOCK_KEY
 from repro.sync.corruption import (
     ClockSkewCorruption,

@@ -10,7 +10,7 @@ from repro.histories.history import (
     renumber,
 )
 
-from tests.conftest import broadcast_round, make_history, make_record
+from tests.conftest import broadcast_round, make_record
 
 
 class TestMessage:

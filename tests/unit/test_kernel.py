@@ -1,0 +1,123 @@
+"""Unit tests for the simulation kernel: snapshots, fault plans, sweeps."""
+
+import os
+
+import pytest
+
+from repro.experiments.base import default_jobs, run_sweep
+from repro.kernel import (
+    ComposedAdversary,
+    CrashScheduleAdversary,
+    FaultPlan,
+    copy_payload,
+    snapshot_state,
+    snapshot_states,
+)
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
+
+
+class TestSnapshot:
+    def test_immutable_values_shared(self):
+        state = {"clock": 3, "label": "x", "pair": (1, 2)}
+        snap = snapshot_state(state)
+        assert snap == state
+        assert snap is not state
+        assert snap["pair"] is state["pair"]
+
+    def test_nested_mutables_copied(self):
+        state = {"log": [[1], [2]], "inner": {"seen": {0, 1}}}
+        snap = snapshot_state(state)
+        snap["log"][0].append(99)
+        snap["inner"]["seen"].add(7)
+        assert state["log"][0] == [1]
+        assert state["inner"]["seen"] == {0, 1}
+
+    def test_none_state_preserved(self):
+        assert snapshot_states({0: None, 1: {"clock": 1}})[0] is None
+
+    def test_tuple_with_mutable_element_copied(self):
+        state = {"mix": (1, [2, 3])}
+        snap = snapshot_state(state)
+        snap["mix"][1].append(4)
+        assert state["mix"][1] == [2, 3]
+
+    def test_copy_payload_isolates(self):
+        payload = {"votes": [1, 2]}
+        copied = copy_payload(payload)
+        copied["votes"].append(3)
+        assert payload["votes"] == [1, 2]
+
+
+class TestFaultPlan:
+    def test_crash_set_identical_across_views(self):
+        plan = FaultPlan(crashes={0: 2.0, 3: 7.5})
+        assert plan.crash_set == frozenset({0, 3})
+        assert frozenset(plan.to_async().crash_times) == plan.crash_set
+
+    def test_sync_round_lands_at_ceil(self):
+        adversary = CrashScheduleAdversary({1: 2.3})
+        plan = adversary.plan_round(3, alive=frozenset({0, 1, 2}), faulty_so_far=frozenset())
+        assert 1 in plan.crashes
+        assert adversary.plan_round(2, frozenset({0, 1, 2}), frozenset()).crashes == {}
+
+    def test_budget_defaults_to_crashes_plus_omissions(self):
+        omissions = RandomAdversary(n=5, f=2, mode=FaultMode.SEND_OMISSION, rate=0.5, seed=0)
+        plan = FaultPlan(crashes={0: 1.0}, omissions=omissions)
+        assert plan.budget == 3
+
+    def test_omissions_have_no_async_realization(self):
+        omissions = RandomAdversary(n=5, f=1, mode=FaultMode.SEND_OMISSION, rate=0.5, seed=0)
+        with pytest.raises(ValueError):
+            FaultPlan(omissions=omissions).to_async()
+
+    def test_colliding_mid_corruptions_rejected(self):
+        plan = FaultPlan(
+            mid_corruptions={
+                4.2: RandomCorruption(seed=1),
+                4.8: RandomCorruption(seed=2),
+            }
+        )
+        with pytest.raises(ValueError):
+            plan.to_sync()
+
+    def test_composed_adversary_first_part_wins(self):
+        first = CrashScheduleAdversary({0: 1.0})
+        second = RandomAdversary(n=3, f=1, mode=FaultMode.SEND_OMISSION, rate=1.0, seed=0)
+        composed = ComposedAdversary([first, second])
+        plan = composed.plan_round(1, frozenset({0, 1, 2}), frozenset())
+        assert plan.crashes == {0: frozenset()}
+        assert composed.f == 2
+
+
+def _square(task):
+    return task * task
+
+
+class TestRunSweep:
+    def test_sequential_matches_input_order(self):
+        assert run_sweep(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_matches_sequential(self):
+        points = list(range(8))
+        assert run_sweep(_square, points, jobs=4) == run_sweep(_square, points, jobs=1)
+
+    def test_empty_points(self):
+        assert run_sweep(_square, [], jobs=4) == []
+
+    def test_default_jobs_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == 1
+
+
+class TestSweepSeed:
+    def test_deterministic_and_point_separated(self):
+        assert sweep_seed("FIG1", "n=4,f=1", 0) == sweep_seed("FIG1", "n=4,f=1", 0)
+        assert sweep_seed("FIG1", "n=4,f=1", 0) != sweep_seed("FIG1", "n=6,f=2", 0)
+        assert sweep_seed("FIG1", "n=4,f=1", 0) != sweep_seed("FIG2", "n=4,f=1", 0)
+        assert sweep_seed("FIG1", "n=4,f=1", 0) != sweep_seed("FIG1", "n=4,f=1", 1)

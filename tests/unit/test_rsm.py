@@ -1,7 +1,5 @@
 """Unit tests for repro.apps.rsm (the replicated state machine)."""
 
-import pytest
-
 from repro.apps.rsm import (
     NOOP,
     ClientWorkload,

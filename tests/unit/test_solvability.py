@@ -3,12 +3,10 @@
 from repro.core.problems import ClockAgreementProblem
 from repro.core.rounds import RoundAgreementProtocol
 from repro.core.solvability import ft_check, ftss_check, ss_check, tentative_check
-from repro.histories.history import ExecutionHistory
 from repro.sync.adversary import ScriptedAdversary
 from repro.sync.corruption import ClockSkewCorruption
 from repro.sync.engine import run_sync
 
-from tests.conftest import broadcast_round
 
 SIGMA = ClockAgreementProblem()
 
