@@ -4,12 +4,15 @@ Every benchmark regenerates one experiment from DESIGN.md's index: it
 times the core run with pytest-benchmark and emits an
 :class:`~repro.analysis.report.ExperimentReport` pairing the paper's
 claim with the measured series.  Reports are printed and also written
-to ``benchmarks/results/<EXPERIMENT_ID>.txt`` so EXPERIMENTS.md can
-reference stable artifacts.
+to ``benchmarks/results/<EXPERIMENT_ID>.txt`` (the human-readable
+table EXPERIMENTS.md references) and
+``benchmarks/results/BENCH_<EXPERIMENT_ID>.json`` (the same rows,
+header-keyed, for dashboards and regression tooling).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -28,6 +31,11 @@ def emit_report():
         print(text)
         path = RESULTS_DIR / f"{report.experiment_id}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        json_path = RESULTS_DIR / f"BENCH_{report.experiment_id}.json"
+        json_path.write_text(
+            json.dumps(report.to_json_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
         return path
 
     return _emit

@@ -10,11 +10,18 @@ EXPERIMENTS.md records the outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.util.formatting import format_table
 
 __all__ = ["ExperimentReport"]
+
+
+def _json_cell(value: object) -> object:
+    """JSON-safe cell: native scalars pass through, the rest stringify."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 @dataclass
@@ -45,3 +52,22 @@ class ExperimentReport:
         """Print the report (benches call this so output lands in logs)."""
         print()
         print(self.render())
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A machine-readable mirror of :meth:`render` for tooling.
+
+        Rows come back as header-keyed dicts so consumers don't have to
+        zip columns themselves; non-scalar cells are stringified exactly
+        as the rendered table shows them.
+        """
+        headers = [str(header) for header in self.headers]
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": headers,
+            "rows": [
+                dict(zip(headers, (_json_cell(cell) for cell in row)))
+                for row in self.rows
+            ],
+        }

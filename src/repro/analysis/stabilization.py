@@ -24,10 +24,39 @@ from repro.kernel.recorders import HistoryRecorder
 
 __all__ = [
     "StreamingClockStabilization",
+    "WindowMeasure",
     "WindowStabilization",
     "window_stabilization_times",
     "empirical_stabilization",
 ]
+
+
+@dataclass(frozen=True)
+class WindowMeasure:
+    """One stable-coterie window's streamed grace measurement.
+
+    ``grace`` is the smallest prefix length after which clock agreement
+    held through the window's end; ``None`` means no non-vacuous suffix
+    held.  Unlike :meth:`StreamingClockStabilization.result`, measures
+    are recorded for *every* window regardless of
+    ``min_window_length`` — ftss verdicts at a given stabilization time
+    need the short windows too (they are vacuous only relative to the
+    candidate time, not to a fixed reporting threshold).
+    """
+
+    first_round: int
+    last_round: int
+    grace: Optional[int]
+
+    @property
+    def length(self) -> int:
+        return self.last_round - self.first_round + 1
+
+    def holds_at(self, stabilization_time: int) -> bool:
+        """Whether this window meets its Def 2.4 obligation at time r."""
+        if self.first_round + stabilization_time > self.last_round:
+            return True  # obligation span empty: vacuously satisfied
+        return self.grace is not None and self.grace <= stabilization_time
 
 
 @dataclass(frozen=True)
@@ -147,6 +176,9 @@ class StreamingClockStabilization(HistoryRecorder):
         self._window_rows: List[Tuple[int, Dict[int, Optional[int]]]] = []
         self._worst: Optional[int] = 0
         self._refuted = False
+        #: Grace measurements for every closed window, in round order
+        #: (short windows included — see :class:`WindowMeasure`).
+        self.window_measures: List[WindowMeasure] = []
 
     def on_run_start(self, n, protocol, first_round=1):
         super().on_run_start(n, protocol, first_round)
@@ -201,8 +233,6 @@ class StreamingClockStabilization(HistoryRecorder):
         self._window_rows = []
         assert first_round is not None
         length = len(rows)
-        if length < self._min_window_length:
-            return
 
         live: List[Dict[int, int]] = [
             {
@@ -223,6 +253,15 @@ class StreamingClockStabilization(HistoryRecorder):
                         last_bad = idx
                         break
         grace = 0 if last_bad is None else last_bad + 1
+        self.window_measures.append(
+            WindowMeasure(
+                first_round=first_round,
+                last_round=first_round + length - 1,
+                grace=grace if grace < length else None,
+            )
+        )
+        if length < self._min_window_length:
+            return
         if grace >= length:
             # Only the vacuous grace passed: the window refutes every
             # finite stabilization time.
@@ -230,6 +269,18 @@ class StreamingClockStabilization(HistoryRecorder):
             return
         if self._worst is None or grace > self._worst:
             self._worst = grace
+
+    def holds_at(self, stabilization_time: int) -> bool:
+        """Streaming ftss@r verdict for the clock-agreement Σ.
+
+        True iff every closed window met its Definition 2.4 obligation
+        at the candidate stabilization time (vacuously for windows of
+        length ≤ r).  Call after the run ends.
+        """
+        return all(
+            measure.holds_at(stabilization_time)
+            for measure in self.window_measures
+        )
 
     def result(self) -> Optional[int]:
         """The run's empirical stabilization time (None = refuted)."""

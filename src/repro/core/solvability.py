@@ -33,8 +33,11 @@ from repro.histories.stability import StableWindow, stable_windows
 from repro.util.validation import require_non_negative
 
 __all__ = [
+    "DEFINITIONS",
+    "DefinitionVerdict",
     "WindowOutcome",
     "FtssReport",
+    "check_definition",
     "ft_check",
     "ss_check",
     "tentative_check",
@@ -165,4 +168,58 @@ def ftss_check(
         problem=problem.name,
         stabilization_time=stabilization_time,
         outcomes=outcomes,
+    )
+
+
+#: The definition vocabulary accepted by :func:`check_definition`.
+DEFINITIONS = ("ft", "ss", "tentative", "ftss")
+
+
+@dataclass(frozen=True)
+class DefinitionVerdict:
+    """A uniform, definition-agnostic verdict for sweep drivers.
+
+    The four checkers return three different report shapes; callers
+    that iterate over *definitions* (the exploration engine, the
+    edge-case tests) want one.  ``violations`` are rendered strings —
+    deterministic, picklable, and JSON-able, which is what replayable
+    artifacts need.
+    """
+
+    definition: str
+    holds: bool
+    violations: "tuple" = ()
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_definition(
+    definition: str,
+    history: ExecutionHistory,
+    problem: Problem,
+    stabilization_time: int = 0,
+) -> DefinitionVerdict:
+    """Evaluate one named solvability definition on a recorded history.
+
+    ``definition`` is one of :data:`DEFINITIONS`; ``stabilization_time``
+    is ignored by ``"ft"`` (Definition 2.1 has no grace parameter).
+    """
+    if definition == "ft":
+        report = ft_check(history, problem)
+        violations = tuple(str(v) for v in report.violations)
+        return DefinitionVerdict("ft", report.holds, violations)
+    if definition == "ss":
+        report = ss_check(history, problem, stabilization_time)
+        violations = tuple(str(v) for v in report.violations)
+        return DefinitionVerdict("ss", report.holds, violations)
+    if definition == "tentative":
+        report = tentative_check(history, problem, stabilization_time)
+        violations = tuple(str(v) for v in report.violations)
+        return DefinitionVerdict("tentative", report.holds, violations)
+    if definition == "ftss":
+        ftss = ftss_check(history, problem, stabilization_time)
+        return DefinitionVerdict("ftss", ftss.holds, tuple(ftss.violations()))
+    raise ValueError(
+        f"unknown definition {definition!r}; expected one of {DEFINITIONS}"
     )

@@ -30,6 +30,7 @@ from repro.experiments import (
     ext_byz,
     ext_early,
     ext_heartbeat,
+    explore_ev,
     ext_rsm,
     ext_skew,
     fig1,
@@ -65,6 +66,7 @@ for _id, _module in [
     ("EXT-HEARTBEAT", ext_heartbeat),
     ("EXT-SKEW", ext_skew),
     ("EXT-RSM", ext_rsm),
+    ("EXPLORE", explore_ev),
 ]:
     REGISTRY.add(_id, _module.run)
 

@@ -1,0 +1,265 @@
+"""CLI front-end for the adversarial exploration engine.
+
+Usage::
+
+    python -m repro.explore --smoke [--seed S] [--jobs N] [--out DIR]
+    python -m repro.explore run TARGET [--budget N] [--seed S] [--jobs N]
+                                       [--mode auto|enumerate|sample]
+                                       [--out DIR] [--no-shrink]
+    python -m repro.explore replay ARTIFACT
+    python -m repro.explore list
+
+``--smoke`` is the CI budget: exhaustively explore the thm1 space,
+confirm the engine finds and shrinks a Theorem 1 counterexample of the
+paper's minimal shape, sweep the seeded fig3 corruption slice, and
+round-trip both artifacts through ``replay`` — all deterministic, so
+the artifacts are byte-identical across ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.explore.artifacts import (
+    Artifact,
+    load_artifact,
+    replay,
+    save_artifact,
+)
+from repro.explore.engine import ExplorationResult, explore
+from repro.explore.targets import TARGETS, get_target
+
+#: Smoke budgets: thm1's space has 77 raw plans, so 96 enumerates it
+#: exhaustively; the fig3 corruption slice has 25.
+SMOKE_THM1_BUDGET = 96
+SMOKE_FIG3_BUDGET = 32
+
+
+def _summarize(result: ExplorationResult) -> str:
+    shape = "exhaustive" if result.exhaustive else "budgeted"
+    lines = [
+        f"[{result.target}] {result.mode} ({shape}): "
+        f"{result.generated} generated, {result.deduped_away} deduped, "
+        f"{result.examined} examined, {len(result.flagged)} flagged, "
+        f"{result.violation_count} confirmed violation(s), "
+        f"{len(result.mismatches)} checker mismatch(es)"
+    ]
+    for finding in result.findings:
+        lines.append(
+            f"  - minimal counterexample ({finding.shrink_oracle_calls} "
+            f"oracle calls): {finding.minimal.to_jsonable()}"
+        )
+        for violation in finding.verdict.violations[:3]:
+            lines.append(f"      {violation}")
+    for spec, streaming, confirm in result.mismatches:
+        lines.append(
+            f"  ! streaming flagged but confirm holds: {spec.to_jsonable()} "
+            f"(streaming: {streaming.violations[:2]})"
+        )
+    return "\n".join(lines)
+
+
+def _finding_artifact(result: ExplorationResult, index: int = 0) -> Artifact:
+    finding = result.findings[index]
+    target = get_target(result.target)
+    return Artifact(
+        target=result.target,
+        spec=finding.minimal,
+        expect_violation=target.expect_violation,
+        verdict_holds=finding.verdict.holds,
+        violations=tuple(finding.verdict.violations),
+        shrunk_from=finding.original,
+        shrink_oracle_calls=finding.shrink_oracle_calls,
+    )
+
+
+def _cmd_run(args) -> int:
+    result = explore(
+        args.target,
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        mode=args.mode,
+        do_shrink=not args.no_shrink,
+    )
+    print(_summarize(result))
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        for index in range(len(result.findings)):
+            path = out_dir / f"{result.target}-finding-{index}.json"
+            save_artifact(path, _finding_artifact(result, index))
+            print(f"  wrote {path}")
+    target = get_target(args.target)
+    if target.expect_violation and not result.findings:
+        print(
+            f"FAIL: {args.target} expects violations (impossibility theorem) "
+            "but none were found",
+            file=sys.stderr,
+        )
+        return 1
+    if not target.expect_violation and result.findings:
+        print(
+            f"FAIL: {args.target} should hold on every plan but "
+            f"{result.violation_count} confirmed violation(s) were found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    artifact = load_artifact(args.artifact)
+    outcome = replay(artifact)
+    status = "reproduced" if outcome.reproduced else "DID NOT REPRODUCE"
+    print(
+        f"[{artifact.target}] stored verdict holds={artifact.verdict_holds}; "
+        f"re-run holds={outcome.verdict.holds}: {status}"
+    )
+    for violation in outcome.verdict.violations[:5]:
+        print(f"  {violation}")
+    return 0 if outcome.reproduced else 1
+
+
+def _cmd_list(_args) -> int:
+    for name in sorted(TARGETS):
+        target = TARGETS[name]
+        expectation = "find violations" if target.expect_violation else "must hold"
+        print(f"{name:6s} [{expectation:15s}] {target.title}")
+    return 0
+
+
+def _smoke(seed: int, jobs: Optional[int], out: str) -> int:
+    started = time.monotonic()
+    out_dir = pathlib.Path(out)
+    failures: List[str] = []
+
+    # -- thm1: the engine must find, shrink, and replay a Theorem 1
+    #    counterexample of the paper's minimal shape.
+    thm1 = explore(
+        "thm1", budget=SMOKE_THM1_BUDGET, seed=seed, jobs=jobs, mode="enumerate"
+    )
+    print(_summarize(thm1))
+    if thm1.mismatches:
+        failures.append("thm1: streaming/confirm checker mismatch")
+    if not thm1.findings:
+        failures.append("thm1: no violation found (Theorem 1 should be refutable)")
+    else:
+        minimal = thm1.findings[0].minimal
+        shape_ok = (
+            not minimal.crashes
+            and len(minimal.omissions) == 1
+            and len(minimal.clock_skews) == 1
+            and not minimal.random_corruption
+            and not minimal.corruption_rounds
+        )
+        if not shape_ok:
+            failures.append(
+                "thm1: shrunk counterexample is not the paper's minimal "
+                f"shape (one hidden campaign + one skew): {minimal.to_jsonable()}"
+            )
+        path = save_artifact(
+            out_dir / "thm1-counterexample.json", _finding_artifact(thm1)
+        )
+        print(f"  wrote {path}")
+        if not replay(load_artifact(path)).reproduced:
+            failures.append("thm1: artifact replay did not reproduce the verdict")
+
+    # -- fig3: every seeded corruption plan must hold (Theorem 4); the
+    #    first plan becomes a replayable witness artifact.
+    fig3_target = get_target("fig3")
+    fig3 = explore(
+        "fig3",
+        budget=SMOKE_FIG3_BUDGET,
+        seed=seed,
+        jobs=jobs,
+        mode="enumerate",
+        space=fig3_target.smoke_space,
+    )
+    print(_summarize(fig3))
+    if fig3.findings:
+        failures.append(
+            f"fig3: {fig3.violation_count} confirmed violation(s) — "
+            "Theorem 4 should hold on every corruption plan"
+        )
+    if fig3.mismatches:
+        failures.append("fig3: streaming/confirm checker mismatch")
+    if not fig3.examined_specs:
+        failures.append("fig3: smoke space produced no plans")
+    else:
+        witness_spec = fig3.examined_specs[0]
+        verdict = fig3_target.confirm(witness_spec)
+        artifact = Artifact(
+            target="fig3",
+            spec=witness_spec,
+            expect_violation=False,
+            verdict_holds=verdict.holds,
+            violations=tuple(verdict.violations),
+        )
+        path = save_artifact(out_dir / "fig3-witness.json", artifact)
+        print(f"  wrote {path}")
+        if not replay(load_artifact(path)).reproduced:
+            failures.append("fig3: witness replay did not reproduce the verdict")
+
+    elapsed = time.monotonic() - started
+    print(f"\nsmoke: {len(failures)} failure(s) in {elapsed:.1f}s")
+    for failure in failures:
+        print(f"  - {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Adversarial exploration of the paper's fault-plan spaces.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI budget: thm1 counterexample + fig3 corruption witness, "
+        "shrunk, written as artifacts, and replayed",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fuzz seed (smoke mode)")
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="sweep worker processes (smoke mode)"
+    )
+    parser.add_argument(
+        "--out",
+        default="explore-artifacts",
+        help="artifact directory (smoke mode; default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="explore one target's fault-plan space")
+    run_p.add_argument("target", choices=sorted(TARGETS))
+    run_p.add_argument("--budget", type=int, default=200)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--jobs", type=int, default=None)
+    run_p.add_argument(
+        "--mode", choices=("auto", "enumerate", "sample"), default="auto"
+    )
+    run_p.add_argument("--out", default=None, help="write finding artifacts here")
+    run_p.add_argument("--no-shrink", action="store_true")
+    run_p.set_defaults(func=_cmd_run)
+
+    replay_p = sub.add_parser("replay", help="re-execute a saved artifact")
+    replay_p.add_argument("artifact")
+    replay_p.set_defaults(func=_cmd_replay)
+
+    list_p = sub.add_parser("list", help="list exploration targets")
+    list_p.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke(args.seed, args.jobs, args.out)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

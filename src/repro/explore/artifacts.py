@@ -1,0 +1,130 @@
+"""Replayable counterexample/witness artifacts.
+
+An :class:`Artifact` captures everything needed to re-execute one
+explored fault plan deterministically: the target name, the declarative
+:class:`~repro.explore.space.PlanSpec` (seed included), the verdict
+that was recorded, and — for shrunk counterexamples — the original
+spec the shrinker started from.
+
+Serialization is canonical JSON (sorted keys, fixed indentation, no
+timestamps, no host or parallelism information), so the same
+exploration produces byte-identical artifacts regardless of
+``--jobs`` — the property CI pins.
+
+``python -m repro.explore replay <artifact>`` re-runs the spec through
+the target's definition-grade confirm path and reports whether the
+stored verdict reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.explore.checkers import SpecVerdict
+from repro.explore.space import PlanSpec
+
+__all__ = [
+    "Artifact",
+    "ReplayOutcome",
+    "load_artifact",
+    "replay",
+    "save_artifact",
+]
+
+#: Bumped on any incompatible change to the artifact layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One replayable exploration outcome."""
+
+    target: str
+    spec: PlanSpec
+    #: What the run means: a violation artifact for the impossibility
+    #: targets (or a reproduction bug), a holding witness otherwise.
+    expect_violation: bool
+    verdict_holds: bool
+    violations: Tuple[str, ...] = ()
+    #: The pre-shrink spec, when this artifact came out of the shrinker.
+    shrunk_from: Optional[PlanSpec] = None
+    shrink_oracle_calls: int = 0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "target": self.target,
+            "spec": self.spec.to_jsonable(),
+            "expect_violation": self.expect_violation,
+            "verdict_holds": self.verdict_holds,
+            "violations": list(self.violations),
+            "shrunk_from": None
+            if self.shrunk_from is None
+            else self.shrunk_from.to_jsonable(),
+            "shrink_oracle_calls": self.shrink_oracle_calls,
+        }
+
+    @staticmethod
+    def from_jsonable(data: Dict[str, Any]) -> "Artifact":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"artifact schema version {version!r} unsupported "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        shrunk_from = data.get("shrunk_from")
+        return Artifact(
+            target=str(data["target"]),
+            spec=PlanSpec.from_jsonable(data["spec"]),
+            expect_violation=bool(data["expect_violation"]),
+            verdict_holds=bool(data["verdict_holds"]),
+            violations=tuple(str(v) for v in data.get("violations", ())),
+            shrunk_from=None
+            if shrunk_from is None
+            else PlanSpec.from_jsonable(shrunk_from),
+            shrink_oracle_calls=int(data.get("shrink_oracle_calls", 0)),
+        )
+
+
+def render_artifact(artifact: Artifact) -> str:
+    """The canonical byte representation (what :func:`save_artifact` writes)."""
+    return json.dumps(artifact.to_jsonable(), sort_keys=True, indent=2) + "\n"
+
+
+def save_artifact(path: Union[str, Path], artifact: Artifact) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_artifact(artifact), encoding="utf-8")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Artifact:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return Artifact.from_jsonable(data)
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """The result of deterministically re-executing an artifact."""
+
+    artifact: Artifact
+    verdict: SpecVerdict
+    #: Whether the re-run reproduced the stored verdict exactly
+    #: (holds flag and violation strings).
+    reproduced: bool
+
+
+def replay(artifact: Artifact) -> ReplayOutcome:
+    """Re-run the artifact's spec through its target's confirm path."""
+    from repro.explore.targets import get_target
+
+    target = get_target(artifact.target)
+    verdict = target.confirm(artifact.spec)
+    reproduced = (
+        verdict.holds == artifact.verdict_holds
+        and tuple(verdict.violations) == artifact.violations
+    )
+    return ReplayOutcome(artifact=artifact, verdict=verdict, reproduced=reproduced)

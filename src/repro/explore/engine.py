@@ -1,0 +1,185 @@
+"""The exploration driver: generate → dedupe → sweep → confirm → shrink.
+
+One :func:`explore` call judges up to ``budget`` fault plans against a
+target:
+
+1. **generate** — exhaustively enumerate the space when it fits the
+   budget, otherwise draw a seeded random walk (``mode="auto"``; both
+   modes are forceable);
+2. **dedupe** — canonical-form deduplication under process-id
+   permutation (only when the target is symmetric and the spec carries
+   no seeded per-pid randomness — see
+   :func:`repro.explore.space.canonical_key`);
+3. **sweep** — run the streaming checker over every surviving spec, in
+   parallel through :func:`repro.experiments.base.run_sweep` (fork
+   pool, order-preserving, so results are independent of ``--jobs``);
+4. **confirm** — re-run every streaming-flagged spec through the
+   target's definition-grade confirm path; only confirmed violations
+   become findings, and streaming/confirm disagreements are surfaced
+   as :attr:`ExplorationResult.mismatches` instead of silently trusted;
+5. **shrink** — delta-debug the first few confirmed violations to
+   locally-minimal counterexamples (oracle = confirm path).
+
+Workers run the *streaming* path only; confirmation and shrinking are
+sequential in the parent, which keeps the expensive fork pool on the
+cheap filter and the verdicts of record on one deterministic codepath.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import run_sweep
+from repro.explore.checkers import SpecVerdict
+from repro.explore.shrink import shrink
+from repro.explore.space import PlanSpace, PlanSpec, dedupe
+from repro.explore.targets import get_target
+
+__all__ = ["ExplorationResult", "Finding", "explore"]
+
+#: How many confirmed violations are shrunk per exploration.
+MAX_SHRUNK_FINDINGS = 3
+
+
+def _streaming_worker(task: Tuple[str, PlanSpec]) -> SpecVerdict:
+    """Module-level (hence picklable) sweep worker: the fast filter."""
+    target_name, spec = task
+    return get_target(target_name).streaming(spec)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One confirmed violation, shrunk to a locally-minimal spec."""
+
+    original: PlanSpec
+    minimal: PlanSpec
+    verdict: SpecVerdict
+    shrink_oracle_calls: int
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one :func:`explore` call learned."""
+
+    target: str
+    mode: str
+    #: True when the space was fully enumerated within the budget.
+    exhaustive: bool
+    generated: int
+    deduped_away: int
+    examined: int
+    #: The deduplicated work list, in sweep order.
+    examined_specs: List[PlanSpec] = field(default_factory=list)
+    #: Specs the streaming filter flagged (pre-confirmation).
+    flagged: List[PlanSpec] = field(default_factory=list)
+    #: Confirmed violations, shrunk (first MAX_SHRUNK_FINDINGS) or raw.
+    findings: List[Finding] = field(default_factory=list)
+    #: (spec, streaming verdict, confirm verdict) where the two paths
+    #: disagreed — a checker bug or an unsound streaming approximation;
+    #: always worth a look.
+    mismatches: List[Tuple[PlanSpec, SpecVerdict, SpecVerdict]] = field(
+        default_factory=list
+    )
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.findings)
+
+
+def _generate(
+    space: PlanSpace, mode: str, budget: int, seed: int, symmetric: bool
+) -> Tuple[List[PlanSpec], str, bool, int, int]:
+    """Produce the deduplicated work list for one exploration."""
+    if mode not in ("auto", "enumerate", "sample"):
+        raise ValueError(f"unknown exploration mode {mode!r}")
+    if mode in ("auto", "enumerate"):
+        # Peek one spec past the budget to learn whether enumeration
+        # is exhaustive at this budget.
+        head = list(itertools.islice(space.enumerate_plans(), budget + 1))
+        exhaustive = len(head) <= budget
+        if exhaustive or mode == "enumerate":
+            specs, dropped = dedupe(head[:budget], symmetric=symmetric)
+            return specs, "enumerate", exhaustive, len(head[:budget]), dropped
+    # Large space (or forced): seeded random walk.  Oversample before
+    # dedup so duplicates don't eat the budget, then cap.
+    raw = list(space.sample_plans(seed, budget * 2))
+    specs, dropped = dedupe(raw, symmetric=symmetric)
+    overflow = len(specs) - budget
+    if overflow > 0:
+        specs = specs[:budget]
+        dropped += overflow
+    return specs, "sample", False, len(raw), dropped
+
+
+def explore(
+    target_name: str,
+    budget: int = 200,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    mode: str = "auto",
+    space: Optional[PlanSpace] = None,
+    do_shrink: bool = True,
+) -> ExplorationResult:
+    """Search one target's fault-plan space for spec violations.
+
+    Deterministic in ``(target_name, budget, seed, mode, space)``:
+    ``jobs`` only changes wall-clock time, never results.
+    """
+    target = get_target(target_name)
+    space = space if space is not None else target.default_space
+    specs, resolved_mode, exhaustive, generated, deduped_away = _generate(
+        space, mode, budget, seed, target.symmetric
+    )
+
+    verdicts = run_sweep(
+        _streaming_worker, [(target.name, spec) for spec in specs], jobs
+    )
+
+    result = ExplorationResult(
+        target=target.name,
+        mode=resolved_mode,
+        exhaustive=exhaustive,
+        generated=generated,
+        deduped_away=deduped_away,
+        examined=len(specs),
+        examined_specs=list(specs),
+    )
+
+    confirmed: List[Tuple[PlanSpec, SpecVerdict]] = []
+    for spec, streaming in zip(specs, verdicts):
+        if streaming.holds:
+            continue
+        result.flagged.append(spec)
+        confirm = target.confirm(spec)
+        if confirm.holds:
+            result.mismatches.append((spec, streaming, confirm))
+        else:
+            confirmed.append((spec, confirm))
+
+    def still_violates(candidate: PlanSpec) -> bool:
+        return not target.confirm(candidate).holds
+
+    for index, (spec, confirm) in enumerate(confirmed):
+        if do_shrink and index < MAX_SHRUNK_FINDINGS:
+            minimal, calls = shrink(spec, still_violates)
+            verdict = confirm if minimal == spec else target.confirm(minimal)
+            result.findings.append(
+                Finding(
+                    original=spec,
+                    minimal=minimal,
+                    verdict=verdict,
+                    shrink_oracle_calls=calls,
+                )
+            )
+        else:
+            result.findings.append(
+                Finding(
+                    original=spec,
+                    minimal=spec,
+                    verdict=confirm,
+                    shrink_oracle_calls=0,
+                )
+            )
+    return result

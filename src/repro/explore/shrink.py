@@ -1,0 +1,151 @@
+"""Delta-debugging shrinker for violating fault plans.
+
+Greedy descent over a deterministic candidate order: propose strictly
+smaller variants of the current spec (drop an ingredient, narrow an
+omission window, halve a magnitude, shorten the horizon), keep the
+first variant the oracle still rejects, repeat until no candidate
+works.  Every accepted candidate strictly decreases a well-founded size
+measure, so the loop terminates; the result is *locally* minimal —
+removing any single ingredient (or shrinking any single magnitude step)
+makes the violation disappear.
+
+The oracle is the target's definition-grade ``confirm`` path (see
+:mod:`repro.explore.targets`), never the streaming filter — a shrink
+step must not follow a checker artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Tuple
+
+from repro.explore.space import OmissionSpec, PlanSpec
+
+__all__ = ["shrink", "spec_size"]
+
+#: Ceiling on oracle invocations per shrink (a safety net, not a tuning
+#: knob: the greedy descent on these spaces needs far fewer).
+MAX_ORACLE_CALLS = 400
+
+
+def spec_size(spec: PlanSpec) -> Tuple[int, ...]:
+    """The well-founded measure the shrinker descends on."""
+    return (
+        len(spec.crashes)
+        + len(spec.omissions)
+        + len(spec.clock_skews)
+        + int(spec.random_corruption)
+        + len(spec.corruption_rounds),
+        sum(om.last_round - om.first_round + 1 for om in spec.omissions),
+        sum(clock for _, clock in spec.clock_skews),
+        spec.rounds,
+        spec.gst,
+    )
+
+
+def _without(items: tuple, index: int) -> tuple:
+    return items[:index] + items[index + 1 :]
+
+
+def _variant(spec: PlanSpec, **changes):
+    """``dataclasses.replace`` that returns None for invalid variants.
+
+    Spec validation runs at construction; a candidate that violates an
+    invariant (e.g. an orphaned constraint after a drop) is simply not
+    proposed rather than aborting the candidate stream.
+    """
+    try:
+        return replace(spec, **changes)
+    except ValueError:
+        return None
+
+
+def _candidates(spec: PlanSpec) -> Iterator[PlanSpec]:
+    """Strictly smaller variants, most aggressive first, fixed order."""
+    # Drop whole ingredients.
+    for i in range(len(spec.crashes)):
+        yield _variant(spec, crashes=_without(spec.crashes, i))
+    for i in range(len(spec.omissions)):
+        yield _variant(spec, omissions=_without(spec.omissions, i))
+    for i in range(len(spec.clock_skews)):
+        yield _variant(spec, clock_skews=_without(spec.clock_skews, i))
+    if spec.random_corruption:
+        yield _variant(spec, random_corruption=False)
+    for i in range(len(spec.corruption_rounds)):
+        yield _variant(spec, corruption_rounds=_without(spec.corruption_rounds, i))
+    # Shorten the horizon (also tightens omission windows to fit).
+    for shorter in (spec.rounds // 2, spec.rounds - 1):
+        if shorter >= 2 and shorter < spec.rounds:
+            fitted: List[OmissionSpec] = []
+            ok = True
+            for om in spec.omissions:
+                if om.first_round > shorter:
+                    ok = False  # the campaign would vanish, changing semantics
+                    break
+                fitted.append(
+                    replace(om, last_round=min(om.last_round, shorter))
+                )
+            if ok:
+                yield _variant(
+                    spec,
+                    rounds=shorter,
+                    omissions=tuple(fitted),
+                    corruption_rounds=tuple(
+                        r for r in spec.corruption_rounds if r <= shorter
+                    ),
+                )
+    # Narrow omission windows one round at a time.
+    for i, om in enumerate(spec.omissions):
+        if om.last_round > om.first_round:
+            for narrowed in (
+                replace(om, last_round=om.last_round - 1),
+                replace(om, first_round=om.first_round + 1),
+            ):
+                yield _variant(
+                    spec,
+                    omissions=spec.omissions[:i] + (narrowed,) + spec.omissions[i + 1 :],
+                )
+    # Shrink skew magnitudes toward the protocol's clean initial clock.
+    for i, (pid, clock) in enumerate(spec.clock_skews):
+        for smaller in (1, clock // 2, clock - 1):
+            if 1 <= smaller < clock:
+                yield _variant(
+                    spec,
+                    clock_skews=spec.clock_skews[:i]
+                    + ((pid, smaller),)
+                    + spec.clock_skews[i + 1 :],
+                )
+    # Pull GST to the start.
+    if spec.gst > 0:
+        yield _variant(spec, gst=0)
+
+
+def shrink(
+    spec: PlanSpec,
+    still_violates: Callable[[PlanSpec], bool],
+    max_oracle_calls: int = MAX_ORACLE_CALLS,
+) -> Tuple[PlanSpec, int]:
+    """Greedily minimize ``spec`` while ``still_violates`` stays true.
+
+    Returns ``(minimal_spec, oracle_calls)``.  ``still_violates(spec)``
+    must be true on entry; candidates that fail spec validation are
+    skipped (e.g. a drop that orphans a constraint).
+    """
+    current = spec
+    calls = 0
+    improved = True
+    while improved and calls < max_oracle_calls:
+        improved = False
+        for candidate in _candidates(current):
+            if candidate is None:
+                continue  # invalid variant: not part of the space
+            if spec_size(candidate) >= spec_size(current):
+                continue  # defensive: never accept a non-decreasing step
+            calls += 1
+            if still_violates(candidate):
+                current = candidate
+                improved = True
+                break
+            if calls >= max_oracle_calls:
+                break
+    return current, calls

@@ -1,0 +1,397 @@
+"""Exploration targets: protocol + predicate + fault-plan space.
+
+A target bundles everything the engine needs to judge one fault plan:
+
+- a ``streaming`` path — run the plan with streaming observers only
+  (``record_history=False`` on the synchronous substrate) and return a
+  fast :class:`~repro.explore.checkers.SpecVerdict`;
+- a ``confirm`` path — re-run the plan recording the history and
+  evaluate the definition-grade predicates from
+  :mod:`repro.core.solvability` (or, for the asynchronous target, the
+  canonical detector-property evaluators).  This is the oracle the
+  shrinker uses and the verdict artifacts carry.
+
+Both paths derive every random stream from the spec's seed, so a spec
+fully determines its run and artifacts replay byte-identically.
+
+Five targets ship: ``fig1``/``fig3``/``fig4`` (Theorems 3-5 — every
+plan must hold; a confirmed violation is a reproduction bug) and
+``thm1``/``thm2`` (Theorems 1-2 — the engine must *find* violations
+and shrink them to the paper's minimal adversary shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.compiler import compile_protocol
+from repro.core.impossibility import UniformRoundAgreement
+from repro.core.problems import (
+    ClockAgreementProblem,
+    ConjunctionProblem,
+    Problem,
+    RepeatedConsensusProblem,
+    UniformityCondition,
+)
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import check_definition
+from repro.explore.checkers import (
+    SpecVerdict,
+    StreamingCompilerCheck,
+    StreamingDetectorCheck,
+    StreamingFtssClock,
+    StreamingTentativeClock,
+)
+from repro.explore.space import PlanSpace, PlanSpec
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.engine import run_sync
+from repro.util.rng import derive_seed
+from repro.workloads.spaces import (
+    FIG1_SPACE,
+    FIG3_SMOKE_SPACE,
+    FIG3_SPACE,
+    FIG4_SPACE,
+    THM1_SPACE,
+    THM2_SPACE,
+)
+
+__all__ = ["ExplorationTarget", "TARGETS", "get_target"]
+
+#: Violations carried per verdict (artifacts stay small; determinism is
+#: unaffected because violation lists are generated in round order).
+MAX_VIOLATIONS = 12
+
+#: Candidate stabilization time the thm1 target refutes (any finite
+#: value works; 3 keeps the exhaustive space small).
+THM1_CANDIDATE = 3
+
+#: Halting patience of the thm2 uniform protocol; its obligation is
+#: checked at stabilization time patience + 1.
+THM2_PATIENCE = 3
+
+
+@dataclass(frozen=True)
+class ExplorationTarget:
+    """One explorable claim: protocol, predicate, space, expectations."""
+
+    name: str
+    title: str
+    #: True for the impossibility theorems: violations are the sought
+    #: outcome, and their *absence* is the alarming one.
+    expect_violation: bool
+    #: Whether pid relabeling preserves run semantics (sound symmetry
+    #: dedup); False for per-pid-asymmetric protocols or oracles.
+    symmetric: bool
+    default_space: PlanSpace
+    streaming: Callable[[PlanSpec], SpecVerdict]
+    confirm: Callable[[PlanSpec], SpecVerdict]
+    smoke_space: Optional[PlanSpace] = None
+
+
+def _cap(violations) -> Tuple[str, ...]:
+    return tuple(violations[:MAX_VIOLATIONS])
+
+
+def _post_corruption_suffix(history, spec: PlanSpec):
+    """The maximal corruption-free suffix — what Def 2.4 obliges.
+
+    Mid-run corruption restarts the stabilization obligations (the
+    repo's "final systemic failure" contract); returns ``None`` when
+    nothing remains to check.
+    """
+    if not spec.corruption_rounds:
+        return history
+    cut = max(spec.corruption_rounds)  # round numbers start at 1
+    if cut >= len(history):
+        return None
+    return history.suffix(cut)
+
+
+# ---------------------------------------------------------------------------
+# fig1 — round agreement (Figure 1), ftss@1 (Theorem 3)
+# ---------------------------------------------------------------------------
+
+
+def _fig1_streaming(spec: PlanSpec) -> SpecVerdict:
+    checker = StreamingFtssClock(stabilization_time=1)
+    run_sync(
+        RoundAgreementProtocol(),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+        observers=(checker,),
+        record_history=False,
+    )
+    return checker.verdict()
+
+
+def _fig1_confirm(spec: PlanSpec) -> SpecVerdict:
+    result = run_sync(
+        RoundAgreementProtocol(),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+    )
+    history = _post_corruption_suffix(result.history, spec)
+    if history is None:
+        return SpecVerdict(checker="confirm-ftss-clock@1", holds=True)
+    verdict = check_definition("ftss", history, ClockAgreementProblem(), 1)
+    return SpecVerdict(
+        checker="confirm-ftss-clock@1",
+        holds=verdict.holds,
+        violations=_cap(verdict.violations),
+    )
+
+
+# ---------------------------------------------------------------------------
+# fig3 — compiled FloodMin (Figure 3), ftss@final_round (Theorem 4)
+# ---------------------------------------------------------------------------
+
+#: Fixed per-pid proposals for the n=4 compiled-consensus target.
+FIG3_PROPOSALS = (3, 1, 4, 1)
+
+
+def _fig3_instance():
+    pi = FloodMinConsensus(f=1, proposals=FIG3_PROPOSALS)
+    plus = compile_protocol(pi)
+    valid = frozenset(FIG3_PROPOSALS)
+    return pi, plus, valid
+
+
+def _fig3_sigma() -> Problem:
+    pi, _plus, valid = _fig3_instance()
+    return RepeatedConsensusProblem(pi.final_round, valid_proposals=valid)
+
+
+def _fig3_streaming(spec: PlanSpec) -> SpecVerdict:
+    pi, plus, valid = _fig3_instance()
+    checker = StreamingCompilerCheck(
+        final_round=pi.final_round, valid_proposals=valid
+    )
+    run_sync(
+        plus,
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+        observers=(checker,),
+        record_history=False,
+    )
+    return checker.verdict()
+
+
+def _fig3_confirm(spec: PlanSpec) -> SpecVerdict:
+    pi, plus, _valid = _fig3_instance()
+    result = run_sync(
+        plus, n=spec.n, rounds=spec.rounds, fault_plan=spec.fault_plan()
+    )
+    history = _post_corruption_suffix(result.history, spec)
+    checker = f"confirm-ftss-compiler@{pi.final_round}"
+    if history is None:
+        return SpecVerdict(checker=checker, holds=True)
+    verdict = check_definition("ftss", history, _fig3_sigma(), pi.final_round)
+    return SpecVerdict(
+        checker=checker, holds=verdict.holds, violations=_cap(verdict.violations)
+    )
+
+
+# ---------------------------------------------------------------------------
+# fig4 — ◇W→◇S transformation (Figure 4), Theorem 5
+# ---------------------------------------------------------------------------
+
+
+def _fig4_run(spec: PlanSpec, observers=()):
+    # Imported lazily so synchronous-only explorations never load the
+    # asynchronous substrate.
+    from repro.asyncnet.oracle import WeakDetectorOracle
+    from repro.asyncnet.scheduler import AsyncScheduler
+    from repro.detectors.strong import StrongDetector
+
+    crashes = {pid: float(time) for pid, time in spec.crashes}
+    oracle = WeakDetectorOracle(
+        spec.n,
+        crashes,
+        gst=float(spec.gst),
+        seed=derive_seed(spec.seed, "explore:oracle"),
+    )
+    scheduler = AsyncScheduler(
+        StrongDetector(),
+        spec.n,
+        seed=derive_seed(spec.seed, "explore:sched"),
+        oracle=oracle,
+        fault_plan=spec.fault_plan(),
+        sample_interval=2.0,
+        observers=observers,
+    )
+    return scheduler.run(max_time=float(spec.rounds))
+
+
+def _fig4_streaming(spec: PlanSpec) -> SpecVerdict:
+    checker = StreamingDetectorCheck()
+    _fig4_run(spec, observers=(checker,))
+    return checker.verdict()
+
+
+def _fig4_confirm(spec: PlanSpec) -> SpecVerdict:
+    from repro.detectors.properties import (
+        eventual_weak_accuracy,
+        strong_completeness,
+    )
+
+    trace = _fig4_run(spec)
+    completeness = strong_completeness(trace)
+    accuracy = eventual_weak_accuracy(trace)
+    violations = []
+    if not completeness.holds:
+        violations.append("strong-completeness never converged within the run")
+    if not accuracy.holds:
+        violations.append("eventual-weak-accuracy never converged within the run")
+    return SpecVerdict(
+        checker="confirm-detector",
+        holds=not violations,
+        violations=tuple(violations),
+        details=(
+            ("completeness_converged_at", completeness.converged_at),
+            ("accuracy_converged_at", accuracy.converged_at),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# thm1 — the tentative definition is refutable (Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+def _thm1_streaming(spec: PlanSpec) -> SpecVerdict:
+    checker = StreamingTentativeClock(THM1_CANDIDATE)
+    run_sync(
+        RoundAgreementProtocol(),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+        observers=(checker,),
+        record_history=False,
+    )
+    return checker.verdict()
+
+
+def _thm1_confirm(spec: PlanSpec) -> SpecVerdict:
+    result = run_sync(
+        RoundAgreementProtocol(),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+    )
+    sigma = ClockAgreementProblem()
+    tentative = check_definition(
+        "tentative", result.history, sigma, THM1_CANDIDATE
+    )
+    # The dichotomy that motivates Definition 2.4: the very runs that
+    # refute the tentative definition still ftss-solve Σ at time 1.
+    ftss = check_definition("ftss", result.history, sigma, 1)
+    return SpecVerdict(
+        checker=f"confirm-tentative@{THM1_CANDIDATE}",
+        holds=tentative.holds,
+        violations=_cap(tentative.violations),
+        details=(("ftss_at_1_holds", ftss.holds),),
+    )
+
+
+# ---------------------------------------------------------------------------
+# thm2 — uniformity is impossible with process failures (Theorem 2)
+# ---------------------------------------------------------------------------
+
+
+def _thm2_sigma() -> Problem:
+    return ConjunctionProblem(ClockAgreementProblem(), UniformityCondition())
+
+
+def _thm2_run(spec: PlanSpec):
+    return run_sync(
+        UniformRoundAgreement(patience=THM2_PATIENCE),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+    )
+
+
+def _thm2_confirm(spec: PlanSpec) -> SpecVerdict:
+    result = _thm2_run(spec)
+    verdict = check_definition(
+        "ftss", result.history, _thm2_sigma(), THM2_PATIENCE + 1
+    )
+    return SpecVerdict(
+        checker=f"confirm-ftss-uniform@{THM2_PATIENCE + 1}",
+        holds=verdict.holds,
+        violations=_cap(verdict.violations),
+    )
+
+
+#: thm2's Σ mixes clock agreement with the uniformity condition on
+#: *faulty* processes — a predicate the streaming clock checkers do not
+#: model.  The runs are 2-process and 12 rounds, so the definition-grade
+#: path doubles as the fast path (documented search-target exception).
+_thm2_streaming = _thm2_confirm
+
+
+TARGETS: Dict[str, ExplorationTarget] = {
+    "fig1": ExplorationTarget(
+        name="fig1",
+        title="round agreement (Figure 1) ftss-solves clock agreement at time 1",
+        expect_violation=False,
+        symmetric=True,
+        default_space=FIG1_SPACE,
+        streaming=_fig1_streaming,
+        confirm=_fig1_confirm,
+    ),
+    "fig3": ExplorationTarget(
+        name="fig3",
+        title="compiled FloodMin (Figure 3) ftss-solves Σ⁺ at final_round",
+        expect_violation=False,
+        symmetric=False,  # per-pid proposals
+        default_space=FIG3_SPACE,
+        streaming=_fig3_streaming,
+        confirm=_fig3_confirm,
+        smoke_space=FIG3_SMOKE_SPACE,
+    ),
+    "fig4": ExplorationTarget(
+        name="fig4",
+        title="◇W→◇S transformation (Figure 4) yields completeness + accuracy",
+        expect_violation=False,
+        symmetric=False,  # the oracle's watcher assignment is pid-ordered
+        default_space=FIG4_SPACE,
+        streaming=_fig4_streaming,
+        confirm=_fig4_confirm,
+    ),
+    "thm1": ExplorationTarget(
+        name="thm1",
+        title=f"Tentative Definition 1 is refutable at r={THM1_CANDIDATE} (Theorem 1)",
+        expect_violation=True,
+        symmetric=True,
+        default_space=THM1_SPACE,
+        streaming=_thm1_streaming,
+        confirm=_thm1_confirm,
+    ),
+    "thm2": ExplorationTarget(
+        name="thm2",
+        title=(
+            f"no patience-{THM2_PATIENCE} halting rule ftss-solves "
+            "clock agreement ∧ uniformity (Theorem 2)"
+        ),
+        expect_violation=True,
+        symmetric=True,
+        default_space=THM2_SPACE,
+        streaming=_thm2_streaming,
+        confirm=_thm2_confirm,
+    ),
+}
+
+
+def get_target(name: str) -> ExplorationTarget:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown exploration target {name!r}; "
+            f"available: {', '.join(sorted(TARGETS))}"
+        ) from None

@@ -19,6 +19,7 @@ No protocol in the library relies on intra-state aliasing.)
 from __future__ import annotations
 
 import copy
+import dataclasses
 from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["copy_payload", "copy_value", "snapshot_state", "snapshot_states"]
@@ -26,11 +27,24 @@ __all__ = ["copy_payload", "copy_value", "snapshot_state", "snapshot_states"]
 _ATOMS = (int, float, complex, bool, str, bytes, type(None))
 
 
+def _is_frozen_dataclass(value: Any) -> bool:
+    return (
+        dataclasses.is_dataclass(value)
+        and not isinstance(value, type)
+        and value.__dataclass_params__.frozen
+    )
+
+
 def _is_deeply_immutable(value: Any) -> bool:
     if isinstance(value, _ATOMS):
         return True
     if isinstance(value, (tuple, frozenset)):
         return all(_is_deeply_immutable(item) for item in value)
+    if _is_frozen_dataclass(value):
+        return all(
+            _is_deeply_immutable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        )
     return False
 
 
@@ -49,7 +63,19 @@ def copy_value(value: Any) -> Any:
         return tuple(copy_value(item) for item in value)
     if kind is frozenset:
         return frozenset(copy_value(item) for item in value)
-    return copy.deepcopy(value)
+    copied = copy.deepcopy(value)
+    if copied is value:
+        # ``deepcopy`` treats some objects (custom ``__deepcopy__``,
+        # ``copyreg``-atomic registrations) as shareable.  For a value we
+        # could not prove immutable that would silently alias mutable
+        # state across the snapshot boundary — refuse instead.
+        raise TypeError(
+            f"cannot snapshot {kind.__name__!r}: deepcopy returned the "
+            "original object, so the snapshot would share mutable state "
+            "with the live process; use immutable state values (or a "
+            "frozen dataclass of immutable fields)"
+        )
+    return copied
 
 
 def copy_payload(payload: Any) -> Any:
@@ -58,9 +84,22 @@ def copy_payload(payload: Any) -> Any:
 
 
 def snapshot_state(state: Optional[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
-    """Snapshot one process state (``None`` = crashed, stays ``None``)."""
+    """Snapshot one process state (``None`` = crashed, stays ``None``).
+
+    States must be mappings: a ``__slots__``-only or dataclass instance
+    used as a whole-process state is rejected with a descriptive error
+    (previously it would die on a bare ``AttributeError`` deep in the
+    engine, or — for objects with an ``items`` attribute that is not a
+    mapping protocol — silently produce garbage).
+    """
     if state is None:
         return None
+    if not isinstance(state, Mapping):
+        raise TypeError(
+            f"process state must be a mapping, got {type(state).__name__!r}; "
+            "__slots__/dataclass states must expose their fields as a dict "
+            "(the engines snapshot key-by-key)"
+        )
     return {key: copy_value(item) for key, item in state.items()}
 
 

@@ -78,18 +78,24 @@ class ProtocolError(RuntimeError):
 
 @dataclass
 class SyncRunResult:
-    """Everything produced by one synchronous run."""
+    """Everything produced by one synchronous run.
+
+    ``history`` is ``None`` when the run was executed with
+    ``record_history=False`` (streaming-only consumers — e.g. the
+    exploration engine's fast filter — observe the event bus instead).
+    """
 
     protocol: SyncProtocol
     n: int
-    history: ExecutionHistory
+    history: Optional[ExecutionHistory]
     final_states: Dict[ProcessId, Optional[Dict[str, Any]]]
     faulty: frozenset
     stopped_early: bool = False
+    executed_rounds: int = 0
 
     @property
     def rounds_executed(self) -> int:
-        return len(self.history)
+        return self.executed_rounds if self.history is None else len(self.history)
 
     def final_clocks(self) -> Dict[ProcessId, Optional[int]]:
         """Round variables after the last executed round (None = crashed)."""
@@ -130,6 +136,7 @@ def run_sync(
     delay_model: Optional[DelayModel] = None,
     fault_plan: "Optional[FaultPlan]" = None,
     observers: Sequence[Observer] = (),
+    record_history: bool = True,
 ) -> SyncRunResult:
     """Execute ``protocol`` on ``n`` processes for up to ``rounds`` rounds.
 
@@ -171,6 +178,12 @@ def run_sync(
     observers:
         Extra :class:`~repro.kernel.events.Observer` instances attached
         to the run's event bus alongside the history recorder.
+    record_history:
+        When ``False`` no :class:`HistoryRecorder` is attached and the
+        result's ``history`` is ``None`` — the run costs O(1) memory in
+        rounds and callers analyze it through streaming observers.  The
+        faulty set is then the engine's own per-round deviator
+        accumulation (identical to ``history.faulty()``).
 
     Returns
     -------
@@ -195,8 +208,8 @@ def run_sync(
     mid_run = dict(mid_run_corruptions or {})
     in_flight: Dict[int, List[Message]] = {}
 
-    recorder = HistoryRecorder()
-    bus = EventBus((recorder, *observers))
+    recorder = HistoryRecorder() if record_history else None
+    bus = EventBus(((recorder, *observers) if recorder else tuple(observers)))
     bus.on_run_start(n, protocol, first_round)
 
     states: Dict[ProcessId, Optional[Dict[str, Any]]] = {}
@@ -309,14 +322,15 @@ def run_sync(
 
     final_states = {pid: states[pid] for pid in range(n)}
     bus.on_run_end(last_round, final_states)
-    history = recorder.history()
+    history = recorder.history() if recorder else None
     return SyncRunResult(
         protocol=protocol,
         n=n,
         history=history,
         final_states=final_states,
-        faulty=history.faulty(),
+        faulty=history.faulty() if history is not None else faulty_so_far,
         stopped_early=stopped_early,
+        executed_rounds=last_round - first_round + 1,
     )
 
 

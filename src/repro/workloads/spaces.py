@@ -1,0 +1,113 @@
+"""Curated fault-plan spaces for the exploration targets.
+
+Each space bounds the adversary the way the paper's model does —
+``max_crashes + max_omissions < n`` so at least one process stays
+correct, omission windows inside the horizon, corruption at most at a
+mid-run round — and is sized so the default exploration budgets give
+either full enumeration (the impossibility targets, where the engine
+must *find* the paper's counterexample shapes) or a representative
+sample (the protocol targets, where every plan must hold).
+
+These are data, not logic: the compilation of a
+:class:`~repro.explore.space.PlanSpec` into kernel fault plans lives in
+:mod:`repro.explore.space`, the protocols and predicates in
+:mod:`repro.explore.targets`.
+"""
+
+from __future__ import annotations
+
+from repro.explore.space import PlanSpace
+
+__all__ = [
+    "FIG1_SPACE",
+    "FIG3_SPACE",
+    "FIG3_SMOKE_SPACE",
+    "FIG4_SPACE",
+    "THM1_SPACE",
+    "THM2_SPACE",
+]
+
+#: Figure 1 (round agreement, ftss@1): crashes, one-process omission
+#: campaigns, adversarial skews, random corruption at start and mid-run.
+FIG1_SPACE = PlanSpace(
+    n=4,
+    rounds=10,
+    crash_rounds=(1, 3, 6),
+    max_crashes=2,
+    omission_windows=((2, 4), (5, 7)),
+    omission_kinds=("send", "receive", "general"),
+    max_omissions=1,
+    skew_values=(9, 73),
+    max_skews=2,
+    corruption_choices=(False, True),
+    corruption_round_choices=((), (5,)),
+)
+
+#: Figure 3 (compiled FloodMin, ftss@final_round): the compiler's fault
+#: model is crash (FloodMin ft-solves consensus for crash faults), plus
+#: the systemic failures the compilation is supposed to absorb.
+FIG3_SPACE = PlanSpace(
+    n=4,
+    rounds=20,
+    crash_rounds=(1, 4, 9),
+    max_crashes=1,
+    skew_values=(5, 17),
+    max_skews=2,
+    corruption_choices=(False, True),
+    corruption_round_choices=((), (9,)),
+    seeds=(0, 1),
+)
+
+#: The seeded-corruption slice of FIG3_SPACE used by ``--smoke``: every
+#: plan scrambles the initial states, so the witness artifact is always
+#: a corruption scenario.
+FIG3_SMOKE_SPACE = PlanSpace(
+    n=4,
+    rounds=20,
+    crash_rounds=(4,),
+    max_crashes=1,
+    skew_values=(17,),
+    max_skews=1,
+    corruption_choices=(True,),
+)
+
+#: Figure 4 (◇W→◇S transformation): the asynchronous substrate reads
+#: ``rounds`` as the virtual-time horizon and honors GST placement.
+#: Crashes and initial corruption only — the paper's Section 3 model.
+FIG4_SPACE = PlanSpace(
+    n=4,
+    rounds=220,
+    crash_rounds=(10, 25),
+    max_crashes=2,
+    corruption_choices=(False, True),
+    gst_choices=(0, 30),
+    seeds=(0, 1),
+)
+
+#: Theorem 1 (the tentative definition is too weak): small enough for
+#: exhaustive enumeration.  The counterexample the engine must find and
+#: shrink to: one process skewed ahead by the systemic failure and kept
+#: silent through the candidate grace period, then revealed.
+THM1_SPACE = PlanSpace(
+    n=2,
+    rounds=7,
+    omission_windows=((1, 1), (1, 2), (1, 3), (2, 3), (1, 4)),
+    omission_kinds=("general",),
+    max_omissions=1,
+    skew_values=(2, 5, 101),
+    max_skews=1,
+)
+
+#: Theorem 2 (uniformity is impossible with process failures): send /
+#: general omission campaigns against a halting-rule protocol.  The
+#: counterexample: a send-omitting peer isolates the correct pivot,
+#: whose halting rule then violates the rate condition.
+THM2_SPACE = PlanSpace(
+    n=2,
+    rounds=12,
+    omission_windows=((1, 6), (1, 12)),
+    omission_kinds=("send", "general"),
+    max_omissions=1,
+    skew_values=(7,),
+    max_skews=1,
+)

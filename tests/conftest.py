@@ -1,4 +1,12 @@
-"""Shared fixtures and builders for the test suite."""
+"""Shared fixtures and builders for the test suite.
+
+RNG policy: ``repro.util.rng`` is the single source of seed-derivation
+helpers — tests must not hand-roll ``random.Random``/hash-based
+derivation.  ``derive_seed``/``make_rng`` are re-exported here for
+convenience, and the ``rng`` fixture hands each test its own
+deterministic generator (seeded by the test's node id, so adding or
+reordering tests never shifts another test's stream).
+"""
 
 from __future__ import annotations
 
@@ -11,6 +19,21 @@ from repro.histories.history import (
     ProcessRoundRecord,
     RoundHistory,
 )
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "broadcast_round",
+    "derive_seed",
+    "make_history",
+    "make_record",
+    "make_rng",
+]
+
+
+@pytest.fixture
+def rng(request):
+    """A per-test deterministic ``random.Random`` (label = test node id)."""
+    return make_rng(0, request.node.nodeid)
 
 
 @pytest.fixture

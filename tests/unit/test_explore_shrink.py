@@ -1,0 +1,90 @@
+"""Unit tests for the delta-debugging shrinker."""
+
+from repro.explore.shrink import shrink, spec_size
+from repro.explore.space import OmissionSpec, PlanSpec
+
+
+def fat_spec():
+    return PlanSpec(
+        n=4,
+        rounds=12,
+        crashes=((3, 2),),
+        omissions=(OmissionSpec(pid=1, kind="general", first_round=1, last_round=6),),
+        clock_skews=((0, 64),),
+        random_corruption=True,
+        corruption_rounds=(7,),
+        gst=3,
+    )
+
+
+class TestSpecSize:
+    def test_strictly_smaller_after_drop(self):
+        spec = fat_spec()
+        smaller = PlanSpec(
+            n=spec.n,
+            rounds=spec.rounds,
+            crashes=(),
+            omissions=spec.omissions,
+            clock_skews=spec.clock_skews,
+            random_corruption=spec.random_corruption,
+            corruption_rounds=spec.corruption_rounds,
+            gst=spec.gst,
+        )
+        assert spec_size(smaller) < spec_size(spec)
+
+
+class TestShrink:
+    def test_everything_violates_reaches_bottom(self):
+        minimal, calls = shrink(fat_spec(), lambda spec: True)
+        assert minimal.crashes == ()
+        assert minimal.omissions == ()
+        assert minimal.clock_skews == ()
+        assert not minimal.random_corruption
+        assert minimal.corruption_rounds == ()
+        assert minimal.gst == 0
+        assert calls > 0
+
+    def test_nothing_else_violates_is_identity(self):
+        spec = fat_spec()
+        minimal, _ = shrink(spec, lambda candidate: candidate == spec)
+        assert minimal == spec
+
+    def test_preserves_required_ingredient(self):
+        # Oracle: the violation needs the omission campaign, nothing else.
+        minimal, _ = shrink(fat_spec(), lambda spec: len(spec.omissions) == 1)
+        assert len(minimal.omissions) == 1
+        assert minimal.crashes == ()
+        assert minimal.clock_skews == ()
+
+    def test_result_is_locally_minimal(self):
+        def oracle(spec):
+            return len(spec.omissions) == 1 and spec.omissions[0].last_round >= 3
+
+        minimal, _ = shrink(fat_spec(), oracle)
+        from repro.explore.shrink import _candidates
+
+        for candidate in _candidates(minimal):
+            if candidate is None:
+                continue
+            assert not (
+                spec_size(candidate) < spec_size(minimal) and oracle(candidate)
+            ), f"shrinker stopped above a smaller violating candidate: {candidate}"
+
+    def test_oracle_budget_respected(self):
+        counter = {"calls": 0}
+
+        def oracle(spec):
+            counter["calls"] += 1
+            return True
+
+        _, calls = shrink(fat_spec(), oracle, max_oracle_calls=5)
+        assert calls <= 5
+        assert counter["calls"] == calls
+
+    def test_deterministic(self):
+        def oracle(spec):
+            return bool(spec.omissions) or bool(spec.clock_skews)
+
+        a = shrink(fat_spec(), oracle)
+        b = shrink(fat_spec(), oracle)
+        assert a == b

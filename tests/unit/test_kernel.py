@@ -1,7 +1,5 @@
 """Unit tests for the simulation kernel: snapshots, fault plans, sweeps."""
 
-import os
-
 import pytest
 
 from repro.experiments.base import default_jobs, run_sweep
@@ -48,6 +46,65 @@ class TestSnapshot:
         copied = copy_payload(payload)
         copied["votes"].append(3)
         assert payload["votes"] == [1, 2]
+
+    def test_frozen_dataclass_of_immutables_shared(self):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Mark:
+            round_no: int
+            tags: tuple
+
+        state = {"mark": Mark(round_no=3, tags=(1, 2))}
+        snap = snapshot_state(state)
+        assert snap["mark"] is state["mark"]
+
+    def test_frozen_dataclass_with_mutable_field_copied(self):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class Journal:
+            entries: list
+
+        state = {"journal": Journal(entries=[1])}
+        snap = snapshot_state(state)
+        assert snap["journal"] is not state["journal"]
+        snap["journal"].entries.append(2)
+        assert state["journal"].entries == [1]
+
+    def test_slots_only_value_copied(self):
+        class Cell:
+            __slots__ = ("items_",)
+
+            def __init__(self, items_):
+                self.items_ = items_
+
+        state = {"cell": Cell([1, 2])}
+        snap = snapshot_state(state)
+        assert snap["cell"] is not state["cell"]
+        snap["cell"].items_.append(3)
+        assert state["cell"].items_ == [1, 2]
+
+    def test_non_mapping_state_rejected_loudly(self):
+        class SlotState:
+            __slots__ = ("clock",)
+
+            def __init__(self):
+                self.clock = 1
+
+        with pytest.raises(TypeError, match="must be a mapping"):
+            snapshot_state(SlotState())
+
+    def test_aliasing_deepcopy_rejected_loudly(self):
+        class Shared:
+            def __init__(self):
+                self.log = []
+
+            def __deepcopy__(self, memo):
+                return self  # an aliasing copy: exactly what must not leak
+
+        with pytest.raises(TypeError, match="share mutable state"):
+            snapshot_state({"bad": Shared()})
 
 
 class TestFaultPlan:

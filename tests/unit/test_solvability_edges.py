@@ -1,9 +1,20 @@
 """Edge-path tests for solvability reports and stabilization scans."""
 
+import pytest
+
 from repro.analysis.stabilization import window_stabilization_times
 from repro.core.problems import ClockAgreementProblem
 from repro.core.rounds import RoundAgreementProtocol
-from repro.core.solvability import WindowOutcome, ftss_check
+from repro.core.solvability import (
+    DEFINITIONS,
+    WindowOutcome,
+    check_definition,
+    ft_check,
+    ftss_check,
+    ss_check,
+    tentative_check,
+)
+from repro.histories.history import ExecutionHistory
 from repro.histories.stability import StableWindow
 from repro.sync.adversary import ScriptedAdversary
 from repro.sync.corruption import ClockSkewCorruption
@@ -62,3 +73,95 @@ class TestStabilizationScanEdges:
         ).history
         (measurement,) = window_stabilization_times(history, SIGMA)
         assert measurement.stabilized_after == 1
+
+
+class TestEmptyHistory:
+    def test_rejected_at_construction(self):
+        # There is no empty execution in the paper's model: every
+        # checker takes ``len(history) >= 1`` as a precondition, and
+        # the constructor enforces it so the checkers never see less.
+        with pytest.raises(ValueError, match="at least one round"):
+            ExecutionHistory([])
+
+
+class TestZeroFaultRuns:
+    def _clean(self, rounds=5):
+        return run_sync(RoundAgreementProtocol(), n=3, rounds=rounds).history
+
+    def test_faulty_set_empty(self):
+        assert self._clean().faulty() == frozenset()
+
+    def test_ft_holds(self):
+        assert ft_check(self._clean(), SIGMA).holds
+
+    def test_ss_holds_at_zero(self):
+        assert ss_check(self._clean(), SIGMA, 0).holds
+
+    def test_ftss_single_window_no_grace_needed(self):
+        report = ftss_check(self._clean(), SIGMA, 0)
+        assert report.holds
+        assert len(report.obliged_windows) == 1
+
+
+class TestDef24OffByOne:
+    """Definition 2.4's obligation span is ``(x + r, y]``: a window of
+    length L owes something iff r <= L - 1; r == L must be vacuous,
+    r == L - 1 must oblige exactly one round."""
+
+    ROUNDS = 5
+
+    def _history(self):
+        return run_sync(RoundAgreementProtocol(), n=3, rounds=self.ROUNDS).history
+
+    def test_r_equal_to_window_length_is_vacuous(self):
+        report = ftss_check(self._history(), SIGMA, self.ROUNDS)
+        assert report.holds
+        assert report.obliged_windows == []
+
+    def test_r_one_below_window_length_obliges_one_round(self):
+        report = ftss_check(self._history(), SIGMA, self.ROUNDS - 1)
+        assert report.holds
+        (outcome,) = report.obliged_windows
+        first, last = outcome.obligation_span
+        assert first == last == self.ROUNDS
+
+    def test_suffix_definitions_vacuous_at_history_length(self):
+        history = self._history()
+        assert ss_check(history, SIGMA, len(history)).holds
+        assert tentative_check(history, SIGMA, len(history)).holds
+
+    def test_suffix_definitions_still_check_one_round_below(self):
+        history = self._history()
+        assert ss_check(history, SIGMA, len(history) - 1).holds
+        assert tentative_check(history, SIGMA, len(history) - 1).holds
+
+
+class TestCheckDefinition:
+    def _history(self):
+        return run_sync(RoundAgreementProtocol(), n=2, rounds=4).history
+
+    @pytest.mark.parametrize("definition", DEFINITIONS)
+    def test_dispatch_holds_on_clean_run(self, definition):
+        verdict = check_definition(definition, self._history(), SIGMA, 1)
+        assert verdict.definition == definition
+        assert verdict.holds
+        assert bool(verdict)
+        assert verdict.violations == ()
+
+    def test_unknown_definition_rejected(self):
+        with pytest.raises(ValueError, match="unknown definition"):
+            check_definition("nope", self._history(), SIGMA, 1)
+
+    def test_violations_are_rendered_strings(self):
+        adversary = ScriptedAdversary.silence([1], range(1, 5), n=2)
+        history = run_sync(
+            RoundAgreementProtocol(),
+            n=2,
+            rounds=6,
+            adversary=adversary,
+            corruption=ClockSkewCorruption({0: 1, 1: 60}),
+        ).history
+        verdict = check_definition("tentative", history, SIGMA, 2)
+        assert not verdict.holds
+        assert verdict.violations
+        assert all(isinstance(v, str) for v in verdict.violations)
