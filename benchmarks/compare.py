@@ -1,0 +1,213 @@
+"""Diff freshly emitted BENCH_*.json files against committed baselines.
+
+The perf-regression gate: benchmarks (microbench scripts and the
+``benchmarks/test_bench_*`` regenerators) emit
+``benchmarks/results/BENCH_<ID>.json`` via
+``ExperimentReport.to_json_dict``; this tool compares a fresh emission
+row-by-row against the committed baseline with a relative tolerance
+band and exits non-zero on regression.
+
+Rows are matched by the first header column (override with ``--key``).
+For each compared numeric field the direction is inferred from its
+name: ``speedup*``, ``*ratio`` and ``ops_per_s`` are higher-is-better,
+time-like fields (``*_us``, ``*_ns``, ``*_ms``, ``seconds``) are
+lower-is-better.  A fresh value is a regression when it is worse than
+``baseline * (1 ± tolerance)``; improvements always pass (commit a new
+baseline to ratchet them in).  Non-numeric fields are ignored unless
+``--strict-rows`` asks for exact cell equality.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE FRESH [--tolerance 0.25]
+        [--fields f1,f2] [--key COLUMN] [--strict-rows]
+
+Exit status: 0 ok, 1 regression, 2 structural mismatch (missing rows or
+fields, different experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+_HIGHER_IS_BETTER = ("speedup", "ratio", "ops_per_s", "throughput")
+_LOWER_IS_BETTER = ("_us", "_ns", "_ms", "seconds", "_s", "bytes", "calls")
+
+
+def _direction(field: str) -> Optional[int]:
+    """+1 = higher is better, -1 = lower is better, None = unknown."""
+    name = field.lower()
+    if any(tag in name for tag in _HIGHER_IS_BETTER):
+        return 1
+    if any(name.endswith(tag) or tag in name for tag in _LOWER_IS_BETTER):
+        return -1
+    return None
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _load(path: str) -> Dict:
+    try:
+        return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"compare: cannot read {path}: {error}")
+
+
+def _keyed_rows(doc: Dict, key: str) -> Dict[object, Dict]:
+    rows = {}
+    for row in doc.get("rows", []):
+        if key not in row:
+            raise SystemExit(f"compare: row lacks key column {key!r}: {row}")
+        rows[row[key]] = row
+    return rows
+
+
+def compare(
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float,
+    fields: Optional[List[str]] = None,
+    key: Optional[str] = None,
+    strict_rows: bool = False,
+) -> List[str]:
+    """All regression/structure problems, as rendered strings."""
+    problems: List[str] = []
+    if baseline.get("experiment_id") != fresh.get("experiment_id"):
+        return [
+            f"experiment mismatch: baseline {baseline.get('experiment_id')!r} "
+            f"vs fresh {fresh.get('experiment_id')!r}"
+        ]
+    headers = baseline.get("headers", [])
+    if not headers:
+        return ["baseline has no headers"]
+    key = key or headers[0]
+    base_rows = _keyed_rows(baseline, key)
+    fresh_rows = _keyed_rows(fresh, key)
+
+    for row_key in base_rows:
+        if row_key not in fresh_rows:
+            problems.append(f"[{row_key}] missing from fresh emission")
+    for row_key in fresh_rows:
+        if row_key not in base_rows:
+            problems.append(f"[{row_key}] not in baseline (commit a new baseline?)")
+
+    for row_key, base_row in base_rows.items():
+        fresh_row = fresh_rows.get(row_key)
+        if fresh_row is None:
+            continue
+        for field in fields if fields is not None else headers:
+            if field == key:
+                continue
+            base_value = base_row.get(field)
+            if fields is not None and field not in base_row:
+                problems.append(f"[{row_key}] baseline lacks field {field!r}")
+                continue
+            fresh_value = fresh_row.get(field)
+            if not _is_number(base_value):
+                if strict_rows and base_value != fresh_value:
+                    problems.append(
+                        f"[{row_key}] {field}: {base_value!r} -> {fresh_value!r}"
+                    )
+                continue
+            if not _is_number(fresh_value):
+                problems.append(
+                    f"[{row_key}] {field}: baseline {base_value} but fresh "
+                    f"emission has {fresh_value!r}"
+                )
+                continue
+            direction = _direction(field)
+            if direction is None:
+                # Unknown direction: only flag when explicitly selected.
+                if fields is None:
+                    continue
+                if not math.isclose(
+                    fresh_value, base_value, rel_tol=tolerance, abs_tol=1e-12
+                ):
+                    problems.append(
+                        f"[{row_key}] {field}: {base_value} -> {fresh_value} "
+                        f"(outside ±{tolerance:.0%})"
+                    )
+                continue
+            if direction > 0:
+                floor = base_value * (1.0 - tolerance)
+                if fresh_value < floor:
+                    problems.append(
+                        f"[{row_key}] {field} regressed: {base_value} -> "
+                        f"{fresh_value} (floor {floor:.4g} at {tolerance:.0%})"
+                    )
+            else:
+                ceiling = base_value * (1.0 + tolerance)
+                if fresh_value > ceiling:
+                    problems.append(
+                        f"[{row_key}] {field} regressed: {base_value} -> "
+                        f"{fresh_value} (ceiling {ceiling:.4g} at {tolerance:.0%})"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/compare.py",
+        description="Compare a fresh BENCH_*.json emission against a baseline.",
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly emitted BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="relative tolerance band (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--fields",
+        metavar="F1,F2",
+        help="only compare these fields (default: every numeric header "
+        "with a known better-direction)",
+    )
+    parser.add_argument(
+        "--key", metavar="COLUMN", help="row-matching column (default: first header)"
+    )
+    parser.add_argument(
+        "--strict-rows",
+        action="store_true",
+        help="also require non-numeric cells to match exactly",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    fields = [f.strip() for f in args.fields.split(",")] if args.fields else None
+    problems = compare(
+        baseline,
+        fresh,
+        tolerance=args.tolerance,
+        fields=fields,
+        key=args.key,
+        strict_rows=args.strict_rows,
+    )
+    structural = [p for p in problems if "missing" in p or "lacks" in p or "mismatch" in p]
+    for problem in problems:
+        print(f"compare: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"compare: {len(problems)} problem(s) vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2 if structural and len(structural) == len(problems) else 1
+    print(
+        f"compare: {args.fresh} within ±{args.tolerance:.0%} of {args.baseline}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Microbenchmarks for the kernel hot path.
+
+Unlike the ``benchmarks/test_bench_*`` experiment regenerators (which
+reproduce the paper's tables), these scripts time the *primitives* every
+experiment bottoms out in — snapshotting, the send/deliver round loop,
+and sweep dispatch — and emit ``benchmarks/results/BENCH_MICRO.json`` /
+``BENCH_E2E.json`` in the same report format, so
+``benchmarks/compare.py`` can diff fresh runs against the committed
+baselines.  See ``docs/perf.md``.
+
+Run them with the src tree on the path::
+
+    PYTHONPATH=src python benchmarks/microbench/bench_kernel.py
+    PYTHONPATH=src python benchmarks/microbench/bench_e2e.py
+"""

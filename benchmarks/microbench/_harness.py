@@ -1,0 +1,70 @@
+"""Shared timing/emission plumbing for the microbenchmark scripts.
+
+Timing discipline: each benchmark is a zero-argument callable executed
+``number`` times per batch; a batch is repeated ``repeat`` times and the
+*minimum* batch time is kept (the standard ``timeit`` argument: the
+minimum is the least noisy estimator of the true cost — everything
+above it is scheduler interference).  Results are reported per call.
+
+The emitted JSON mirrors ``benchmarks/conftest.py``'s ``emit_report``
+byte-for-byte (``ExperimentReport.to_json_dict``, sorted keys, indent
+2), so ``benchmarks/compare.py`` treats experiment regenerations and
+microbenchmarks uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def best_per_call(
+    fn: Callable[[], object],
+    number: int,
+    repeat: int,
+    setup: Optional[Callable[[], object]] = None,
+) -> float:
+    """Seconds per call: min over ``repeat`` batches of ``number`` calls."""
+    best = float("inf")
+    for _ in range(repeat):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / number)
+    return best
+
+
+def us(seconds: float) -> float:
+    """Microseconds, rounded for stable JSON diffs."""
+    return round(seconds * 1e6, 2)
+
+
+def ratio(reference: float, measured: float) -> float:
+    """Speedup of ``measured`` relative to ``reference`` (>1 = faster)."""
+    return round(reference / measured, 2) if measured > 0 else float("inf")
+
+
+def emit(report, out: Optional[str] = None) -> pathlib.Path:
+    """Print a report and persist its JSON next to the committed baselines."""
+    text = report.render()
+    print()
+    print(text)
+    if out is not None:
+        path = pathlib.Path(out)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{report.experiment_id}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report.to_json_dict(), sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\nwrote {path}")
+    return path

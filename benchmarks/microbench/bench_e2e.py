@@ -1,0 +1,66 @@
+"""End-to-end wall-clock timings for the FIG3 and EXPLORE sweeps.
+
+Times ``REGISTRY.run`` end to end (full settings, sequential jobs so
+the number measures the engine, not the pool; best of ``--repeat``
+runs) and emits ``benchmarks/results/BENCH_E2E.json``.  Absolute
+seconds are
+machine-dependent — the committed baseline documents the measured
+trajectory on the reference machine and feeds local
+``benchmarks/compare.py`` runs; CI regresses on the machine-independent
+MICRO ratios instead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench/bench_e2e.py [--jobs N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+if __package__ in (None, ""):
+    from _harness import emit
+else:
+    from ._harness import emit
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments import REGISTRY
+
+_TARGETS = ["FIG3", "EXPLORE"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--repeat", type=int, default=3, metavar="R")
+    parser.add_argument(
+        "--fast", action="store_true", help="smoke settings (tiny, noisy)"
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the JSON here instead")
+    args = parser.parse_args(argv)
+
+    report = ExperimentReport(
+        experiment_id="E2E",
+        title="End-to-end experiment wall clock",
+        claim="the hot-path overhaul shows up end to end, not only in "
+        "microbenchmarks",
+        headers=["experiment", "seconds", "passed"],
+    )
+    for experiment_id in _TARGETS:
+        best = float("inf")
+        passed = True
+        for _ in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            result = REGISTRY.run(experiment_id, fast=args.fast, jobs=args.jobs)
+            best = min(best, time.perf_counter() - started)
+            passed = passed and result.passed
+        report.add_row(experiment_id, round(best, 3), passed)
+
+    emit(report, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -289,9 +289,22 @@ class AsyncScheduler:
         states: Dict[int, Optional[Dict[str, Any]]],
         time: float,
     ) -> Dict[int, Optional[Dict[str, Any]]]:
-        """Apply one corruption plan and narrate which memories it touched."""
+        """Apply one corruption plan and narrate which memories it touched.
+
+        As in the synchronous engine, narration diffs only the plan's
+        reported candidate pids (``touched_pids``) when available, and is
+        skipped entirely when nothing listens for faults.
+        """
         corrupted = plan.corrupt(self.protocol, states, self.n)
-        for pid in range(self.n):
+        if not self._bus.wants_fault:
+            return corrupted
+        n = self.n
+        candidates = getattr(plan, "touched_pids", lambda s, c: None)(states, n)
+        if candidates is None:
+            pids = range(n)
+        else:
+            pids = sorted(pid for pid in candidates if 0 <= pid < n)
+        for pid in pids:
             if corrupted.get(pid) != states.get(pid):
                 self._bus.on_fault(
                     FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
@@ -299,12 +312,13 @@ class AsyncScheduler:
         return corrupted
 
     def _enqueue_message(self, sender: int, dest: int, payload: Any) -> None:
-        self._bus.on_send(
-            AsyncMessage(
-                sender=sender, receiver=dest, payload=payload, sent_time=self.now
-            ),
-            self.now,
-        )
+        if self._bus.wants_send:
+            self._bus.on_send(
+                AsyncMessage(
+                    sender=sender, receiver=dest, payload=payload, sent_time=self.now
+                ),
+                self.now,
+            )
         copies = 1
         if self._duplicate_probability and self._rng.random() < self._duplicate_probability:
             copies = 2
@@ -342,6 +356,9 @@ class AsyncScheduler:
             self._push(time, "corrupt", (self._mid_corruptions[time],))
         self._push(self._sample_interval, "sample", ())
 
+        bus = self._bus
+        wants_state_commit = bus.wants_state_commit
+        wants_deliver = bus.wants_deliver
         while self._queue:
             time, _seq, kind, data = heapq.heappop(self._queue)
             if time > max_time:
@@ -351,32 +368,36 @@ class AsyncScheduler:
                 (pid,) = data
                 self._crashed.add(pid)
                 self.states[pid] = None
-                self._bus.on_fault(
+                bus.on_fault(
                     FaultEvent(kind=FaultKind.CRASH, time=time, pid=pid)
                 )
-                self._bus.on_state_commit(pid, time, None)
+                if wants_state_commit:
+                    bus.on_state_commit(pid, time, None)
             elif kind == "tick":
                 (pid,) = data
                 if pid in self._crashed:
                     continue
                 self.protocol.on_tick(self._contexts[pid])
-                self._bus.on_state_commit(pid, time, self.states[pid])
+                if wants_state_commit:
+                    bus.on_state_commit(pid, time, self.states[pid])
                 self._push(time + self._next_tick_delay(pid), "tick", (pid,))
             elif kind == "deliver":
                 dest, sender, payload, sent_at = data
                 if dest in self._crashed:
                     continue
-                self._bus.on_deliver(
-                    AsyncMessage(
-                        sender=sender,
-                        receiver=dest,
-                        payload=payload,
-                        sent_time=sent_at,
-                    ),
-                    time,
-                )
+                if wants_deliver:
+                    bus.on_deliver(
+                        AsyncMessage(
+                            sender=sender,
+                            receiver=dest,
+                            payload=payload,
+                            sent_time=sent_at,
+                        ),
+                        time,
+                    )
                 self.protocol.on_message(self._contexts[dest], sender, payload)
-                self._bus.on_state_commit(dest, time, self.states[dest])
+                if wants_state_commit:
+                    bus.on_state_commit(dest, time, self.states[dest])
             elif kind == "corrupt":
                 (plan,) = data
                 self.states = self._corrupt(plan, self.states, time)

@@ -22,6 +22,7 @@ process), and parallel on demand (``--jobs N`` on the CLI, or the
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ __all__ = [
     "Registry",
     "default_jobs",
     "run_sweep",
+    "shutdown_pool",
 ]
 
 Point = TypeVar("Point")
@@ -54,6 +56,44 @@ def default_jobs() -> int:
     except ValueError:
         return 1
     return jobs if jobs >= 1 else 1
+
+
+#: The persistent sweep pool: forked once, reused by every subsequent
+#: ``run_sweep`` call with the same worker count.  Experiments run many
+#: small sweeps back to back (one per figure row, one per exploration
+#: batch); paying the fork + executor startup per *campaign* instead of
+#: per *sweep* is where the pool's time goes.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent sweep pool (tests, benchmarks, atexit).
+
+    Safe to call when no pool exists; the next parallel ``run_sweep``
+    simply forks a fresh one.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def run_sweep(
@@ -78,18 +118,22 @@ def run_sweep(
     randomness from their point via
     :func:`repro.util.rng.sweep_seed`-namespaced seeds, so
     ``run_sweep(w, ps, jobs=4) == run_sweep(w, ps, jobs=1)``.
+
+    The worker pool is *persistent*: the first parallel sweep forks it,
+    and later sweeps with the same ``jobs`` reuse it instead of paying
+    executor startup per call (see :func:`shutdown_pool`).  This is why
+    workers must be pure functions of their point — a forked worker
+    observes parent module state as of the first sweep, not the
+    current one.  Dispatch is chunked so a large sweep costs O(chunks)
+    round trips rather than O(points).
     """
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(points) <= 1:
         return [worker(point) for point in points]
-    import multiprocessing
-
-    context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(points)), mp_context=context
-    ) as pool:
-        return list(pool.map(worker, points))
+    pool = _get_pool(jobs)
+    chunksize = max(1, len(points) // (jobs * 4))
+    return list(pool.map(worker, points, chunksize=chunksize))
 
 
 @dataclass

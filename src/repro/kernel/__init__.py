@@ -36,7 +36,14 @@ from repro.kernel.faults import (
     SyncFaultView,
 )
 from repro.kernel.recorders import AsyncTraceRecorder, HistoryRecorder
-from repro.kernel.snapshot import copy_payload, snapshot_state, snapshot_states
+from repro.kernel.snapshot import (
+    FrozenDict,
+    copy_payload,
+    freeze,
+    imm,
+    snapshot_state,
+    snapshot_states,
+)
 
 __all__ = [
     "AsyncFaultView",
@@ -48,10 +55,13 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
+    "FrozenDict",
     "HistoryRecorder",
     "Observer",
     "SyncFaultView",
     "copy_payload",
+    "freeze",
+    "imm",
     "snapshot_state",
     "snapshot_states",
 ]

@@ -116,17 +116,54 @@ class Observer:
         pass
 
 
+#: Hooks for which the bus precomputes capability flags (the per-event
+#: hot path; run start/end fire once and are always dispatched).
+_FLAGGED_HOOKS = (
+    "round_start",
+    "send",
+    "deliver",
+    "fault",
+    "state_commit",
+    "sample",
+    "round_end",
+)
+
+
+def _subscribes(observer: Observer, hook: str) -> bool:
+    """Does ``observer`` override ``on_<hook>`` (transitively for buses)?"""
+    if isinstance(observer, EventBus):
+        return getattr(observer, f"wants_{hook}")
+    return getattr(type(observer), f"on_{hook}") is not getattr(
+        Observer, f"on_{hook}"
+    )
+
+
 class EventBus(Observer):
     """Fans every event out to a fixed tuple of observers.
 
     The bus is itself an :class:`Observer`, so buses nest if a run ever
     needs to splice streams.
+
+    Capability flags: for each per-event hook the bus precomputes
+    ``wants_<hook>`` — True iff some registered observer actually
+    overrides that hook (nested buses are inspected transitively).  The
+    engines consult these flags to skip work that exists only to be
+    narrated: state snapshots when nothing listens to ``round_start``,
+    per-message ``on_send``/``on_deliver`` fan-out, per-transition
+    ``on_state_commit`` calls.  An observer that merely inherits the
+    base no-op does not count as a subscriber.
     """
 
-    __slots__ = ("_observers",)
+    __slots__ = ("_observers",) + tuple(f"wants_{hook}" for hook in _FLAGGED_HOOKS)
 
     def __init__(self, observers: Sequence[Observer] = ()):
         self._observers = tuple(observers)
+        for hook in _FLAGGED_HOOKS:
+            setattr(
+                self,
+                f"wants_{hook}",
+                any(_subscribes(observer, hook) for observer in self._observers),
+            )
 
     @property
     def observers(self) -> "tuple[Observer, ...]":

@@ -1,4 +1,4 @@
-"""State snapshots without blanket ``copy.deepcopy``.
+"""State snapshots without blanket ``copy.deepcopy`` — with interning.
 
 Both engines must snapshot process states (for ``state_before`` records
 and final states) and defensively copy message payloads.  The states in
@@ -14,44 +14,264 @@ mutating the original after a snapshot never affects the snapshot.
 (The one deliberate difference: aliasing between two *mutable* values
 inside one state is not preserved — each reference gets its own copy.
 No protocol in the library relies on intra-state aliasing.)
+
+The interning layer
+-------------------
+
+Immutability proofs used to be recomputed from scratch on every call —
+for full-information protocols (Figure 2's canonical form broadcasts
+``(pid, inner state)`` views that grow every round) that walk dominated
+the per-round cost.  Three caches remove it:
+
+- a **per-type fast table**: exact types classify once into *always
+  immutable* (atoms), *never provable* (mutable/unknown), or
+  *structural* (tuples, frozensets, frozen dataclasses,
+  :class:`FrozenDict` — immutable iff their contents are);
+- a **per-object proof cache** keyed by ``id``: once a structural value
+  proves immutable, later calls are O(1).  Entries pin the proven
+  object with a strong reference, so a cached ``id`` can never be
+  recycled by the allocator while the proof is live; a generation
+  counter clears the cache wholesale when it reaches its size bound
+  (the *generation guard* — stale ids are impossible because nothing
+  survives a generation);
+- a **hash-cons table**: equal proven-immutable containers collapse to
+  one canonical instance (first one wins), so identical view tuples
+  built independently by different processes — or by the same process
+  in successive rounds — share structure and future proofs hit the id
+  cache immediately.
+
+Protocols with hand-built payloads can opt in explicitly: :func:`imm`
+proves (and interns) a payload once so the engine's defensive copy is
+O(1) from then on, and :func:`freeze` deep-converts lists/sets/dicts to
+their immutable counterparts (:class:`FrozenDict` for mappings) before
+interning.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-from typing import Any, Dict, Mapping, Optional
+from collections.abc import Mapping as _MappingABC
+from typing import Any, Dict, Iterator, Mapping, Optional
 
-__all__ = ["copy_payload", "copy_value", "snapshot_state", "snapshot_states"]
+__all__ = [
+    "FrozenDict",
+    "cache_stats",
+    "clear_caches",
+    "copy_payload",
+    "copy_value",
+    "freeze",
+    "imm",
+    "snapshot_state",
+    "snapshot_states",
+]
 
 _ATOMS = (int, float, complex, bool, str, bytes, type(None))
 
+#: Per-type verdicts (exact-type dispatch; see ``_classify``).
+_ALWAYS, _NEVER, _STRUCTURAL = 1, 0, 2
 
-def _is_frozen_dataclass(value: Any) -> bool:
-    return (
-        dataclasses.is_dataclass(value)
-        and not isinstance(value, type)
-        and value.__dataclass_params__.frozen
-    )
+#: Size bound shared by the proof cache and the hash-cons table.  At the
+#: bound the caches are cleared wholesale and the generation advances —
+#: proofs are re-derived, never left dangling.
+_CACHE_LIMIT = 1 << 16
+
+
+class FrozenDict(_MappingABC):
+    """A hashable, immutable mapping (the :func:`freeze` image of ``dict``).
+
+    Equality follows the ``Mapping`` protocol, so ``FrozenDict(d) == d``
+    for any equal ``dict``.  Hashing requires every value (and key) to
+    be hashable — :func:`freeze` guarantees deep immutability first.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Mapping[Any, Any] = ()):
+        object.__setattr__(self, "_items", dict(items))
+        object.__setattr__(self, "_hash", None)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._items[key]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._items.items()))
+            )
+        return self._hash
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._items!r})"
+
+    def __reduce__(self):
+        return (type(self), (self._items,))
+
+
+_TYPE_TABLE: Dict[type, int] = {atom: _ALWAYS for atom in _ATOMS}
+_TYPE_TABLE[tuple] = _STRUCTURAL
+_TYPE_TABLE[frozenset] = _STRUCTURAL
+_TYPE_TABLE[FrozenDict] = _STRUCTURAL
+
+#: id(value) -> (value, canonical): the strong reference to ``value``
+#: pins its id for the lifetime of the entry (see module docstring).
+_PROOFS: Dict[int, tuple] = {}
+#: value -> canonical instance for hashable proven-immutable containers.
+_INTERNED: Dict[Any, Any] = {}
+_GENERATION = 0
+
+
+def _classify(kind: type) -> int:
+    """Memoized per-type verdict (exact type, subclass-aware fallback)."""
+    verdict = _TYPE_TABLE.get(kind)
+    if verdict is not None:
+        return verdict
+    if issubclass(kind, _ATOMS):
+        verdict = _ALWAYS
+    elif issubclass(kind, (tuple, frozenset, FrozenDict)):
+        verdict = _STRUCTURAL
+    elif dataclasses.is_dataclass(kind) and kind.__dataclass_params__.frozen:
+        verdict = _STRUCTURAL
+    else:
+        verdict = _NEVER
+    _TYPE_TABLE[kind] = verdict
+    return verdict
+
+
+def _advance_generation() -> None:
+    global _GENERATION
+    _GENERATION += 1
+    _PROOFS.clear()
+    _INTERNED.clear()
+
+
+def _register(value: Any, canonical: Any) -> Any:
+    if len(_PROOFS) >= _CACHE_LIMIT:
+        _advance_generation()
+    _PROOFS[id(value)] = (value, canonical)
+    if canonical is not value:
+        # Make the canonical instance an O(1) hit as well.
+        _PROOFS[id(canonical)] = (canonical, canonical)
+    return canonical
+
+
+def _intern(value: Any) -> Any:
+    """The canonical instance equal to a proven-immutable ``value``."""
+    if len(_INTERNED) >= _CACHE_LIMIT:
+        _advance_generation()
+    try:
+        return _INTERNED.setdefault(value, value)
+    except TypeError:
+        # Proven immutable but unhashable (e.g. a frozen dataclass with
+        # eq=True, hash disabled): share without hash-consing.
+        return value
+
+
+#: Failure sentinel for ``_prove`` (``None`` is a real provable value).
+_MISS = object()
+
+
+def _prove(value: Any) -> Any:
+    """Canonical equal object if deeply immutable, else ``_MISS``."""
+    verdict = _TYPE_TABLE.get(type(value))
+    if verdict is None:
+        verdict = _classify(type(value))
+    if verdict == _ALWAYS:
+        return value
+    if verdict == _NEVER:
+        return _MISS
+    cached = _PROOFS.get(id(value))
+    if cached is not None:
+        return cached[1]
+    if isinstance(value, (tuple, frozenset)):
+        for item in value:
+            if _prove(item) is _MISS:
+                return _MISS
+    elif isinstance(value, FrozenDict):
+        for key, item in value.items():
+            if _prove(key) is _MISS or _prove(item) is _MISS:
+                return _MISS
+    else:  # frozen dataclass
+        for field in dataclasses.fields(value):
+            if _prove(getattr(value, field.name)) is _MISS:
+                return _MISS
+    return _register(value, _intern(value))
 
 
 def _is_deeply_immutable(value: Any) -> bool:
-    if isinstance(value, _ATOMS):
-        return True
-    if isinstance(value, (tuple, frozenset)):
-        return all(_is_deeply_immutable(item) for item in value)
-    if _is_frozen_dataclass(value):
-        return all(
-            _is_deeply_immutable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
+    return _prove(value) is not _MISS
+
+
+def clear_caches() -> None:
+    """Drop every memoized proof and interned instance (tests, tooling)."""
+    _advance_generation()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Introspection for tests and the microbenchmarks."""
+    return {
+        "proofs": len(_PROOFS),
+        "interned": len(_INTERNED),
+        "generation": _GENERATION,
+        "types": len(_TYPE_TABLE),
+    }
+
+
+def imm(value: Any) -> Any:
+    """Mark ``value`` pre-proven: prove it immutable once, intern it.
+
+    Protocols that broadcast hand-built immutable payloads call
+    ``imm(payload)`` so the engine's defensive :func:`copy_payload`
+    becomes an O(1) cache hit.  Raises ``TypeError`` when the value is
+    not deeply immutable (use :func:`freeze` to convert).
+    """
+    canonical = _prove(value)
+    if canonical is _MISS:
+        raise TypeError(
+            f"imm(): {type(value).__name__!r} value is not deeply "
+            "immutable; freeze() converts lists/sets/dicts to immutable "
+            "equivalents"
         )
-    return False
+    return canonical
+
+
+def freeze(value: Any) -> Any:
+    """Deep-convert to an immutable equivalent and intern it.
+
+    ``list`` → ``tuple``, ``set`` → ``frozenset``, ``dict`` →
+    :class:`FrozenDict`; already-immutable values intern as-is.
+    Anything unconvertible (arbitrary objects) raises ``TypeError``.
+    """
+    canonical = _prove(value)
+    if canonical is not _MISS:
+        return canonical
+    kind = type(value)
+    if kind is dict:
+        return imm(FrozenDict({key: freeze(item) for key, item in value.items()}))
+    if kind is list or kind is tuple:
+        return imm(tuple(freeze(item) for item in value))
+    if kind is set or kind is frozenset:
+        return imm(frozenset(freeze(item) for item in value))
+    raise TypeError(
+        f"freeze(): cannot convert {kind.__name__!r} to an immutable "
+        "equivalent"
+    )
 
 
 def copy_value(value: Any) -> Any:
     """A defensive copy of ``value``, sharing immutable substructure."""
-    if _is_deeply_immutable(value):
-        return value
+    canonical = _prove(value)
+    if canonical is not _MISS:
+        return canonical
     kind = type(value)
     if kind is dict:
         return {key: copy_value(item) for key, item in value.items()}

@@ -19,7 +19,7 @@ the program text is intact).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, FrozenSet, Mapping, Optional
 
 from repro.histories.history import CLOCK_KEY
 from repro.sync.protocol import SyncProtocol
@@ -51,6 +51,19 @@ class CorruptionPlan(ABC):
         memory, it does not restart processes.
         """
 
+    def touched_pids(
+        self,
+        states: Mapping[int, Optional[Dict[str, Any]]],
+        n: int,
+    ) -> Optional[FrozenSet[int]]:
+        """Candidate pids this plan may have modified, or ``None``.
+
+        The engines narrate corruption by diffing pre/post states; a
+        plan that knows which processes it targets reports them here so
+        the diff is O(touched) instead of O(n x state).  ``None`` (the
+        base default) means "unknown — diff everyone"."""
+        return None
+
 
 class NoCorruption(CorruptionPlan):
     """Identity plan (failure-free systemically)."""
@@ -62,6 +75,9 @@ class NoCorruption(CorruptionPlan):
         n: int,
     ) -> Dict[int, Optional[Dict[str, Any]]]:
         return {pid: None if s is None else dict(s) for pid, s in states.items()}
+
+    def touched_pids(self, states, n) -> FrozenSet[int]:
+        return frozenset()
 
 
 class ExplicitCorruption(CorruptionPlan):
@@ -92,6 +108,9 @@ class ExplicitCorruption(CorruptionPlan):
             else:
                 out[pid] = dict(self._overrides[pid])
         return out
+
+    def touched_pids(self, states, n) -> FrozenSet[int]:
+        return frozenset(self._overrides)
 
 
 class RandomCorruption(CorruptionPlan):
@@ -126,6 +145,9 @@ class RandomCorruption(CorruptionPlan):
                 out[pid] = protocol.arbitrary_state(pid, n, rng)
         return out
 
+    def touched_pids(self, states, n) -> Optional[FrozenSet[int]]:
+        return None if self._victims is None else frozenset(self._victims)
+
 
 class ClockSkewCorruption(CorruptionPlan):
     """Corrupt only the round variables, by explicit per-process skews.
@@ -154,3 +176,6 @@ class ClockSkewCorruption(CorruptionPlan):
                 fresh[CLOCK_KEY] = self._skews[pid]
             out[pid] = fresh
         return out
+
+    def touched_pids(self, states, n) -> FrozenSet[int]:
+        return frozenset(self._skews)

@@ -36,6 +36,7 @@ history alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -113,9 +114,22 @@ def _corrupt_states(
     n: int,
     time: float,
 ) -> Dict[ProcessId, Optional[Dict[str, Any]]]:
-    """Apply one corruption plan and narrate which memories it touched."""
+    """Apply one corruption plan and narrate which memories it touched.
+
+    Narration diffs only the plan's reported candidate pids (see
+    :meth:`CorruptionPlan.touched_pids`) instead of every process's full
+    state; plans that do not report candidates (duck-typed externals)
+    fall back to the full O(n x state) diff.
+    """
     corrupted = plan.corrupt(protocol, states, n)
-    for pid in range(n):
+    if not bus.wants_fault:
+        return corrupted
+    candidates = getattr(plan, "touched_pids", lambda s, c: None)(states, n)
+    if candidates is None:
+        pids = range(n)
+    else:
+        pids = sorted(pid for pid in candidates if 0 <= pid < n)
+    for pid in pids:
         if corrupted.get(pid) != states.get(pid):
             bus.on_fault(
                 FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
@@ -229,9 +243,17 @@ def run_sync(
         )
 
     crashed: set = set()
+    alive: frozenset = frozenset(range(n))
+    alive_order: List[ProcessId] = list(range(n))
     faulty_so_far: frozenset = frozenset()
     stopped_early = False
     last_round = first_round
+
+    wants_round_start = bus.wants_round_start
+    wants_send = bus.wants_send
+    wants_deliver = bus.wants_deliver
+    wants_fault = bus.wants_fault
+    wants_round_end = bus.wants_round_end
 
     for round_no in range(first_round, first_round + rounds):
         last_round = round_no
@@ -240,55 +262,63 @@ def run_sync(
                 bus, mid_run[round_no], protocol, states, n, time=round_no
             )
 
-        alive = frozenset(pid for pid in range(n) if pid not in crashed)
         plan = adversary.plan_round(round_no, alive, faulty_so_far)
         adversary.validate(plan, faulty_so_far)
 
-        snapshots = snapshot_states(states)
-        bus.on_round_start(round_no, snapshots)
+        if wants_round_start:
+            bus.on_round_start(round_no, snapshot_states(states))
 
-        sent, omitted_sends, forged_sends, crashing_now = _send_phase(
-            protocol, n, round_no, states, alive, plan
+        wire, omitted_sends, forged_sends, crashing_now = _send_phase(
+            protocol, n, round_no, states, alive_order, plan
         )
-        for pid in sorted(crashing_now):
-            bus.on_fault(
-                FaultEvent(
-                    kind=FaultKind.CRASH,
-                    time=round_no,
-                    pid=pid,
-                    targets=plan.crashes.get(pid, frozenset()),
-                )
-            )
-        for pid in range(n):
-            if omitted_sends[pid]:
+        if wants_fault:
+            for pid in sorted(crashing_now):
                 bus.on_fault(
                     FaultEvent(
-                        kind=FaultKind.SEND_OMISSION,
+                        kind=FaultKind.CRASH,
                         time=round_no,
                         pid=pid,
-                        targets=frozenset(omitted_sends[pid]),
+                        targets=plan.crashes.get(pid, frozenset()),
                     )
                 )
-            if forged_sends[pid]:
-                bus.on_fault(
-                    FaultEvent(
-                        kind=FaultKind.FORGERY,
-                        time=round_no,
-                        pid=pid,
-                        targets=frozenset(forged_sends[pid]),
+            for pid in sorted(omitted_sends.keys() | forged_sends.keys()):
+                dropped = omitted_sends.get(pid)
+                if dropped:
+                    bus.on_fault(
+                        FaultEvent(
+                            kind=FaultKind.SEND_OMISSION,
+                            time=round_no,
+                            pid=pid,
+                            targets=frozenset(dropped),
+                        )
                     )
-                )
-        for pid in range(n):
-            for message in sent[pid]:
+                forged = forged_sends.get(pid)
+                if forged:
+                    bus.on_fault(
+                        FaultEvent(
+                            kind=FaultKind.FORGERY,
+                            time=round_no,
+                            pid=pid,
+                            targets=frozenset(forged),
+                        )
+                    )
+        if wants_send:
+            for message in wire:
                 bus.on_send(message, round_no)
 
-        immediate = _route_delays(sent, round_no, delay_model, in_flight)
-        arriving = immediate + in_flight.pop(round_no, [])
+        immediate = _route_delays(wire, round_no, delay_model, in_flight)
+        pending = in_flight.pop(round_no, None)
+        if pending:
+            arriving = immediate + pending
+            presorted = False
+        else:
+            arriving = immediate
+            presorted = True
         delivered, omitted_receives = _delivery_phase(
-            n, arriving, crashed, crashing_now, plan
+            arriving, crashed, crashing_now, plan, presorted
         )
-        for pid in range(n):
-            if omitted_receives[pid]:
+        if wants_fault:
+            for pid in sorted(omitted_receives):
                 bus.on_fault(
                     FaultEvent(
                         kind=FaultKind.RECEIVE_OMISSION,
@@ -297,24 +327,30 @@ def run_sync(
                         targets=frozenset(omitted_receives[pid]),
                     )
                 )
-        for pid in range(n):
-            for message in delivered[pid]:
-                bus.on_deliver(message, round_no)
+        if wants_deliver:
+            for pid in sorted(delivered):
+                for message in delivered[pid]:
+                    bus.on_deliver(message, round_no)
 
         _update_phase(
             protocol, n, bus, round_no, states, delivered, crashed, crashing_now
         )
 
-        crashed |= crashing_now
-        deviators = (
-            crashed
-            | {pid for pid in range(n) if omitted_sends[pid]}
-            | {pid for pid in range(n) if omitted_receives[pid]}
-            | {pid for pid in range(n) if forged_sends[pid]}
-        )
-        faulty_so_far = faulty_so_far | frozenset(deviators)
+        if crashing_now:
+            crashed |= crashing_now
+            alive = alive - crashing_now
+            alive_order = [pid for pid in alive_order if pid not in crashing_now]
+        if crashing_now or omitted_sends or omitted_receives or forged_sends:
+            faulty_so_far = (
+                faulty_so_far
+                | crashed
+                | omitted_sends.keys()
+                | omitted_receives.keys()
+                | forged_sends.keys()
+            )
 
-        bus.on_round_end(round_no)
+        if wants_round_end:
+            bus.on_round_end(round_no)
 
         if stop_condition is not None and stop_condition(states, round_no):
             stopped_early = True
@@ -334,21 +370,50 @@ def run_sync(
     )
 
 
+#: Deliveries are presented to the protocol sorted by (sender, round sent).
+_DELIVERY_ORDER = attrgetter("sender", "sent_round")
+
+
 def _send_phase(
     protocol: SyncProtocol,
     n: int,
     round_no: int,
     states: Dict[ProcessId, Optional[Dict[str, Any]]],
-    alive: frozenset,
+    alive_order: List[ProcessId],
     plan: RoundFaultPlan,
 ):
-    """Compute the messages actually placed on the wire this round."""
-    sent: Dict[ProcessId, List[Message]] = {pid: [] for pid in range(n)}
-    omitted_sends: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
-    forged_sends: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
+    """Compute the messages actually placed on the wire this round.
+
+    Returns the wire as one flat list in (sender asc, receiver asc)
+    order — the narration order — plus sparse per-pid omission/forgery
+    target sets (only faulty pids appear as keys) and the set of
+    processes crashing mid-broadcast.  Fault-free rounds take a fast
+    path with none of the omission/forgery bookkeeping.
+    """
+    wire: List[Message] = []
     crashing_now: set = set()
 
-    for pid in sorted(alive):
+    if not (plan.crashes or plan.send_omissions or plan.forgeries):
+        receivers = range(n)
+        for pid in alive_order:
+            payload = protocol.send(pid, states[pid])
+            if payload is None:
+                continue
+            payload = copy_payload(payload)
+            for receiver in receivers:
+                wire.append(
+                    Message(
+                        sender=pid,
+                        receiver=receiver,
+                        sent_round=round_no,
+                        payload=payload,
+                    )
+                )
+        return wire, {}, {}, crashing_now
+
+    omitted_sends: Dict[ProcessId, set] = {}
+    forged_sends: Dict[ProcessId, set] = {}
+    for pid in alive_order:
         payload = protocol.send(pid, states[pid])
         crash_survivors = plan.crashes.get(pid)
         if crash_survivors is not None:
@@ -357,76 +422,123 @@ def _send_phase(
             continue
         payload = copy_payload(payload)
         if crash_survivors is not None:
-            receivers = set(crash_survivors)
+            receivers = sorted(crash_survivors)
         else:
             dropped = set(plan.send_omissions.get(pid, frozenset()))
             dropped.discard(pid)  # self-delivery is sacred
-            omitted_sends[pid] = dropped
-            receivers = set(range(n)) - dropped
-        lies = plan.forgeries.get(pid, {})
-        for receiver in sorted(receivers):
-            message_payload = payload
-            if receiver in lies and receiver != pid:  # own broadcast stays true
-                message_payload = copy_payload(lies[receiver](copy_payload(payload)))
-                forged_sends[pid].add(receiver)
-            sent[pid].append(
-                Message(
-                    sender=pid,
-                    receiver=receiver,
-                    sent_round=round_no,
-                    payload=message_payload,
+            if dropped:
+                omitted_sends[pid] = dropped
+                receivers = [r for r in range(n) if r not in dropped]
+            else:
+                receivers = range(n)
+        lies = plan.forgeries.get(pid)
+        if lies:
+            forged = forged_sends.setdefault(pid, set())
+            for receiver in receivers:
+                message_payload = payload
+                if receiver in lies and receiver != pid:  # own broadcast stays true
+                    # One defensive copy suffices: the mutator gets its own
+                    # copy to work on, and its result goes straight onto
+                    # the wire without ever escaping elsewhere.
+                    message_payload = lies[receiver](copy_payload(payload))
+                    forged.add(receiver)
+                wire.append(
+                    Message(
+                        sender=pid,
+                        receiver=receiver,
+                        sent_round=round_no,
+                        payload=message_payload,
+                    )
                 )
-            )
-    return sent, omitted_sends, forged_sends, crashing_now
+            if not forged:
+                del forged_sends[pid]
+        else:
+            for receiver in receivers:
+                wire.append(
+                    Message(
+                        sender=pid,
+                        receiver=receiver,
+                        sent_round=round_no,
+                        payload=payload,
+                    )
+                )
+    return wire, omitted_sends, forged_sends, crashing_now
 
 
 def _route_delays(
-    sent: Dict[ProcessId, List[Message]],
+    wire: List[Message],
     round_no: int,
     delay_model: DelayModel,
     in_flight: Dict[int, List[Message]],
 ) -> List[Message]:
     """Split fresh sends into immediate arrivals and future deliveries."""
+    if type(delay_model) is NoDelay:
+        return wire  # perfect synchrony: everything arrives this round
     immediate: List[Message] = []
-    for sender in sorted(sent):
-        for message in sent[sender]:
-            extra = delay_model.extra_rounds(round_no, sender, message.receiver)
-            if not 0 <= extra <= delay_model.max_extra_rounds:
-                raise ProtocolError(
-                    f"delay model returned {extra} extra rounds, outside "
-                    f"[0, {delay_model.max_extra_rounds}]"
-                )
-            if extra == 0:
-                immediate.append(message)
-            else:
-                in_flight.setdefault(round_no + extra, []).append(message)
+    max_extra = delay_model.max_extra_rounds
+    extra_rounds = delay_model.extra_rounds
+    for message in wire:
+        extra = extra_rounds(round_no, message.sender, message.receiver)
+        if not 0 <= extra <= max_extra:
+            raise ProtocolError(
+                f"delay model returned {extra} extra rounds, outside "
+                f"[0, {max_extra}]"
+            )
+        if extra == 0:
+            immediate.append(message)
+        else:
+            in_flight.setdefault(round_no + extra, []).append(message)
     return immediate
 
 
 def _delivery_phase(
-    n: int,
     arriving: List[Message],
     crashed: set,
     crashing_now: set,
     plan: RoundFaultPlan,
+    presorted: bool,
 ):
-    """Deliver surviving copies, applying receive omissions."""
-    delivered: Dict[ProcessId, List[Message]] = {pid: [] for pid in range(n)}
-    omitted_receives: Dict[ProcessId, set] = {pid: set() for pid in range(n)}
-    dead = crashed | crashing_now
+    """Deliver surviving copies, applying receive omissions.
 
-    for message in arriving:
-        receiver, sender = message.receiver, message.sender
-        if receiver in dead:
-            continue  # a crashed process receives nothing
-        drops = plan.receive_omissions.get(receiver, frozenset())
-        if sender in drops and sender != receiver:
-            omitted_receives[receiver].add(sender)
-            continue
-        delivered[receiver].append(message)
+    ``delivered``/``omitted_receives`` are sparse: only receivers with at
+    least one delivery (resp. dropped copy) appear as keys.  When
+    ``presorted`` is true the arrivals are already in wire order (sender
+    asc within each receiver, one round), so the per-receiver delivery
+    sort is skipped.
+    """
+    delivered: Dict[ProcessId, List[Message]] = {}
+    omitted_receives: Dict[ProcessId, set] = {}
+    receive_omissions = plan.receive_omissions
+    dead = (crashed | crashing_now) if (crashed or crashing_now) else None
 
-    for pid in delivered:
-        delivered[pid].sort(key=lambda m: (m.sender, m.sent_round))
+    if dead is None and not receive_omissions:
+        for message in arriving:
+            receiver = message.receiver
+            inbox = delivered.get(receiver)
+            if inbox is None:
+                delivered[receiver] = [message]
+            else:
+                inbox.append(message)
+    else:
+        if dead is None:
+            dead = frozenset()
+        for message in arriving:
+            receiver, sender = message.receiver, message.sender
+            if receiver in dead:
+                continue  # a crashed process receives nothing
+            drops = receive_omissions.get(receiver)
+            if drops and sender in drops and sender != receiver:
+                omitted_receives.setdefault(receiver, set()).add(sender)
+                continue
+            inbox = delivered.get(receiver)
+            if inbox is None:
+                delivered[receiver] = [message]
+            else:
+                inbox.append(message)
+
+    if not presorted:
+        for inbox in delivered.values():
+            inbox.sort(key=_DELIVERY_ORDER)
     return delivered, omitted_receives
 
 
@@ -441,18 +553,24 @@ def _update_phase(
     crashing_now: set,
 ) -> None:
     """Apply transitions and narrate the committed states."""
+    wants_state_commit = bus.wants_state_commit
     for pid in range(n):
         if pid in crashed:
             continue
         if pid in crashing_now:
             states[pid] = None
-            bus.on_state_commit(pid, round_no, None)
+            if wants_state_commit:
+                bus.on_state_commit(pid, round_no, None)
             continue
-        new_state = protocol.update(pid, states[pid], delivered[pid])
+        inbox = delivered.get(pid)
+        if inbox is None:
+            inbox = []
+        new_state = protocol.update(pid, states[pid], inbox)
         if not isinstance(new_state, dict) or CLOCK_KEY not in new_state:
             raise ProtocolError(
                 f"{protocol.name}: update() for process {pid} must return a "
                 f"dict containing the round variable ({CLOCK_KEY!r})"
             )
         states[pid] = new_state
-        bus.on_state_commit(pid, round_no, new_state)
+        if wants_state_commit:
+            bus.on_state_commit(pid, round_no, new_state)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.base import default_jobs, run_sweep
+from repro.kernel import snapshot
 from repro.kernel import (
     ComposedAdversary,
     CrashScheduleAdversary,
@@ -18,6 +19,10 @@ from repro.util.rng import sweep_seed
 
 class TestSnapshot:
     def test_immutable_values_shared(self):
+        # On a fresh cache the first-proven instance is its own canonical,
+        # so the snapshot shares it by identity (interning could otherwise
+        # canonicalize to an equal tuple proven earlier in the session).
+        snapshot.clear_caches()
         state = {"clock": 3, "label": "x", "pair": (1, 2)}
         snap = snapshot_state(state)
         assert snap == state

@@ -1,0 +1,337 @@
+"""Tests for the hot-path overhaul: interning, lean dispatch, the pool.
+
+These pin down the *equivalence* guarantees the optimizations rely on:
+
+- a ``record_history=False`` run reports the same faulty set and final
+  states as a recorded run under crashes, omissions and mid-run
+  corruption (the engine's own deviator accumulation matches
+  ``history.faulty()``);
+- delayed messages still in flight when the run ends are truncated;
+- the interning layer (``imm``/``freeze``/``FrozenDict``) proves,
+  interns and shares immutable values without changing snapshot
+  semantics;
+- the event bus reports capability flags that reflect which hooks its
+  observers actually override;
+- the persistent sweep pool is reused across sweeps and keeps results
+  equal to the sequential baseline;
+- ``benchmarks/compare.py`` flags regressions and accepts improvements.
+"""
+
+import importlib.util
+import pathlib
+import pickle
+
+import pytest
+
+from repro.experiments import base as experiments_base
+from repro.experiments.base import run_sweep, shutdown_pool
+from repro.histories.history import CLOCK_KEY
+from repro.kernel import snapshot
+from repro.kernel.events import EventBus, Observer
+from repro.kernel.snapshot import (
+    FrozenDict,
+    copy_value,
+    freeze,
+    imm,
+)
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import ClockSkewCorruption, RandomCorruption
+from repro.sync.delays import TargetedLag
+from repro.sync.engine import run_sync
+from repro.sync.protocol import SyncProtocol
+
+
+class EchoProtocol(SyncProtocol):
+    name = "echo"
+
+    def initial_state(self, pid, n):
+        return {CLOCK_KEY: 1, "heard": ()}
+
+    def send(self, pid, state):
+        return pid
+
+    def update(self, pid, state, delivered):
+        heard = tuple((m.sender, m.sent_round) for m in delivered)
+        return {CLOCK_KEY: state[CLOCK_KEY] + 1, "heard": heard}
+
+
+def _faulty_run(record_history):
+    """One eventful run: crashes + omissions + mid-run corruption."""
+    return run_sync(
+        EchoProtocol(),
+        n=5,
+        rounds=12,
+        adversary=RandomAdversary(
+            n=5,
+            f=2,
+            mode=FaultMode.GENERAL_OMISSION,
+            rate=0.7,
+            seed=11,
+            crash_probability=0.3,
+        ),
+        mid_run_corruptions={4: ClockSkewCorruption({0: 99, 3: -7})},
+        record_history=record_history,
+    )
+
+
+class TestStreamingParity:
+    def test_faulty_set_and_final_states_match_recorded_run(self):
+        recorded = _faulty_run(record_history=True)
+        streaming = _faulty_run(record_history=False)
+        assert streaming.history is None
+        assert recorded.history is not None
+        assert streaming.faulty == recorded.faulty
+        assert streaming.faulty  # the campaign actually injected faults
+        assert streaming.final_states == recorded.final_states
+        assert streaming.rounds_executed == recorded.rounds_executed
+
+    def test_parity_under_random_corruption(self):
+        kwargs = dict(
+            n=4,
+            rounds=6,
+            corruption=RandomCorruption(seed=3),
+        )
+        recorded = run_sync(EchoProtocol(), record_history=True, **kwargs)
+        streaming = run_sync(EchoProtocol(), record_history=False, **kwargs)
+        assert streaming.final_states == recorded.final_states
+        assert streaming.faulty == recorded.faulty == frozenset()
+
+    def test_parity_under_delays(self):
+        def build(record_history):
+            return run_sync(
+                EchoProtocol(),
+                n=3,
+                rounds=5,
+                delay_model=TargetedLag([(0, 1), (2, 1)]),
+                record_history=record_history,
+            )
+
+        recorded = build(True)
+        streaming = build(False)
+        assert streaming.final_states == recorded.final_states
+        assert streaming.faulty == recorded.faulty
+
+
+class TestDelayTruncation:
+    def test_in_flight_messages_dropped_at_run_end(self):
+        # The 0->1 link is permanently one round late: the copy sent in
+        # the final round is still in flight when the run ends and must
+        # be truncated, not delivered or carried anywhere.
+        res = run_sync(
+            EchoProtocol(), n=2, rounds=1, delay_model=TargetedLag([(0, 1)])
+        )
+        assert res.final_states[1]["heard"] == ((1, 1),)
+        # 4 copies hit the wire, but the lagged 0->1 copy never lands.
+        assert res.history.messages_sent() == 4
+        assert res.history.messages_delivered() == 3
+
+    def test_lagged_copy_arrives_when_run_continues(self):
+        res = run_sync(
+            EchoProtocol(), n=2, rounds=2, delay_model=TargetedLag([(0, 1)])
+        )
+        # Round 2 delivers round 1's lagged copy plus round 2's on-time
+        # self copy; round 2's 0->1 copy is truncated in turn.
+        assert res.final_states[1]["heard"] == ((0, 1), (1, 2))
+
+
+class TestInterning:
+    def setup_method(self):
+        snapshot.clear_caches()
+
+    def test_equal_views_collapse_to_one_canonical(self):
+        first = copy_value(("view", (1, 2), frozenset({3})))
+        second = copy_value(("view", (1, 2), frozenset({3})))
+        assert first == second
+        assert first is second
+
+    def test_proof_cache_hits_after_first_walk(self):
+        value = tuple((pid, ("s", pid)) for pid in range(50))
+        copy_value(value)
+        before = snapshot.cache_stats()["proofs"]
+        copy_value(value)
+        assert snapshot.cache_stats()["proofs"] == before
+
+    def test_imm_rejects_mutables(self):
+        with pytest.raises(TypeError, match="not deeply immutable"):
+            imm([1, 2])
+        with pytest.raises(TypeError, match="not deeply immutable"):
+            imm((1, [2]))
+
+    def test_imm_returns_canonical(self):
+        payload = (1, "x", frozenset({2}))
+        assert imm(payload) is copy_value((1, "x", frozenset({2})))
+
+    def test_freeze_converts_and_interns(self):
+        frozen = freeze({"log": [1, 2], "seen": {3}, "pair": (4, [5])})
+        assert isinstance(frozen, FrozenDict)
+        assert frozen["log"] == (1, 2)
+        assert frozen["seen"] == frozenset({3})
+        assert frozen["pair"] == (4, (5,))
+        assert copy_value(frozen) is frozen
+
+    def test_freeze_rejects_unconvertible(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot convert"):
+            freeze({"x": Opaque()})
+
+    def test_frozendict_mapping_semantics(self):
+        fd = FrozenDict({"a": 1, "b": 2})
+        assert fd == {"a": 1, "b": 2}
+        assert dict(fd) == {"a": 1, "b": 2}
+        assert hash(fd) == hash(FrozenDict({"b": 2, "a": 1}))
+        with pytest.raises(TypeError):
+            fd["c"] = 3
+
+    def test_frozendict_pickles(self):
+        fd = FrozenDict({"a": (1, 2)})
+        assert pickle.loads(pickle.dumps(fd)) == fd
+
+    def test_generation_guard_clears_wholesale(self):
+        generation = snapshot.cache_stats()["generation"]
+        snapshot.clear_caches()
+        stats = snapshot.cache_stats()
+        assert stats["generation"] == generation + 1
+        assert stats["proofs"] == 0
+        assert stats["interned"] == 0
+
+    def test_snapshot_semantics_unchanged_by_interning(self):
+        state = {"clock": 1, "log": [1, [2]], "view": ("a", ("b",))}
+        snap = snapshot.snapshot_state(state)
+        snap["log"][1].append(3)
+        assert state["log"] == [1, [2]]
+        assert snap["view"] == state["view"]
+
+
+class _SendCounter(Observer):
+    def __init__(self):
+        self.sends = 0
+
+    def on_send(self, message, time):
+        self.sends += 1
+
+
+class TestCapabilityFlags:
+    def test_empty_bus_wants_nothing(self):
+        bus = EventBus(())
+        for hook in ("round_start", "send", "deliver", "fault",
+                     "state_commit", "sample", "round_end"):
+            assert getattr(bus, f"wants_{hook}") is False
+
+    def test_overridden_hooks_detected(self):
+        bus = EventBus((_SendCounter(),))
+        assert bus.wants_send is True
+        assert bus.wants_deliver is False
+        assert bus.wants_state_commit is False
+
+    def test_nested_bus_is_transitive(self):
+        inner = EventBus((_SendCounter(),))
+        outer = EventBus((inner,))
+        assert outer.wants_send is True
+        assert outer.wants_deliver is False
+
+    def test_base_observer_counts_as_no_subscription(self):
+        assert EventBus((Observer(),)).wants_send is False
+
+    def test_gated_events_still_fire_for_subscribers(self):
+        counter = _SendCounter()
+        run_sync(EchoProtocol(), n=3, rounds=2,
+                 observers=(counter,), record_history=False)
+        assert counter.sends == 3 * 3 * 2
+
+
+def _cube(x):
+    return x * x * x
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_sweeps(self):
+        shutdown_pool()
+        assert run_sweep(_cube, [1, 2, 3], jobs=2) == [1, 8, 27]
+        pool = experiments_base._POOL
+        assert pool is not None
+        assert run_sweep(_cube, [4, 5], jobs=2) == [64, 125]
+        assert experiments_base._POOL is pool
+        shutdown_pool()
+        assert experiments_base._POOL is None
+
+    def test_pool_resized_on_different_jobs(self):
+        shutdown_pool()
+        run_sweep(_cube, [1, 2, 3, 4], jobs=2)
+        first = experiments_base._POOL
+        run_sweep(_cube, [1, 2, 3, 4], jobs=3)
+        assert experiments_base._POOL is not first
+        shutdown_pool()
+
+    def test_parallel_matches_sequential(self):
+        points = list(range(17))
+        assert run_sweep(_cube, points, jobs=4) == [p**3 for p in points]
+        shutdown_pool()
+
+
+def _load_compare():
+    path = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc(**rows_by_name):
+    return {
+        "experiment_id": "MICRO",
+        "headers": ["benchmark", "per_call_us", "speedup_vs_ref"],
+        "rows": [
+            {"benchmark": name, **fields} for name, fields in rows_by_name.items()
+        ],
+    }
+
+
+class TestCompare:
+    compare_mod = _load_compare()
+
+    def test_identical_reports_pass(self):
+        doc = _doc(hot={"per_call_us": 10.0, "speedup_vs_ref": 50.0})
+        assert self.compare_mod.compare(doc, doc, tolerance=0.25) == []
+
+    def test_slower_time_is_a_regression(self):
+        base = _doc(hot={"per_call_us": 10.0})
+        fresh = _doc(hot={"per_call_us": 14.0})
+        problems = self.compare_mod.compare(base, fresh, tolerance=0.25)
+        assert problems and "regressed" in problems[0]
+
+    def test_faster_time_always_passes(self):
+        base = _doc(hot={"per_call_us": 10.0})
+        fresh = _doc(hot={"per_call_us": 1.0})
+        assert self.compare_mod.compare(base, fresh, tolerance=0.25) == []
+
+    def test_lower_speedup_is_a_regression(self):
+        base = _doc(hot={"speedup_vs_ref": 50.0})
+        fresh = _doc(hot={"speedup_vs_ref": 20.0})
+        problems = self.compare_mod.compare(
+            base, fresh, tolerance=0.25, fields=["speedup_vs_ref"]
+        )
+        assert problems and "regressed" in problems[0]
+
+    def test_higher_speedup_passes(self):
+        base = _doc(hot={"speedup_vs_ref": 50.0})
+        fresh = _doc(hot={"speedup_vs_ref": 500.0})
+        assert (
+            self.compare_mod.compare(
+                base, fresh, tolerance=0.25, fields=["speedup_vs_ref"]
+            )
+            == []
+        )
+
+    def test_missing_row_is_structural(self):
+        base = _doc(hot={"per_call_us": 10.0}, cold={"per_call_us": 20.0})
+        fresh = _doc(hot={"per_call_us": 10.0})
+        problems = self.compare_mod.compare(base, fresh, tolerance=0.25)
+        assert problems and "missing" in problems[0]
+
+    def test_experiment_mismatch(self):
+        base = _doc(hot={"per_call_us": 10.0})
+        fresh = dict(_doc(hot={"per_call_us": 10.0}), experiment_id="E2E")
+        problems = self.compare_mod.compare(base, fresh, tolerance=0.25)
+        assert problems and "mismatch" in problems[0]
