@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro.kernel.corruptions import apply_corruption
 from repro.kernel.events import AsyncMessage, EventBus, FaultEvent, FaultKind, Observer
 from repro.kernel.faults import FaultPlan
 from repro.kernel.recorders import AsyncTraceRecorder
@@ -291,25 +292,10 @@ class AsyncScheduler:
     ) -> Dict[int, Optional[Dict[str, Any]]]:
         """Apply one corruption plan and narrate which memories it touched.
 
-        As in the synchronous engine, narration diffs only the plan's
-        reported candidate pids (``touched_pids``) when available, and is
-        skipped entirely when nothing listens for faults.
+        Shared with the synchronous engine and the live network runtime
+        (:func:`repro.kernel.corruptions.apply_corruption`).
         """
-        corrupted = plan.corrupt(self.protocol, states, self.n)
-        if not self._bus.wants_fault:
-            return corrupted
-        n = self.n
-        candidates = getattr(plan, "touched_pids", lambda s, c: None)(states, n)
-        if candidates is None:
-            pids = range(n)
-        else:
-            pids = sorted(pid for pid in candidates if 0 <= pid < n)
-        for pid in pids:
-            if corrupted.get(pid) != states.get(pid):
-                self._bus.on_fault(
-                    FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
-                )
-        return corrupted
+        return apply_corruption(self._bus, plan, self.protocol, states, self.n, time)
 
     def _enqueue_message(self, sender: int, dest: int, payload: Any) -> None:
         if self._bus.wants_send:

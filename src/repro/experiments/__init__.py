@@ -37,6 +37,7 @@ from repro.experiments import (
     fig2,
     fig3,
     fig4,
+    net_live,
     thm1,
     thm2,
     thm3,
@@ -67,6 +68,7 @@ for _id, _module in [
     ("EXT-SKEW", ext_skew),
     ("EXT-RSM", ext_rsm),
     ("EXPLORE", explore_ev),
+    ("NET-LIVE", net_live),
 ]:
     REGISTRY.add(_id, _module.run)
 

@@ -1,0 +1,223 @@
+"""NET-LIVE: live cluster conformance against the simulators.
+
+The headline claim of the :mod:`repro.net` subsystem: one seeded
+:class:`~repro.kernel.faults.FaultPlan` driven through a live asyncio
+cluster — real message passing over in-process queues *and* loopback
+TCP, wire-level delay/duplication injected below the protocol — yields
+the **same histories and the same paper verdicts** as the synchronous
+engine, and the same property verdicts as the asynchronous scheduler.
+
+Three scenarios, mirroring the simulated experiments they shadow:
+
+- **FIG1-live** — round agreement under general omission + corruption
+  + wire faults; history identity and ftss@1 parity
+  (:func:`~repro.core.solvability.check_definition`).
+- **FIG3-live** — the compiled Π⁺ (FloodMin, f=2) under crashes +
+  corruption; ftss@final_round parity, with the streaming
+  :class:`~repro.explore.checkers.StreamingCompilerCheck` riding both
+  buses as an independent oracle.
+- **FIG4-live** — the ◇W→◇S stack on real timers (scaled wall clock);
+  verdict-level parity for strong completeness / eventual weak
+  accuracy and crash-set equality.
+
+Everything runs in-process on asyncio; ``run`` shuts down the
+persistent fork pool first because forking a process after this
+process has started event loops (and their helper threads) is unsafe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.report import ExperimentReport
+from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.core.compiler import compile_protocol
+from repro.core.problems import ClockAgreementProblem, RepeatedConsensusProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.detectors.strong import StrongDetector
+from repro.experiments.base import Expectations, ExperimentResult, shutdown_pool
+from repro.explore.checkers import StreamingCompilerCheck
+from repro.kernel.faults import FaultPlan, WireFaults
+from repro.net.conformance import (
+    verify_detector_conformance,
+    verify_sync_conformance,
+)
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.util.rng import sweep_seed
+
+TRANSPORTS = ("inproc", "tcp")
+#: Hard wall-clock ceiling per live run; the CI smoke gate is 60s total.
+DEADLINE = 20.0
+#: Wire fault envelope shared by the sync scenarios: up to 2ms of
+#: skew and a healthy duplication rate, both absorbed by the round
+#: layer (barrier pacing + sender dedup) without touching the history.
+_WIRE_DELAY = (0.0, 0.002)
+_WIRE_DUP = 0.25
+
+
+def _wire(scenario: str, seed: int) -> WireFaults:
+    return WireFaults(
+        delay=_WIRE_DELAY,
+        duplication=_WIRE_DUP,
+        seed=sweep_seed("NET-LIVE", f"{scenario}:wire", seed),
+    )
+
+
+def _tally(
+    row_reports: List, expect: Expectations, scenario: str
+) -> tuple:
+    """Count per-transport passes and surface the first failure text."""
+    passed = sum(r.passed for r in row_reports)
+    for r in row_reports:
+        for failure in r.failures():
+            expect.check(False, f"{scenario}: {failure}")
+    return passed, len(row_reports)
+
+
+def _fig1_live(seeds: Sequence[int], expect: Expectations) -> List:
+    n, f, rounds = 4, 1, 24
+    row_reports: List = []
+    for seed in seeds:
+        def plan() -> FaultPlan:
+            return FaultPlan(
+                omissions=RandomAdversary(
+                    n=n,
+                    f=f,
+                    mode=FaultMode.GENERAL_OMISSION,
+                    rate=0.4,
+                    seed=sweep_seed("NET-LIVE", "fig1:adversary", seed),
+                ),
+                initial_corruption=RandomCorruption(
+                    seed=sweep_seed("NET-LIVE", "fig1:corruption", seed)
+                ),
+                wire=_wire("fig1", seed),
+            )
+
+        reports, _sim, _live = verify_sync_conformance(
+            RoundAgreementProtocol,
+            n,
+            rounds,
+            plan,
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=TRANSPORTS,
+            deadline=DEADLINE,
+        )
+        row_reports.extend(reports)
+    return row_reports
+
+
+def _fig3_live(seeds: Sequence[int], expect: Expectations) -> List:
+    pi = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
+    n = 5
+    rounds = 8 * pi.final_round
+    props = frozenset(pi.proposal_for(p) for p in range(n))
+    sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
+    row_reports: List = []
+    for seed in seeds:
+        def plan() -> FaultPlan:
+            return FaultPlan(
+                omissions=RandomAdversary(
+                    n=n,
+                    f=pi.f,
+                    mode=FaultMode.CRASH,
+                    rate=0.2,
+                    seed=sweep_seed("NET-LIVE", "fig3:adversary", seed),
+                ),
+                initial_corruption=RandomCorruption(
+                    seed=sweep_seed("NET-LIVE", "fig3:corruption", seed)
+                ),
+                wire=_wire("fig3", seed),
+            )
+
+        def checker() -> StreamingCompilerCheck:
+            return StreamingCompilerCheck(pi.final_round, props)
+
+        reports, _sim, _live = verify_sync_conformance(
+            lambda: compile_protocol(FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])),
+            n,
+            rounds,
+            plan,
+            sigma,
+            definition="ftss",
+            stabilization_time=pi.final_round,
+            transports=TRANSPORTS,
+            checker_factory=checker,
+            deadline=DEADLINE,
+        )
+        row_reports.extend(reports)
+    return row_reports
+
+
+def _fig4_live(seeds: Sequence[int], expect: Expectations) -> List:
+    n, gst, duration = 4, 30.0, 80.0
+    crashes = {n - 1: 10.0, n - 2: 20.0}
+    row_reports: List = []
+    for seed in seeds:
+        def plan() -> FaultPlan:
+            return FaultPlan(
+                crashes=dict(crashes),
+                gst=gst,
+                initial_corruption=RandomCorruption(
+                    seed=sweep_seed("NET-LIVE", "fig4:corruption", seed)
+                ),
+            )
+
+        def oracle() -> WeakDetectorOracle:
+            return WeakDetectorOracle(n, crashes, gst=gst, seed=seed)
+
+        reports, _sim, _live = verify_detector_conformance(
+            StrongDetector,
+            n,
+            duration,
+            plan,
+            oracle,
+            seed=seed,
+            transports=TRANSPORTS,
+            sample_interval=2.0,
+            tick_interval=1.0,
+            time_scale=0.01,
+            deadline=DEADLINE,
+        )
+        row_reports.extend(reports)
+    return row_reports
+
+
+_SCENARIOS: List[tuple] = [
+    ("FIG1-live", "round agreement, omission+corruption+wire", _fig1_live, True),
+    ("FIG3-live", "compiled Π⁺ (FloodMin f=2), crashes", _fig3_live, True),
+    ("FIG4-live", "◇W→◇S detector, scaled real time", _fig4_live, False),
+]
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
+    # The fork pool must die before any event loop starts: forking a
+    # process that owns asyncio helper threads deadlocks children.
+    shutdown_pool()
+    del jobs  # live runs are inherently serial (one loop, real timers)
+    seeds = range(2 if fast else 4)
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="NET-LIVE",
+        title="Live cluster conformance: one FaultPlan, two substrates",
+        claim="live asyncio runs (inproc + TCP, wire faults injected) "
+        "reproduce the simulator's histories and verdicts exactly",
+        headers=["scenario", "parity", "seeds", "runs passed", "transports"],
+    )
+    for scenario, _desc, body, history_level in _SCENARIOS:
+        row_reports = body(list(seeds), expect)
+        passed, total = _tally(row_reports, expect, scenario)
+        report.add_row(
+            scenario,
+            "history identity" if history_level else "property verdicts",
+            len(seeds),
+            f"{passed}/{total}",
+            "+".join(TRANSPORTS),
+        )
+        expect.check(
+            passed == total, f"{scenario}: live/simulated divergence on some run"
+        )
+    return ExperimentResult(report=report, failures=expect.failures)

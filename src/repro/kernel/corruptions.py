@@ -1,0 +1,48 @@
+"""Substrate-independent application + narration of systemic failures.
+
+Every substrate that hosts protocol state — the synchronous engine, the
+asynchronous scheduler, and the live network runtime — applies
+:class:`~repro.sync.corruption.CorruptionPlan`-shaped plans the same
+way: rewrite the states, then narrate one
+:class:`~repro.kernel.events.FaultEvent` of kind ``corruption`` for
+each process whose memory actually changed.  This helper is that shared
+step, so the three substrates cannot drift in how corruption is
+diffed or reported.
+
+Narration diffs only the plan's reported candidate pids (see
+``CorruptionPlan.touched_pids``) instead of every process's full state;
+plans that do not report candidates (duck-typed externals) fall back to
+the full O(n x state) diff.  When nothing on the bus listens for fault
+events the diff is skipped entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.kernel.events import EventBus, FaultEvent, FaultKind
+
+__all__ = ["apply_corruption"]
+
+
+def apply_corruption(
+    bus: EventBus,
+    plan: Any,
+    protocol: Any,
+    states: Mapping[int, Optional[Dict[str, Any]]],
+    n: int,
+    time: float,
+) -> Dict[int, Optional[Dict[str, Any]]]:
+    """Apply one corruption plan and narrate which memories it touched."""
+    corrupted = plan.corrupt(protocol, states, n)
+    if not bus.wants_fault:
+        return corrupted
+    candidates = getattr(plan, "touched_pids", lambda s, c: None)(states, n)
+    if candidates is None:
+        pids = range(n)
+    else:
+        pids = sorted(pid for pid in candidates if 0 <= pid < n)
+    for pid in pids:
+        if corrupted.get(pid) != states.get(pid):
+            bus.on_fault(FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid))
+    return corrupted

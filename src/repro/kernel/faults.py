@@ -47,6 +47,7 @@ __all__ = [
     "CrashScheduleAdversary",
     "FaultPlan",
     "SyncFaultView",
+    "WireFaults",
 ]
 
 ProcessId = int
@@ -126,6 +127,44 @@ class AsyncFaultView:
 
 
 @dataclass(frozen=True)
+class WireFaults:
+    """Wire-level asynchrony knobs for substrates with a real wire.
+
+    The simulated substrates model message-level asynchrony internally
+    (the sync engine through a :class:`~repro.sync.delays.DelayModel`,
+    the async scheduler through its delay distribution and
+    ``duplicate_probability``), so these knobs are consumed only by the
+    live network runtime's interposer
+    (:mod:`repro.net.interposer`), where they become actual wall-clock
+    delays and duplicated frames on the transport.  ``to_sync()`` /
+    ``to_async()`` ignore them — a plan that carries wire faults still
+    translates to the simulators, which realize their own asynchrony.
+
+    Attributes
+    ----------
+    delay:
+        ``(lo, hi)`` uniform per-copy delivery delay, in the substrate's
+        wall-clock seconds (before any cluster time scaling).
+    duplication:
+        Probability that a copy is delivered twice (independent delays).
+    seed:
+        Seed for the interposer's delay/duplication draws.
+    """
+
+    delay: "tuple" = (0.0, 0.0)
+    duplication: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.delay
+        require(0.0 <= lo <= hi, f"bad wire delay bounds {self.delay}")
+        require(
+            0.0 <= self.duplication <= 1.0,
+            f"duplication must be in [0, 1], got {self.duplication}",
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One fault scenario, aimable at either substrate.
 
@@ -146,6 +185,11 @@ class FaultPlan:
     f:
         Explicit fault budget; defaults to ``len(crashes)`` plus the
         omission adversary's budget.
+    wire:
+        Optional :class:`WireFaults` — extra wire-level delay and
+        duplication, realized only by the live network runtime (the
+        simulators model asynchrony through their own knobs and ignore
+        this field).
     """
 
     crashes: Mapping[ProcessId, float] = field(default_factory=dict)
@@ -154,6 +198,7 @@ class FaultPlan:
     mid_corruptions: Mapping[float, CorruptionPlan] = field(default_factory=dict)
     gst: float = 0.0
     f: Optional[int] = None
+    wire: Optional[WireFaults] = None
 
     @property
     def crash_set(self) -> FrozenSet[ProcessId]:

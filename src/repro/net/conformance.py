@@ -1,0 +1,285 @@
+"""Simulator↔live conformance checking.
+
+The live runtime's correctness claim is *substrate transparency*: one
+seeded :class:`~repro.kernel.faults.FaultPlan` driven through the
+synchronous engine and through a live cluster must yield the same
+paper-level verdicts.  This module operationalizes that claim at three
+strengths:
+
+1. **History identity** (synchronous runs, barrier pacing): the
+   :class:`~repro.kernel.recorders.HistoryRecorder` attached to the
+   live bus must rebuild an :class:`ExecutionHistory` *value-equal* to
+   the simulator's — same snapshots, same wire, same deliveries, same
+   deviation flags, round by round.  Everything downstream (faulty
+   sets, coteries, stabilization measurements) is a function of the
+   history, so identity here is the strongest possible parity.
+2. **Definition verdicts**: :func:`repro.core.solvability
+   .check_definition` (``ft``/``ss``/``tentative``/``ftss``) must
+   return the same ``holds`` and the same rendered violations on both
+   histories.  Checked separately from (1) so a *symmetric* history
+   bug — one that corrupts both substrates alike — still has to get
+   past the paper's own predicates.
+3. **Property verdicts** (asynchronous runs): live timing is real, so
+   Fig 4 traces cannot match sample-for-sample.  Conformance there is
+   verdict-level: strong completeness and eventual weak accuracy
+   (:mod:`repro.detectors.properties`) must hold/fail identically, and
+   the crash sets must match.
+
+Because adversaries and corruption plans are *stateful* (e.g.
+:class:`~repro.sync.adversary.RandomAdversary` consumes its rng across
+rounds), every run gets a **fresh plan from a factory**; determinism
+comes from the seeds inside, not from object reuse.
+
+Streaming checkers from the exploration engine
+(:mod:`repro.explore.checkers`) ride along as independent oracles: the
+same checker class is attached to the simulated and the live bus, and
+their verdicts must agree — exercising the PR 2 observer surface
+against a live event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.solvability import DefinitionVerdict, check_definition
+from repro.histories.history import ExecutionHistory
+from repro.net.cluster import run_detector_live, run_live_sync
+from repro.sync.engine import run_sync
+
+__all__ = [
+    "DetectorConformance",
+    "SyncConformance",
+    "histories_equal",
+    "verify_detector_conformance",
+    "verify_sync_conformance",
+]
+
+#: Factory returning a fresh FaultPlan (or None) per run.
+PlanFactory = Callable[[], Any]
+
+
+def histories_equal(
+    left: Optional[ExecutionHistory], right: Optional[ExecutionHistory]
+) -> bool:
+    """Value equality of two histories, round record by round record.
+
+    ``ExecutionHistory`` deliberately has no ``__eq__`` (identity
+    semantics for hashing); its rounds are frozen dataclasses, so tuple
+    comparison gives deep value equality including message payloads.
+    """
+    if left is None or right is None:
+        return left is right
+    return tuple(left) == tuple(right)
+
+
+@dataclass
+class SyncConformance:
+    """One transport's parity report for a synchronous scenario."""
+
+    transport: str
+    history_equal: bool
+    sim_verdict: DefinitionVerdict
+    live_verdict: DefinitionVerdict
+    sim_checker: Optional[Any] = None  # SpecVerdict when a checker rode along
+    live_checker: Optional[Any] = None
+
+    @property
+    def verdicts_equal(self) -> bool:
+        return (
+            self.sim_verdict.holds == self.live_verdict.holds
+            and self.sim_verdict.violations == self.live_verdict.violations
+        )
+
+    @property
+    def checkers_agree(self) -> bool:
+        if self.sim_checker is None or self.live_checker is None:
+            return self.sim_checker is self.live_checker
+        return self.sim_checker.holds == self.live_checker.holds
+
+    @property
+    def passed(self) -> bool:
+        return self.history_equal and self.verdicts_equal and self.checkers_agree
+
+    def failures(self) -> List[str]:
+        out = []
+        if not self.history_equal:
+            out.append(f"{self.transport}: live history diverges from simulation")
+        if not self.verdicts_equal:
+            out.append(
+                f"{self.transport}: {self.sim_verdict.definition} verdict differs "
+                f"(sim holds={self.sim_verdict.holds}, "
+                f"live holds={self.live_verdict.holds})"
+            )
+        if not self.checkers_agree:
+            out.append(f"{self.transport}: streaming checker verdicts differ")
+        return out
+
+
+def verify_sync_conformance(
+    protocol_factory: Callable[[], Any],
+    n: int,
+    rounds: int,
+    plan_factory: PlanFactory,
+    problem: Any,
+    definition: str = "ftss",
+    stabilization_time: int = 0,
+    transports: Sequence[str] = ("inproc", "tcp"),
+    checker_factory: Optional[Callable[[], Any]] = None,
+    deadline: Optional[float] = None,
+) -> Tuple[List[SyncConformance], Any, List[Any]]:
+    """Run one scenario simulated and live; report parity per transport.
+
+    Returns ``(reports, sim_result, live_results)`` so callers can mine
+    the runs further (stabilization measurements, message stats).
+    ``checker_factory`` builds a fresh streaming checker (an observer
+    with a ``verdict()`` method) per run; one instance watches the
+    simulation and one each live run, and their verdicts must agree.
+    """
+    sim_checker = checker_factory() if checker_factory else None
+    sim = run_sync(
+        protocol_factory(),
+        n=n,
+        rounds=rounds,
+        fault_plan=plan_factory(),
+        observers=(sim_checker,) if sim_checker else (),
+    )
+    sim_verdict = check_definition(
+        definition, sim.history, problem, stabilization_time
+    )
+    sim_spec = sim_checker.verdict() if sim_checker else None
+
+    reports: List[SyncConformance] = []
+    live_results: List[Any] = []
+    for transport in transports:
+        live_checker = checker_factory() if checker_factory else None
+        live = run_live_sync(
+            protocol_factory(),
+            n=n,
+            rounds=rounds,
+            fault_plan=plan_factory(),
+            transport=transport,
+            observers=(live_checker,) if live_checker else (),
+            deadline=deadline,
+        )
+        live_results.append(live)
+        reports.append(
+            SyncConformance(
+                transport=transport,
+                history_equal=histories_equal(sim.history, live.history),
+                sim_verdict=sim_verdict,
+                live_verdict=check_definition(
+                    definition, live.history, problem, stabilization_time
+                ),
+                sim_checker=sim_spec,
+                live_checker=live_checker.verdict() if live_checker else None,
+            )
+        )
+    return reports, sim, live_results
+
+
+@dataclass
+class DetectorConformance:
+    """One transport's verdict-level parity for the Fig 4 stack."""
+
+    transport: str
+    sim_completeness: bool
+    sim_accuracy: bool
+    live_completeness: bool
+    live_accuracy: bool
+    crashed_equal: bool
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.crashed_equal
+            and self.sim_completeness == self.live_completeness
+            and self.sim_accuracy == self.live_accuracy
+        )
+
+    def failures(self) -> List[str]:
+        out = []
+        if not self.crashed_equal:
+            out.append(f"{self.transport}: live crash set differs from simulation")
+        if self.sim_completeness != self.live_completeness:
+            out.append(
+                f"{self.transport}: strong completeness differs "
+                f"(sim={self.sim_completeness}, live={self.live_completeness})"
+            )
+        if self.sim_accuracy != self.live_accuracy:
+            out.append(
+                f"{self.transport}: eventual weak accuracy differs "
+                f"(sim={self.sim_accuracy}, live={self.live_accuracy})"
+            )
+        return out
+
+
+def verify_detector_conformance(
+    protocol_factory: Callable[[], Any],
+    n: int,
+    duration: float,
+    plan_factory: PlanFactory,
+    oracle_factory: Callable[[], Any],
+    seed: int = 0,
+    transports: Sequence[str] = ("inproc", "tcp"),
+    sample_interval: float = 2.0,
+    tick_interval: float = 1.0,
+    time_scale: float = 0.01,
+    deadline: Optional[float] = None,
+) -> Tuple[List[DetectorConformance], Any, List[Any]]:
+    """Fig 4 parity: ◇S property verdicts, simulated vs live.
+
+    The simulation runs the discrete-event scheduler to virtual
+    ``duration``; each live run covers the same virtual span at
+    ``time_scale`` wall seconds per unit.  Sample times differ (real
+    timing), so the comparison is on property *verdicts* — the paper's
+    Theorem 5 claims — not on traces.
+    """
+    from repro.asyncnet.scheduler import AsyncScheduler
+    from repro.detectors.properties import (
+        eventual_weak_accuracy,
+        strong_completeness,
+    )
+
+    sim_trace = AsyncScheduler(
+        protocol_factory(),
+        n,
+        seed=seed,
+        oracle=oracle_factory(),
+        sample_interval=sample_interval,
+        tick_interval=tick_interval,
+        fault_plan=plan_factory(),
+    ).run(max_time=duration)
+    sim_sc = strong_completeness(sim_trace)
+    sim_ewa = eventual_weak_accuracy(sim_trace)
+
+    reports: List[DetectorConformance] = []
+    live_traces: List[Any] = []
+    for transport in transports:
+        live_trace = run_detector_live(
+            protocol_factory(),
+            n,
+            duration,
+            fault_plan=plan_factory(),
+            oracle=oracle_factory(),
+            transport=transport,
+            tick_interval=tick_interval,
+            sample_interval=sample_interval,
+            time_scale=time_scale,
+            seed=seed,
+            deadline=deadline,
+        )
+        live_traces.append(live_trace)
+        live_sc = strong_completeness(live_trace)
+        live_ewa = eventual_weak_accuracy(live_trace)
+        reports.append(
+            DetectorConformance(
+                transport=transport,
+                sim_completeness=sim_sc.holds,
+                sim_accuracy=sim_ewa.holds,
+                live_completeness=live_sc.holds,
+                live_accuracy=live_ewa.holds,
+                crashed_equal=sim_trace.crashed == live_trace.crashed,
+            )
+        )
+    return reports, sim_trace, live_traces

@@ -1,0 +1,205 @@
+"""Wire format of the live runtime: tagged JSON in length-prefixed frames.
+
+Two layers, both independently testable:
+
+- **Codec** — :func:`encode_value` / :func:`decode_value` map the
+  payload vocabulary the protocols actually use (ints, floats, strings,
+  bools, ``None``, tuples, lists, sets, frozensets, and dicts with
+  arbitrary hashable keys) onto plain JSON and back *losslessly*.
+  Structure fidelity is load-bearing: protocol transitions pattern-match
+  on tuples (``(sender, inner), tag = message.payload``) and merge
+  frozensets, so a codec that silently turned tuples into lists would
+  make the live substrate diverge from the simulator.  Non-JSON shapes
+  are wrapped in one-key marker objects (``{"\\u0000t": [...]}`` for a
+  tuple, etc.); the marker key starts with an escaped NUL so no
+  protocol's own dict keys can collide with it.
+- **Framing** — :func:`encode_frame` serializes one codec value as
+  UTF-8 JSON behind a 4-byte big-endian length prefix;
+  :class:`FrameDecoder` is an incremental, feed-based parser that
+  handles partial reads, back-to-back frames in one read, rejects
+  oversized frames with a clear error, and reports truncation (peer
+  died mid-frame) on :meth:`FrameDecoder.eof`.
+
+Both transports share this module: the loopback TCP transport sends the
+framed bytes over real sockets, and the in-process transport skips the
+bytes but the conformance suite round-trips every payload through the
+codec anyway so a fidelity bug cannot hide behind the fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, List
+
+__all__ = [
+    "FrameError",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+]
+
+#: Default ceiling on one frame's body size.  Generous for the paper's
+#: protocols (full-information payloads are a few KB at most); a frame
+#: this large signals a corrupted length prefix or a misbehaving peer,
+#: and is rejected rather than buffered.
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+#: Marker keys for non-JSON shapes.  The leading NUL keeps them out of
+#: any sane protocol's key space.
+_TUPLE = "\x00t"
+_SET = "\x00s"
+_FROZENSET = "\x00f"
+_MAP = "\x00m"  # dict with non-string (or marker-colliding) keys
+
+
+class FrameError(ValueError):
+    """A frame violated the wire format (oversized, truncated, junk)."""
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Map ``value`` onto plain JSON types, tagging non-JSON shapes."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, frozenset):
+        return {_FROZENSET: _encode_set_items(value)}
+    if isinstance(value, set):
+        return {_SET: _encode_set_items(value)}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) and not key.startswith("\x00") for key in value):
+            return {key: encode_value(item) for key, item in value.items()}
+        return {
+            _MAP: [
+                [encode_value(key), encode_value(item)]
+                for key, item in _sorted_items(value)
+            ]
+        }
+    raise FrameError(
+        f"payload of type {type(value).__name__} is not wire-encodable; "
+        f"the live runtime carries JSON-shaped values, tuples, sets, "
+        f"frozensets, and dicts only"
+    )
+
+
+def _sorted_items(mapping: dict) -> List[tuple]:
+    """Deterministic item order for non-string-keyed dicts."""
+    try:
+        return sorted(mapping.items())
+    except TypeError:
+        return list(mapping.items())
+
+
+def _encode_set_items(items) -> List[Any]:
+    """Encode set members in a deterministic order."""
+    try:
+        ordered = sorted(items)
+    except TypeError:
+        ordered = sorted(items, key=repr)
+    return [encode_value(item) for item in ordered]
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            ((key, body),) = value.items()
+            if key == _TUPLE:
+                return tuple(decode_value(item) for item in body)
+            if key == _SET:
+                return {decode_value(item) for item in body}
+            if key == _FROZENSET:
+                return frozenset(decode_value(item) for item in body)
+            if key == _MAP:
+                return {decode_value(k): decode_value(v) for k, v in body}
+        return {key: decode_value(item) for key, item in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(value: Any, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON body."""
+    body = json.dumps(
+        encode_value(value), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds the {max_frame}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    Feed arbitrary chunks (as the socket produces them); each call
+    returns the frames completed by that chunk, in order.  The decoder
+    is tolerant of any fragmentation — a frame split across reads, many
+    frames in one read, a read ending inside the length prefix — and
+    loud about protocol violations: an oversized length prefix raises
+    :class:`FrameError` immediately (before buffering the body), and
+    :meth:`eof` raises if the stream ended mid-frame.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES):
+        self._max_frame = max_frame
+        self._buffer = bytearray()
+        self._need: int = -1  # body length once the prefix is complete
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently buffered (0 iff at a frame boundary)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Consume one chunk; return the frames it completed."""
+        self._buffer.extend(data)
+        frames: List[Any] = []
+        while True:
+            if self._need < 0:
+                if len(self._buffer) < _LEN.size:
+                    break
+                (self._need,) = _LEN.unpack_from(self._buffer)
+                if self._need > self._max_frame:
+                    raise FrameError(
+                        f"incoming frame declares {self._need} bytes, over the "
+                        f"{self._max_frame}-byte limit; closing the stream"
+                    )
+                del self._buffer[: _LEN.size]
+            if len(self._buffer) < self._need:
+                break
+            body = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._need = -1
+            try:
+                frames.append(decode_value(json.loads(body.decode("utf-8"))))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise FrameError(f"undecodable frame body: {error}") from error
+        return frames
+
+    def eof(self) -> None:
+        """Signal end-of-stream; raises if it cut a frame in half."""
+        if self._buffer or self._need >= 0:
+            pending = len(self._buffer) + (_LEN.size if self._need < 0 else 0)
+            raise FrameError(
+                f"stream ended mid-frame ({pending} byte(s) of an incomplete "
+                f"frame buffered); peer disconnected uncleanly"
+            )

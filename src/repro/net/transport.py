@@ -1,0 +1,417 @@
+"""Message transports for the live runtime.
+
+A :class:`Transport` moves opaque codec values (see
+:mod:`repro.net.framing`) between ``n`` endpoints inside one asyncio
+event loop.  Two implementations with one contract:
+
+- :class:`InProcessTransport` — per-endpoint ``asyncio.Queue`` inboxes.
+  Every posted body is still round-tripped through the full wire format
+  (length-prefixed frame encode + incremental decode), so codec or
+  framing bugs cannot hide behind the fast path.
+- :class:`TcpTransport` — a loopback TCP star: a central router
+  (``asyncio.start_server`` on ``127.0.0.1``) with one real socket per
+  endpoint, length-prefixed JSON frames on the wire.
+
+The contract every implementation honors:
+
+- :meth:`Endpoint.post` is synchronous and non-blocking (a process's
+  send phase never awaits the network);
+- delivery preserves per-(sender, receiver) order for undelayed posts;
+- :meth:`Transport.drain` is a barrier: when it returns, every body
+  posted before the call — including delayed copies — is sitting in its
+  destination inbox.  The round-paced cluster uses this as the
+  end-of-round fence.
+
+Delays are requested per-copy by the caller (the fault interposer draws
+them from :class:`~repro.kernel.faults.WireFaults`); the transport just
+realizes them with wall-clock timers.  For TCP the drain barrier is a
+two-phase handshake that leans on TCP's per-connection ordering: each
+endpoint sends a ``sync`` token to the router; once the router has seen
+all ``n`` tokens (hence every frame written before them) and all delayed
+forwards have fired, it writes a ``flush`` to every endpoint, which
+necessarily arrives after any data the router forwarded there first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Set
+
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from repro.util.validation import require, require_process_count
+
+__all__ = [
+    "Endpoint",
+    "InProcessTransport",
+    "TcpTransport",
+    "Transport",
+    "make_transport",
+]
+
+_READ_CHUNK = 1 << 16
+
+
+class Endpoint:
+    """One process's handle on the transport: an outbox and an inbox."""
+
+    def __init__(self, transport: "Transport", pid: int):
+        self.pid = pid
+        self._transport = transport
+        self._inbox: "asyncio.Queue[Any]" = asyncio.Queue()
+
+    def post(self, dst: int, body: Any, delay: float = 0.0) -> None:
+        """Send ``body`` to endpoint ``dst``; never blocks.
+
+        ``delay`` (wall-clock seconds) holds the copy back before it is
+        delivered; ``0`` delivers as soon as the loop allows.
+        """
+        self._transport._post(self.pid, dst, body, delay)
+
+    async def recv(self) -> Any:
+        """Await the next delivered body (event-driven consumers)."""
+        return await self._inbox.get()
+
+    def drain_ready(self) -> List[Any]:
+        """All bodies delivered so far, without blocking (round pacing)."""
+        bodies: List[Any] = []
+        while True:
+            try:
+                bodies.append(self._inbox.get_nowait())
+            except asyncio.QueueEmpty:
+                return bodies
+
+    def _deliver(self, body: Any) -> None:
+        self._inbox.put_nowait(body)
+
+
+class Transport(ABC):
+    """``n`` endpoints plus a delivery fabric between them."""
+
+    def __init__(self, n: int, max_frame: int = MAX_FRAME_BYTES):
+        require_process_count(n)
+        self.n = n
+        self.max_frame = max_frame
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    def endpoint(self, pid: int) -> Endpoint:
+        require(0 <= pid < self.n, f"no endpoint {pid} in a {self.n}-process transport")
+        return self._endpoints[pid]
+
+    @abstractmethod
+    async def start(self) -> None:
+        """Bring the fabric up; endpoints are usable afterwards."""
+
+    @abstractmethod
+    async def stop(self) -> None:
+        """Tear the fabric down (idempotent)."""
+
+    @abstractmethod
+    async def drain(self) -> None:
+        """Barrier: return once everything posted so far is delivered."""
+
+    @abstractmethod
+    def _post(self, src: int, dst: int, body: Any, delay: float) -> None:
+        """Implementation hook behind :meth:`Endpoint.post`."""
+
+
+class InProcessTransport(Transport):
+    """Queue-backed transport, still exercising the full wire format."""
+
+    def __init__(self, n: int, max_frame: int = MAX_FRAME_BYTES):
+        super().__init__(n, max_frame)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._timers: Set[asyncio.TimerHandle] = set()
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._endpoints = {pid: Endpoint(self, pid) for pid in range(self.n)}
+
+    async def stop(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._pending = 0
+        if self._idle is not None:
+            self._idle.set()
+
+    async def drain(self) -> None:
+        assert self._idle is not None, "transport not started"
+        await self._idle.wait()
+
+    def _post(self, src: int, dst: int, body: Any, delay: float) -> None:
+        require(0 <= dst < self.n, f"post to unknown endpoint {dst}")
+        # Round-trip through the real wire format so both transports
+        # carry byte-identical encodings of every payload.
+        data = encode_frame(body, self.max_frame)
+        if delay <= 0.0:
+            self._deliver(dst, data)
+            return
+        assert self._loop is not None, "transport not started"
+        self._pending += 1
+        self._idle.clear()
+        timer_box: list = []
+        timer = self._loop.call_later(delay, self._fire, dst, data, timer_box)
+        timer_box.append(timer)
+        self._timers.add(timer)
+
+    def _fire(self, dst: int, data: bytes, timer_box: list) -> None:
+        self._timers.discard(timer_box[0])
+        self._pending -= 1
+        if self._pending == 0:
+            self._idle.set()
+        self._deliver(dst, data)
+
+    def _deliver(self, dst: int, data: bytes) -> None:
+        (body,) = FrameDecoder(self.max_frame).feed(data)
+        self._endpoints[dst]._deliver(body)
+
+
+class TcpTransport(Transport):
+    """Loopback TCP star: one router socket per endpoint, framed JSON.
+
+    Wire vocabulary (all frames are codec values, see
+    :mod:`repro.net.framing`):
+
+    ========== ============================================= ==========
+    frame       fields                                        direction
+    ========== ============================================= ==========
+    ``hello``   ``pid``                                       ep → router
+    ``data``    ``dst``, ``delay``, ``body``                  ep → router
+    ``data``    ``src``, ``body``                             router → ep
+    ``sync``    ``token``                                     ep → router
+    ``flush``   ``token``                                     router → ep
+    ========== ============================================= ==========
+    """
+
+    def __init__(
+        self, n: int, host: str = "127.0.0.1", max_frame: int = MAX_FRAME_BYTES
+    ):
+        super().__init__(n, max_frame)
+        self._host = host
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._router_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._router_tasks: List[asyncio.Task] = []
+        self._ready: Optional[asyncio.Event] = None
+        self._pending = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._timers: Set[asyncio.TimerHandle] = set()
+        self._sync_seen: Dict[int, int] = {}
+        self._next_token = 0
+        self._ep_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._ep_tasks: Dict[int, asyncio.Task] = {}
+        self._flush_waiters: Dict[int, Dict[int, asyncio.Future]] = {}
+        self._stopping = False
+        self._errors: List[Exception] = []
+
+    @property
+    def errors(self) -> List[Exception]:
+        """Reader failures (framing violations, truncated peers) so far.
+
+        Reader tasks cannot raise into the caller, so they record here;
+        the pacing layer (and tests) can poll between rounds.
+        """
+        return list(self._errors)
+
+    @property
+    def port(self) -> int:
+        """The router's ephemeral listening port (after :meth:`start`)."""
+        assert self._server is not None, "transport not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._ready = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, 0
+        )
+        for pid in range(self.n):
+            reader, writer = await asyncio.open_connection(self._host, self.port)
+            self._endpoints[pid] = Endpoint(self, pid)
+            self._ep_writers[pid] = writer
+            self._flush_waiters[pid] = {}
+            writer.write(encode_frame({"kind": "hello", "pid": pid}, self.max_frame))
+            self._ep_tasks[pid] = loop.create_task(
+                self._endpoint_reader(pid, reader),
+                name=f"net-ep-{pid}",
+            )
+        await self._ready.wait()
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._pending = 0
+        if self._idle is not None:
+            self._idle.set()
+        for task in self._ep_tasks.values():
+            task.cancel()
+        for task in self._router_tasks:
+            task.cancel()
+        for writer in list(self._ep_writers.values()) + list(
+            self._router_writers.values()
+        ):
+            writer.close()
+        for task in list(self._ep_tasks.values()) + self._router_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def drain(self) -> None:
+        token = self._next_token
+        self._next_token += 1
+        loop = asyncio.get_running_loop()
+        waiters = []
+        frame = encode_frame({"kind": "sync", "token": token}, self.max_frame)
+        for pid in range(self.n):
+            future: asyncio.Future = loop.create_future()
+            self._flush_waiters[pid][token] = future
+            waiters.append(future)
+            self._ep_writers[pid].write(frame)
+        await asyncio.gather(*waiters)
+
+    def _post(self, src: int, dst: int, body: Any, delay: float) -> None:
+        require(0 <= dst < self.n, f"post to unknown endpoint {dst}")
+        self._ep_writers[src].write(
+            encode_frame(
+                {"kind": "data", "src": src, "dst": dst, "delay": delay, "body": body},
+                self.max_frame,
+            )
+        )
+
+    # -- endpoint side -------------------------------------------------------
+
+    async def _endpoint_reader(self, pid: int, reader: asyncio.StreamReader) -> None:
+        try:
+            await self._endpoint_frames(pid, reader)
+        except asyncio.CancelledError:
+            pass
+        except FrameError as exc:
+            self._errors.append(exc)
+
+    async def _endpoint_frames(self, pid: int, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder(self.max_frame)
+        endpoint = self._endpoints[pid]
+        waiters = self._flush_waiters[pid]
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                if not self._stopping:
+                    decoder.eof()  # raises on a truncated frame
+                return
+            for frame in decoder.feed(data):
+                kind = frame["kind"]
+                if kind == "data":
+                    endpoint._deliver(frame["body"])
+                elif kind == "flush":
+                    future = waiters.pop(frame["token"], None)
+                    if future is not None and not future.done():
+                        future.set_result(None)
+                else:
+                    raise FrameError(f"endpoint {pid} got unexpected frame {kind!r}")
+
+    # -- router side ---------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Finish cleanly on cancellation: asyncio.streams attaches a
+        # done-callback that re-raises a cancelled task's exception into
+        # the loop's exception handler, which would log noise at stop().
+        try:
+            await self._serve_frames(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except FrameError as exc:
+            self._errors.append(exc)
+
+    async def _serve_frames(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._router_tasks.append(asyncio.current_task())
+        decoder = FrameDecoder(self.max_frame)
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                if not self._stopping:
+                    decoder.eof()
+                return
+            for frame in decoder.feed(data):
+                kind = frame["kind"]
+                if kind == "hello":
+                    self._router_writers[frame["pid"]] = writer
+                    if len(self._router_writers) == self.n:
+                        self._ready.set()
+                elif kind == "data":
+                    self._forward(
+                        frame["src"], frame["dst"], frame["body"], frame["delay"]
+                    )
+                elif kind == "sync":
+                    token = frame["token"]
+                    seen = self._sync_seen.get(token, 0) + 1
+                    if seen < self.n:
+                        self._sync_seen[token] = seen
+                    else:
+                        self._sync_seen.pop(token, None)
+                        # Everything sent before the syncs has been
+                        # routed (per-connection FIFO); wait out the
+                        # delayed forwards, then release the barrier.
+                        await self._idle.wait()
+                        flush = encode_frame(
+                            {"kind": "flush", "token": token}, self.max_frame
+                        )
+                        for dst_writer in self._router_writers.values():
+                            dst_writer.write(flush)
+                else:
+                    raise FrameError(f"router got unexpected frame {kind!r}")
+
+    def _forward(self, src: int, dst: int, body: Any, delay: float) -> None:
+        data = encode_frame({"kind": "data", "src": src, "body": body}, self.max_frame)
+        if delay <= 0.0:
+            self._router_writers[dst].write(data)
+            return
+        self._pending += 1
+        self._idle.clear()
+        timer_box: list = []
+        timer = self._loop.call_later(delay, self._fire, dst, data, timer_box)
+        timer_box.append(timer)
+        self._timers.add(timer)
+
+    def _fire(self, dst: int, data: bytes, timer_box: list) -> None:
+        self._timers.discard(timer_box[0])
+        self._pending -= 1
+        if self._pending == 0:
+            self._idle.set()
+        writer = self._router_writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            writer.write(data)
+
+
+def make_transport(
+    kind: str, n: int, max_frame: int = MAX_FRAME_BYTES
+) -> Transport:
+    """Transport factory keyed by the cluster-facing name."""
+    if kind == "inproc":
+        return InProcessTransport(n, max_frame=max_frame)
+    if kind == "tcp":
+        return TcpTransport(n, max_frame=max_frame)
+    raise ValueError(f"unknown transport {kind!r} (expected 'inproc' or 'tcp')")

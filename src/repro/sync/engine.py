@@ -53,6 +53,7 @@ from repro.histories.history import (
     ExecutionHistory,
     Message,
 )
+from repro.kernel.corruptions import apply_corruption
 from repro.kernel.events import EventBus, FaultEvent, FaultKind, Observer
 from repro.kernel.recorders import HistoryRecorder
 
@@ -106,35 +107,8 @@ class SyncRunResult:
         }
 
 
-def _corrupt_states(
-    bus: EventBus,
-    plan: CorruptionPlan,
-    protocol: SyncProtocol,
-    states: Dict[ProcessId, Optional[Dict[str, Any]]],
-    n: int,
-    time: float,
-) -> Dict[ProcessId, Optional[Dict[str, Any]]]:
-    """Apply one corruption plan and narrate which memories it touched.
-
-    Narration diffs only the plan's reported candidate pids (see
-    :meth:`CorruptionPlan.touched_pids`) instead of every process's full
-    state; plans that do not report candidates (duck-typed externals)
-    fall back to the full O(n x state) diff.
-    """
-    corrupted = plan.corrupt(protocol, states, n)
-    if not bus.wants_fault:
-        return corrupted
-    candidates = getattr(plan, "touched_pids", lambda s, c: None)(states, n)
-    if candidates is None:
-        pids = range(n)
-    else:
-        pids = sorted(pid for pid in candidates if 0 <= pid < n)
-    for pid in pids:
-        if corrupted.get(pid) != states.get(pid):
-            bus.on_fault(
-                FaultEvent(kind=FaultKind.CORRUPTION, time=time, pid=pid)
-            )
-    return corrupted
+#: Corruption application + narration (shared across substrates).
+_corrupt_states = apply_corruption
 
 
 def run_sync(

@@ -15,6 +15,14 @@ CASES = [
     ("fault_injection_campaign.py", ["ALL GREEN"]),
     ("transaction_commit.py", ["all post-stabilization commit rounds agreed: True"]),
     ("replicated_counter.py", ["service spec holds: True"]),
+    (
+        "live_cluster.py",
+        [
+            "live stabilization point:",
+            "ftss-solves clock agreement @ stabilization 1 (live): True",
+            "live TCP history == simulated history: True",
+        ],
+    ),
 ]
 
 

@@ -1,0 +1,22 @@
+"""Fixtures for the live-runtime tests.
+
+The one load-bearing rule: the persistent fork-based sweep pool
+(:mod:`repro.experiments.base`) must be gone before any test here
+starts an asyncio event loop.  ``asyncio.run`` spawns helper threads
+(e.g. the default executor); forking a process that owns such threads
+can deadlock the child.  The autouse fixture enforces the ordering for
+every test in this package, whatever ran before it in the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def no_fork_pool():
+    """Shut the persistent sweep pool down before each net test."""
+    shutdown_pool()
+    yield

@@ -1,0 +1,154 @@
+"""The conformance harness itself, plus the fork-pool regression."""
+
+import asyncio
+
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.experiments import base
+from repro.explore.checkers import StreamingFtssClock
+from repro.kernel.faults import FaultPlan, WireFaults
+from repro.net.cluster import live_run_sync
+from repro.net.conformance import (
+    histories_equal,
+    verify_detector_conformance,
+    verify_sync_conformance,
+)
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+def plan():
+    return FaultPlan(
+        crashes={3: 5.0},
+        omissions=RandomAdversary(
+            n=4, f=1, mode=FaultMode.GENERAL_OMISSION, rate=0.4, seed=7
+        ),
+        initial_corruption=RandomCorruption(seed=3),
+        wire=WireFaults(delay=(0.0, 0.002), duplication=0.3, seed=5),
+    )
+
+
+class TestSyncConformance:
+    def test_parity_on_both_transports(self):
+        reports, sim, lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            4,
+            10,
+            plan,
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=("inproc", "tcp"),
+            deadline=20,
+        )
+        assert [r.transport for r in reports] == ["inproc", "tcp"]
+        for report in reports:
+            assert report.passed, report.failures()
+        assert all(live.faulty == sim.faulty for live in lives)
+
+    def test_streaming_checker_rides_both_buses(self):
+        reports, _sim, _lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            4,
+            10,
+            plan,
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=("inproc",),
+            checker_factory=lambda: StreamingFtssClock(stabilization_time=1),
+            deadline=20,
+        )
+        report = reports[0]
+        assert report.sim_checker is not None
+        assert report.live_checker is not None
+        assert report.checkers_agree and report.passed
+
+    def test_failure_rendering_names_the_transport(self):
+        reports, _sim, _lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            3,
+            4,
+            lambda: None,
+            ClockAgreementProblem(),
+            transports=("tcp",),
+            deadline=20,
+        )
+        report = reports[0]
+        assert report.passed and report.failures() == []
+        # Forge a divergence and check it renders with the transport.
+        report.history_equal = False
+        assert any("tcp" in line for line in report.failures())
+
+
+class TestHistoriesEqual:
+    def test_identical_runs_compare_equal(self):
+        left = run_sync(RoundAgreementProtocol(), n=3, rounds=4)
+        right = run_sync(RoundAgreementProtocol(), n=3, rounds=4)
+        assert histories_equal(left.history, right.history)
+
+    def test_different_runs_compare_unequal(self):
+        left = run_sync(RoundAgreementProtocol(), n=3, rounds=4)
+        right = run_sync(RoundAgreementProtocol(), n=3, rounds=5)
+        assert not histories_equal(left.history, right.history)
+
+    def test_none_handling(self):
+        history = run_sync(RoundAgreementProtocol(), n=3, rounds=2).history
+        assert histories_equal(None, None)
+        assert not histories_equal(history, None)
+        assert not histories_equal(None, history)
+
+
+class TestDetectorConformance:
+    def test_verdict_parity(self):
+        from repro.asyncnet.oracle import WeakDetectorOracle
+        from repro.detectors.strong import StrongDetector
+
+        crashes = {3: 10.0}
+
+        reports, sim_trace, live_traces = verify_detector_conformance(
+            StrongDetector,
+            4,
+            60.0,
+            lambda: FaultPlan(crashes=dict(crashes), gst=20.0),
+            lambda: WeakDetectorOracle(4, crashes, gst=20.0, seed=0),
+            transports=("inproc",),
+            time_scale=0.01,
+            deadline=30,
+        )
+        assert reports[0].passed, reports[0].failures()
+        assert sim_trace.crashed == live_traces[0].crashed == frozenset({3})
+
+
+class TestForkPoolRegression:
+    """run_sweep's fork pool and asyncio must never coexist.
+
+    Forking a process that owns event-loop helper threads can deadlock
+    the child.  The contract: anything that starts an event loop calls
+    ``shutdown_pool()`` first (the NET-LIVE experiment and the net test
+    fixtures both do).  This test exercises the exact sequence —
+    parallel sweep, pool teardown, live run — and asserts the pool is
+    really gone before the loop starts.
+    """
+
+    def test_sweep_then_shutdown_then_live_run(self):
+        outcomes = base.run_sweep(_square, [1, 2, 3], jobs=2)
+        assert outcomes == [1, 4, 9]
+        assert base._POOL is not None  # the persistent pool is live
+        base.shutdown_pool()
+        assert base._POOL is None
+
+        result = asyncio.run(
+            live_run_sync(RoundAgreementProtocol(), 3, 3, deadline=20)
+        )
+        assert result.executed_rounds == 3
+
+    def test_shutdown_pool_is_idempotent(self):
+        base.shutdown_pool()
+        base.shutdown_pool()
+        assert base._POOL is None
+
+
+def _square(x):
+    return x * x

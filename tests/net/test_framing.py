@@ -1,0 +1,122 @@
+"""The wire format: codec fidelity and framing edge cases."""
+
+import pytest
+
+from repro.net.framing import (
+    FrameDecoder,
+    FrameError,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+
+
+def roundtrip(value):
+    decoder = FrameDecoder()
+    (out,) = decoder.feed(encode_frame(value))
+    assert decoder.buffered == 0
+    return out
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            0,
+            -7,
+            3.5,
+            "hello",
+            "",
+            [1, 2, 3],
+            (1, 2, 3),
+            (),
+            {"a": 1, "b": [2, (3, 4)]},
+            {1: "one", (2, 3): "pair"},
+            {"\x00t": "a key that collides with the tuple marker"},
+            frozenset({1, 2, 3}),
+            set(),
+            frozenset(),
+            ("clock", 4, frozenset({0, 2}), {"nested": (1, [2, {3}])}),
+        ],
+        ids=repr,
+    )
+    def test_roundtrip_identity(self, value):
+        out = roundtrip(value)
+        assert out == value
+        assert type(out) is type(value)
+
+    def test_tuple_list_distinction_survives(self):
+        out = roundtrip({"t": (1, 2), "l": [1, 2]})
+        assert type(out["t"]) is tuple
+        assert type(out["l"]) is list
+
+    def test_set_frozenset_distinction_survives(self):
+        out = roundtrip({"s": {1}, "f": frozenset({1})})
+        assert type(out["s"]) is set
+        assert type(out["f"]) is frozenset
+
+    def test_nested_payload_shapes(self):
+        # The shape Fig 4 / the compiler actually put on the wire.
+        payload = ("fd", (0, [7, 3, 9], ["alive", "dead", "alive"]))
+        assert roundtrip(payload) == payload
+
+    def test_unencodable_type_is_loud(self):
+        with pytest.raises(FrameError, match="not wire-encodable"):
+            encode_value(object())
+
+    def test_unhashable_sorted_fallback(self):
+        value = {(2, "b"): 1, (1, "a"): 2}
+        assert decode_value(encode_value(value)) == value
+
+
+class TestFraming:
+    def test_back_to_back_frames_in_one_read(self):
+        data = encode_frame("first") + encode_frame("second") + encode_frame(3)
+        assert FrameDecoder().feed(data) == ["first", "second", 3]
+
+    def test_frame_split_at_every_byte_boundary(self):
+        data = encode_frame({"k": (1, 2)}) + encode_frame([3])
+        for cut in range(len(data) + 1):
+            decoder = FrameDecoder()
+            frames = decoder.feed(data[:cut]) + decoder.feed(data[cut:])
+            assert frames == [{"k": (1, 2)}, [3]]
+            decoder.eof()  # clean boundary: never raises
+
+    def test_partial_frame_at_eof_raises(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame("whole") + encode_frame("cut in half")[:7])
+        with pytest.raises(FrameError, match="ended mid-frame"):
+            decoder.eof()
+
+    def test_partial_length_prefix_at_eof_raises(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x00\x00") == []
+        with pytest.raises(FrameError, match="ended mid-frame"):
+            decoder.eof()
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(FrameError, match="exceeds the 16-byte limit"):
+            encode_frame("x" * 32, max_frame=16)
+
+    def test_oversized_frame_rejected_on_decode_before_buffering(self):
+        decoder = FrameDecoder(max_frame=16)
+        # Only the 4-byte prefix arrives; the decoder must refuse
+        # immediately instead of waiting to buffer a huge body.
+        with pytest.raises(FrameError, match="over the 16-byte limit"):
+            decoder.feed((1 << 20).to_bytes(4, "big"))
+
+    def test_junk_body_rejected(self):
+        body = b"not json at all"
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError, match="undecodable frame body"):
+            FrameDecoder().feed(data)
+
+    def test_buffered_tracks_partial_state(self):
+        decoder = FrameDecoder()
+        data = encode_frame("abcdef")
+        decoder.feed(data[:6])
+        assert decoder.buffered > 0
+        decoder.feed(data[6:])
+        assert decoder.buffered == 0

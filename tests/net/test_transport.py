@@ -1,0 +1,198 @@
+"""Transport contract tests, run against both fabrics."""
+
+import asyncio
+
+import pytest
+
+from repro.net.framing import FrameError, encode_frame
+from repro.net.transport import TcpTransport, make_transport
+
+TRANSPORTS = ["inproc", "tcp"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started(kind, n=3):
+    fabric = make_transport(kind, n)
+    await fabric.start()
+    return fabric
+
+
+@pytest.mark.parametrize("kind", TRANSPORTS)
+class TestContract:
+    def test_post_and_recv(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                fabric.endpoint(0).post(2, {"msg": ("hi", 1)})
+                got = await asyncio.wait_for(fabric.endpoint(2).recv(), 5)
+                assert got == {"msg": ("hi", 1)}
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_per_pair_fifo_order(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                for i in range(20):
+                    fabric.endpoint(0).post(1, i)
+                await fabric.drain()
+                assert fabric.endpoint(1).drain_ready() == list(range(20))
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_drain_is_a_barrier_for_delayed_posts(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                fabric.endpoint(0).post(1, "slow", delay=0.05)
+                fabric.endpoint(0).post(1, "fast")
+                await fabric.drain()
+                # Both copies must be sitting in the inbox, delay or not.
+                assert sorted(fabric.endpoint(1).drain_ready()) == ["fast", "slow"]
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_self_post_delivers(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                fabric.endpoint(1).post(1, "me")
+                await fabric.drain()
+                assert fabric.endpoint(1).drain_ready() == ["me"]
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_consecutive_drains(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                for round_no in range(5):
+                    fabric.endpoint(0).post(1, round_no, delay=0.002)
+                    await fabric.drain()
+                    assert fabric.endpoint(1).drain_ready() == [round_no]
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_unknown_destination_rejected(self, kind):
+        async def body():
+            fabric = await started(kind)
+            try:
+                with pytest.raises(ValueError, match="unknown endpoint"):
+                    fabric.endpoint(0).post(7, "nope")
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_stop_is_idempotent(self, kind):
+        async def body():
+            fabric = await started(kind)
+            await fabric.stop()
+            await fabric.stop()
+
+        run(body())
+
+
+class TestTcpSpecifics:
+    def test_wire_carries_real_frames(self):
+        """A rogue client speaking the frame format reaches the router."""
+
+        async def body():
+            fabric = TcpTransport(2)
+            await fabric.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", fabric.port
+                )
+                writer.write(encode_frame({"kind": "hello", "pid": 0}))
+                writer.write(
+                    encode_frame(
+                        {
+                            "kind": "data",
+                            "src": 0,
+                            "dst": 1,
+                            "delay": 0.0,
+                            "body": ("spoofed", 1),
+                        }
+                    )
+                )
+                await writer.drain()
+                got = await asyncio.wait_for(fabric.endpoint(1).recv(), 5)
+                assert got == ("spoofed", 1)
+                writer.close()
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_peer_disconnect_mid_frame_recorded(self):
+        async def body():
+            fabric = TcpTransport(2)
+            await fabric.start()
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", fabric.port
+                )
+                # Declare a 16-byte body, deliver 7, hang up.
+                writer.write((16).to_bytes(4, "big") + b"partial")
+                await writer.drain()
+                writer.close()
+                for _ in range(100):
+                    if fabric.errors:
+                        break
+                    await asyncio.sleep(0.01)
+                assert fabric.errors, "truncated peer went unnoticed"
+                assert isinstance(fabric.errors[0], FrameError)
+                assert "mid-frame" in str(fabric.errors[0])
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_oversized_frame_from_peer_recorded(self):
+        async def body():
+            fabric = TcpTransport(2, max_frame=64)
+            await fabric.start()
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", fabric.port
+                )
+                writer.write((1 << 16).to_bytes(4, "big"))
+                await writer.drain()
+                for _ in range(100):
+                    if fabric.errors:
+                        break
+                    await asyncio.sleep(0.01)
+                assert fabric.errors and "over the 64-byte limit" in str(
+                    fabric.errors[0]
+                )
+                writer.close()
+            finally:
+                await fabric.stop()
+
+        run(body())
+
+    def test_clean_shutdown_records_no_errors(self):
+        async def body():
+            fabric = TcpTransport(3)
+            await fabric.start()
+            fabric.endpoint(0).post(1, "x")
+            await fabric.drain()
+            fabric.endpoint(1).drain_ready()
+            await fabric.stop()
+            assert fabric.errors == []
+
+        run(body())
