@@ -10,8 +10,9 @@ band and exits non-zero on regression.
 Rows are matched by the first header column (override with ``--key``).
 For each compared numeric field the direction is inferred from its
 name: ``speedup*``, ``*ratio`` and ``ops_per_s`` are higher-is-better,
-time-like fields (``*_us``, ``*_ns``, ``*_ms``, ``seconds``) are
-lower-is-better.  A fresh value is a regression when it is worse than
+time-like fields (``*_us``, ``*_ns``, ``*_ms``, ``seconds``) and
+executed-simulation counts (``*executed*`` — the run cache's
+machine-independent effectiveness metric) are lower-is-better.  A fresh value is a regression when it is worse than
 ``baseline * (1 ± tolerance)``; improvements always pass (commit a new
 baseline to ratchet them in).  Non-numeric fields are ignored unless
 ``--strict-rows`` asks for exact cell equality.
@@ -35,7 +36,16 @@ import sys
 from typing import Dict, List, Optional
 
 _HIGHER_IS_BETTER = ("speedup", "ratio", "ops_per_s", "throughput")
-_LOWER_IS_BETTER = ("_us", "_ns", "_ms", "seconds", "_s", "bytes", "calls")
+_LOWER_IS_BETTER = (
+    "_us",
+    "_ns",
+    "_ms",
+    "seconds",
+    "_s",
+    "bytes",
+    "calls",
+    "executed",
+)
 
 
 def _direction(field: str) -> Optional[int]:

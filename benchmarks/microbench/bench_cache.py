@@ -1,0 +1,115 @@
+"""Cold-vs-warm timings for the content-addressed run cache.
+
+Two scenarios, each run twice against a throwaway cache directory:
+
+- ``FIG1-sweep`` — one full FIG1 experiment (``REGISTRY.run``), the
+  canonical ``run_sweep(cache="FIG1")`` integration;
+- ``EXPLORE-shrink`` — an exhaustive thm1 exploration including
+  delta-debug shrinking, whose confirm oracle replays near-identical
+  sub-plans through :func:`repro.cache.cached_call`.
+
+The cold pass populates the cache (every simulation executes); the warm
+pass answers from it.  Wall-clock columns (``cold_s``/``warm_s``/
+``speedup``) are machine-dependent trajectory documentation; the
+``*_executed_sims`` columns count simulations that actually ran (cache
+misses) and are **machine-independent** — the committed baseline pins
+``warm_executed_sims == 0``, and ``benchmarks/compare.py`` treats
+``executed`` columns as lower-is-better.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench/bench_cache.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    from _harness import emit
+else:
+    from ._harness import emit
+
+import repro.cache
+from repro.analysis.report import ExperimentReport
+from repro.experiments import REGISTRY
+from repro.experiments.base import shutdown_pool
+from repro.explore.engine import explore
+
+#: thm1's raw space has 77 plans; 96 enumerates it exhaustively.
+EXPLORE_BUDGET = 96
+
+
+def _scenarios():
+    return [
+        ("FIG1-sweep", lambda: REGISTRY.run("FIG1", jobs=1)),
+        (
+            "EXPLORE-shrink",
+            lambda: explore(
+                "thm1", budget=EXPLORE_BUDGET, seed=0, jobs=1, mode="enumerate"
+            ),
+        ),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", help="write the JSON here instead")
+    args = parser.parse_args(argv)
+
+    report = ExperimentReport(
+        experiment_id="CACHE",
+        title="Run cache: cold vs warm",
+        claim="a warm cache answers repeated sweeps and shrink replays "
+        "without executing a single simulation",
+        headers=[
+            "scenario",
+            "cold_s",
+            "warm_s",
+            "speedup",
+            "cold_executed_sims",
+            "warm_executed_sims",
+        ],
+    )
+
+    scratch = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        for name, run in _scenarios():
+            repro.cache.configure(root=f"{scratch}/{name}", enabled=True)
+            cache = repro.cache.get_cache()
+
+            before = cache.stats.snapshot()
+            started = time.perf_counter()
+            run()
+            cold_s = time.perf_counter() - started
+            cold = cache.stats.delta_since(before)
+
+            before = cache.stats.snapshot()
+            started = time.perf_counter()
+            run()
+            warm_s = time.perf_counter() - started
+            warm = cache.stats.delta_since(before)
+
+            report.add_row(
+                name,
+                round(cold_s, 3),
+                round(warm_s, 3),
+                round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+                cold.executed,
+                warm.executed,
+            )
+    finally:
+        shutdown_pool()
+        repro.cache.configure()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    emit(report, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Content-addressed run cache: never run the same simulation twice.
+
+Every experiment in this reproduction is a pure function of
+``(experiment, point, seed, fault plan)`` — the determinism that the
+theorem verification rests on.  This package exploits it: outcomes of
+deterministic sweep workers and exploration checks are memoized under a
+content digest of the namespace, the worker identity, the canonicalized
+point, and a fingerprint of the ``repro`` source tree (see
+:mod:`repro.cache.digest`), so re-running an unchanged sweep, replaying
+a shrink campaign, or repeating a CI invocation costs lookups instead
+of simulations — while any source edit silently invalidates everything.
+
+Integration points:
+
+- :func:`repro.experiments.base.run_sweep` accepts ``cache="FIG1"``
+  and partitions its points into hits and misses, dispatching only the
+  misses to the fork pool (all sweep experiments opt in);
+- the EXPLORE engine memoizes its streaming sweeps and its
+  definition-grade confirm path (so delta-debugging replays are
+  near-free across invocations);
+- ``python -m repro.cache`` offers ``stats`` / ``clear`` / ``verify``.
+
+Knobs: the cache is **on by default**; set ``REPRO_CACHE=0`` (or pass
+``--no-cache`` to the experiment/explore CLIs) to disable, and
+``REPRO_CACHE_DIR`` to move it (default ``.repro-cache/``).  Artifact
+bytes and experiment verdicts are identical with the cache off, cold,
+or warm — the cache changes how often simulations *run*, never what
+they *compute* (CI's ``cache-smoke`` job pins exactly that).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from repro.cache.digest import (
+    CanonicalizationError,
+    canonical_bytes,
+    code_fingerprint,
+    digest_key,
+    worker_ref,
+)
+from repro.cache.store import (
+    CacheStats,
+    CacheStatsObserver,
+    RunCache,
+    VerifyReport,
+)
+
+__all__ = [
+    "CacheStats",
+    "CacheStatsObserver",
+    "CanonicalizationError",
+    "RunCache",
+    "VerifyReport",
+    "active_cache",
+    "cache_dir",
+    "cache_enabled",
+    "cached_call",
+    "canonical_bytes",
+    "code_fingerprint",
+    "configure",
+    "digest_key",
+    "disable",
+    "enable",
+    "flush",
+    "get_cache",
+    "worker_ref",
+]
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_DIR = ".repro-cache"
+
+_FALSY = {"0", "off", "false", "no", "disabled"}
+
+_cache: Optional[RunCache] = None
+_configured_root: Optional[Path] = None
+_configured_memory: Optional[int] = None
+_enabled_override: Optional[bool] = None
+
+
+def cache_dir() -> Path:
+    """Where entries live: configure() > ``REPRO_CACHE_DIR`` > default."""
+    if _configured_root is not None:
+        return _configured_root
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_DIR)
+
+
+def cache_enabled() -> bool:
+    """Is caching on?  enable()/disable() > ``REPRO_CACHE`` > on."""
+    if _enabled_override is not None:
+        return _enabled_override
+    raw = os.environ.get("REPRO_CACHE", "").strip().lower()
+    return raw not in _FALSY
+
+
+def enable() -> None:
+    """Force caching on for this process (overrides ``REPRO_CACHE``)."""
+    global _enabled_override
+    _enabled_override = True
+
+
+def disable() -> None:
+    """Force caching off for this process (the CLIs' ``--no-cache``)."""
+    global _enabled_override
+    _enabled_override = False
+
+
+def configure(
+    root: Union[str, Path, None] = None,
+    memory_entries: Optional[int] = None,
+    enabled: Optional[bool] = None,
+) -> None:
+    """Re-point the process-wide cache (tests, benchmarks).
+
+    Drops the current :class:`RunCache` instance (flushing it first) and
+    lazily rebuilds at ``root`` on next use.  ``configure()`` with no
+    arguments restores the environment-driven defaults.
+    """
+    global _cache, _configured_root, _configured_memory, _enabled_override
+    flush()
+    _cache = None
+    _configured_root = None if root is None else Path(root)
+    _configured_memory = memory_entries
+    _enabled_override = enabled
+
+
+def get_cache() -> RunCache:
+    """The process-wide :class:`RunCache` (created lazily)."""
+    global _cache
+    if _cache is not None and _cache.root != cache_dir():
+        _cache.flush()  # the root moved under us (env edit): don't strand writes
+        _cache = None
+    if _cache is None:
+        _cache = RunCache(
+            cache_dir(),
+            memory_entries=_configured_memory if _configured_memory is not None else 4096,
+        )
+    return _cache
+
+
+def active_cache() -> Optional[RunCache]:
+    """The cache if caching is enabled, else None (callers just execute)."""
+    return get_cache() if cache_enabled() else None
+
+
+def flush() -> None:
+    """Flush buffered writes and counters, if a cache was ever touched."""
+    if _cache is not None:
+        _cache.flush()
+
+
+def cached_call(namespace: str, fn: Callable[[Any], Any], point: Any) -> Any:
+    """Memoize ``fn(point)`` under ``namespace`` (the scalar-call twin of
+    the ``cache=`` parameter on :func:`repro.experiments.base.run_sweep`).
+
+    ``fn`` must be a deterministic module-level function of ``point``
+    alone; uncacheable points (no canonical encoding) silently fall back
+    to plain execution.
+    """
+    cache = active_cache()
+    if cache is None:
+        return fn(point)
+    try:
+        key = cache.key(namespace, fn, point)
+    except CanonicalizationError:
+        return fn(point)
+    hit, value = cache.get(key, namespace)
+    if hit:
+        return value
+    outcome = fn(point)
+    cache.put(key, outcome, namespace=namespace, worker=fn, point=point)
+    return outcome
+
+
+atexit.register(flush)

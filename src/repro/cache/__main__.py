@@ -1,0 +1,112 @@
+"""CLI front-end for the content-addressed run cache.
+
+Usage::
+
+    python -m repro.cache stats [--json]
+    python -m repro.cache clear
+    python -m repro.cache verify [--sample N] [--seed S]
+
+``stats`` reports the disk inventory (entries, bytes, namespaces) plus
+the cumulative access counters from ``stats.json`` — the
+machine-independent executed-simulation count CI's ``cache-smoke`` job
+asserts on.  ``clear`` wipes every entry.  ``verify`` re-executes a
+deterministic sample of current-fingerprint entries and fails unless
+each re-run reproduces its stored outcome byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cache import cache_dir, cache_enabled, get_cache
+
+
+def _cmd_stats(args) -> int:
+    cache = get_cache()
+    data = {
+        "root": str(cache.root),
+        "enabled": cache_enabled(),
+        **cache.summary(),
+        "counters": cache.persisted_counters(),
+    }
+    if args.json:
+        print(json.dumps(data, sort_keys=True, indent=2))
+        return 0
+    print(f"cache root: {data['root']} (enabled: {data['enabled']})")
+    print(
+        f"entries: {data['entries']} ({data['disk_bytes']} bytes, "
+        f"{data['stale_entries']} stale)"
+    )
+    for name in sorted(data["namespaces"]):
+        bucket = data["namespaces"][name]
+        print(f"  {name}: {bucket['entries']} entries, {bucket['bytes']} bytes")
+    counters = data["counters"]
+    if counters:
+        print(
+            "cumulative: "
+            f"{counters.get('hits', 0)} hits, "
+            f"{counters.get('misses', 0)} misses "
+            f"(= {counters.get('executed', 0)} executed simulations), "
+            f"{counters.get('stores', 0)} stores"
+        )
+    else:
+        print("cumulative: no recorded accesses")
+    return 0
+
+
+def _cmd_clear(_args) -> int:
+    removed = get_cache().clear()
+    print(f"cleared {removed} entries from {cache_dir()}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    report = get_cache().verify(sample=args.sample, seed=args.seed)
+    print(
+        f"verified {report.checked} entries "
+        f"({report.stale} stale skipped, {report.unresolvable} unresolvable)"
+    )
+    for key, ref in report.mismatches:
+        print(f"  MISMATCH {key[:16]}… worker {ref}", file=sys.stderr)
+    if not report.ok:
+        print(
+            f"verify: {len(report.mismatches)} cached outcome(s) did not "
+            "reproduce — the cache is lying; clear it and investigate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Inspect, clear, or verify the content-addressed run cache.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    stats_p = sub.add_parser("stats", help="disk inventory + cumulative counters")
+    stats_p.add_argument("--json", action="store_true", help="machine-readable output")
+    stats_p.set_defaults(func=_cmd_stats)
+
+    clear_p = sub.add_parser("clear", help="remove every cached entry")
+    clear_p.set_defaults(func=_cmd_clear)
+
+    verify_p = sub.add_parser(
+        "verify", help="re-execute a sample of entries; fail on any divergence"
+    )
+    verify_p.add_argument("--sample", type=int, default=10, metavar="N")
+    verify_p.add_argument("--seed", type=int, default=0, metavar="S")
+    verify_p.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

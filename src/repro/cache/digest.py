@@ -1,0 +1,180 @@
+"""Stable content digests for the run cache.
+
+A cache entry's identity is the digest of everything that determines a
+deterministic simulation's outcome:
+
+- the **namespace** (experiment id or exploration target),
+- the **worker** that executes the point (``module:qualname``, so two
+  experiments sharing a point shape never collide),
+- the **point** itself (canonicalized: the seed and the full fault
+  plan/workload description live inside it),
+- the **code fingerprint** — a digest over every ``.py`` file of the
+  installed ``repro`` package plus the package version and the Python
+  minor version, so *any* source edit invalidates every entry and a
+  stale cache can never lie about a theorem.
+
+Canonicalization is a tagged, collision-free byte encoding (not
+``repr``, not ``hash()`` — both are unstable across processes): dicts
+are sorted by encoded key, sets by encoded element, dataclasses and
+``to_jsonable`` carriers (e.g. :class:`~repro.explore.space.PlanSpec`)
+encode through their declarative form.  Objects outside the vocabulary
+raise :class:`CanonicalizationError`; callers treat that as
+"uncacheable", never as corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import struct
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+__all__ = [
+    "CanonicalizationError",
+    "canonical_bytes",
+    "code_fingerprint",
+    "digest_key",
+    "worker_ref",
+]
+
+#: Bumped on any incompatible change to the key or entry layout.
+KEY_SCHEMA = "repro-run-cache/v1"
+
+
+class CanonicalizationError(TypeError):
+    """The object has no canonical byte encoding (so it is uncacheable)."""
+
+
+def _walk(obj: object, out: List[bytes]) -> None:
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True:
+        out.append(b"T;")
+    elif obj is False:
+        out.append(b"F;")
+    elif isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        out.append(b"f" + struct.pack(">d", obj) + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(obj, bytes):
+        out.append(b"b%d:" % len(obj))
+        out.append(obj)
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"l[" if isinstance(obj, list) else b"t[")
+        for item in obj:
+            _walk(item, out)
+        out.append(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"S[")
+        out.extend(sorted(canonical_bytes(item) for item in obj))
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        out.append(b"d{")
+        pairs = sorted(
+            ((canonical_bytes(key), value) for key, value in obj.items()),
+            key=lambda pair: pair[0],
+        )
+        for key_bytes, value in pairs:
+            out.append(key_bytes)
+            _walk(value, out)
+        out.append(b"}")
+    elif isinstance(obj, enum.Enum):
+        out.append(b"E(")
+        _walk(type(obj).__qualname__, out)
+        _walk(obj.name, out)
+        out.append(b")")
+    elif hasattr(obj, "to_jsonable"):
+        out.append(b"J(")
+        _walk(type(obj).__qualname__, out)
+        _walk(obj.to_jsonable(), out)
+        out.append(b")")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"D(")
+        _walk(type(obj).__qualname__, out)
+        _walk(
+            {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)},
+            out,
+        )
+        out.append(b")")
+    else:
+        raise CanonicalizationError(
+            f"object of type {type(obj).__qualname__!r} has no canonical "
+            "encoding (give it to_jsonable() or use plain containers/scalars)"
+        )
+
+
+def canonical_bytes(obj: object) -> bytes:
+    """The canonical byte encoding of ``obj`` (stable across processes)."""
+    out: List[bytes] = []
+    _walk(obj, out)
+    return b"".join(out)
+
+
+#: Memoized default-tree fingerprint (hashing ~150 files costs a few ms;
+#: explicit roots are never memoized so tests see edits immediately).
+_DEFAULT_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint(root: Union[str, Path, None] = None) -> str:
+    """Digest of the ``repro`` source tree, version, and Python minor.
+
+    ``root=None`` (the normal case) fingerprints the installed package
+    directory and memoizes the result for the process; passing an
+    explicit ``root`` hashes that tree fresh on every call.
+    """
+    global _DEFAULT_FINGERPRINT
+    if root is None and _DEFAULT_FINGERPRINT is not None:
+        return _DEFAULT_FINGERPRINT
+    if root is None:
+        import repro
+
+        tree = Path(repro.__file__).resolve().parent
+        version = getattr(repro, "__version__", "0")
+    else:
+        tree = Path(root)
+        version = "0"
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{KEY_SCHEMA};version={version};"
+        f"python={sys.version_info[0]}.{sys.version_info[1]};".encode("ascii")
+    )
+    for path in sorted(tree.rglob("*.py")):
+        hasher.update(path.relative_to(tree).as_posix().encode("utf-8"))
+        hasher.update(b":")
+        hasher.update(path.read_bytes())
+        hasher.update(b";")
+    fingerprint = hasher.hexdigest()
+    if root is None:
+        _DEFAULT_FINGERPRINT = fingerprint
+    return fingerprint
+
+
+def worker_ref(worker: Union[str, Callable]) -> str:
+    """The stable ``module:qualname`` name of a sweep worker."""
+    if isinstance(worker, str):
+        return worker
+    return f"{worker.__module__}:{worker.__qualname__}"
+
+
+def digest_key(
+    namespace: str,
+    worker: Union[str, Callable],
+    point: object,
+    fingerprint: str,
+) -> str:
+    """The content-addressed cache key (hex sha256).
+
+    Raises :class:`CanonicalizationError` when ``point`` is not
+    canonically encodable.
+    """
+    payload = canonical_bytes(
+        (KEY_SCHEMA, namespace, worker_ref(worker), fingerprint, point)
+    )
+    return hashlib.sha256(payload).hexdigest()

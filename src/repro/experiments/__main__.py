@@ -2,11 +2,14 @@
 
 Usage::
 
-    python -m repro.experiments [IDS...] [--fast] [--jobs N] [--list] [--out DIR]
+    python -m repro.experiments [IDS...] [--fast] [--jobs N] [--no-cache]
+                                [--list] [--out DIR]
 
 Runs the requested experiments (all by default), prints each
 claim-vs-measured table with its PASS/FAIL verdict, optionally writes
 the tables to ``DIR``, and exits non-zero if any claim check failed.
+``--no-cache`` forces every simulation to execute instead of answering
+from the content-addressed run cache (see :mod:`repro.cache`).
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import pathlib
 import sys
 import time
 
+import repro.cache
 from repro.experiments import REGISTRY
 
 
@@ -42,6 +46,11 @@ def main(argv=None) -> int:
         metavar="N",
         help="worker processes per sweep (default: REPRO_JOBS or 1)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the run cache: execute every simulation",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--out",
@@ -54,6 +63,9 @@ def main(argv=None) -> int:
         for experiment_id in REGISTRY.ids():
             print(experiment_id)
         return 0
+
+    if args.no_cache:
+        repro.cache.disable()
 
     ids = args.ids or REGISTRY.ids()
     out_dir = pathlib.Path(args.out) if args.out else None

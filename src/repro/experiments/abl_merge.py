@@ -106,7 +106,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     )
     names = list(_PROTOCOLS)
     tasks = [(name, seed) for name in names for seed in seeds]
-    sweep = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    sweep = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="ABL-MERGE")))
     outcomes = {}
     for name in names:
         holds = sum(sweep[(name, seed)] for seed in seeds)

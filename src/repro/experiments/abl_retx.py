@@ -56,7 +56,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     tasks = [
         (mode, all_waiting, max_time) for mode in MODES for all_waiting, _ in VARIANTS
     ]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="ABL-RETX")))
     for mode in MODES:
         for all_waiting, label in VARIANTS:
             holds, instances = outcomes[(mode, all_waiting, max_time)]

@@ -47,7 +47,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["leak offset", "with suspects", "without suspects"],
     )
     tasks = [(offset, iterations) for offset in range(pi.final_round)]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="ABL-SUSPECT")))
     broken_without = 0
     for offset in range(pi.final_round):
         with_holds, without_holds = outcomes[(offset, iterations)]

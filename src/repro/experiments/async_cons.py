@@ -61,7 +61,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         for corrupt in (False, True)
         for seed in seeds
     ]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="ASYNC-CONS")))
     for mode in ("plain", "ss"):
         for corrupt in (False, True):
             holds, instances, msgs = 0, [], []

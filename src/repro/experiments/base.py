@@ -16,8 +16,10 @@ the hand-rolled ``for seed in seeds`` loops: one executor that is
 deterministic (results in input order, seeds namespaced per point via
 :func:`repro.util.rng.sweep_seed` inside the workers), per-point
 isolated (with ``jobs > 1`` each point runs in its own forked worker
-process), and parallel on demand (``--jobs N`` on the CLI, or the
-``REPRO_JOBS`` environment knob).
+process), parallel on demand (``--jobs N`` on the CLI, or the
+``REPRO_JOBS`` environment knob), and memoized on request (``cache=``
+names a :mod:`repro.cache` namespace; known points are answered from
+the content-addressed run cache and only the misses execute).
 """
 
 from __future__ import annotations
@@ -28,7 +30,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
+import repro.cache as run_cache_module
 from repro.analysis.report import ExperimentReport
+from repro.cache.digest import CanonicalizationError
 
 __all__ = [
     "ExperimentResult",
@@ -84,22 +88,36 @@ def shutdown_pool() -> None:
     """Tear down the persistent sweep pool (tests, benchmarks, atexit).
 
     Safe to call when no pool exists; the next parallel ``run_sweep``
-    simply forks a fresh one.
+    simply forks a fresh one.  Also flushes the run cache's buffered
+    writes: outcomes are cached parent-side as chunks complete, and a
+    torn-down pool must not strand them in memory.
     """
     global _POOL, _POOL_WORKERS
     if _POOL is not None:
         _POOL.shutdown(wait=True)
         _POOL = None
         _POOL_WORKERS = 0
+    run_cache_module.flush()
 
 
 atexit.register(shutdown_pool)
+
+
+def _run_chunk(worker: Callable[[Point], Outcome], chunk: List[Point]) -> List[Outcome]:
+    """Module-level (hence picklable) chunk executor for the fork pool."""
+    return [worker(point) for point in chunk]
+
+
+#: Placeholder for a not-yet-computed outcome slot (never a real outcome).
+_PENDING = object()
 
 
 def run_sweep(
     worker: Callable[[Point], Outcome],
     points: Sequence[Point],
     jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    on_outcome: Optional[Callable[[int, Point, Outcome], None]] = None,
 ) -> List[Outcome]:
     """Run ``worker`` over every sweep point, optionally in parallel.
 
@@ -119,21 +137,92 @@ def run_sweep(
     :func:`repro.util.rng.sweep_seed`-namespaced seeds, so
     ``run_sweep(w, ps, jobs=4) == run_sweep(w, ps, jobs=1)``.
 
+    ``cache`` opts the sweep into the content-addressed run cache
+    (:mod:`repro.cache`) under the given namespace — normally the
+    experiment id.  Points whose outcome is already cached are answered
+    without executing; only the misses are dispatched, and their
+    outcomes are written back *by the parent* (workers never touch the
+    cache).  This requires what the pool already requires: ``worker``
+    must be a pure, module-level function of its point.  Points without
+    a canonical encoding silently bypass the cache.
+
+    ``on_outcome(index, point, outcome)`` is invoked in input order as
+    results become available — cache hits immediately, dispatched
+    chunks as each completes — so progress observers don't wait for the
+    whole sweep.
+
     The worker pool is *persistent*: the first parallel sweep forks it,
     and later sweeps with the same ``jobs`` reuse it instead of paying
-    executor startup per call (see :func:`shutdown_pool`).  This is why
-    workers must be pure functions of their point — a forked worker
-    observes parent module state as of the first sweep, not the
-    current one.  Dispatch is chunked so a large sweep costs O(chunks)
-    round trips rather than O(points).
+    executor startup per call (see :func:`shutdown_pool`).  Dispatch is
+    chunked (one ``submit`` per chunk, results gathered in submission
+    order) so a large sweep costs O(chunks) round trips while early
+    chunks surface as soon as they finish.
     """
     if jobs is None:
         jobs = default_jobs()
-    if jobs <= 1 or len(points) <= 1:
-        return [worker(point) for point in points]
+
+    store = run_cache_module.active_cache() if cache else None
+    keys: Optional[List[str]] = None
+    if store is not None:
+        try:
+            keys = [store.key(cache, worker, point) for point in points]
+        except CanonicalizationError:
+            store = None  # uncacheable points: plain execution
+
+    results: List[Outcome] = [_PENDING] * len(points)  # type: ignore[list-item]
+    if store is not None and keys is not None:
+        miss_indices = []
+        for index, key in enumerate(keys):
+            hit, value = store.get(key, cache)
+            if hit:
+                results[index] = value
+            else:
+                miss_indices.append(index)
+    else:
+        miss_indices = list(range(len(points)))
+
+    emitted = 0
+
+    def _emit_ready() -> None:
+        nonlocal emitted
+        while emitted < len(results) and results[emitted] is not _PENDING:
+            if on_outcome is not None:
+                on_outcome(emitted, points[emitted], results[emitted])
+            emitted += 1
+
+    def _record(index: int, outcome: Outcome) -> None:
+        results[index] = outcome
+        if store is not None and keys is not None:
+            store.put(
+                keys[index],
+                outcome,
+                namespace=cache,
+                worker=worker,
+                point=points[index],
+            )
+
+    _emit_ready()
+    if jobs <= 1 or len(miss_indices) <= 1:
+        for index in miss_indices:
+            _record(index, worker(points[index]))
+            _emit_ready()
+        return results
+
     pool = _get_pool(jobs)
-    chunksize = max(1, len(points) // (jobs * 4))
-    return list(pool.map(worker, points, chunksize=chunksize))
+    chunksize = max(1, len(miss_indices) // (jobs * 4))
+    chunks = [
+        miss_indices[start : start + chunksize]
+        for start in range(0, len(miss_indices), chunksize)
+    ]
+    futures = [
+        pool.submit(_run_chunk, worker, [points[i] for i in chunk])
+        for chunk in chunks
+    ]
+    for chunk, future in zip(chunks, futures):
+        for index, outcome in zip(chunk, future.result()):
+            _record(index, outcome)
+        _emit_ready()
+    return results
 
 
 @dataclass

@@ -41,7 +41,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["modulus", "full-ring refutations", "windowed (M/8) refutations"],
     )
     tasks = [(modulus, trials) for modulus in moduli]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="EXT-BOUNDED")))
     for modulus in moduli:
         full_refs, full_trials, full_refuted, win_refs, win_trials, win_refuted = (
             outcomes[(modulus, trials)]

@@ -106,7 +106,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["protocol / failure regime", "survives"],
     )
     tasks = [(row_index, seed) for row_index in range(len(_ROWS)) for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="EXT-BYZ")))
     for row_index, (label, _, should_survive) in enumerate(_ROWS):
         ok = sum(outcomes[(row_index, seed)] for seed in seeds)
         report.add_row(label, f"{ok}/{len(seeds)}")

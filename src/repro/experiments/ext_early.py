@@ -56,7 +56,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["actual crashes f'", "worst decision round", "f'+2", "bound f+1"],
     )
     tasks = [(f_actual, seed) for f_actual in range(0, F + 1) for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="EXT-EARLY")))
     for f_actual in range(0, F + 1):
         worst = 0
         for seed in seeds:

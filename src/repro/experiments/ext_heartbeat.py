@@ -78,12 +78,12 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         (corrupt, seed, max_time) for corrupt in (False, True) for seed in seeds
     ]
     consensus_outcomes = dict(
-        zip(consensus_tasks, run_sweep(_measure_consensus, consensus_tasks, jobs))
+        zip(consensus_tasks, run_sweep(_measure_consensus, consensus_tasks, jobs, cache="EXT-HEARTBEAT"))
     )
     caps = (15.0, 60.0) if fast else (15.0, 60.0, 240.0)
     detector_tasks = [(cap, seed) for cap in caps for seed in seeds]
     detector_outcomes = dict(
-        zip(detector_tasks, run_sweep(_measure_detector, detector_tasks, jobs))
+        zip(detector_tasks, run_sweep(_measure_detector, detector_tasks, jobs, cache="EXT-HEARTBEAT"))
     )
     for corrupt in (False, True):
         ok, instances = 0, []

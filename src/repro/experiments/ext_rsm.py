@@ -77,7 +77,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         for corrupt in (False, True)
         for seed in seeds
     ]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="EXT-RSM")))
     for detector in ("fig4", "heartbeat"):
         for corrupt in (False, True):
             holds, applied = 0, []

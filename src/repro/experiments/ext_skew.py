@@ -101,7 +101,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         + [("targeted", None, seed) for seed in seeds]
         + [("compiled", p_late, seed) for p_late in COMPILED_P_LATES for seed in seeds]
     )
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="EXT-SKEW")))
     for p_late in P_LATES:
         exact = skew1 = 0
         for seed in seeds:

@@ -56,7 +56,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["n", "f", "seeds", "ftss@1 holds", "max measured stabilization"],
     )
     tasks = [(n, f, seed) for n, f in POINTS for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="FIG1")))
     for n, f in POINTS:
         holds, measured = 0, []
         for seed in seeds:

@@ -68,7 +68,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     )
     all_cases = cases()
     tasks = [(index, seed) for index in range(len(all_cases)) for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="FIG2")))
     for index, (pi, _n, mode) in enumerate(all_cases):
         clean_ok = sum(outcomes[(index, seed)][0] for seed in seeds)
         corrupted_ok = sum(outcomes[(index, seed)][1] for seed in seeds)

@@ -75,7 +75,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     )
     all_cases = cases()
     tasks = [(index, seed) for index in range(len(all_cases)) for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="FIG3")))
     for index, (pi, n, _mode) in enumerate(all_cases):
         plus = compile_protocol(pi)
         ftss_ok = sum(outcomes[(index, seed)][0] for seed in seeds)

@@ -68,7 +68,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         for corrupt in (False, True)
         for seed in seeds
     ]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="FIG4")))
     for n in sizes:
         for corrupt, label in ((False, "clean"), (True, "corrupted")):
             sc_ok = ewa_ok = 0

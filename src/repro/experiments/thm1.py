@@ -34,7 +34,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
             "ftss@1 survives",
         ],
     )
-    outcomes = run_sweep(_measure, candidates, jobs)
+    outcomes = run_sweep(_measure, candidates, jobs, cache="THM1")
     for candidate, (merge_violates, twin_violates, survives, defeated) in zip(
         candidates, outcomes
     ):

@@ -38,7 +38,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
             "defeated",
         ],
     )
-    outcomes = run_sweep(_measure, rules, jobs)
+    outcomes = run_sweep(_measure, rules, jobs, cache="THM2")
     for patience, row in zip(rules, outcomes):
         identical, halted, uniform_a, rate_b, defeated = row
         rule = "never-halt" if patience is None else f"halt-after-{patience}"

@@ -63,7 +63,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         for mode in modes
         for seed in seeds
     ]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="THM3")))
     for magnitude in magnitudes:
         for mode in modes:
             measured, refuted = [], 0

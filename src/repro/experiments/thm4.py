@@ -67,7 +67,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
         headers=["f", "final_round", "graces (min/median/max)", "within 2*final_round"],
     )
     tasks = [(f, seed) for f in budgets for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="THM4")))
     for f in budgets:
         pi = FloodMinConsensus(f=f, proposals=[3, 1, 4, 1, 5, 9])
         limit = 3 * pi.final_round

@@ -64,7 +64,7 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     )
     names = list(_DETECTORS)
     tasks = [(name, seed) for name in names for seed in seeds]
-    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs)))
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="THM5")))
     medians = {}
     for name in names:
         sc_ok = ewa_ok = 0

@@ -3,9 +3,11 @@
 Usage::
 
     python -m repro.explore --smoke [--seed S] [--jobs N] [--out DIR]
+                                    [--no-cache]
     python -m repro.explore run TARGET [--budget N] [--seed S] [--jobs N]
                                        [--mode auto|enumerate|sample]
                                        [--out DIR] [--no-shrink]
+                                       [--no-cache]
     python -m repro.explore replay ARTIFACT
     python -m repro.explore list
 
@@ -24,6 +26,7 @@ import sys
 import time
 from typing import List, Optional
 
+import repro.cache
 from repro.explore.artifacts import (
     Artifact,
     load_artifact,
@@ -231,6 +234,11 @@ def main(argv=None) -> int:
         default="explore-artifacts",
         help="artifact directory (smoke mode; default: %(default)s)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the run cache: execute every simulation",
+    )
     sub = parser.add_subparsers(dest="command")
 
     run_p = sub.add_parser("run", help="explore one target's fault-plan space")
@@ -243,6 +251,11 @@ def main(argv=None) -> int:
     )
     run_p.add_argument("--out", default=None, help="write finding artifacts here")
     run_p.add_argument("--no-shrink", action="store_true")
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the run cache: execute every simulation",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     replay_p = sub.add_parser("replay", help="re-execute a saved artifact")
@@ -253,6 +266,8 @@ def main(argv=None) -> int:
     list_p.set_defaults(func=_cmd_list)
 
     args = parser.parse_args(argv)
+    if args.no_cache:
+        repro.cache.disable()
     if args.smoke:
         return _smoke(args.seed, args.jobs, args.out)
     if args.command is None:

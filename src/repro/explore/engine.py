@@ -23,6 +23,15 @@ target:
 Workers run the *streaming* path only; confirmation and shrinking are
 sequential in the parent, which keeps the expensive fork pool on the
 cheap filter and the verdicts of record on one deterministic codepath.
+
+Both paths are memoized through the content-addressed run cache
+(:mod:`repro.cache`): the streaming sweep via ``run_sweep``'s
+``cache=`` namespace, the confirm oracle via :func:`_cached_confirm`.
+A spec fully determines its verdict, so delta-debugging steps and
+repeated sampling across *separate invocations* become lookups — the
+shrinker replays near-identical sub-plans hundreds of times per
+counterexample, and every one it has judged before is free.  Artifact
+``replay`` deliberately bypasses the cache: it exists to re-execute.
 """
 
 from __future__ import annotations
@@ -31,11 +40,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.cache import cached_call
 from repro.experiments.base import run_sweep
 from repro.explore.checkers import SpecVerdict
 from repro.explore.shrink import shrink
 from repro.explore.space import PlanSpace, PlanSpec, dedupe
-from repro.explore.targets import get_target
+from repro.explore.targets import ExplorationTarget, get_target
 
 __all__ = ["ExplorationResult", "Finding", "explore"]
 
@@ -47,6 +57,19 @@ def _streaming_worker(task: Tuple[str, PlanSpec]) -> SpecVerdict:
     """Module-level (hence picklable) sweep worker: the fast filter."""
     target_name, spec = task
     return get_target(target_name).streaming(spec)
+
+
+def _confirm_worker(task: Tuple[str, PlanSpec]) -> SpecVerdict:
+    """Module-level confirm executor (re-importable for cache verify)."""
+    target_name, spec = task
+    return get_target(target_name).confirm(spec)
+
+
+def _cached_confirm(target: ExplorationTarget, spec: PlanSpec) -> SpecVerdict:
+    """The definition-grade oracle, memoized per canonical spec bytes."""
+    return cached_call(
+        f"explore:confirm:{target.name}", _confirm_worker, (target.name, spec)
+    )
 
 
 @dataclass(frozen=True)
@@ -134,7 +157,10 @@ def explore(
     )
 
     verdicts = run_sweep(
-        _streaming_worker, [(target.name, spec) for spec in specs], jobs
+        _streaming_worker,
+        [(target.name, spec) for spec in specs],
+        jobs,
+        cache=f"explore:streaming:{target.name}",
     )
 
     result = ExplorationResult(
@@ -152,19 +178,19 @@ def explore(
         if streaming.holds:
             continue
         result.flagged.append(spec)
-        confirm = target.confirm(spec)
+        confirm = _cached_confirm(target, spec)
         if confirm.holds:
             result.mismatches.append((spec, streaming, confirm))
         else:
             confirmed.append((spec, confirm))
 
     def still_violates(candidate: PlanSpec) -> bool:
-        return not target.confirm(candidate).holds
+        return not _cached_confirm(target, candidate).holds
 
     for index, (spec, confirm) in enumerate(confirmed):
         if do_shrink and index < MAX_SHRUNK_FINDINGS:
             minimal, calls = shrink(spec, still_violates)
-            verdict = confirm if minimal == spec else target.confirm(minimal)
+            verdict = confirm if minimal == spec else _cached_confirm(target, minimal)
             result.findings.append(
                 Finding(
                     original=spec,

@@ -24,6 +24,8 @@ synchronous substrate and the virtual time in the asynchronous one):
 ``on_state_commit`` a process committed a new state (``None`` = crashed)
 ``on_sample``       (async) sampled outputs at the trace cadence
 ``on_round_end``    (sync) the round's records are complete
+``on_cache``        one run-cache access (:class:`CacheEvent`; emitted
+                    by :mod:`repro.cache`, not by the engines)
 ``on_run_end``      final states at the end of the run
 ================== ======================================================
 """
@@ -33,7 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence
 
-__all__ = ["AsyncMessage", "EventBus", "FaultEvent", "FaultKind", "Observer"]
+__all__ = [
+    "AsyncMessage",
+    "CacheEvent",
+    "EventBus",
+    "FaultEvent",
+    "FaultKind",
+    "Observer",
+]
 
 ProcessId = int
 
@@ -63,6 +72,24 @@ class FaultEvent:
     time: float
     pid: ProcessId
     targets: FrozenSet[ProcessId] = frozenset()
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One run-cache access, as seen by observers.
+
+    Emitted by :mod:`repro.cache` when a memoized simulation is looked
+    up or stored: ``kind`` is ``"hit"``, ``"miss"``, ``"store"`` or
+    ``"flush"``; ``namespace`` is the caller-chosen cache namespace
+    (usually the experiment id or exploration target); ``key`` is the
+    content digest; ``nbytes`` is the entry's serialized size (0 when
+    unknown, e.g. on a miss).
+    """
+
+    kind: str
+    namespace: str
+    key: str = ""
+    nbytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -108,6 +135,9 @@ class Observer:
     def on_round_end(self, round_no: int) -> None:
         pass
 
+    def on_cache(self, event: CacheEvent) -> None:
+        pass
+
     def on_run_end(
         self,
         time: float,
@@ -126,6 +156,7 @@ _FLAGGED_HOOKS = (
     "state_commit",
     "sample",
     "round_end",
+    "cache",
 )
 
 
@@ -200,6 +231,10 @@ class EventBus(Observer):
     def on_round_end(self, round_no):
         for observer in self._observers:
             observer.on_round_end(round_no)
+
+    def on_cache(self, event):
+        for observer in self._observers:
+            observer.on_cache(event)
 
     def on_run_end(self, time, final_states):
         for observer in self._observers:

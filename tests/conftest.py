@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.cache
 from repro.core.rounds import RoundAgreementProtocol
 from repro.histories.history import (
     ExecutionHistory,
@@ -28,6 +29,22 @@ __all__ = [
     "make_record",
     "make_rng",
 ]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path):
+    """Point the run cache at a per-test directory (and restore after).
+
+    Keeps the suite hermetic: no test reads another test's (or the
+    developer's ``.repro-cache/``) entries, and cache state never leaks
+    between tests.  Tests that need specific cache behaviour call
+    ``repro.cache.configure`` themselves on top of this.
+    """
+    repro.cache.configure(root=tmp_path / "run-cache")
+    try:
+        yield
+    finally:
+        repro.cache.configure()
 
 
 @pytest.fixture

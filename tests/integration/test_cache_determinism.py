@@ -1,0 +1,114 @@
+"""The cache's central promise: it changes *when* simulations run,
+never *what* they compute.
+
+Cross-product checks: ``jobs in {1, 4}`` x ``cache in {off, cold,
+warm}`` must produce identical sweep outcomes, identical experiment
+verdicts, and byte-identical EXPLORE artifacts — while the warm passes
+execute (nearly) nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cache
+from repro.experiments import REGISTRY
+from repro.experiments.base import run_sweep, shutdown_pool
+from repro.explore.artifacts import render_artifact, Artifact
+from repro.explore.engine import explore
+
+
+@pytest.fixture(autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+
+
+def _sweep_worker(point):
+    index, seed = point
+    return {"index": index, "seed": seed, "value": (index * 31 + seed) % 97}
+
+
+POINTS = [(index, seed) for index in range(6) for seed in range(3)]
+
+
+def _run_modes(tmp_path, fn):
+    """fn() under cache off / cold / warm, returning the three results."""
+    repro.cache.configure(root=tmp_path / "det-cache", enabled=False)
+    off = fn()
+    repro.cache.configure(root=tmp_path / "det-cache", enabled=True)
+    cold = fn()
+    warm = fn()
+    return off, cold, warm
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sweep_outcomes_identical_off_cold_warm(tmp_path, jobs):
+    off, cold, warm = _run_modes(
+        tmp_path, lambda: run_sweep(_sweep_worker, POINTS, jobs=jobs, cache="DET")
+    )
+    assert off == cold == warm
+    cache = repro.cache.get_cache()
+    assert cache.stats.misses == len(POINTS)  # only the cold pass executed
+    assert cache.stats.hits == len(POINTS)
+
+
+def test_sweep_outcomes_identical_across_jobs(tmp_path):
+    baselines = {}
+    for jobs in (1, 4):
+        repro.cache.configure(root=tmp_path / f"jobs-{jobs}", enabled=True)
+        baselines[jobs] = run_sweep(_sweep_worker, POINTS, jobs=jobs, cache="DET")
+    assert baselines[1] == baselines[4]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_experiment_verdict_identical_off_cold_warm(tmp_path, jobs):
+    off, cold, warm = _run_modes(
+        tmp_path, lambda: REGISTRY.run("FIG1", fast=True, jobs=jobs)
+    )
+    for result in (off, cold, warm):
+        assert result.passed
+    assert off.render() == cold.render() == warm.render()
+
+
+def _explore_artifacts(jobs):
+    """Every finding of a deterministic thm1 exploration, as bytes."""
+    result = explore("thm1", budget=96, seed=0, jobs=jobs, mode="enumerate")
+    blobs = []
+    for finding in result.findings:
+        blobs.append(
+            render_artifact(
+                Artifact(
+                    target=result.target,
+                    spec=finding.minimal,
+                    expect_violation=True,
+                    verdict_holds=finding.verdict.holds,
+                    violations=tuple(finding.verdict.violations),
+                    shrunk_from=finding.original,
+                    shrink_oracle_calls=finding.shrink_oracle_calls,
+                )
+            )
+        )
+    assert blobs, "thm1 exploration should produce findings"
+    return blobs
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_explore_artifacts_byte_identical_off_cold_warm(tmp_path, jobs):
+    off, cold, warm = _run_modes(tmp_path, lambda: _explore_artifacts(jobs))
+    assert off == cold == warm
+    # The warm pass answered everything from the cache.
+    cache = repro.cache.get_cache()
+    assert cache.stats.hits >= cache.stats.misses > 0
+
+
+def test_warm_explore_executes_nothing(tmp_path):
+    repro.cache.configure(root=tmp_path / "warm", enabled=True)
+    cache = repro.cache.get_cache()
+    explore("thm1", budget=96, seed=0, jobs=1, mode="enumerate")
+    cold = cache.stats.snapshot()
+    assert cold.executed > 0
+    explore("thm1", budget=96, seed=0, jobs=1, mode="enumerate")
+    warm = cache.stats.delta_since(cold)
+    assert warm.executed == 0
+    assert warm.hits > 0
