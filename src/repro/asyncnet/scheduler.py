@@ -34,6 +34,7 @@ exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import (
@@ -118,8 +119,9 @@ class ProcessContext:
         self._scheduler._enqueue_message(self.pid, dest, payload)
 
     def broadcast(self, payload: Any) -> None:
-        """Send to every process, including self."""
-        for dest in range(self.n):
+        """Send along my current out-edges (every process, including
+        self, on the default complete topology)."""
+        for dest in self._scheduler._broadcast_targets(self.pid):
             self.send(dest, payload)
 
     def weak_suspects(self) -> FrozenSet[int]:
@@ -206,6 +208,14 @@ class AsyncScheduler:
     observers:
         Extra :class:`~repro.kernel.events.Observer` instances attached
         to the run's event bus alongside the trace recorder.
+    topology:
+        Communication :class:`~repro.kernel.topology.Topology`; a
+        handler's ``broadcast`` goes to its current out-edges only
+        (``ctx.send`` stays point-to-point).  Defaults to the complete
+        graph, which is normalized away.  A churn schedule on the
+        fault plan wraps the topology in a ``DynamicTopology``, with
+        the dynamic round taken as ``max(1, ceil(now))`` — the same
+        time→round mapping the fault plan uses for crashes.
     """
 
     def __init__(
@@ -224,6 +234,7 @@ class AsyncScheduler:
         duplicate_probability: float = 0.0,
         fault_plan: Optional[FaultPlan] = None,
         observers: Sequence[Observer] = (),
+        topology: Optional[Any] = None,
     ):
         require_process_count(n)
         require(tick_interval > 0, "tick_interval must be positive")
@@ -243,6 +254,20 @@ class AsyncScheduler:
             corruption = view.corruption
             mid_corruptions = dict(view.mid_corruptions)
             gst = view.gst
+        from repro.kernel.topology import CompleteTopology, DynamicTopology
+
+        if fault_plan is not None and fault_plan.churn:
+            topology = DynamicTopology(
+                topology or CompleteTopology(n), fault_plan.churn
+            )
+        elif topology is not None and topology.complete:
+            topology = None
+        if topology is not None:
+            require(
+                topology.n == n,
+                f"topology is sized for n={topology.n}, run has n={n}",
+            )
+        self._topology = topology
         self._duplicate_probability = duplicate_probability
         self.protocol = protocol
         self.n = n
@@ -296,6 +321,12 @@ class AsyncScheduler:
         (:func:`repro.kernel.corruptions.apply_corruption`).
         """
         return apply_corruption(self._bus, plan, self.protocol, states, self.n, time)
+
+    def _broadcast_targets(self, pid: int):
+        """Destinations of ``pid``'s broadcast right now."""
+        if self._topology is None:
+            return range(self.n)
+        return self._topology.receivers(pid, max(1, math.ceil(self.now)))
 
     def _enqueue_message(self, sender: int, dest: int, payload: Any) -> None:
         if self._bus.wants_send:

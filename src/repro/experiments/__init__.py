@@ -43,6 +43,8 @@ from repro.experiments import (
     thm3,
     thm4,
     thm5,
+    unison,
+    unison_churn,
 )
 from repro.experiments.base import Expectations, ExperimentResult, Registry
 
@@ -69,6 +71,8 @@ for _id, _module in [
     ("EXT-RSM", ext_rsm),
     ("EXPLORE", explore_ev),
     ("NET-LIVE", net_live),
+    ("UNISON", unison),
+    ("UNISON-CHURN", unison_churn),
 ]:
     REGISTRY.add(_id, _module.run)
 

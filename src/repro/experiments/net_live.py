@@ -23,6 +23,13 @@ Three scenarios, mirroring the simulated experiments they shadow:
 Everything runs in-process on asyncio; ``run`` shuts down the
 persistent fork pool first because forking a process after this
 process has started event loops (and their helper threads) is unsafe.
+
+The *engine-side* reference of each sync scenario (history digest +
+verdicts) is deterministic, so it is memoized through the run cache
+under the ``NET-LIVE-REF:*`` namespaces: warm invocations skip the
+simulated runs entirely.  The *live* runs always execute — caching
+them would compare the cache with itself and mask live-runtime drift
+(``tests/net/test_conformance_cache.py`` pins both properties).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentReport
 from repro.asyncnet.oracle import WeakDetectorOracle
+from repro.cache import cached_call
 from repro.core.compiler import compile_protocol
 from repro.core.problems import ClockAgreementProblem, RepeatedConsensusProblem
 from repro.core.rounds import RoundAgreementProtocol
@@ -39,6 +47,8 @@ from repro.experiments.base import Expectations, ExperimentResult, shutdown_pool
 from repro.explore.checkers import StreamingCompilerCheck
 from repro.kernel.faults import FaultPlan, WireFaults
 from repro.net.conformance import (
+    SyncReference,
+    compute_sync_reference,
     verify_detector_conformance,
     verify_sync_conformance,
 )
@@ -76,77 +86,128 @@ def _tally(
     return passed, len(row_reports)
 
 
+#: FIG1-live scenario shape (shared by the live runs and the memoized
+#: engine-side reference worker).
+_FIG1_N, _FIG1_F, _FIG1_ROUNDS = 4, 1, 24
+
+#: FIG3-live scenario shape.
+_FIG3_PROPOSALS = (3, 1, 4, 1, 5)
+_FIG3_N, _FIG3_F = 5, 2
+
+
+def _fig1_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        omissions=RandomAdversary(
+            n=_FIG1_N,
+            f=_FIG1_F,
+            mode=FaultMode.GENERAL_OMISSION,
+            rate=0.4,
+            seed=sweep_seed("NET-LIVE", "fig1:adversary", seed),
+        ),
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("NET-LIVE", "fig1:corruption", seed)
+        ),
+        wire=_wire("fig1", seed),
+    )
+
+
+def _fig1_reference(seed: int) -> dict:
+    """Engine-side FIG1 reference (module-level: run-cache memoizable)."""
+    return compute_sync_reference(
+        RoundAgreementProtocol,
+        _FIG1_N,
+        _FIG1_ROUNDS,
+        lambda: _fig1_plan(seed),
+        ClockAgreementProblem(),
+        definition="ftss",
+        stabilization_time=1,
+    ).to_jsonable()
+
+
 def _fig1_live(seeds: Sequence[int], expect: Expectations) -> List:
-    n, f, rounds = 4, 1, 24
     row_reports: List = []
     for seed in seeds:
-        def plan() -> FaultPlan:
-            return FaultPlan(
-                omissions=RandomAdversary(
-                    n=n,
-                    f=f,
-                    mode=FaultMode.GENERAL_OMISSION,
-                    rate=0.4,
-                    seed=sweep_seed("NET-LIVE", "fig1:adversary", seed),
-                ),
-                initial_corruption=RandomCorruption(
-                    seed=sweep_seed("NET-LIVE", "fig1:corruption", seed)
-                ),
-                wire=_wire("fig1", seed),
-            )
-
+        reference = SyncReference.from_jsonable(
+            cached_call("NET-LIVE-REF:fig1", _fig1_reference, seed)
+        )
         reports, _sim, _live = verify_sync_conformance(
             RoundAgreementProtocol,
-            n,
-            rounds,
-            plan,
+            _FIG1_N,
+            _FIG1_ROUNDS,
+            lambda: _fig1_plan(seed),
             ClockAgreementProblem(),
             definition="ftss",
             stabilization_time=1,
             transports=TRANSPORTS,
             deadline=DEADLINE,
+            reference=reference,
         )
         row_reports.extend(reports)
     return row_reports
 
 
+def _fig3_instance() -> FloodMinConsensus:
+    return FloodMinConsensus(f=_FIG3_F, proposals=list(_FIG3_PROPOSALS))
+
+
+def _fig3_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        omissions=RandomAdversary(
+            n=_FIG3_N,
+            f=_FIG3_F,
+            mode=FaultMode.CRASH,
+            rate=0.2,
+            seed=sweep_seed("NET-LIVE", "fig3:adversary", seed),
+        ),
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("NET-LIVE", "fig3:corruption", seed)
+        ),
+        wire=_wire("fig3", seed),
+    )
+
+
+def _fig3_reference(seed: int) -> dict:
+    """Engine-side FIG3 reference (module-level: run-cache memoizable)."""
+    pi = _fig3_instance()
+    props = frozenset(pi.proposal_for(p) for p in range(_FIG3_N))
+    return compute_sync_reference(
+        lambda: compile_protocol(_fig3_instance()),
+        _FIG3_N,
+        8 * pi.final_round,
+        lambda: _fig3_plan(seed),
+        RepeatedConsensusProblem(pi.final_round, valid_proposals=props),
+        definition="ftss",
+        stabilization_time=pi.final_round,
+        checker_factory=lambda: StreamingCompilerCheck(pi.final_round, props),
+    ).to_jsonable()
+
+
 def _fig3_live(seeds: Sequence[int], expect: Expectations) -> List:
-    pi = FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])
-    n = 5
+    pi = _fig3_instance()
     rounds = 8 * pi.final_round
-    props = frozenset(pi.proposal_for(p) for p in range(n))
+    props = frozenset(pi.proposal_for(p) for p in range(_FIG3_N))
     sigma = RepeatedConsensusProblem(pi.final_round, valid_proposals=props)
     row_reports: List = []
     for seed in seeds:
-        def plan() -> FaultPlan:
-            return FaultPlan(
-                omissions=RandomAdversary(
-                    n=n,
-                    f=pi.f,
-                    mode=FaultMode.CRASH,
-                    rate=0.2,
-                    seed=sweep_seed("NET-LIVE", "fig3:adversary", seed),
-                ),
-                initial_corruption=RandomCorruption(
-                    seed=sweep_seed("NET-LIVE", "fig3:corruption", seed)
-                ),
-                wire=_wire("fig3", seed),
-            )
+        reference = SyncReference.from_jsonable(
+            cached_call("NET-LIVE-REF:fig3", _fig3_reference, seed)
+        )
 
         def checker() -> StreamingCompilerCheck:
             return StreamingCompilerCheck(pi.final_round, props)
 
         reports, _sim, _live = verify_sync_conformance(
-            lambda: compile_protocol(FloodMinConsensus(f=2, proposals=[3, 1, 4, 1, 5])),
-            n,
+            lambda: compile_protocol(_fig3_instance()),
+            _FIG3_N,
             rounds,
-            plan,
+            lambda: _fig3_plan(seed),
             sigma,
             definition="ftss",
             stabilization_time=pi.final_round,
             transports=TRANSPORTS,
             checker_factory=checker,
             deadline=DEADLINE,
+            reference=reference,
         )
         row_reports.extend(reports)
     return row_reports

@@ -1,0 +1,119 @@
+"""UNISON-CHURN: unison recovery under join/leave and partition churn.
+
+One churn gauntlet per (family, seed) task: a process leaves and later
+rejoins, then the graph partitions into two blocks, a mid-partition
+systemic corruption scatters the clocks (so the blocks converge to
+*different* values), and the partition heals.  The claim under test is
+the recovery law: once the schedule quiesces — after the heal — the
+min rule re-floods the global minimum and the whole graph re-agrees
+within one diameter.  A second expectation drives the ``unison``
+exploration target (a budgeted slice) and demands zero findings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments.base import Expectations, ExperimentResult, run_sweep
+from repro.experiments.unison import last_disagreement, make_topology
+from repro.kernel.faults import FaultPlan
+from repro.kernel.topology import ChurnEvent, ChurnSchedule
+from repro.protocols.unison import MinUnison
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+from repro.util.rng import sweep_seed
+
+FAMILIES = ("ring", "random")
+N = 8
+
+#: The churn gauntlet (rounds are 1-based): leave/rejoin, then a
+#: two-block partition corrupted mid-split, then heal.
+LEAVE_ROUND = 2
+REJOIN_ROUND = 5
+PARTITION_ROUND = 8
+CORRUPTION_ROUND = 9
+HEAL_ROUND = 11
+
+
+def churn_schedule() -> ChurnSchedule:
+    half = frozenset(range(N // 2))
+    rest = frozenset(range(N // 2, N))
+    return ChurnSchedule(
+        (
+            ChurnEvent(LEAVE_ROUND, "leave", pids=(3,)),
+            ChurnEvent(REJOIN_ROUND, "join", pids=(3,)),
+            ChurnEvent(PARTITION_ROUND, "partition", groups=(half, rest)),
+            ChurnEvent(HEAL_ROUND, "heal"),
+        )
+    )
+
+
+def one_run(family: str, seed: int):
+    topology = make_topology(family, N, seed)
+    deadline = HEAL_ROUND + topology.diameter()
+    plan = FaultPlan(
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("UNISON-CHURN", f"{family}:initial", seed)
+        ),
+        mid_corruptions={
+            CORRUPTION_ROUND: RandomCorruption(
+                seed=sweep_seed("UNISON-CHURN", f"{family}:mid", seed)
+            )
+        },
+        churn=churn_schedule(),
+    )
+    result = run_sync(
+        MinUnison(),
+        n=N,
+        rounds=deadline + 4,
+        fault_plan=plan,
+        topology=topology,
+    )
+    return result, topology, deadline
+
+
+def _measure(task: Tuple[str, int]):
+    family, seed = task
+    result, topology, deadline = one_run(family, seed)
+    return last_disagreement(result.history), deadline, topology.diameter()
+
+
+def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
+    seeds = range(2 if fast else 5)
+    expect = Expectations()
+    report = ExperimentReport(
+        experiment_id="UNISON-CHURN",
+        title="Unison recovery under leave/rejoin + corrupted partition churn",
+        claim="after the last churn event the graph re-agrees within a diameter",
+        headers=["family", "n", "diameter", "seeds", "worst recovery round", "deadline"],
+    )
+    tasks = [(family, seed) for family in FAMILIES for seed in seeds]
+    outcomes = dict(zip(tasks, run_sweep(_measure, tasks, jobs, cache="UNISON-CHURN")))
+    for family in FAMILIES:
+        rows = [outcomes[(family, seed)] for seed in seeds]
+        worst = max(last for last, _deadline, _diam in rows)
+        deadline = max(d for _last, d, _diam in rows)
+        diameters = sorted({diam for _last, _deadline, diam in rows})
+        report.add_row(
+            family, N, "/".join(str(d) for d in diameters), len(rows), worst, deadline
+        )
+        expect.check(
+            all(last <= dl for last, dl, _diam in rows),
+            f"{family}: recovery missed the heal + diameter deadline",
+        )
+        expect.check(
+            all(last >= PARTITION_ROUND for last, _dl, _diam in rows),
+            f"{family}: the corrupted partition never forced a disagreement",
+        )
+    # The exploration target sweeps churn schedules over the same
+    # protocol; a budgeted slice must confirm every plan holds.
+    from repro.explore.engine import explore
+
+    exploration = explore("unison", budget=24, seed=0, jobs=1, mode="enumerate")
+    report.add_row("explore", 6, "3", exploration.examined, 0, "—")
+    expect.check(
+        not exploration.findings and not exploration.mismatches,
+        "explore('unison') surfaced findings on a budgeted slice",
+    )
+    return ExperimentResult(report=report, failures=expect.failures)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.kernel.faults import FaultPlan
+from repro.kernel.topology import ChurnEvent, ChurnSchedule
 from repro.sync.adversary import RoundFaultPlan, ScriptedAdversary
 from repro.sync.corruption import (
     ClockSkewCorruption,
@@ -34,6 +35,7 @@ from repro.util.rng import derive_seed, make_rng
 from repro.util.validation import require, require_positive, require_process_count
 
 __all__ = [
+    "ChurnSpec",
     "ComposedCorruption",
     "OmissionSpec",
     "PlanSpace",
@@ -114,6 +116,47 @@ class OmissionSpec:
 
 
 @dataclass(frozen=True)
+class ChurnSpec:
+    """One churn episode: a process detaches, and optionally rejoins.
+
+    Compiles to ``leave``/``join`` events on the plan's
+    :class:`~repro.kernel.topology.ChurnSchedule`.  Churn is a topology
+    change, not a process failure — the detached process keeps
+    executing (self-delivery only) and never enters the faulty set, so
+    churn specs do not count against the fault budget.
+    """
+
+    pid: int
+    leave_round: int
+    rejoin_round: Optional[int] = None
+
+    def __post_init__(self):
+        require_positive(self.leave_round, "leave_round")
+        if self.rejoin_round is not None:
+            require(
+                self.rejoin_round > self.leave_round,
+                f"rejoin round {self.rejoin_round} must come after "
+                f"leave round {self.leave_round}",
+            )
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "pid": self.pid,
+            "leave_round": self.leave_round,
+            "rejoin_round": self.rejoin_round,
+        }
+
+    @staticmethod
+    def from_jsonable(data: Dict[str, object]) -> "ChurnSpec":
+        rejoin = data.get("rejoin_round")
+        return ChurnSpec(
+            pid=int(data["pid"]),
+            leave_round=int(data["leave_round"]),
+            rejoin_round=None if rejoin is None else int(rejoin),
+        )
+
+
+@dataclass(frozen=True)
 class PlanSpec:
     """One declarative fault scenario, compilable to a kernel plan.
 
@@ -143,6 +186,9 @@ class PlanSpec:
         Mid-run rounds at which random corruption strikes again.
     gst:
         Global stabilization time (asynchronous substrate only).
+    churn:
+        :class:`ChurnSpec` episodes compiled into the plan's churn
+        schedule (topology changes; orthogonal to the fault budget).
     """
 
     n: int
@@ -154,6 +200,7 @@ class PlanSpec:
     random_corruption: bool = False
     corruption_rounds: Tuple[int, ...] = ()
     gst: int = 0
+    churn: Tuple[ChurnSpec, ...] = ()
 
     def __post_init__(self):
         require_process_count(self.n)
@@ -177,6 +224,15 @@ class PlanSpec:
             skewed.add(pid)
         for r in self.corruption_rounds:
             require(1 <= r <= self.rounds, f"corruption round {r} out of range")
+        churned = set()
+        for ch in self.churn:
+            require(0 <= ch.pid < self.n, f"churn pid {ch.pid} out of range")
+            require(ch.pid not in churned, f"pid {ch.pid} churns twice")
+            require(
+                ch.leave_round <= self.rounds,
+                f"churn leave round {ch.leave_round} > rounds {self.rounds}",
+            )
+            churned.add(ch.pid)
 
     # -- derived properties --------------------------------------------------
 
@@ -228,6 +284,16 @@ class PlanSpec:
             return None
         return parts[0] if len(parts) == 1 else ComposedCorruption(parts)
 
+    def _churn_schedule(self) -> Optional[ChurnSchedule]:
+        if not self.churn:
+            return None
+        events: List[ChurnEvent] = []
+        for ch in self.churn:
+            events.append(ChurnEvent(ch.leave_round, "leave", pids=(ch.pid,)))
+            if ch.rejoin_round is not None:
+                events.append(ChurnEvent(ch.rejoin_round, "join", pids=(ch.pid,)))
+        return ChurnSchedule(tuple(events))
+
     def fault_plan(self) -> FaultPlan:
         """Compile the spec into the kernel's unified fault plan."""
         mid = {
@@ -241,12 +307,13 @@ class PlanSpec:
             mid_corruptions=mid,
             gst=float(self.gst),
             f=self.fault_budget or None,
+            churn=self._churn_schedule(),
         )
 
     # -- serialization -------------------------------------------------------
 
     def to_jsonable(self) -> Dict[str, object]:
-        return {
+        data = {
             "n": self.n,
             "rounds": self.rounds,
             "seed": self.seed,
@@ -257,6 +324,11 @@ class PlanSpec:
             "corruption_rounds": list(self.corruption_rounds),
             "gst": self.gst,
         }
+        if self.churn:
+            # Emitted only when present: churn-free artifacts stay
+            # byte-identical to the pre-topology schema.
+            data["churn"] = [ch.to_jsonable() for ch in self.churn]
+        return data
 
     @staticmethod
     def from_jsonable(data: Dict[str, object]) -> "PlanSpec":
@@ -276,6 +348,9 @@ class PlanSpec:
             random_corruption=bool(data.get("random_corruption", False)),
             corruption_rounds=tuple(int(r) for r in data.get("corruption_rounds", ())),
             gst=int(data.get("gst", 0)),
+            churn=tuple(
+                ChurnSpec.from_jsonable(ch) for ch in data.get("churn", ())
+            ),
         )
 
     def sort_key(self) -> tuple:
@@ -295,6 +370,12 @@ class PlanSpec:
             self.random_corruption,
             self.corruption_rounds,
             self.gst,
+            tuple(
+                sorted(
+                    (ch.pid, ch.leave_round, ch.rejoin_round or 0)
+                    for ch in self.churn
+                )
+            ),
         )
 
 
@@ -319,6 +400,12 @@ def _relabel(spec: PlanSpec, perm: Tuple[int, ...]) -> PlanSpec:
             )
         ),
         clock_skews=tuple(sorted((perm[pid], c) for pid, c in spec.clock_skews)),
+        churn=tuple(
+            sorted(
+                (replace(ch, pid=perm[ch.pid]) for ch in spec.churn),
+                key=lambda c: c.pid,
+            )
+        ),
     )
 
 
@@ -342,6 +429,7 @@ def canonical_key(spec: PlanSpec, symmetric: bool = True) -> tuple:
         | {o.pid for o in spec.omissions}
         | {t for o in spec.omissions if o.targets for t in o.targets}
         | {pid for pid, _ in spec.clock_skews}
+        | {ch.pid for ch in spec.churn}
     )
     if not touched:
         return spec.sort_key()
@@ -397,6 +485,8 @@ class PlanSpace:
     corruption_round_choices: Tuple[Tuple[int, ...], ...] = ((),)
     gst_choices: Tuple[int, ...] = (0,)
     seeds: Tuple[int, ...] = (0,)
+    churn_windows: Tuple[Tuple[int, Optional[int]], ...] = ()
+    max_churn: int = 0
 
     def __post_init__(self):
         require_process_count(self.n)
@@ -441,6 +531,16 @@ class PlanSpace:
                 for values in itertools.product(self.skew_values, repeat=k):
                     yield tuple(zip(pids, values))
 
+    def _churn_assignments(self) -> Iterator[Tuple[ChurnSpec, ...]]:
+        yield ()
+        for k in range(1, self.max_churn + 1):
+            for pids in itertools.combinations(range(self.n), k):
+                for windows in itertools.product(self.churn_windows, repeat=k):
+                    yield tuple(
+                        ChurnSpec(pid=pid, leave_round=leave, rejoin_round=rejoin)
+                        for pid, (leave, rejoin) in zip(pids, windows)
+                    )
+
     def enumerate_plans(self) -> Iterator[PlanSpec]:
         """Every spec in the space, in a fixed deterministic order."""
         for crashes in self._crash_assignments():
@@ -448,21 +548,23 @@ class PlanSpace:
                 if len({p for p, _ in crashes} | {o.pid for o in omissions}) >= self.n:
                     continue  # would leave no correct process
                 for skews in self._skew_assignments():
-                    for corrupt in self.corruption_choices:
-                        for mid in self.corruption_round_choices:
-                            for gst in self.gst_choices:
-                                for seed in self.seeds:
-                                    yield PlanSpec(
-                                        n=self.n,
-                                        rounds=self.rounds,
-                                        seed=seed,
-                                        crashes=crashes,
-                                        omissions=omissions,
-                                        clock_skews=skews,
-                                        random_corruption=corrupt,
-                                        corruption_rounds=mid,
-                                        gst=gst,
-                                    )
+                    for churn in self._churn_assignments():
+                        for corrupt in self.corruption_choices:
+                            for mid in self.corruption_round_choices:
+                                for gst in self.gst_choices:
+                                    for seed in self.seeds:
+                                        yield PlanSpec(
+                                            n=self.n,
+                                            rounds=self.rounds,
+                                            seed=seed,
+                                            crashes=crashes,
+                                            omissions=omissions,
+                                            clock_skews=skews,
+                                            random_corruption=corrupt,
+                                            corruption_rounds=mid,
+                                            gst=gst,
+                                            churn=churn,
+                                        )
 
     # -- seeded random walk --------------------------------------------------
 
@@ -509,6 +611,20 @@ class PlanSpace:
                 skews = tuple(
                     sorted((pid, rng.choice(self.skew_values)) for pid in chosen)
                 )
+            churn: Tuple[ChurnSpec, ...] = ()
+            if self.max_churn and self.churn_windows:
+                chosen = rng.sample(pids, rng.randint(0, self.max_churn))
+                churn = tuple(
+                    sorted(
+                        (
+                            ChurnSpec(pid=pid, leave_round=leave, rejoin_round=rejoin)
+                            for pid, (leave, rejoin) in (
+                                (p, rng.choice(self.churn_windows)) for p in chosen
+                            )
+                        ),
+                        key=lambda c: c.pid,
+                    )
+                )
             yield PlanSpec(
                 n=self.n,
                 rounds=self.rounds,
@@ -519,4 +635,5 @@ class PlanSpace:
                 random_corruption=rng.choice(self.corruption_choices),
                 corruption_rounds=rng.choice(self.corruption_round_choices),
                 gst=rng.choice(self.gst_choices),
+                churn=churn,
             )

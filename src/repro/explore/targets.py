@@ -14,10 +14,12 @@ A target bundles everything the engine needs to judge one fault plan:
 Both paths derive every random stream from the spec's seed, so a spec
 fully determines its run and artifacts replay byte-identically.
 
-Five targets ship: ``fig1``/``fig3``/``fig4`` (Theorems 3-5 — every
-plan must hold; a confirmed violation is a reproduction bug) and
+Six targets ship: ``fig1``/``fig3``/``fig4`` (Theorems 3-5 — every
+plan must hold; a confirmed violation is a reproduction bug),
 ``thm1``/``thm2`` (Theorems 1-2 — the engine must *find* violations
-and shrink them to the paper's minimal adversary shapes).
+and shrink them to the paper's minimal adversary shapes), and
+``unison`` (the topology layer's min-rule unison on a churning ring —
+every churn schedule must re-stabilize within a diameter).
 """
 
 from __future__ import annotations
@@ -54,6 +56,7 @@ from repro.workloads.spaces import (
     FIG4_SPACE,
     THM1_SPACE,
     THM2_SPACE,
+    UNISON_SPACE,
 )
 
 __all__ = ["ExplorationTarget", "TARGETS", "get_target"]
@@ -258,6 +261,74 @@ def _fig4_confirm(spec: PlanSpec) -> SpecVerdict:
 
 
 # ---------------------------------------------------------------------------
+# unison — min-rule unison on a churning ring re-stabilizes (topology layer)
+# ---------------------------------------------------------------------------
+
+
+def _unison_confirm(spec: PlanSpec) -> SpecVerdict:
+    """Unison re-agreement after quiescence, on the recorded history.
+
+    The obligation: let *quiet* be the last churn or mid-run corruption
+    round; the processes still attached must agree (and tick +1) from
+    round ``quiet + diameter + 1`` to the horizon.  A process whose
+    churn window never rejoins free-runs detached and is exempt.
+    """
+    # Imported lazily: only this target pulls in the topology layer.
+    from repro.kernel.topology import RingTopology
+    from repro.protocols.unison import MinUnison
+
+    topology = RingTopology(spec.n)
+    result = run_sync(
+        MinUnison(),
+        n=spec.n,
+        rounds=spec.rounds,
+        fault_plan=spec.fault_plan(),
+        topology=topology,
+    )
+    quiet = max(spec.corruption_rounds, default=0)
+    for ch in spec.churn:
+        quiet = max(quiet, ch.leave_round, ch.rejoin_round or 0)
+    deadline = quiet + topology.diameter()
+    exempt = {ch.pid for ch in spec.churn if ch.rejoin_round is None}
+    violations: list = []
+    previous: Optional[Dict[int, int]] = None
+    for round_no in range(deadline + 1, spec.rounds + 1):
+        clocks = {
+            pid: clock
+            for pid, clock in result.history.clocks(round_no).items()
+            if pid not in exempt and clock is not None
+        }
+        if len(set(clocks.values())) > 1:
+            violations.append(
+                f"[round {round_no}] agreement: attached clocks differ "
+                f"{deadline - quiet} rounds after quiescence: "
+                f"{dict(sorted(clocks.items()))}"
+            )
+        if previous is not None:
+            for pid in sorted(clocks):
+                if pid in previous and clocks[pid] != previous[pid] + 1:
+                    violations.append(
+                        f"[round {round_no}] rate: process {pid} went "
+                        f"{previous[pid]} -> {clocks[pid]}"
+                    )
+        previous = clocks
+    return SpecVerdict(
+        checker=f"confirm-unison-ring@diameter={topology.diameter()}",
+        holds=not violations,
+        violations=_cap(violations),
+        details=(("quiet_round", quiet), ("deadline", deadline)),
+    )
+
+
+#: Unison's obligation starts at a spec-dependent round (the churn
+#: schedule's quiescence point), which the generic streaming clock
+#: checkers cannot express.  The runs are n=6 and 16 rounds, so the
+#: definition-grade path doubles as the fast path (same documented
+#: exception as thm2).
+_unison_streaming = _unison_confirm
+
+
+# ---------------------------------------------------------------------------
 # thm1 — the tentative definition is refutable (Theorem 1)
 # ---------------------------------------------------------------------------
 
@@ -362,6 +433,15 @@ TARGETS: Dict[str, ExplorationTarget] = {
         default_space=FIG4_SPACE,
         streaming=_fig4_streaming,
         confirm=_fig4_confirm,
+    ),
+    "unison": ExplorationTarget(
+        name="unison",
+        title="min-rule unison on a churning ring re-agrees within a diameter",
+        expect_violation=False,
+        symmetric=False,  # ring adjacency is pid-dependent
+        default_space=UNISON_SPACE,
+        streaming=_unison_streaming,
+        confirm=_unison_confirm,
     ),
     "thm1": ExplorationTarget(
         name="thm1",

@@ -123,10 +123,17 @@ class ProcessRoundRecord:
 
 @dataclass(frozen=True)
 class RoundHistory:
-    """The vector of per-process records for one actual round."""
+    """The vector of per-process records for one actual round.
+
+    ``edges`` is the round's effective communication topology —
+    ``edges[p]`` lists p's broadcast receivers (ascending, self
+    included) — and stays ``None`` on the default complete graph, so
+    complete-graph histories compare equal with pre-topology ones.
+    """
 
     round_no: int
     records: Tuple[ProcessRoundRecord, ...]
+    edges: Optional[Tuple[Tuple[ProcessId, ...], ...]] = None
 
     def __post_init__(self) -> None:
         require_positive(self.round_no, "round_no")

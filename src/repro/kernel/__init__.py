@@ -18,7 +18,12 @@ and recording what happened.  This package extracts that common layer:
   and :class:`~repro.asyncnet.scheduler.AsyncTrace`) from the event
   stream;
 - :mod:`repro.kernel.snapshot` — the state-snapshot helper both
-  engines use instead of blanket ``copy.deepcopy``.
+  engines use instead of blanket ``copy.deepcopy``;
+- :mod:`repro.kernel.topology` — the pluggable communication topology
+  (complete / ring / tree / random / explicit, plus
+  :class:`~repro.kernel.topology.DynamicTopology` driven by churn
+  events in the :class:`FaultPlan`) that defines what "broadcast"
+  means in every substrate.
 """
 
 from repro.kernel.events import (
@@ -44,24 +49,46 @@ from repro.kernel.snapshot import (
     snapshot_state,
     snapshot_states,
 )
+from repro.kernel.topology import (
+    ChurnEvent,
+    ChurnSchedule,
+    CompleteTopology,
+    DynamicTopology,
+    ExplicitTopology,
+    RandomTopology,
+    RingTopology,
+    Topology,
+    TreeTopology,
+    round_edges,
+)
 
 __all__ = [
     "AsyncFaultView",
     "AsyncMessage",
     "AsyncTraceRecorder",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "CompleteTopology",
     "ComposedAdversary",
     "CrashScheduleAdversary",
+    "DynamicTopology",
     "EventBus",
+    "ExplicitTopology",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "FrozenDict",
     "HistoryRecorder",
     "Observer",
+    "RandomTopology",
+    "RingTopology",
     "SyncFaultView",
+    "Topology",
+    "TreeTopology",
     "copy_payload",
     "freeze",
     "imm",
+    "round_edges",
     "snapshot_state",
     "snapshot_states",
 ]

@@ -17,6 +17,9 @@ synchronous substrate and the virtual time in the asynchronous one):
 ================== ======================================================
 ``on_run_start``    system size, protocol, first round
 ``on_round_start``  (sync) round number + state snapshots at round start
+``on_topology``     (sync) the round's effective edge sets, when the run
+                    uses a non-complete or dynamic topology (never fired
+                    on the default complete graph)
 ``on_send``         one message actually placed on the network
 ``on_deliver``      one message actually delivered
 ``on_fault``        one :class:`FaultEvent` (crash, omission, forgery,
@@ -115,6 +118,12 @@ class Observer:
     ) -> None:
         pass
 
+    def on_topology(
+        self, round_no: int, edges: Sequence[Sequence[ProcessId]]
+    ) -> None:
+        """``edges[p]`` = p's broadcast receivers this round (self included)."""
+        pass
+
     def on_send(self, message: Any, time: float) -> None:
         pass
 
@@ -150,6 +159,7 @@ class Observer:
 #: hot path; run start/end fire once and are always dispatched).
 _FLAGGED_HOOKS = (
     "round_start",
+    "topology",
     "send",
     "deliver",
     "fault",
@@ -207,6 +217,10 @@ class EventBus(Observer):
     def on_round_start(self, round_no, snapshots):
         for observer in self._observers:
             observer.on_round_start(round_no, snapshots)
+
+    def on_topology(self, round_no, edges):
+        for observer in self._observers:
+            observer.on_topology(round_no, edges)
 
     def on_send(self, message, time):
         for observer in self._observers:

@@ -35,9 +35,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional, Sequence
 
 from repro.sync.adversary import Adversary, RoundFaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.kernel.topology import ChurnSchedule
 from repro.sync.corruption import CorruptionPlan
 from repro.util.validation import require
 
@@ -190,6 +193,14 @@ class FaultPlan:
         duplication, realized only by the live network runtime (the
         simulators model asynchrony through their own knobs and ignore
         this field).
+    churn:
+        Optional :class:`~repro.kernel.topology.ChurnSchedule` of
+        join/leave/partition/heal events.  Engines read it directly
+        (not via the views) and wrap the run's topology in a
+        :class:`~repro.kernel.topology.DynamicTopology`.  Churn is a
+        *topology* change, not a process failure: detached processes
+        keep executing and never enter the faulty set, so the churn
+        schedule does not count against the budget ``f``.
     """
 
     crashes: Mapping[ProcessId, float] = field(default_factory=dict)
@@ -199,6 +210,7 @@ class FaultPlan:
     gst: float = 0.0
     f: Optional[int] = None
     wire: Optional[WireFaults] = None
+    churn: Optional["ChurnSchedule"] = None
 
     @property
     def crash_set(self) -> FrozenSet[ProcessId]:

@@ -46,6 +46,7 @@ class HistoryRecorder(Observer):
         self._omitted_sends: Dict[ProcessId, frozenset] = {}
         self._omitted_receives: Dict[ProcessId, frozenset] = {}
         self._forged_sends: Dict[ProcessId, frozenset] = {}
+        self._edges: Optional[tuple] = None
 
     def on_run_start(self, n, protocol, first_round=1):
         self._n = n
@@ -59,6 +60,10 @@ class HistoryRecorder(Observer):
         self._omitted_sends = {}
         self._omitted_receives = {}
         self._forged_sends = {}
+        self._edges = None
+
+    def on_topology(self, round_no, edges):
+        self._edges = tuple(tuple(receivers) for receivers in edges)
 
     def on_send(self, message, time):
         self._sent.setdefault(message.sender, []).append(message)
@@ -124,7 +129,9 @@ class HistoryRecorder(Observer):
             )
         self._crashed |= self._crashing
         self._round_no = None
-        return RoundHistory(round_no=round_no, records=tuple(records))
+        return RoundHistory(
+            round_no=round_no, records=tuple(records), edges=self._edges
+        )
 
     def history(self) -> ExecutionHistory:
         """The reconstructed execution history (≥ 1 round required)."""

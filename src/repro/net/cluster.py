@@ -50,6 +50,12 @@ from repro.kernel.events import EventBus, FaultEvent, FaultKind, Observer
 from repro.kernel.faults import FaultPlan
 from repro.kernel.recorders import AsyncTraceRecorder, HistoryRecorder
 from repro.kernel.snapshot import snapshot_states
+from repro.kernel.topology import (
+    CompleteTopology,
+    DynamicTopology,
+    Topology,
+    round_edges,
+)
 from repro.net.host import DetectorHost, LiveClock, ProcessHost
 from repro.net.interposer import WireInterposer
 from repro.net.transport import Transport, make_transport
@@ -128,6 +134,7 @@ async def live_run_sync(
     observers: Sequence[Observer] = (),
     record_history: bool = True,
     deadline: Optional[float] = None,
+    topology: Optional[Topology] = None,
 ) -> LiveRunResult:
     """Async entry point; see :func:`run_live_sync` for the parameters."""
     require_process_count(n)
@@ -147,6 +154,7 @@ async def live_run_sync(
             first_round,
             observers,
             record_history,
+            topology,
         ),
         deadline,
         f"live {transport} run of {getattr(protocol, 'name', protocol)}",
@@ -166,6 +174,7 @@ async def _live_sync_body(
     first_round,
     observers,
     record_history,
+    topology=None,
 ) -> LiveRunResult:
     if fault_plan is not None:
         view = fault_plan.to_sync()
@@ -175,6 +184,19 @@ async def _live_sync_body(
         wire = fault_plan.wire
     else:
         adversary, corruption, mid_run, wire = None, None, {}, None
+
+    # Same normalization as the engine: churn wraps the base graph; a
+    # plain complete graph is erased (histories stay pre-topology).
+    if fault_plan is not None and fault_plan.churn:
+        topology = DynamicTopology(
+            topology or CompleteTopology(n), fault_plan.churn
+        )
+    elif topology is not None and topology.complete:
+        topology = None
+    if topology is not None:
+        require(
+            topology.n == n, f"topology is sized for n={topology.n}, run has n={n}"
+        )
 
     recorder = HistoryRecorder() if record_history else None
     bus = EventBus(((recorder, *observers) if recorder else tuple(observers)))
@@ -200,11 +222,14 @@ async def _live_sync_body(
     await fabric.start()
     interposer = WireInterposer(n, bus, adversary=adversary, wire=wire)
     hosts = [
-        ProcessHost(pid, protocol, n, fabric.endpoint(pid), interposer)
+        ProcessHost(
+            pid, protocol, n, fabric.endpoint(pid), interposer, topology=topology
+        )
         for pid in range(n)
     ]
 
     wants_round_start = bus.wants_round_start
+    wants_topology = bus.wants_topology
     wants_deliver = bus.wants_deliver
     wants_state_commit = bus.wants_state_commit
     wants_round_end = bus.wants_round_end
@@ -222,6 +247,8 @@ async def _live_sync_body(
             interposer.begin_round(round_no)
             if wants_round_start:
                 bus.on_round_start(round_no, snapshot_states(states))
+            if topology is not None and wants_topology:
+                bus.on_topology(round_no, round_edges(topology, round_no))
 
             for pid in sorted(interposer.alive):
                 hosts[pid].send_phase(round_no, states[pid])
@@ -307,6 +334,7 @@ def run_live_sync(
     observers: Sequence[Observer] = (),
     record_history: bool = True,
     deadline: Optional[float] = None,
+    topology: Optional[Topology] = None,
 ) -> LiveRunResult:
     """Run a synchronous protocol on a live transport (blocking wrapper).
 
@@ -322,6 +350,12 @@ def run_live_sync(
     deadline:
         Wall-clock watchdog for the whole run; on expiry the cluster is
         shut down and :class:`LiveDeadlineExceeded` raised.
+    topology:
+        Communication :class:`~repro.kernel.topology.Topology`; each
+        host's send phase fans out along its current out-edges only.
+        Defaults to the complete graph (normalized away, exactly as in
+        the engine); a churn schedule on the fault plan wraps it in a
+        ``DynamicTopology``.
 
     Faults come exclusively as a unified
     :class:`~repro.kernel.faults.FaultPlan` (there is no legacy
@@ -344,6 +378,7 @@ def run_live_sync(
             observers=observers,
             record_history=record_history,
             deadline=deadline,
+            topology=topology,
         )
     )
 
@@ -366,6 +401,7 @@ async def live_run_detector(
     seed: int = 0,
     observers: Sequence[Observer] = (),
     deadline: Optional[float] = None,
+    topology: Optional[Topology] = None,
 ):
     """Async entry point; see :func:`run_detector_live`."""
     require_process_count(n)
@@ -383,6 +419,7 @@ async def live_run_detector(
             time_scale,
             seed,
             observers,
+            topology,
         ),
         deadline,
         f"live {transport} detector run of {getattr(protocol, 'name', protocol)}",
@@ -401,6 +438,7 @@ async def _live_detector_body(
     time_scale,
     seed,
     observers,
+    topology=None,
 ):
     if fault_plan is not None:
         view = fault_plan.to_async()
@@ -410,6 +448,17 @@ async def _live_detector_body(
         wire = fault_plan.wire
     else:
         crash_times, corruption, mid_corruptions, wire = {}, None, {}, None
+
+    if fault_plan is not None and fault_plan.churn:
+        topology = DynamicTopology(
+            topology or CompleteTopology(n), fault_plan.churn
+        )
+    elif topology is not None and topology.complete:
+        topology = None
+    if topology is not None:
+        require(
+            topology.n == n, f"topology is sized for n={topology.n}, run has n={n}"
+        )
 
     recorder = AsyncTraceRecorder()
     bus = EventBus((recorder, *observers))
@@ -438,6 +487,7 @@ async def _live_detector_body(
             make_rng(seed, f"live-host:{pid}"),
             tick_interval=tick_interval,
             oracle=oracle,
+            topology=topology,
         )
         for pid in range(n)
     ]
@@ -520,6 +570,7 @@ def run_detector_live(
     seed: int = 0,
     observers: Sequence[Observer] = (),
     deadline: Optional[float] = None,
+    topology: Optional[Topology] = None,
 ):
     """Run an asynchronous protocol live; returns its ``AsyncTrace``.
 
@@ -550,5 +601,6 @@ def run_detector_live(
             seed=seed,
             observers=observers,
             deadline=deadline,
+            topology=topology,
         )
     )

@@ -39,18 +39,24 @@ against a live event stream.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.solvability import DefinitionVerdict, check_definition
-from repro.histories.history import ExecutionHistory
+from repro.histories.history import ExecutionHistory, Message
 from repro.net.cluster import run_detector_live, run_live_sync
 from repro.sync.engine import run_sync
 
 __all__ = [
     "DetectorConformance",
     "SyncConformance",
+    "SyncReference",
+    "compute_sync_reference",
     "histories_equal",
+    "history_digest",
     "verify_detector_conformance",
     "verify_sync_conformance",
 ]
@@ -71,6 +77,61 @@ def histories_equal(
     if left is None or right is None:
         return left is right
     return tuple(left) == tuple(right)
+
+
+def _plain(obj: Any) -> Any:
+    """Convert history content to plain JSON-able structures, stably."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, Message):
+        return ["msg", obj.sender, obj.receiver, obj.sent_round, _plain(obj.payload)]
+    if isinstance(obj, Mapping):
+        return {
+            str(k): _plain(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (frozenset, set)):
+        return sorted((_plain(x) for x in obj), key=repr)
+    if isinstance(obj, (list, tuple)):
+        return [_plain(x) for x in obj]
+    raise TypeError(f"no canonical form for {type(obj)!r}")
+
+
+def history_digest(history: Optional[ExecutionHistory]) -> Optional[str]:
+    """Canonical content digest of a history (None-safe).
+
+    Two histories are value-equal iff their digests match: the digest
+    covers every record field plus the per-round edge sets, so it is a
+    faithful proxy for :func:`histories_equal` that survives caching
+    (a 64-char hex string instead of an object graph).
+    """
+    if history is None:
+        return None
+    rounds = []
+    for rh in history:
+        rounds.append(
+            {
+                "round_no": rh.round_no,
+                "edges": _plain(rh.edges),
+                "records": [
+                    {
+                        "pid": rec.pid,
+                        "state_before": _plain(rec.state_before),
+                        "clock_before": rec.clock_before,
+                        "sent": _plain(rec.sent),
+                        "delivered": _plain(rec.delivered),
+                        "crashed": rec.crashed,
+                        "omitted_sends": _plain(rec.omitted_sends),
+                        "omitted_receives": _plain(rec.omitted_receives),
+                        "forged_sends": _plain(rec.forged_sends),
+                    }
+                    for rec in rh.records
+                ],
+            }
+        )
+    blob = json.dumps(rounds, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -116,6 +177,91 @@ class SyncConformance:
         return out
 
 
+@dataclass(frozen=True)
+class SyncReference:
+    """The engine-side half of a sync conformance check, cache-portable.
+
+    Everything :func:`verify_sync_conformance` compares a live run
+    against, reduced to plain values: the reference history's content
+    digest, the definition verdict, and (when a streaming checker rode
+    along) the checker's ``holds``.  Because the reference is pure data
+    it can be memoized by the run cache — but *only* the simulated
+    side: live runs must always execute for the parity check to mean
+    anything (a cached live verdict would mask live-runtime drift).
+    """
+
+    definition: str
+    history_digest: Optional[str]
+    verdict_holds: bool
+    verdict_violations: Tuple[str, ...] = ()
+    checker_holds: Optional[bool] = None
+
+    @property
+    def holds(self) -> bool:  # lets the reference stand in for a checker
+        return bool(self.checker_holds)
+
+    @property
+    def violations(self) -> Tuple[str, ...]:  # stand in for a DefinitionVerdict
+        return self.verdict_violations
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "definition": self.definition,
+            "history_digest": self.history_digest,
+            "verdict_holds": self.verdict_holds,
+            "verdict_violations": list(self.verdict_violations),
+            "checker_holds": self.checker_holds,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "SyncReference":
+        return cls(
+            definition=str(data["definition"]),
+            history_digest=data.get("history_digest"),
+            verdict_holds=bool(data["verdict_holds"]),
+            verdict_violations=tuple(data.get("verdict_violations", ())),
+            checker_holds=data.get("checker_holds"),
+        )
+
+
+class _ReferenceVerdict:
+    """A :class:`DefinitionVerdict`-shaped view of a cached reference."""
+
+    def __init__(self, reference: SyncReference):
+        self.definition = reference.definition
+        self.holds = reference.verdict_holds
+        self.violations = reference.verdict_violations
+
+
+def compute_sync_reference(
+    protocol_factory: Callable[[], Any],
+    n: int,
+    rounds: int,
+    plan_factory: PlanFactory,
+    problem: Any,
+    definition: str = "ftss",
+    stabilization_time: int = 0,
+    checker_factory: Optional[Callable[[], Any]] = None,
+) -> SyncReference:
+    """Run the simulated side once and distill it into a reference."""
+    checker = checker_factory() if checker_factory else None
+    sim = run_sync(
+        protocol_factory(),
+        n=n,
+        rounds=rounds,
+        fault_plan=plan_factory(),
+        observers=(checker,) if checker else (),
+    )
+    verdict = check_definition(definition, sim.history, problem, stabilization_time)
+    return SyncReference(
+        definition=definition,
+        history_digest=history_digest(sim.history),
+        verdict_holds=verdict.holds,
+        verdict_violations=tuple(verdict.violations),
+        checker_holds=checker.verdict().holds if checker else None,
+    )
+
+
 def verify_sync_conformance(
     protocol_factory: Callable[[], Any],
     n: int,
@@ -127,6 +273,7 @@ def verify_sync_conformance(
     transports: Sequence[str] = ("inproc", "tcp"),
     checker_factory: Optional[Callable[[], Any]] = None,
     deadline: Optional[float] = None,
+    reference: Optional[SyncReference] = None,
 ) -> Tuple[List[SyncConformance], Any, List[Any]]:
     """Run one scenario simulated and live; report parity per transport.
 
@@ -135,19 +282,33 @@ def verify_sync_conformance(
     ``checker_factory`` builds a fresh streaming checker (an observer
     with a ``verdict()`` method) per run; one instance watches the
     simulation and one each live run, and their verdicts must agree.
+
+    When ``reference`` is given (a memoized
+    :func:`compute_sync_reference` result) the simulated side is not
+    re-run: live histories are compared against the reference digest
+    and live verdicts against the reference verdict, and the returned
+    ``sim_result`` is ``None``.  The live runs themselves always
+    execute — only the deterministic engine side is cacheable.
     """
-    sim_checker = checker_factory() if checker_factory else None
-    sim = run_sync(
-        protocol_factory(),
-        n=n,
-        rounds=rounds,
-        fault_plan=plan_factory(),
-        observers=(sim_checker,) if sim_checker else (),
-    )
-    sim_verdict = check_definition(
-        definition, sim.history, problem, stabilization_time
-    )
-    sim_spec = sim_checker.verdict() if sim_checker else None
+    if reference is not None:
+        sim = None
+        sim_digest = reference.history_digest
+        sim_verdict: Any = _ReferenceVerdict(reference)
+        sim_spec: Any = reference if reference.checker_holds is not None else None
+    else:
+        sim_checker = checker_factory() if checker_factory else None
+        sim = run_sync(
+            protocol_factory(),
+            n=n,
+            rounds=rounds,
+            fault_plan=plan_factory(),
+            observers=(sim_checker,) if sim_checker else (),
+        )
+        sim_digest = None
+        sim_verdict = check_definition(
+            definition, sim.history, problem, stabilization_time
+        )
+        sim_spec = sim_checker.verdict() if sim_checker else None
 
     reports: List[SyncConformance] = []
     live_results: List[Any] = []
@@ -163,10 +324,14 @@ def verify_sync_conformance(
             deadline=deadline,
         )
         live_results.append(live)
+        if sim is not None:
+            history_equal = histories_equal(sim.history, live.history)
+        else:
+            history_equal = history_digest(live.history) == sim_digest
         reports.append(
             SyncConformance(
                 transport=transport,
-                history_equal=histories_equal(sim.history, live.history),
+                history_equal=history_equal,
                 sim_verdict=sim_verdict,
                 live_verdict=check_definition(
                     definition, live.history, problem, stabilization_time

@@ -33,6 +33,7 @@ through the tagged-JSON codec by the transport.
 from __future__ import annotations
 
 import asyncio
+import math
 import time as _time
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -89,27 +90,34 @@ class ProcessHost:
         n: int,
         endpoint: Endpoint,
         interposer: WireInterposer,
+        topology: Any = None,
     ):
         self.pid = pid
         self.protocol = protocol
         self.n = n
         self.endpoint = endpoint
         self.interposer = interposer
+        self.topology = topology
 
     def send_phase(self, round_no: int, state: Dict[str, Any]) -> None:
         """Broadcast this round's payload, copy-by-copy, via the wire.
 
         Mirrors the engine's send phase: one ``protocol.send`` call, a
         ``None`` payload means silence, and the copy to each receiver
-        (self included) runs the interposer's send-side gauntlet before
-        it is posted.  Copies the interposer drops never touch the
-        transport.
+        (the current out-edges; everyone, self included, on the default
+        complete topology) runs the interposer's send-side gauntlet
+        before it is posted.  Copies the interposer drops never touch
+        the transport.
         """
         payload = self.protocol.send(self.pid, state)
         if payload is None:
             return
         payload = copy_payload(payload)
-        for dst in range(self.n):
+        if self.topology is None:
+            receivers = range(self.n)
+        else:
+            receivers = self.topology.receivers(self.pid, round_no)
+        for dst in receivers:
             for final_dst, body, delay in self.interposer.route(
                 self.pid, dst, round_no, payload
             ):
@@ -165,7 +173,7 @@ class NetContext:
         self._host.send(dest, payload)
 
     def broadcast(self, payload: Any) -> None:
-        for dest in range(self.n):
+        for dest in self._host.broadcast_targets():
             self.send(dest, payload)
 
     def weak_suspects(self) -> FrozenSet[int]:
@@ -200,6 +208,7 @@ class DetectorHost:
         tick_interval: float = 1.0,
         oracle: Any = None,
         on_commit: Optional[Callable[[ProcessId], None]] = None,
+        topology: Any = None,
     ):
         self.pid = pid
         self.protocol = protocol
@@ -210,6 +219,7 @@ class DetectorHost:
         self.bus = bus
         self.states = states
         self.oracle = oracle
+        self.topology = topology
         self._tick_interval = tick_interval
         self._speed = rng.uniform(0.5, 1.5)
         self._rng = rng
@@ -219,6 +229,12 @@ class DetectorHost:
     @property
     def crashed(self) -> bool:
         return self.pid in self.interposer.crashed
+
+    def broadcast_targets(self):
+        """Current out-edges (dynamic round = ``max(1, ceil(now))``)."""
+        if self.topology is None:
+            return range(self.n)
+        return self.topology.receivers(self.pid, max(1, math.ceil(self.clock.now())))
 
     def send(self, dest: int, payload: Any) -> None:
         """Protocol-initiated send: narrate, filter, post."""

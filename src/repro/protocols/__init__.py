@@ -20,6 +20,11 @@ Inventory:
   reliable broadcast, ``f + 1`` rounds.
 - :mod:`~repro.protocols.repeated` — helpers for the repeated problem
   Σ⁺ (extracting per-iteration decisions from compiled runs).
+- :mod:`~repro.protocols.unison` — the unison family for arbitrary
+  communication graphs (:class:`~repro.protocols.unison.MinUnison`,
+  :class:`~repro.protocols.unison.BoundedUnison`); not compiler inputs
+  but the self-stabilization benchmark the topology layer unlocks
+  (see ``docs/topology.md``).
 """
 
 from repro.protocols.broadcast import BroadcastProblem, FloodBroadcast
@@ -28,14 +33,17 @@ from repro.protocols.floodmin import FloodMinConsensus
 from repro.protocols.interactive import InteractiveConsistency, VectorConsensusProblem
 from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.protocols.repeated import IterationDecision, iteration_decisions
+from repro.protocols.unison import BoundedUnison, MinUnison
 
 __all__ = [
+    "BoundedUnison",
     "BroadcastProblem",
     "EarlyDecidingFloodMin",
     "FloodBroadcast",
     "FloodMinConsensus",
     "InteractiveConsistency",
     "IterationDecision",
+    "MinUnison",
     "PhaseQueenConsensus",
     "VectorConsensusProblem",
     "iteration_decisions",

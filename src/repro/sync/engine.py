@@ -60,6 +60,12 @@ from repro.kernel.recorders import HistoryRecorder
 if TYPE_CHECKING:  # runtime import would close the kernel↔sync cycle
     from repro.kernel.faults import FaultPlan
 from repro.kernel.snapshot import copy_payload, snapshot_states
+from repro.kernel.topology import (
+    CompleteTopology,
+    DynamicTopology,
+    Topology,
+    round_edges,
+)
 from repro.sync.adversary import Adversary, NullAdversary, RoundFaultPlan
 from repro.sync.corruption import CorruptionPlan
 from repro.sync.delays import DelayModel, NoDelay
@@ -125,6 +131,7 @@ def run_sync(
     fault_plan: "Optional[FaultPlan]" = None,
     observers: Sequence[Observer] = (),
     record_history: bool = True,
+    topology: Optional[Topology] = None,
 ) -> SyncRunResult:
     """Execute ``protocol`` on ``n`` processes for up to ``rounds`` rounds.
 
@@ -172,6 +179,16 @@ def run_sync(
         rounds and callers analyze it through streaming observers.  The
         faulty set is then the engine's own per-round deviator
         accumulation (identical to ``history.faulty()``).
+    topology:
+        Communication :class:`~repro.kernel.topology.Topology` — a
+        broadcast reaches exactly the sender's current out-edges
+        (always including the sender itself).  Defaults to the
+        complete graph, which the engine normalizes away entirely:
+        complete-graph runs follow the exact pre-topology code paths,
+        record ``edges=None`` in histories, and never fire
+        ``on_topology``.  When the fault plan carries a churn schedule
+        the topology is wrapped in a
+        :class:`~repro.kernel.topology.DynamicTopology`.
 
     Returns
     -------
@@ -196,6 +213,17 @@ def run_sync(
     mid_run = dict(mid_run_corruptions or {})
     in_flight: Dict[int, List[Message]] = {}
 
+    # Normalize the topology: churn wraps whatever base was given; a
+    # plain complete graph is erased so the default runs stay on the
+    # exact pre-topology code paths (byte-identical histories).
+    topo: Optional[Topology] = topology
+    if fault_plan is not None and fault_plan.churn:
+        topo = DynamicTopology(topo or CompleteTopology(n), fault_plan.churn)
+    elif topo is not None and topo.complete:
+        topo = None
+    if topo is not None:
+        require(topo.n == n, f"topology is sized for n={topo.n}, run has n={n}")
+
     recorder = HistoryRecorder() if record_history else None
     bus = EventBus(((recorder, *observers) if recorder else tuple(observers)))
     bus.on_run_start(n, protocol, first_round)
@@ -217,13 +245,17 @@ def run_sync(
         )
 
     crashed: set = set()
-    alive: frozenset = frozenset(range(n))
+    # Liveness has a single source of truth: ``alive_order`` (ascending
+    # pids, crashed ones removed).  The set view handed to the adversary
+    # is *derived* from it, never maintained in parallel.
     alive_order: List[ProcessId] = list(range(n))
+    alive_view: frozenset = frozenset(alive_order)
     faulty_so_far: frozenset = frozenset()
     stopped_early = False
     last_round = first_round
 
     wants_round_start = bus.wants_round_start
+    wants_topology = bus.wants_topology
     wants_send = bus.wants_send
     wants_deliver = bus.wants_deliver
     wants_fault = bus.wants_fault
@@ -236,14 +268,20 @@ def run_sync(
                 bus, mid_run[round_no], protocol, states, n, time=round_no
             )
 
-        plan = adversary.plan_round(round_no, alive, faulty_so_far)
+        plan = adversary.plan_round(round_no, alive_view, faulty_so_far)
         adversary.validate(plan, faulty_so_far)
 
         if wants_round_start:
             bus.on_round_start(round_no, snapshot_states(states))
 
+        edges = None
+        if topo is not None:
+            edges = round_edges(topo, round_no)
+            if wants_topology:
+                bus.on_topology(round_no, edges)
+
         wire, omitted_sends, forged_sends, crashing_now = _send_phase(
-            protocol, n, round_no, states, alive_order, plan
+            protocol, n, round_no, states, alive_order, plan, edges
         )
         if wants_fault:
             for pid in sorted(crashing_now):
@@ -312,8 +350,8 @@ def run_sync(
 
         if crashing_now:
             crashed |= crashing_now
-            alive = alive - crashing_now
             alive_order = [pid for pid in alive_order if pid not in crashing_now]
+            alive_view = frozenset(alive_order)
         if crashing_now or omitted_sends or omitted_receives or forged_sends:
             faulty_so_far = (
                 faulty_so_far
@@ -355,6 +393,7 @@ def _send_phase(
     states: Dict[ProcessId, Optional[Dict[str, Any]]],
     alive_order: List[ProcessId],
     plan: RoundFaultPlan,
+    edges=None,
 ):
     """Compute the messages actually placed on the wire this round.
 
@@ -363,6 +402,12 @@ def _send_phase(
     target sets (only faulty pids appear as keys) and the set of
     processes crashing mid-broadcast.  Fault-free rounds take a fast
     path with none of the omission/forgery bookkeeping.
+
+    ``edges`` (``None`` on the complete graph) restricts every
+    broadcast to the sender's current out-edges; faults are per-edge,
+    so crash survivor sets and omission targets are intersected with
+    the live neighborhood — an omission aimed at a non-neighbor drops
+    nothing and is not recorded.
     """
     wire: List[Message] = []
     crashing_now: set = set()
@@ -374,7 +419,7 @@ def _send_phase(
             if payload is None:
                 continue
             payload = copy_payload(payload)
-            for receiver in receivers:
+            for receiver in receivers if edges is None else edges[pid]:
                 wire.append(
                     Message(
                         sender=pid,
@@ -396,15 +441,24 @@ def _send_phase(
             continue
         payload = copy_payload(payload)
         if crash_survivors is not None:
-            receivers = sorted(crash_survivors)
+            if edges is None:
+                receivers = sorted(crash_survivors)
+            else:
+                receivers = [r for r in edges[pid] if r in crash_survivors]
         else:
             dropped = set(plan.send_omissions.get(pid, frozenset()))
             dropped.discard(pid)  # self-delivery is sacred
+            if edges is not None:
+                dropped.intersection_update(edges[pid])
             if dropped:
                 omitted_sends[pid] = dropped
-                receivers = [r for r in range(n) if r not in dropped]
+                receivers = [
+                    r
+                    for r in (range(n) if edges is None else edges[pid])
+                    if r not in dropped
+                ]
             else:
-                receivers = range(n)
+                receivers = range(n) if edges is None else edges[pid]
         lies = plan.forgeries.get(pid)
         if lies:
             forged = forged_sends.setdefault(pid, set())

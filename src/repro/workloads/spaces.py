@@ -25,6 +25,7 @@ __all__ = [
     "FIG4_SPACE",
     "THM1_SPACE",
     "THM2_SPACE",
+    "UNISON_SPACE",
 ]
 
 #: Figure 1 (round agreement, ftss@1): crashes, one-process omission
@@ -96,6 +97,22 @@ THM1_SPACE = PlanSpace(
     max_omissions=1,
     skew_values=(2, 5, 101),
     max_skews=1,
+)
+
+#: Unison under churn (topology layer): min-rule unison on a ring with
+#: join/leave churn schedules and systemic corruption.  Every plan must
+#: hold — after the last churn or corruption event, the processes still
+#: attached must re-agree within a ring diameter.  A window with
+#: ``rejoin_round=None`` detaches a process for the rest of the run
+#: (it is then exempt from the agreement obligation).
+UNISON_SPACE = PlanSpace(
+    n=6,
+    rounds=16,
+    corruption_choices=(False, True),
+    corruption_round_choices=((), (4,)),
+    churn_windows=((2, 6), (3, 9), (5, None)),
+    max_churn=1,
+    seeds=(0, 1),
 )
 
 #: Theorem 2 (uniformity is impossible with process failures): send /

@@ -1,0 +1,313 @@
+"""Complete-graph equivalence corpus: the Topology refactor is invisible.
+
+The Topology layer's contract is that the default complete graph is
+*behaviorally invisible*: histories, sweep outcomes, and EXPLORE
+artifacts are byte-identical to the pre-refactor engine.  This module
+pins a seed corpus of digests generated from the pre-refactor tree
+(``python tests/integration/test_topology_equivalence.py`` regenerates
+the table) and asserts the current code still produces them, across
+
+- all three substrates (sync engine, async scheduler, live inproc
+  cluster),
+- ``jobs in {1, 4}`` and ``cache in {off, warm}`` for the FIG1 sweep,
+- the EXPLORE thm1 smoke artifacts (rendered bytes).
+
+The canonicalizer reads ``getattr(round_history, "edges", None)`` so it
+hashes identically before the field existed and after (the complete
+graph records no edge sets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import pytest
+
+import repro.cache
+from repro.experiments.base import run_sweep, shutdown_pool
+from repro.histories.history import Message
+from repro.util.rng import sweep_seed
+
+# ---------------------------------------------------------------------------
+# Canonical digests
+# ---------------------------------------------------------------------------
+
+
+def _plain(obj: Any) -> Any:
+    """Convert run artifacts to plain JSON-able structures, stably."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, Message):
+        return ["msg", obj.sender, obj.receiver, obj.sent_round, _plain(obj.payload)]
+    if isinstance(obj, Mapping):
+        return {str(k): _plain(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (frozenset, set)):
+        return sorted((_plain(x) for x in obj), key=repr)
+    if isinstance(obj, (list, tuple)):
+        return [_plain(x) for x in obj]
+    raise TypeError(f"no canonical form for {type(obj)!r}")
+
+
+def _digest(plain: Any) -> str:
+    blob = json.dumps(plain, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def history_digest(history) -> str:
+    """Canonical content digest of an :class:`ExecutionHistory`."""
+    rounds = []
+    for rh in history:
+        rounds.append(
+            {
+                "round_no": rh.round_no,
+                "edges": _plain(getattr(rh, "edges", None)),
+                "records": [
+                    {
+                        "pid": rec.pid,
+                        "state_before": _plain(rec.state_before),
+                        "clock_before": rec.clock_before,
+                        "sent": _plain(rec.sent),
+                        "delivered": _plain(rec.delivered),
+                        "crashed": rec.crashed,
+                        "omitted_sends": _plain(rec.omitted_sends),
+                        "omitted_receives": _plain(rec.omitted_receives),
+                        "forged_sends": _plain(rec.forged_sends),
+                    }
+                    for rec in rh.records
+                ],
+            }
+        )
+    return _digest(rounds)
+
+
+def trace_digest(trace) -> str:
+    """Canonical content digest of an :class:`AsyncTrace`."""
+    return _digest(
+        {
+            "n": trace.n,
+            "duration": _plain(trace.duration),
+            "samples": _plain(trace.samples),
+            "final_states": _plain(trace.final_states),
+            "crashed": _plain(trace.crashed),
+            "messages_sent": trace.messages_sent,
+            "deliveries": trace.deliveries,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus scenarios (fixed seeds; every fault ingredient exercised)
+# ---------------------------------------------------------------------------
+
+
+def _sync_omission_plan(seed: int):
+    from repro.kernel.faults import FaultPlan
+    from repro.sync.adversary import FaultMode, RandomAdversary
+    from repro.sync.corruption import RandomCorruption
+
+    return FaultPlan(
+        omissions=RandomAdversary(
+            n=4,
+            f=1,
+            mode=FaultMode.GENERAL_OMISSION,
+            rate=0.4,
+            seed=sweep_seed("TOPO-EQ", "omission:adversary", seed),
+        ),
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("TOPO-EQ", "omission:corruption", seed)
+        ),
+    )
+
+
+def _sync_omission_history(seed: int) -> str:
+    from repro.core.rounds import RoundAgreementProtocol
+    from repro.sync.engine import run_sync
+
+    result = run_sync(
+        RoundAgreementProtocol(), n=4, rounds=12, fault_plan=_sync_omission_plan(seed)
+    )
+    return history_digest(result.history)
+
+
+def _sync_crash_history() -> str:
+    from repro.core.rounds import RoundAgreementProtocol
+    from repro.kernel.faults import FaultPlan
+    from repro.sync.corruption import RandomCorruption
+    from repro.sync.engine import run_sync
+
+    plan = FaultPlan(
+        crashes={4: 3.0, 2: 7.0},
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("TOPO-EQ", "crash:corruption", 0)
+        ),
+        mid_corruptions={
+            6.0: RandomCorruption(seed=sweep_seed("TOPO-EQ", "crash:mid", 0))
+        },
+    )
+    result = run_sync(RoundAgreementProtocol(), n=5, rounds=10, fault_plan=plan)
+    return history_digest(result.history)
+
+
+def _async_detector_trace() -> str:
+    from repro.asyncnet.oracle import WeakDetectorOracle
+    from repro.asyncnet.scheduler import AsyncScheduler
+    from repro.detectors.strong import StrongDetector
+    from repro.kernel.faults import FaultPlan
+    from repro.sync.corruption import RandomCorruption
+
+    crashes = {3: 10.0}
+    plan = FaultPlan(
+        crashes=crashes,
+        gst=20.0,
+        initial_corruption=RandomCorruption(
+            seed=sweep_seed("TOPO-EQ", "async:corruption", 0)
+        ),
+    )
+    oracle = WeakDetectorOracle(4, crashes, gst=20.0, seed=0)
+    trace = AsyncScheduler(
+        StrongDetector(),
+        4,
+        seed=sweep_seed("TOPO-EQ", "async:sched", 0),
+        oracle=oracle,
+        fault_plan=plan,
+        sample_interval=2.0,
+    ).run(max_time=40.0)
+    return trace_digest(trace)
+
+
+def _live_inproc_history(seed: int) -> str:
+    from repro.core.rounds import RoundAgreementProtocol
+    from repro.net.cluster import run_live_sync
+
+    result = run_live_sync(
+        RoundAgreementProtocol(),
+        n=4,
+        rounds=12,
+        fault_plan=_sync_omission_plan(seed),
+        transport="inproc",
+        deadline=30.0,
+    )
+    return history_digest(result.history)
+
+
+def _fig1_sweep_outcomes(jobs: int, cache: bool) -> str:
+    from repro.experiments.fig1 import _measure
+
+    tasks = [(n, f, seed) for n, f in [(3, 1), (6, 2)] for seed in range(3)]
+    outcomes = run_sweep(_measure, tasks, jobs=jobs, cache="FIG1" if cache else None)
+    return _digest(_plain(outcomes))
+
+
+def _explore_smoke_artifacts() -> str:
+    from repro.explore.artifacts import Artifact, render_artifact
+    from repro.explore.engine import explore
+
+    result = explore("thm1", budget=96, seed=0, jobs=1, mode="enumerate")
+    blobs = [
+        render_artifact(
+            Artifact(
+                target=result.target,
+                spec=finding.minimal,
+                expect_violation=True,
+                verdict_holds=finding.verdict.holds,
+                violations=tuple(finding.verdict.violations),
+                shrunk_from=finding.original,
+                shrink_oracle_calls=finding.shrink_oracle_calls,
+            )
+        )
+        for finding in result.findings
+    ]
+    assert blobs, "thm1 exploration should produce findings"
+    return _digest(blobs)
+
+
+# ---------------------------------------------------------------------------
+# The pinned corpus (generated on the pre-refactor tree — do not edit by
+# hand; regenerate with `PYTHONPATH=src python tests/integration/
+# test_topology_equivalence.py` only to *extend* the corpus, never to
+# paper over a divergence).
+# ---------------------------------------------------------------------------
+
+PINNED = {
+    "sync-omission-seed0": "35ddb26c37568805726518be70ee93bd6267094f64bf859dd003d919c254b1c2",
+    "sync-omission-seed1": "984cba67ab1bcd9873314cf3e1225ef69529e3e19eb176a10273199d41c441bd",
+    "sync-crash-mid-corruption": "4004d3ae05b3b829ba42bbe5a8850f66dac49239b4b9d37cec1412857a55b0e6",
+    "async-detector": "e2717ca8c3fa6914baa5abe981d8609d60365933ae8b905267a0d933d8d9e1bd",
+    "live-inproc-seed0": "35ddb26c37568805726518be70ee93bd6267094f64bf859dd003d919c254b1c2",
+    "fig1-sweep": "7d289b75e0a9527b06af8bf717a0352c9b4fcc35ad795298c0ca2ba5ad2b5a08",
+    "explore-thm1-artifacts": "5b1f66c7ba8e2e0d0b62013ab49228722dc23557ed9ccf31fd2da6666c200649",
+}
+
+
+def _compute_all() -> dict:
+    out = {
+        "sync-omission-seed0": _sync_omission_history(0),
+        "sync-omission-seed1": _sync_omission_history(1),
+        "sync-crash-mid-corruption": _sync_crash_history(),
+        "async-detector": _async_detector_trace(),
+        "live-inproc-seed0": _live_inproc_history(0),
+        "fig1-sweep": None,
+        "explore-thm1-artifacts": _explore_smoke_artifacts(),
+    }
+    sweeps = {
+        (jobs, cache): _fig1_sweep_outcomes(jobs, cache)
+        for jobs in (1, 4)
+        for cache in (False, True, True)  # off, cold, warm
+    }
+    values = set(sweeps.values())
+    assert len(values) == 1, f"sweep outcomes differ across jobs/cache: {sweeps}"
+    out["fig1-sweep"] = values.pop()
+    shutdown_pool()
+    return out
+
+
+# -- tests -------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+
+
+def test_sync_histories_pinned():
+    assert _sync_omission_history(0) == PINNED["sync-omission-seed0"]
+    assert _sync_omission_history(1) == PINNED["sync-omission-seed1"]
+    assert _sync_crash_history() == PINNED["sync-crash-mid-corruption"]
+
+
+def test_async_trace_pinned():
+    assert _async_detector_trace() == PINNED["async-detector"]
+
+
+def test_live_inproc_history_pinned():
+    assert _live_inproc_history(0) == PINNED["live-inproc-seed0"]
+    # live == sim is the conformance invariant; the corpus rides on it.
+    assert PINNED["live-inproc-seed0"] == PINNED["sync-omission-seed0"]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_fig1_sweep_pinned_jobs_and_cache(tmp_path, jobs):
+    repro.cache.configure(root=tmp_path / "eq-cache", enabled=False)
+    off = _fig1_sweep_outcomes(jobs, cache=False)
+    repro.cache.configure(root=tmp_path / "eq-cache", enabled=True)
+    cold = _fig1_sweep_outcomes(jobs, cache=True)
+    warm = _fig1_sweep_outcomes(jobs, cache=True)
+    assert off == cold == warm == PINNED["fig1-sweep"]
+
+
+def test_explore_artifacts_pinned():
+    assert _explore_smoke_artifacts() == PINNED["explore-thm1-artifacts"]
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        repro.cache.configure(root=tmp + "/gen-cache", enabled=True)
+        for name, value in _compute_all().items():
+            print(f'    "{name}": "{value}",')

@@ -1,0 +1,147 @@
+"""Cache-aware conformance: memoized references never mask live drift.
+
+Two properties of the ``NET-LIVE-REF:*`` memoization:
+
+1. **Warm passes skip the engine** — the second ``cached_call`` of a
+   reference worker runs zero simulations (the engine side is pure
+   data, so replaying it is a lookup).
+2. **Live runs are never cached** — the parity verdict always comes
+   from a fresh live execution compared *against* the reference, so a
+   cached (even stale or poisoned) reference cannot hide a live/sim
+   divergence: drift flips the report to failed, it never disappears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cache
+import repro.net.conformance as conformance
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.experiments.net_live import _fig1_plan, _fig1_reference
+from repro.net.conformance import (
+    SyncReference,
+    compute_sync_reference,
+    history_digest,
+    verify_sync_conformance,
+)
+
+N, ROUNDS = 4, 8
+
+
+def _plan(seed: int = 0):
+    return _fig1_plan(seed)
+
+
+def _reference(seed: int = 0) -> SyncReference:
+    return compute_sync_reference(
+        RoundAgreementProtocol,
+        N,
+        ROUNDS,
+        lambda: _plan(seed),
+        ClockAgreementProblem(),
+        definition="ftss",
+        stabilization_time=1,
+    )
+
+
+class TestWarmPassSkipsEngine:
+    def test_second_cached_call_runs_zero_simulations(self, monkeypatch):
+        repro.cache.enable()
+        cold = repro.cache.cached_call("NET-LIVE-REF:fig1", _fig1_reference, 0)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("warm pass re-ran the engine-side simulation")
+
+        monkeypatch.setattr(conformance, "run_sync", _boom)
+        warm = repro.cache.cached_call("NET-LIVE-REF:fig1", _fig1_reference, 0)
+        assert warm == cold
+        assert SyncReference.from_jsonable(warm) == SyncReference.from_jsonable(cold)
+
+    def test_reference_round_trips_through_json(self):
+        ref = _reference()
+        assert SyncReference.from_jsonable(ref.to_jsonable()) == ref
+
+
+class TestReferenceParity:
+    def test_live_run_matches_fresh_reference(self):
+        reports, sim, _lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            N,
+            ROUNDS,
+            _plan,
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=("inproc",),
+            deadline=20,
+            reference=_reference(),
+        )
+        assert sim is None  # the engine side was not re-run
+        assert reports[0].passed, reports[0].failures()
+
+    def test_live_drift_surfaces_despite_cached_reference(self):
+        """A hit on the reference cannot mask a live-side divergence."""
+        reference = _reference(seed=0)
+        reports, _sim, _lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            N,
+            ROUNDS,
+            lambda: _plan(seed=1),  # the live cluster drifts off-plan
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=("inproc",),
+            deadline=20,
+            reference=reference,
+        )
+        report = reports[0]
+        assert not report.history_equal
+        assert not report.passed
+        assert any("diverges" in f for f in report.failures())
+
+    def test_poisoned_reference_fails_loud_not_silent(self):
+        """A stale/corrupt cache entry flips the verdict to failed."""
+        poisoned = SyncReference(
+            definition="ftss",
+            history_digest="0" * 64,
+            verdict_holds=True,
+        )
+        reports, _sim, _lives = verify_sync_conformance(
+            RoundAgreementProtocol,
+            N,
+            ROUNDS,
+            _plan,
+            ClockAgreementProblem(),
+            definition="ftss",
+            stabilization_time=1,
+            transports=("inproc",),
+            deadline=20,
+            reference=poisoned,
+        )
+        assert not reports[0].passed
+
+
+class TestHistoryDigest:
+    def test_digest_is_a_faithful_equality_proxy(self):
+        from repro.sync.engine import run_sync
+
+        a = run_sync(RoundAgreementProtocol(), n=N, rounds=ROUNDS, fault_plan=_plan())
+        b = run_sync(RoundAgreementProtocol(), n=N, rounds=ROUNDS, fault_plan=_plan())
+        c = run_sync(
+            RoundAgreementProtocol(), n=N, rounds=ROUNDS, fault_plan=_plan(seed=1)
+        )
+        assert history_digest(a.history) == history_digest(b.history)
+        assert history_digest(a.history) != history_digest(c.history)
+        assert history_digest(None) is None
+
+    def test_digest_covers_topology_edges(self):
+        from repro.kernel.topology import RingTopology
+        from repro.sync.engine import run_sync
+
+        flat = run_sync(RoundAgreementProtocol(), n=N, rounds=ROUNDS)
+        ring = run_sync(
+            RoundAgreementProtocol(), n=N, rounds=ROUNDS, topology=RingTopology(N)
+        )
+        assert history_digest(flat.history) != history_digest(ring.history)

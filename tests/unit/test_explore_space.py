@@ -140,3 +140,73 @@ class TestCanonicalization:
         # Representatives appear in their original relative order.
         positions = [specs.index(spec) for spec in kept]
         assert positions == sorted(positions)
+
+
+class TestChurnSpecs:
+    def test_round_trip_preserves_churn(self):
+        from repro.explore.space import ChurnSpec
+
+        spec = PlanSpec(
+            n=4,
+            rounds=8,
+            churn=(ChurnSpec(pid=1, leave_round=2, rejoin_round=5),),
+        )
+        data = json.loads(json.dumps(spec.to_jsonable()))
+        assert PlanSpec.from_jsonable(data) == spec
+
+    def test_churn_free_json_has_no_churn_key(self):
+        # Artifacts embed spec JSON verbatim: churn-free specs must
+        # serialize byte-identically to the pre-topology schema.
+        assert "churn" not in PlanSpec(n=4, rounds=8).to_jsonable()
+
+    def test_validation(self):
+        from repro.explore.space import ChurnSpec
+
+        with pytest.raises(ValueError):
+            PlanSpec(n=3, rounds=6, churn=(ChurnSpec(pid=3, leave_round=2),))
+        with pytest.raises(ValueError):
+            PlanSpec(
+                n=3,
+                rounds=6,
+                churn=(
+                    ChurnSpec(pid=1, leave_round=2),
+                    ChurnSpec(pid=1, leave_round=4),
+                ),
+            )
+        with pytest.raises(ValueError):
+            ChurnSpec(pid=0, leave_round=3, rejoin_round=2)
+
+    def test_fault_plan_compiles_schedule(self):
+        from repro.explore.space import ChurnSpec
+
+        spec = PlanSpec(
+            n=4,
+            rounds=8,
+            churn=(
+                ChurnSpec(pid=1, leave_round=2, rejoin_round=5),
+                ChurnSpec(pid=2, leave_round=3),
+            ),
+        )
+        schedule = spec.fault_plan().churn
+        assert [(e.round_no, e.kind, e.pids) for e in schedule.events] == [
+            (2, "leave", (1,)),
+            (3, "leave", (2,)),
+            (5, "join", (1,)),
+        ]
+        assert PlanSpec(n=4, rounds=8).fault_plan().churn is None
+
+    def test_churn_enumeration_and_symmetry(self):
+        space = PlanSpace(n=3, rounds=6, churn_windows=((2, 4),), max_churn=1)
+        plans = list(space.enumerate_plans())
+        churny = [p for p in plans if p.churn]
+        assert len(churny) == 3  # one per pid
+        kept, dropped = dedupe(churny, symmetric=True)
+        assert len(kept) == 1 and dropped == 2
+
+    def test_churn_sampling_is_deterministic(self):
+        space = PlanSpace(
+            n=4, rounds=8, churn_windows=((2, 5), (3, None)), max_churn=2
+        )
+        a = list(space.sample_plans(seed=9, count=12))
+        assert a == list(space.sample_plans(seed=9, count=12))
+        assert any(p.churn for p in a)

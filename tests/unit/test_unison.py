@@ -1,0 +1,224 @@
+"""Unit tests for the unison family and topology-aware engine routing.
+
+The theory under test: min-rule synchronous unison stabilizes within
+the graph diameter from arbitrary clocks, and bounded unison never
+leaves its finite clock domain while stabilizing within roughly
+``alpha + diameter``.  The routing tests pin that all three substrates
+actually deliver along topology edges (sync engine, async scheduler,
+live inproc cluster).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.histories.history import CLOCK_KEY
+from repro.kernel.faults import FaultPlan
+from repro.kernel.topology import (
+    ChurnEvent,
+    ChurnSchedule,
+    CompleteTopology,
+    RingTopology,
+    TreeTopology,
+)
+from repro.protocols.unison import BoundedUnison, MinUnison
+from repro.sync.corruption import RandomCorruption
+from repro.sync.engine import run_sync
+
+
+def _last_disagreement(history) -> int:
+    last = 0
+    for rh in history:
+        clocks = {r.clock_before for r in rh.records if r.clock_before is not None}
+        if len(clocks) > 1:
+            last = rh.round_no
+    return last
+
+
+class TestMinUnison:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diameter_law_on_ring(self, seed):
+        n = 8
+        topo = RingTopology(n)
+        result = run_sync(
+            MinUnison(),
+            n=n,
+            rounds=2 * n,
+            corruption=RandomCorruption(seed=seed),
+            topology=topo,
+        )
+        assert _last_disagreement(result.history) <= topo.diameter()
+
+    def test_complete_graph_stabilizes_in_one_round(self):
+        result = run_sync(
+            MinUnison(),
+            n=5,
+            rounds=6,
+            corruption=RandomCorruption(seed=1),
+            topology=CompleteTopology(5),
+        )
+        assert _last_disagreement(result.history) <= 1
+
+    def test_tree_respects_its_diameter(self):
+        topo = TreeTopology(10)
+        result = run_sync(
+            MinUnison(),
+            n=10,
+            rounds=20,
+            corruption=RandomCorruption(seed=2),
+            topology=topo,
+        )
+        assert _last_disagreement(result.history) <= topo.diameter()
+
+    def test_agreement_persists_and_ticks(self):
+        result = run_sync(MinUnison(), n=4, rounds=6, topology=RingTopology(4))
+        clocks = [
+            sorted(r.clock_before for r in rh.records) for rh in result.history
+        ]
+        for round_no, row in enumerate(clocks, start=1):
+            assert row == [round_no] * 4  # lockstep from clean start
+
+
+class TestBoundedUnison:
+    def test_domain_never_escapes(self):
+        n = 6
+        proto = BoundedUnison(n)
+        result = run_sync(
+            proto,
+            n=n,
+            rounds=4 * n,
+            corruption=RandomCorruption(seed=3),
+            topology=RingTopology(n),
+        )
+        for rh in result.history:
+            for rec in rh.records:
+                clock = rec.state_before[CLOCK_KEY]
+                assert -proto.alpha <= clock < proto.K
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stabilizes_within_alpha_plus_diameter(self, seed):
+        n = 6
+        proto = BoundedUnison(n)
+        topo = RingTopology(n)
+        bound = proto.alpha + topo.diameter() + 4
+        result = run_sync(
+            proto,
+            n=n,
+            rounds=bound + 6,
+            corruption=RandomCorruption(seed=seed),
+            topology=topo,
+        )
+        assert _last_disagreement(result.history) <= bound
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BoundedUnison(0)
+        with pytest.raises(ValueError):
+            BoundedUnison(4, K=2)
+
+
+class TestSyncTopologyRouting:
+    def test_ring_deliveries_come_from_neighbors_only(self):
+        result = run_sync(MinUnison(), n=5, rounds=3, topology=RingTopology(5))
+        for rh in result.history:
+            for rec in rh.records:
+                senders = {m.sender for m in rec.delivered}
+                assert senders == {
+                    (rec.pid - 1) % 5,
+                    rec.pid,
+                    (rec.pid + 1) % 5,
+                }
+
+    def test_edges_recorded_only_off_complete(self):
+        ring = run_sync(MinUnison(), n=4, rounds=2, topology=RingTopology(4))
+        flat = run_sync(MinUnison(), n=4, rounds=2, topology=CompleteTopology(4))
+        assert ring.history.round(1).edges is not None
+        assert flat.history.round(1).edges is None  # invisible default
+
+    def test_churn_detaches_without_marking_faulty(self):
+        plan = FaultPlan(
+            churn=ChurnSchedule(
+                (
+                    ChurnEvent(2, "leave", pids=(3,)),
+                    ChurnEvent(4, "join", pids=(3,)),
+                )
+            )
+        )
+        result = run_sync(MinUnison(), n=4, rounds=6, fault_plan=plan)
+        assert result.faulty == frozenset()
+        detached_round = result.history.round(2)
+        assert detached_round.edges[3] == (3,)
+        rec = detached_round.record(3)
+        assert {m.sender for m in rec.delivered} == {3}
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            run_sync(MinUnison(), n=4, rounds=2, topology=RingTopology(5))
+
+
+class TestAsyncTopologyRouting:
+    def test_broadcast_follows_ring_edges(self):
+        from repro.asyncnet.scheduler import AsyncScheduler
+        from repro.detectors.strong import StrongDetector
+
+        n = 5
+        trace_ring = AsyncScheduler(
+            StrongDetector(), n, seed=0, topology=RingTopology(n)
+        ).run(max_time=10.0)
+        trace_flat = AsyncScheduler(StrongDetector(), n, seed=0).run(max_time=10.0)
+        # ring routing must cut the delivery fan-out versus complete
+        assert trace_ring.deliveries < trace_flat.deliveries
+
+    def test_complete_topology_is_invisible(self):
+        from repro.asyncnet.scheduler import AsyncScheduler
+        from repro.detectors.strong import StrongDetector
+
+        n = 4
+        plain = AsyncScheduler(StrongDetector(), n, seed=1).run(max_time=8.0)
+        flagged = AsyncScheduler(
+            StrongDetector(), n, seed=1, topology=CompleteTopology(n)
+        ).run(max_time=8.0)
+        assert plain.samples == flagged.samples
+        assert plain.deliveries == flagged.deliveries
+
+
+class TestLiveTopologyRouting:
+    def test_live_ring_matches_engine_history(self):
+        from repro.net.cluster import run_live_sync
+        from repro.net.conformance import histories_equal
+
+        n = 5
+        sim = run_sync(MinUnison(), n=n, rounds=4, topology=RingTopology(n))
+        live = run_live_sync(
+            MinUnison(),
+            n=n,
+            rounds=4,
+            topology=RingTopology(n),
+            transport="inproc",
+            deadline=20,
+        )
+        assert histories_equal(sim.history, live.history)
+        assert live.history.round(1).edges == sim.history.round(1).edges
+
+    def test_live_churn_matches_engine_history(self):
+        from repro.net.cluster import run_live_sync
+        from repro.net.conformance import histories_equal
+
+        plan = FaultPlan(
+            churn=ChurnSchedule(
+                (
+                    ChurnEvent(2, "leave", pids=(1,)),
+                    ChurnEvent(3, "join", pids=(1,)),
+                )
+            )
+        )
+        sim = run_sync(MinUnison(), n=4, rounds=5, fault_plan=plan)
+        live = run_live_sync(
+            MinUnison(),
+            n=4,
+            rounds=5,
+            fault_plan=plan,
+            transport="inproc",
+            deadline=20,
+        )
+        assert histories_equal(sim.history, live.history)
