@@ -1,0 +1,161 @@
+"""Load benchmark for the :mod:`repro.serve` HTTP sweep service.
+
+Boots a real server on an ephemeral loopback port, then hammers it
+with concurrent streaming clients in two phases:
+
+- ``cold`` — every client issues sweeps over *disjoint* seed ranges,
+  so each task is a cache miss and executes on the worker fleet;
+- ``warm`` — the identical requests again, now answered entirely from
+  the shared content-addressed store.
+
+Wall-clock columns (``throughput_rps``/``p50_ms``/``p99_ms``) are
+machine-dependent trajectory documentation.  ``hit_ratio`` and
+``executed`` are **machine-independent**: the committed baseline pins
+``warm`` at ``hit_ratio == 1.0`` and ``executed == 0``, and
+``benchmarks/compare.py --fields hit_ratio,executed`` gates on exactly
+those.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_load.py [--out PATH]
+        [--clients 8] [--requests 4] [--fleet inproc] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "microbench"))
+from _harness import emit  # noqa: E402
+
+import repro.cache  # noqa: E402
+from repro.analysis.report import ExperimentReport  # noqa: E402
+from repro.serve import ServeClient, ServerThread  # noqa: E402
+
+EXPERIMENT = "FIG4"
+POINTS = ((4, False), (4, True))
+SEEDS_PER_REQUEST = 2
+
+
+def _request_plan(clients: int, requests: int):
+    """Disjoint (client, request) -> seeds mapping; cold misses by design."""
+    plan = {}
+    for client in range(clients):
+        for request in range(requests):
+            base = (client * requests + request) * SEEDS_PER_REQUEST
+            plan[(client, request)] = list(range(base, base + SEEDS_PER_REQUEST))
+    return plan
+
+
+def _drive(url: str, plan, clients: int, requests: int):
+    """All clients concurrently; returns (elapsed_s, per-request latencies)."""
+    latencies = [[] for _ in range(clients)]
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def run_client(index: int) -> None:
+        client = ServeClient(url)
+        barrier.wait()
+        try:
+            for request in range(requests):
+                started = time.perf_counter()
+                summary = client.sweep(
+                    EXPERIMENT, points=POINTS, seeds=plan[(index, request)]
+                )
+                latencies[index].append(time.perf_counter() - started)
+                if not summary.ok:
+                    errors.append(f"client {index} request {request}: {summary.end}")
+        except Exception as error:  # surfaced after join
+            errors.append(f"client {index}: {error!r}")
+
+    threads = [
+        threading.Thread(target=run_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise SystemExit("serve_load: " + "; ".join(errors[:3]))
+    return elapsed, [latency for per_client in latencies for latency in per_client]
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="PATH", help="write the JSON here instead")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=4, help="sweeps per client")
+    parser.add_argument("--fleet", choices=("inproc", "tcp"), default="inproc")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    report = ExperimentReport(
+        experiment_id="SERVE",
+        title="Sweep service under concurrent load",
+        claim=f"{args.clients} concurrent streaming clients; the warm phase "
+        "answers every task from the shared cache without executing "
+        "a single simulation",
+        headers=[
+            "phase",
+            "clients",
+            "requests",
+            "throughput_rps",
+            "p50_ms",
+            "p99_ms",
+            "hit_ratio",
+            "executed",
+        ],
+    )
+
+    plan = _request_plan(args.clients, args.requests)
+    total_requests = args.clients * args.requests
+    scratch = tempfile.mkdtemp(prefix="bench-serve-")
+    repro.cache.configure(root=scratch, enabled=True)
+    try:
+        with ServerThread(fleet_kind=args.fleet, workers=args.workers) as server:
+            probe = ServeClient(server.url)
+            before = probe.stats()["tasks"]
+            for phase in ("cold", "warm"):
+                elapsed, latencies = _drive(
+                    server.url, plan, args.clients, args.requests
+                )
+                after = probe.stats()["tasks"]
+                executed = after["executed"] - before["executed"]
+                hits = after["cache_hits"] - before["cache_hits"]
+                before = after
+                report.add_row(
+                    phase,
+                    args.clients,
+                    total_requests,
+                    round(total_requests / elapsed, 1) if elapsed > 0 else float("inf"),
+                    round(_percentile(latencies, 0.50) * 1e3, 2),
+                    round(_percentile(latencies, 0.99) * 1e3, 2),
+                    round(hits / (hits + executed), 3) if hits + executed else 0.0,
+                    executed,
+                )
+    finally:
+        repro.cache.configure()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    emit(report, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

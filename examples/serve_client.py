@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Sweeps as a service: one server, streaming clients, a shared cache.
+
+Boots a real :mod:`repro.serve` server on an ephemeral loopback port,
+then plays client against it three times:
+
+1. a **cold** Figure-4 sweep — every (point, seed) task is sharded
+   across the worker fleet and executed, outcomes streaming back in
+   input order as ND-JSON;
+2. the **same sweep again** — now answered entirely from the server's
+   content-addressed store: zero simulations, pure cache hits;
+3. a direct local :func:`repro.experiments.base.run_sweep` of the same
+   tasks — byte-compared against what came over HTTP, the determinism
+   contract that makes the shared cache sound in the first place;
+4. a burst of **concurrent clients** — four threads re-requesting the
+   sweep (pure hits) while a fifth runs an EXPLORE job through
+   ``POST /v1/explore``.
+
+Finally it prints the server's ``/v1/stats`` counters: the narration of
+everything the calls did, including the fleet-wide cache hit ratio.
+
+Run:  python examples/serve_client.py
+"""
+
+import pickle
+import tempfile
+import threading
+
+import repro.cache
+from repro.experiments import fig4
+from repro.experiments.base import run_sweep, shutdown_pool
+from repro.serve import ServeClient, ServerThread
+
+POINTS = ((4, False), (4, True))
+SEEDS = (0, 1)
+
+
+def main() -> None:
+    tasks = [(n, corrupt, seed) for n, corrupt in POINTS for seed in SEEDS]
+    print(f"FIG4 sweep surface: {len(POINTS)} points x {len(SEEDS)} seeds "
+          f"= {len(tasks)} tasks\n")
+
+    # local reference first: the fork pool must be gone before the
+    # serving event loop starts
+    local = run_sweep(fig4._measure, tasks, jobs=1)
+    shutdown_pool()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-example-") as tmp:
+        repro.cache.configure(root=tmp, enabled=True)
+        try:
+            with ServerThread(fleet_kind="inproc", workers=2) as server:
+                client = ServeClient(server.url)
+                listing = [e["experiment"] for e in client.experiments()["experiments"]]
+                print(f"server up at {server.url}, serving: {', '.join(listing)}\n")
+
+                cold = client.sweep("FIG4", points=POINTS, seeds=list(SEEDS))
+                print(f"cold sweep:  {cold.end['executed']} executed, "
+                      f"{cold.end['cache_hits']} cached "
+                      f"({cold.end['elapsed_s']:.3f}s)")
+
+                warm = client.sweep("FIG4", points=POINTS, seeds=list(SEEDS))
+                print(f"warm sweep:  {warm.end['executed']} executed, "
+                      f"{warm.end['cache_hits']} cached "
+                      f"({warm.end['elapsed_s']:.3f}s)")
+                print(f"warm pass executed zero simulations: "
+                      f"{warm.end['executed'] == 0}")
+
+                served = pickle.dumps(warm.outcomes, 4)
+                reference = pickle.dumps(list(local), 4)
+                print(f"served outcomes byte-identical to local run_sweep: "
+                      f"{served == reference}")
+
+                summaries = {}
+
+                def hammer(name, request):
+                    summaries[name] = request(ServeClient(server.url))
+
+                burst = [
+                    threading.Thread(
+                        target=hammer,
+                        args=(f"sweep-{i}",
+                              lambda c: c.sweep("FIG4", points=POINTS,
+                                                seeds=list(SEEDS))),
+                    )
+                    for i in range(4)
+                ] + [
+                    threading.Thread(
+                        target=hammer,
+                        args=("explore",
+                              lambda c: c.explore("fig1", budget=20, seed=0)),
+                    )
+                ]
+                for thread in burst:
+                    thread.start()
+                for thread in burst:
+                    thread.join()
+                executed = sum(s.end["executed"] for s in summaries.values())
+                explored = summaries["explore"].outcomes[0]
+                print(f"\nconcurrent burst: {len(burst)} clients, "
+                      f"{executed} executed "
+                      f"(only the first EXPLORE run is a miss)")
+                print(f"explore fig1: examined {explored['examined']} plans, "
+                      f"{explored['flagged']} flagged")
+
+                stats = client.stats()
+                print(f"\nserver stats: {stats['requests']['total']} requests, "
+                      f"{stats['tasks']['total']} tasks "
+                      f"(hit ratio {stats['tasks']['hit_ratio']}), "
+                      f"p50 latency {stats['latency_ms']['p50']}ms")
+        finally:
+            repro.cache.configure()
+
+
+if __name__ == "__main__":
+    main()

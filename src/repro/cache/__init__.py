@@ -22,7 +22,10 @@ Integration points:
 
 Knobs: the cache is **on by default**; set ``REPRO_CACHE=0`` (or pass
 ``--no-cache`` to the experiment/explore CLIs) to disable, and
-``REPRO_CACHE_DIR`` to move it (default ``.repro-cache/``).  Artifact
+``REPRO_CACHE_DIR`` to move it (default ``.repro-cache/``).  Set
+``REPRO_CACHE_REMOTE=<url>`` to consult a running :mod:`repro.serve`
+server as a read-through tier on local misses (see
+:mod:`repro.cache.remote` — failures fall back silently to execution).  Artifact
 bytes and experiment verdicts are identical with the cache off, cold,
 or warm — the cache changes how often simulations *run*, never what
 they *compute* (CI's ``cache-smoke`` job pins exactly that).

@@ -20,7 +20,10 @@ import argparse
 import json
 import sys
 
+import os
+
 from repro.cache import cache_dir, cache_enabled, get_cache
+from repro.cache import remote
 
 
 def _cmd_stats(args) -> int:
@@ -30,6 +33,10 @@ def _cmd_stats(args) -> int:
         "enabled": cache_enabled(),
         **cache.summary(),
         "counters": cache.persisted_counters(),
+        "remote": {
+            "url": os.environ.get("REPRO_CACHE_REMOTE") or None,
+            **remote.stats(),
+        },
     }
     if args.json:
         print(json.dumps(data, sort_keys=True, indent=2))
@@ -53,6 +60,15 @@ def _cmd_stats(args) -> int:
         )
     else:
         print("cumulative: no recorded accesses")
+    remote_info = data["remote"]
+    if remote_info["url"]:
+        print(
+            f"remote tier: {remote_info['url']} — "
+            f"{remote_info['requests']} requests, {remote_info['hits']} hits, "
+            f"{remote_info['errors']} errors"
+        )
+    else:
+        print("remote tier: not configured (set REPRO_CACHE_REMOTE)")
     return 0
 
 

@@ -1,0 +1,127 @@
+"""The read-through remote cache tier (``REPRO_CACHE_REMOTE``).
+
+Point ``REPRO_CACHE_REMOTE`` at a running :mod:`repro.serve` server and
+every local cache miss consults ``GET /v1/cache/<key>`` before falling
+back to execution.  Keys are shared by construction — the server caches
+under the *same* ``digest_key(namespace, worker ref, point,
+fingerprint)`` the local :class:`~repro.cache.store.RunCache` computes
+— so a sweep the service (or anyone publishing to it) already ran is a
+network fetch here instead of a simulation.
+
+Failure policy: the remote tier is an accelerator, never a dependency.
+
+- Fetches carry a short timeout (:data:`FETCH_TIMEOUT_S`).
+- Any transport error trips a **down latch**: for
+  :data:`DOWN_LATCH_S` seconds no further fetches are attempted, so an
+  unreachable server costs one timeout, not one per miss.  The latch
+  clears itself; a healthy fetch resets the error count.
+- Fetched entries are validated (unpicklable, wrong schema, or a
+  foreign code fingerprint → treated as a miss) and written through to
+  the local store, so the second lookup is local.
+
+:func:`disable_in_process` exists for the server itself: the process
+*answering* ``/v1/cache/<key>`` must never consult a remote tier (least
+of all its own URL).
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import time
+from typing import Dict, Optional
+from urllib.parse import urlsplit
+
+__all__ = [
+    "DOWN_LATCH_S",
+    "FETCH_TIMEOUT_S",
+    "disable_in_process",
+    "fetch_entry",
+    "remote_url",
+    "reset",
+    "stats",
+]
+
+#: Per-fetch socket timeout: a cache read must stay cheap.
+FETCH_TIMEOUT_S = 2.0
+
+#: After a transport error, skip remote consults for this long.
+DOWN_LATCH_S = 30.0
+
+_disabled = False
+_down_until = 0.0  # time.monotonic() threshold while latched
+_stats: Dict[str, int] = {"requests": 0, "hits": 0, "misses": 0, "errors": 0}
+
+
+def disable_in_process() -> None:
+    """Permanently ignore ``REPRO_CACHE_REMOTE`` in this process."""
+    global _disabled
+    _disabled = True
+
+
+def reset() -> None:
+    """Clear the latch, the disable flag, and the counters (tests)."""
+    global _disabled, _down_until
+    _disabled = False
+    _down_until = 0.0
+    for name in _stats:
+        _stats[name] = 0
+
+
+def stats() -> Dict[str, int]:
+    """This process's remote-tier counters (a copy)."""
+    return dict(_stats)
+
+
+def remote_url() -> Optional[str]:
+    """The configured remote tier, or None when absent/disabled/latched."""
+    if _disabled:
+        return None
+    url = os.environ.get("REPRO_CACHE_REMOTE", "").strip()
+    if not url:
+        return None
+    if time.monotonic() < _down_until:
+        return None
+    return url
+
+
+def _latch() -> None:
+    global _down_until
+    _down_until = time.monotonic() + DOWN_LATCH_S
+    _stats["errors"] += 1
+
+
+def fetch_entry(key: str) -> Optional[bytes]:
+    """One raw entry from the remote tier, or None (silently) on any miss.
+
+    "Silently" is the contract: an unreachable or misbehaving server
+    must look exactly like a cache miss to the caller, who then simply
+    executes locally.
+    """
+    url = remote_url()
+    if url is None:
+        return None
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    host = split.hostname
+    if not host:
+        _latch()
+        return None
+    _stats["requests"] += 1
+    connection = http.client.HTTPConnection(
+        host, split.port or 80, timeout=FETCH_TIMEOUT_S
+    )
+    try:
+        base = split.path.rstrip("/")
+        connection.request("GET", f"{base}/v1/cache/{key}")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status == 200:
+            _stats["hits"] += 1
+            return body
+        _stats["misses"] += 1
+        return None
+    except (OSError, http.client.HTTPException):
+        _latch()
+        return None
+    finally:
+        connection.close()

@@ -160,6 +160,11 @@ class RunCache:
         flush_every: int = 64,
     ):
         self.root = Path(root)
+        #: Whether misses may consult the ``REPRO_CACHE_REMOTE`` tier.
+        #: :mod:`repro.serve` clears this on the store it answers from —
+        #: the serving side of the tier must never also be a client of
+        #: it (recursion), whatever the environment says.
+        self.consult_remote = True
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
         self._memory_entries = max(0, memory_entries)
         self._flush_every = max(1, flush_every)
@@ -212,8 +217,10 @@ class RunCache:
             try:
                 entry_bytes = self._path(key).read_bytes()
             except OSError:
-                self._emit("miss", namespace, key, 0)
-                return False, None
+                entry_bytes = self._fetch_remote(key)
+                if entry_bytes is None:
+                    self._emit("miss", namespace, key, 0)
+                    return False, None
             self._remember(key, entry_bytes)
         try:
             entry = pickle.loads(entry_bytes)
@@ -224,6 +231,54 @@ class RunCache:
             return False, None
         self._emit("hit", namespace, key, len(entry_bytes))
         return True, entry["outcome"]
+
+    def _fetch_remote(self, key: str) -> Optional[bytes]:
+        """Consult the read-through remote tier on a local disk miss.
+
+        Returns validated entry bytes (written through to the pending
+        buffer so they persist locally on the next flush) or None.  The
+        tier is opt-in (``REPRO_CACHE_REMOTE``) and fails silently —
+        see :mod:`repro.cache.remote` for the latch policy.
+        """
+        if not self.consult_remote:
+            return None
+        from repro.cache import remote
+
+        raw = remote.fetch_entry(key)
+        if raw is None:
+            return None
+        try:
+            entry = pickle.loads(raw)
+        except Exception:
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or entry.get("fingerprint") != code_fingerprint()
+        ):
+            return None  # foreign or stale entry: not trustworthy here
+        self._pending[key] = raw
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+        return raw
+
+    def entry_bytes(self, key: str) -> Optional[bytes]:
+        """The raw pickled entry for ``key``, or None — without events.
+
+        Serves ``GET /v1/cache/<key>`` (:mod:`repro.serve`): the remote
+        tier must not inflate this process's hit/miss counters, and the
+        *caller's* counters are what the read-through is accounted
+        under.  Checks the LRU front, the write-back buffer, and disk.
+        """
+        entry_bytes = self._memory.get(key)
+        if entry_bytes is None:
+            entry_bytes = self._pending.get(key)
+        if entry_bytes is not None:
+            return entry_bytes
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
 
     def put(
         self,

@@ -32,6 +32,7 @@ from repro.kernel.events import (
     FaultEvent,
     FaultKind,
     Observer,
+    ServeEvent,
 )
 from repro.kernel.faults import (
     AsyncFaultView,
@@ -82,6 +83,7 @@ __all__ = [
     "Observer",
     "RandomTopology",
     "RingTopology",
+    "ServeEvent",
     "SyncFaultView",
     "Topology",
     "TreeTopology",

@@ -29,6 +29,8 @@ synchronous substrate and the virtual time in the asynchronous one):
 ``on_round_end``    (sync) the round's records are complete
 ``on_cache``        one run-cache access (:class:`CacheEvent`; emitted
                     by :mod:`repro.cache`, not by the engines)
+``on_serve``        one serving-layer lifecycle step (:class:`ServeEvent`;
+                    emitted by :mod:`repro.serve`, not by the engines)
 ``on_run_end``      final states at the end of the run
 ================== ======================================================
 """
@@ -45,6 +47,7 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "Observer",
+    "ServeEvent",
 ]
 
 ProcessId = int
@@ -93,6 +96,27 @@ class CacheEvent:
     namespace: str
     key: str = ""
     nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """One serving-layer lifecycle step, as seen by observers.
+
+    Emitted by :mod:`repro.serve` around request and fleet activity:
+    ``kind`` is one of ``"request-start"``, ``"request-end"``,
+    ``"request-error"``, ``"request-cancelled"``, ``"request-truncated"``,
+    ``"task-dispatch"``, ``"task-cached"``, ``"task-executed"``,
+    ``"task-retried"``, ``"task-failed"``, ``"worker-restart"``,
+    ``"remote-entry-request"`` or ``"remote-entry-hit"``; ``namespace`` is the
+    request's cache namespace (experiment id or exploration target);
+    ``detail`` is free-form (endpoint, worker slot); ``count`` batches
+    events that arrive in groups (e.g. tasks per shard).
+    """
+
+    kind: str
+    namespace: str = ""
+    detail: str = ""
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -147,6 +171,9 @@ class Observer:
     def on_cache(self, event: CacheEvent) -> None:
         pass
 
+    def on_serve(self, event: ServeEvent) -> None:
+        pass
+
     def on_run_end(
         self,
         time: float,
@@ -167,6 +194,7 @@ _FLAGGED_HOOKS = (
     "sample",
     "round_end",
     "cache",
+    "serve",
 )
 
 
@@ -249,6 +277,10 @@ class EventBus(Observer):
     def on_cache(self, event):
         for observer in self._observers:
             observer.on_cache(event)
+
+    def on_serve(self, event):
+        for observer in self._observers:
+            observer.on_serve(event)
 
     def on_run_end(self, time, final_states):
         for observer in self._observers:

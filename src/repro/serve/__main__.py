@@ -1,0 +1,227 @@
+"""CLI front-end for the sweep service.
+
+Usage::
+
+    python -m repro.serve serve [--host H] [--port P] [--fleet inproc|tcp]
+                                [--workers N]
+    python -m repro.serve request EXPERIMENT [--url URL] [--points JSON]
+                                [--seeds N|JSON] [--deadline S] [--no-cache]
+    python -m repro.serve stats [--url URL]
+    python -m repro.serve smoke [--fleet inproc|tcp] [--workers N]
+
+``serve`` runs a server in the foreground until interrupted.
+``request`` streams one sweep through a running server and prints each
+outcome as it lands.  ``stats`` dumps ``GET /v1/stats``.  ``smoke`` is
+the self-contained CI gate: it boots a server against a throwaway cache
+directory, runs a pinned-seed sweep cold and warm, byte-diffs both
+against a direct local :func:`repro.experiments.base.run_sweep`, and
+fails unless the warm pass executed **zero** simulations (asserted from
+``/v1/stats``, not trusted from the stream).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pickle
+import sys
+import tempfile
+
+DEFAULT_URL = os.environ.get("REPRO_SERVE_URL", "http://127.0.0.1:8642")
+
+
+def _cmd_serve(args) -> int:
+    from repro.cache import remote
+    from repro.serve.service import SweepService
+
+    # A dedicated server process is the remote tier; it must never also
+    # be a client of one, whatever REPRO_CACHE_REMOTE says.
+    remote.disable_in_process()
+
+    async def run() -> int:
+        service = SweepService(
+            host=args.host,
+            port=args.port,
+            fleet_kind=args.fleet,
+            workers=args.workers,
+        )
+        await service.start()
+        print(f"serving {', '.join(service.catalog.ids())}")
+        print(f"listening on {service.url} (fleet: {args.fleet} x{args.workers})")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...")
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_request(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    points = json.loads(args.points) if args.points else None
+    try:
+        seeds = json.loads(args.seeds)
+    except ValueError:
+        print(f"--seeds must be an int or a JSON list, got {args.seeds!r}", file=sys.stderr)
+        return 2
+
+    def show(line):
+        kind = line.get("kind")
+        if kind == "header":
+            print(f"# {line['namespace']}: {line['tasks']} tasks, {line['cached']} cached")
+        elif kind == "outcome":
+            from repro.serve.protocol import decode_outcome_line
+
+            index, task, outcome, cached = decode_outcome_line(line)
+            marker = "cache" if cached else "ran  "
+            print(f"[{index:4d}] {marker} {task!r} -> {outcome!r}")
+        elif kind == "end":
+            print(
+                f"# done: {line['completed']}/{line['total']} in {line['elapsed_s']}s "
+                f"({line['cache_hits']} cached, {line['executed']} executed)"
+                + (" TRUNCATED" if line.get("truncated") else "")
+            )
+
+    try:
+        summary = client.sweep(
+            args.experiment,
+            points=points,
+            seeds=seeds,
+            deadline_s=args.deadline,
+            no_cache=args.no_cache,
+            on_line=show,
+        )
+    except ServeError as error:
+        print(f"request failed: {error}", file=sys.stderr)
+        return 1
+    except ConnectionError as error:
+        print(f"cannot reach {args.url}: {error}", file=sys.stderr)
+        return 1
+    return 0 if summary.end is not None and not summary.end.get("failed") else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        print(json.dumps(ServeClient(args.url).stats(), sort_keys=True, indent=2))
+    except (ServeError, ConnectionError, OSError) as error:
+        print(f"cannot fetch stats from {args.url}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+#: The smoke sweep: small, fast, pinned — FIG4 at n=4, both fault modes.
+SMOKE_EXPERIMENT = "FIG4"
+SMOKE_POINTS = ((4, False), (4, True))
+SMOKE_SEEDS = (0, 1)
+
+
+def _cmd_smoke(args) -> int:
+    from repro import cache as repro_cache
+    from repro.experiments import fig4
+    from repro.experiments.base import run_sweep, shutdown_pool
+    from repro.serve.runner import ServerThread
+
+    tasks = [(n, corrupt, seed) for n, corrupt in SMOKE_POINTS for seed in SMOKE_SEEDS]
+    local = run_sweep(fig4._measure, tasks, jobs=1)
+    local_bytes = pickle.dumps(list(local), 4)
+    shutdown_pool()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        repro_cache.configure(root=tmp, enabled=True)
+        try:
+            with ServerThread(fleet_kind=args.fleet, workers=args.workers) as server:
+                from repro.serve.client import ServeClient
+
+                client = ServeClient(server.url)
+                cold = client.sweep(
+                    SMOKE_EXPERIMENT, points=SMOKE_POINTS, seeds=list(SMOKE_SEEDS)
+                )
+                if pickle.dumps(cold.outcomes, 4) != local_bytes:
+                    print("smoke: COLD sweep diverged from local run_sweep", file=sys.stderr)
+                    return 1
+                if cold.end["executed"] != len(tasks):
+                    print(
+                        f"smoke: cold pass executed {cold.end['executed']} != {len(tasks)}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                before = client.stats()["tasks"]["executed"]
+                warm = client.sweep(
+                    SMOKE_EXPERIMENT, points=SMOKE_POINTS, seeds=list(SMOKE_SEEDS)
+                )
+                if pickle.dumps(warm.outcomes, 4) != local_bytes:
+                    print("smoke: WARM sweep diverged from local run_sweep", file=sys.stderr)
+                    return 1
+                after = client.stats()["tasks"]["executed"]
+                if after != before:
+                    print(
+                        f"smoke: warm pass executed {after - before} simulations "
+                        "(expected 0)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"smoke ok: {len(tasks)} tasks byte-identical cold and warm over "
+                    f"{args.fleet}; warm pass executed 0 simulations"
+                )
+        finally:
+            repro_cache.configure()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve, query, or smoke-test the sweep service.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    serve_p = sub.add_parser("serve", help="run a server in the foreground")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642)
+    serve_p.add_argument("--fleet", choices=("inproc", "tcp"), default="inproc")
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.set_defaults(func=_cmd_serve)
+
+    request_p = sub.add_parser("request", help="stream one sweep through a server")
+    request_p.add_argument("experiment")
+    request_p.add_argument("--url", default=DEFAULT_URL)
+    request_p.add_argument("--points", metavar="JSON", help='e.g. \'[[4, false]]\'')
+    request_p.add_argument("--seeds", default="1", metavar="N|JSON")
+    request_p.add_argument("--deadline", type=float, default=None, metavar="S")
+    request_p.add_argument("--no-cache", action="store_true")
+    request_p.set_defaults(func=_cmd_request)
+
+    stats_p = sub.add_parser("stats", help="dump GET /v1/stats")
+    stats_p.add_argument("--url", default=DEFAULT_URL)
+    stats_p.set_defaults(func=_cmd_stats)
+
+    smoke_p = sub.add_parser(
+        "smoke", help="cold+warm served sweep, byte-diffed against a local run"
+    )
+    smoke_p.add_argument("--fleet", choices=("inproc", "tcp"), default="inproc")
+    smoke_p.add_argument("--workers", type=int, default=2)
+    smoke_p.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""A stdlib HTTP client for the serving API.
+
+:class:`ServeClient` wraps :mod:`http.client` (which handles chunked
+transfer-encoding transparently) and the protocol vocabulary of
+:mod:`repro.serve.protocol`, so callers get back *decoded* tasks and
+outcomes — tuples and all — in a :class:`~repro.serve.protocol.StreamSummary`.
+The CLI (``python -m repro.serve request``), the example, the load
+benchmark, and the tests all go through this one class.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+from urllib.parse import urlsplit
+
+from repro.serve.protocol import StreamSummary, decode_stream_line
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """The server answered a structured error (or unparseable bytes)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+
+
+def _error_from(status: int, body: bytes) -> ServeError:
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+        error = parsed["error"]
+        return ServeError(status, str(error["code"]), str(error["message"]))
+    except Exception:
+        return ServeError(status, "unparseable", body[:200].decode("utf-8", "replace"))
+
+
+class ServeClient:
+    """One server's API surface; connections are per-call (streams close)."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if not split.hostname:
+            raise ValueError(f"cannot parse server URL {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.base = split.path.rstrip("/")
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    # -- unary calls ---------------------------------------------------------
+
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        connection = self._connect()
+        try:
+            connection.request("GET", self.base + path)
+            response = connection.getresponse()
+            body = response.read()
+            if response.status != 200:
+                raise _error_from(response.status, body)
+            return json.loads(body.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats``."""
+        return self._get_json("/v1/stats")
+
+    def experiments(self) -> Dict[str, Any]:
+        """``GET /v1/experiments``."""
+        return self._get_json("/v1/experiments")
+
+    def cache_entry(self, key: str) -> Optional[bytes]:
+        """``GET /v1/cache/<key>`` — raw entry bytes, or None on 404."""
+        connection = self._connect()
+        try:
+            connection.request("GET", f"{self.base}/v1/cache/{key}")
+            response = connection.getresponse()
+            body = response.read()
+            if response.status == 200:
+                return body
+            if response.status == 404:
+                return None
+            raise _error_from(response.status, body)
+        finally:
+            connection.close()
+
+    # -- streaming calls -----------------------------------------------------
+
+    def stream(
+        self, path: str, body: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        """POST ``body`` and yield decoded ND-JSON stream lines."""
+        payload = json.dumps(body).encode("utf-8")
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST",
+                self.base + path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise _error_from(response.status, response.read())
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield decode_stream_line(line)
+        finally:
+            connection.close()
+
+    def _collect(
+        self,
+        path: str,
+        body: Dict[str, Any],
+        on_line: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> StreamSummary:
+        summary = StreamSummary()
+        for line in self.stream(path, body):
+            summary.feed(line)
+            if on_line is not None:
+                on_line(line)
+            if line.get("kind") == "error":
+                raise ServeError(200, str(line.get("code")), str(line.get("message")))
+        return summary
+
+    def sweep(
+        self,
+        experiment: str,
+        points: Optional[Sequence[Sequence[Any]]] = None,
+        seeds: Union[int, Sequence[int]] = 1,
+        deadline_s: Optional[float] = None,
+        no_cache: bool = False,
+        on_line: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> StreamSummary:
+        """``POST /v1/sweep`` and gather the whole ordered stream.
+
+        ``summary.outcomes`` is exactly the list a local
+        :func:`repro.experiments.base.run_sweep` over the same tasks
+        returns (byte-identical under pickling); a worker failure
+        raises :class:`ServeError`; a deadline expiry does *not* raise
+        — check ``summary.truncated``.
+        """
+        body: Dict[str, Any] = {"experiment": experiment, "seeds": _seeds(seeds)}
+        if points is not None:
+            body["points"] = [list(point) for point in points]
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if no_cache:
+            body["no_cache"] = True
+        return self._collect("/v1/sweep", body, on_line)
+
+    def explore(
+        self,
+        target: str,
+        budget: int = 200,
+        seed: int = 0,
+        mode: str = "auto",
+        deadline_s: Optional[float] = None,
+        no_cache: bool = False,
+    ) -> StreamSummary:
+        """``POST /v1/explore`` — one exploration summary as a stream."""
+        body: Dict[str, Any] = {
+            "target": target,
+            "budget": budget,
+            "seed": seed,
+            "mode": mode,
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if no_cache:
+            body["no_cache"] = True
+        return self._collect("/v1/explore", body)
+
+
+def _seeds(seeds: Union[int, Sequence[int]]) -> Union[int, List[int]]:
+    return seeds if isinstance(seeds, int) else list(seeds)

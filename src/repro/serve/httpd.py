@@ -1,0 +1,380 @@
+"""A minimal asyncio HTTP/1.1 front-end (stdlib only).
+
+Deliberately small: the serving API needs exactly four verbs of HTTP —
+parse a request with a bounded body, answer a JSON document, stream an
+ND-JSON body chunk-by-chunk as results land, and notice a client that
+went away mid-stream.  Nothing here knows about sweeps; the router
+callback (:mod:`repro.serve.service`) owns the semantics.
+
+Contract:
+
+- Requests are limited: request line and each header line at 8 KiB
+  (the ``asyncio`` stream-reader limit), at most 100 header lines, and
+  a body ceiling set by the server config — violations answer a
+  *structured* JSON error (:func:`repro.serve.protocol.error_body`)
+  with 400/413/431 and close the connection.
+- Unary responses carry ``Content-Length`` and keep the connection
+  alive; streaming responses use chunked transfer-encoding, flush one
+  chunk per ND-JSON line, and always close when done (simplest honest
+  HTTP/1.1).
+- While streaming, the connection's read side is watched: an EOF or
+  reset cancels the producer *at its current await point* (its
+  ``finally`` blocks run, so the service can cancel in-flight shards)
+  — the mechanism behind "client disconnect cancels the shard".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.serve.protocol import error_body
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpServer",
+    "Response",
+    "StreamResponse",
+    "json_response",
+]
+
+#: StreamReader line limit — caps the request line and each header line.
+MAX_LINE_BYTES = 8 << 10
+MAX_HEADER_LINES = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request; answered as a structured error."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+
+@dataclass
+class Response:
+    """A unary response: full body known up front."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class StreamResponse:
+    """A chunk-flushed ND-JSON response; ``lines`` yields encoded lines."""
+
+    lines: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+
+
+def json_response(obj: Any, status: int = 200) -> Response:
+    return Response(
+        status=status,
+        body=(json.dumps(obj, sort_keys=True) + "\n").encode("utf-8"),
+    )
+
+
+#: The router: request → Response | StreamResponse (raise HttpError /
+#: ProtocolError for structured failures).
+Handler = Callable[[HttpRequest], Awaitable[Any]]
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[HttpRequest]:
+    """Parse one request; None on a clean EOF between requests."""
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HttpError(431, "oversize-line", "request line exceeds the 8 KiB limit")
+    if not request_line:
+        return None
+    try:
+        method, target, version = request_line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, "bad-request-line", "malformed HTTP request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad-version", f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HttpError(431, "oversize-header", "header line exceeds the 8 KiB limit")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HttpError(400, "bad-header", "undecodable header line")
+        if not _ or not name.strip():
+            raise HttpError(400, "bad-header", f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(431, "too-many-headers", f"more than {MAX_HEADER_LINES} headers")
+
+    body = b""
+    if method in ("POST", "PUT"):
+        if "transfer-encoding" in headers:
+            raise HttpError(
+                411, "length-required", "chunked request bodies are not supported"
+            )
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, "bad-length", f"invalid Content-Length {raw_length!r}")
+        if length < 0:
+            raise HttpError(400, "bad-length", "negative Content-Length")
+        if length > max_body:
+            raise HttpError(
+                413,
+                "oversize-body",
+                f"request body of {length} bytes exceeds the {max_body}-byte limit",
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated-body", "connection closed mid-body")
+
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, extra: Dict[str, str]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}", f"Content-Type: {content_type}"]
+    lines += [f"{name}: {value}" for name, value in extra.items()]
+    return ("\r\n".join(lines) + "\r\n").encode("latin-1")
+
+
+def _unary_bytes(response: Response, keep_alive: bool) -> bytes:
+    extra = dict(response.headers)
+    extra["Content-Length"] = str(len(response.body))
+    extra["Connection"] = "keep-alive" if keep_alive else "close"
+    return _head(response.status, response.content_type, extra) + b"\r\n" + response.body
+
+
+class HttpServer:
+    """One listening socket fanning requests into the router callback."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body: int = 8 << 20,
+    ):
+        self._handler = handler
+        self._host = host
+        self._requested_port = port
+        self._max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._host,
+            self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        for task in list(self._connections):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # -- connection loop -----------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._request_loop(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, Exception):
+                pass
+
+    async def _request_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await _read_request(reader, self._max_body)
+            except HttpError as error:
+                writer.write(
+                    _unary_bytes(
+                        json_response(error_body(error.code, str(error)), error.status),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            response = await self._dispatch(request)
+            if isinstance(response, StreamResponse):
+                await self._write_stream(reader, writer, response)
+                return  # streaming responses close the connection
+            keep_alive = request.headers.get("connection", "keep-alive") != "close"
+            writer.write(_unary_bytes(response, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _dispatch(self, request: HttpRequest) -> Any:
+        from repro.serve.protocol import ProtocolError
+
+        try:
+            return await self._handler(request)
+        except HttpError as error:
+            return json_response(error_body(error.code, str(error)), error.status)
+        except ProtocolError as error:
+            return json_response(error.body(), error.status)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — the boundary of last resort
+            return json_response(
+                error_body("internal", f"{type(error).__name__}: {error}"), 500
+            )
+
+    async def _write_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        response: StreamResponse,
+    ) -> None:
+        writer.write(
+            _head(
+                response.status,
+                response.content_type,
+                {"Transfer-Encoding": "chunked", "Connection": "close"},
+            )
+            + b"\r\n"
+        )
+        generator = response.lines
+        eof_watch = asyncio.ensure_future(reader.read(1))
+        try:
+            while True:
+                next_line = asyncio.ensure_future(generator.__anext__())
+                done, _pending = await asyncio.wait(
+                    {next_line, eof_watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if eof_watch in done and next_line not in done:
+                    # Client went away (or sent junk we treat as going
+                    # away): stop the producer at its await point so its
+                    # finally blocks cancel any in-flight work.
+                    next_line.cancel()
+                    try:
+                        await next_line
+                    except (asyncio.CancelledError, StopAsyncIteration, Exception):
+                        pass
+                    return
+                try:
+                    line = next_line.result()
+                except StopAsyncIteration:
+                    writer.write(b"0\r\n\r\n")
+                    await writer.drain()
+                    return
+                except Exception as error:  # producer bug: end the stream loudly
+                    tail = (
+                        json.dumps(
+                            error_body("internal", f"{type(error).__name__}: {error}")
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                    try:
+                        writer.write(b"%x\r\n" % len(tail) + tail + b"\r\n0\r\n\r\n")
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    return
+                try:
+                    writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            if not eof_watch.done():
+                eof_watch.cancel()
+                try:
+                    await eof_watch
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await generator.aclose()
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """``"/v1/cache/abc"`` → ``("v1", "cache", "abc")``."""
+    return tuple(part for part in path.split("/") if part)

@@ -1,0 +1,98 @@
+"""Run a :class:`~repro.serve.service.SweepService` on a background thread.
+
+Tests, the example script, the load benchmark, and the CI smoke all
+need the same shape: a real server listening on an ephemeral loopback
+port while the calling thread plays client.  :class:`ServerThread`
+packages it — its own event loop on a daemon thread, a startup
+handshake that re-raises bind/start failures in the caller, and a
+``stop()`` that drains through :meth:`SweepService.stop` before the
+loop is torn down.
+
+The foreground path (``python -m repro.serve serve``) does not use
+this; it runs the service on the main thread's loop directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.service import SweepService
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """A serving event loop on a daemon thread; use as a context manager."""
+
+    def __init__(self, service: Optional[SweepService] = None, **service_kwargs):
+        if service is not None and service_kwargs:
+            raise ValueError("pass a service or its kwargs, not both")
+        self.service = service if service is not None else SweepService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("server thread did not come up within 60s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as error:  # surfaced to start()'s caller
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self, drain_s: float = 5.0) -> None:
+        """Drain and tear down; safe to call more than once."""
+        if (
+            self._loop is None
+            or self._thread is None
+            or self._startup_error
+            or self._loop.is_closed()
+        ):
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain_s=drain_s), self._loop
+        )
+        try:
+            future.result(timeout=drain_s + 30)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,110 @@
+"""The fleet worker process (``python -m repro.serve.worker``).
+
+Spawned by :class:`repro.serve.fleet.ProcessFleet`, a worker dials the
+fleet's loopback TCP listener, authenticates with the one-shot token
+from its command line, then loops: read a ``shard`` frame, resolve the
+named sweep worker, execute the task slice in order, answer a
+``result`` frame (or an ``error`` frame when the worker function
+raises — a deterministic failure the fleet never retries).  A
+``shutdown`` frame ends the loop cleanly.
+
+The process is plain blocking I/O on purpose: a worker does exactly one
+thing at a time, and the parent's supervision (connection EOF = crash)
+is simplest when the socket dies with the process.  Caching is entirely
+parent-side — the fleet spawns workers with ``REPRO_CACHE=0``, so
+:mod:`repro.cache` is inert here (same contract as ``run_sweep``'s
+fork-pool children).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import traceback
+
+from repro.cache.store import _resolve_worker
+from repro.net.framing import FrameDecoder, encode_frame
+from repro.serve.fleet import WORKER_MAX_FRAME
+
+_READ_CHUNK = 1 << 16
+
+
+def _read_frame(sock: socket.socket, decoder: FrameDecoder):
+    """Next frame from the parent (None on EOF)."""
+    while True:
+        data = sock.recv(_READ_CHUNK)
+        if not data:
+            decoder.eof()
+            return None
+        frames = decoder.feed(data)
+        if frames:
+            return frames[0]
+
+
+def serve_shards(sock: socket.socket, token: str, slot: int) -> int:
+    """The worker loop over an already-connected socket."""
+    decoder = FrameDecoder(WORKER_MAX_FRAME)
+    sock.sendall(
+        encode_frame(
+            {"kind": "hello", "token": token, "slot": slot, "pid": os.getpid()},
+            WORKER_MAX_FRAME,
+        )
+    )
+    workers = {}
+    while True:
+        frame = _read_frame(sock, decoder)
+        if frame is None or frame.get("kind") == "shutdown":
+            return 0
+        if frame.get("kind") != "shard":
+            continue
+        shard_id = frame.get("id")
+        ref = frame.get("worker")
+        try:
+            worker = workers.get(ref)
+            if worker is None:
+                worker = _resolve_worker(ref)
+                if worker is None:
+                    raise RuntimeError(f"cannot resolve sweep worker {ref!r}")
+                workers[ref] = worker
+            outcomes = [worker(task) for task in frame.get("tasks", [])]
+        except BaseException as error:  # noqa: BLE001 — reported, not retried
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            sock.sendall(
+                encode_frame(
+                    {
+                        "kind": "error",
+                        "id": shard_id,
+                        "message": "".join(
+                            traceback.format_exception_only(type(error), error)
+                        ).strip(),
+                    },
+                    WORKER_MAX_FRAME,
+                )
+            )
+            continue
+        sock.sendall(
+            encode_frame(
+                {"kind": "result", "id": shard_id, "outcomes": outcomes},
+                WORKER_MAX_FRAME,
+            )
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve.worker")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--token", required=True)
+    parser.add_argument("--slot", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    host, _, port = args.connect.rpartition(":")
+    with socket.create_connection((host, int(port)), timeout=30) as sock:
+        sock.settimeout(None)
+        return serve_shards(sock, args.token, args.slot)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ CASES = [
     ("transaction_commit.py", ["all post-stabilization commit rounds agreed: True"]),
     ("replicated_counter.py", ["service spec holds: True"]),
     (
+        "serve_client.py",
+        [
+            "warm pass executed zero simulations: True",
+            "served outcomes byte-identical to local run_sweep: True",
+        ],
+    ),
+    (
         "live_cluster.py",
         [
             "live stabilization point:",

@@ -1,0 +1,50 @@
+"""Fixtures for the serving-layer tests.
+
+Two load-bearing rules:
+
+- The persistent fork-based sweep pool (:mod:`repro.experiments.base`)
+  must be gone before any test here starts an asyncio event loop —
+  forking a process that owns a loop's helper threads can deadlock the
+  child.  Same autouse guard as ``tests/net``.
+- :mod:`repro.cache.remote` holds process-global state (the down latch,
+  the in-process disable flag, counters); each test starts from a clean
+  slate and never inherits a latch tripped by a previous test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import remote
+from repro.experiments.base import shutdown_pool
+from repro.serve.runner import ServerThread
+
+
+@pytest.fixture(autouse=True)
+def no_fork_pool():
+    """Shut the persistent sweep pool down before each serve test."""
+    shutdown_pool()
+    yield
+
+
+@pytest.fixture(autouse=True)
+def clean_remote_tier(monkeypatch):
+    """Fresh remote-tier state; no REPRO_CACHE_REMOTE leaks in or out."""
+    monkeypatch.delenv("REPRO_CACHE_REMOTE", raising=False)
+    remote.reset()
+    yield
+    remote.reset()
+
+
+@pytest.fixture
+def server():
+    """A running in-process server (thread fleet, two workers)."""
+    with ServerThread(fleet_kind="inproc", workers=2) as running:
+        yield running
+
+
+@pytest.fixture
+def tcp_server():
+    """A running server backed by spawned worker processes."""
+    with ServerThread(fleet_kind="tcp", workers=2) as running:
+        yield running

@@ -1,0 +1,156 @@
+"""Fleet-level tests: shard execution, retry-then-fail, backpressure."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.fleet import (
+    ProcessFleet,
+    Shard,
+    ShardFailed,
+    ThreadFleet,
+    WorkerCrashed,
+    make_fleet,
+)
+
+DEBUG_WORKER = "repro.serve.catalog:debug_worker"
+
+
+def _shard(tasks, worker_ref=DEBUG_WORKER):
+    return Shard(
+        worker_ref=worker_ref,
+        namespace="SERVE-DEBUG",
+        indices=tuple(range(len(tasks))),
+        tasks=tuple(tasks),
+    )
+
+
+async def _with_fleet(fleet, body):
+    await fleet.start()
+    try:
+        return await body(fleet)
+    finally:
+        await fleet.stop()
+
+
+def test_make_fleet_kinds():
+    assert isinstance(make_fleet("inproc"), ThreadFleet)
+    assert isinstance(make_fleet("tcp"), ProcessFleet)
+    with pytest.raises(ValueError):
+        make_fleet("carrier-pigeon")
+
+
+def test_thread_fleet_executes_and_preserves_order():
+    async def body(fleet):
+        shard = _shard([("echo", 1, 0), ("echo", 2, 0), ("echo", 3, 0)])
+        await fleet.submit(shard)
+        return await shard.future
+
+    outcomes = asyncio.run(_with_fleet(ThreadFleet(workers=2), body))
+    assert outcomes == [("echo", 1, 0), ("echo", 2, 0), ("echo", 3, 0)]
+    # the framing round-trip kept tuples as tuples
+    assert all(isinstance(outcome, tuple) for outcome in outcomes)
+
+
+def test_thread_fleet_worker_error_is_shard_failed_not_retried():
+    async def body(fleet):
+        shard = _shard([("fail", "kaput", 0)])
+        await fleet.submit(shard)
+        with pytest.raises(ShardFailed, match="kaput"):
+            await shard.future
+        return shard.attempts
+
+    attempts = asyncio.run(_with_fleet(ThreadFleet(workers=1), body))
+    assert attempts == 0  # deterministic errors never take the crash path
+
+
+def test_process_fleet_executes_shards():
+    async def body(fleet):
+        shard = _shard([("echo", "over-tcp", 7)])
+        await fleet.submit(shard)
+        return await shard.future
+
+    outcomes = asyncio.run(_with_fleet(ProcessFleet(workers=1), body))
+    assert outcomes == [("echo", "over-tcp", 7)]
+
+
+def test_process_fleet_crash_is_retried_once_and_recovers(tmp_path):
+    marker = str(tmp_path / "crashed-once")
+
+    async def body(fleet):
+        shard = _shard([("exit-once", marker, 0)])
+        await fleet.submit(shard)
+        outcome = await shard.future
+        return outcome, fleet.restarts, shard.attempts
+
+    outcome, restarts, attempts = asyncio.run(_with_fleet(ProcessFleet(workers=1), body))
+    assert outcome == [("recovered", 0)]
+    assert restarts == 1
+    assert attempts == 1
+
+
+def test_process_fleet_double_crash_fails_the_shard():
+    async def body(fleet):
+        shard = _shard([("exit", 1, 0)])
+        await fleet.submit(shard)
+        with pytest.raises(WorkerCrashed, match="died twice"):
+            await shard.future
+        return fleet.restarts
+
+    restarts = asyncio.run(_with_fleet(ProcessFleet(workers=1), body))
+    assert restarts == 2  # original crash + the retry's crash
+
+
+def test_process_fleet_worker_error_is_not_a_crash():
+    async def body(fleet):
+        shard = _shard([("fail", "deterministic", 0)])
+        await fleet.submit(shard)
+        with pytest.raises(ShardFailed, match="deterministic"):
+            await shard.future
+        # the same worker process keeps serving afterwards
+        ok = _shard([("echo", "alive", 0)])
+        await fleet.submit(ok)
+        return await ok.future, fleet.restarts
+
+    outcome, restarts = asyncio.run(_with_fleet(ProcessFleet(workers=1), body))
+    assert outcome == [("echo", "alive", 0)]
+    assert restarts == 0
+
+
+def test_bounded_queue_applies_backpressure():
+    async def body(fleet):
+        # one worker, queue depth 1: a parked worker + a queued shard
+        # leave no room, so the third submit must suspend.
+        parked = _shard([("sleep", 500, 0)])
+        queued = _shard([("echo", 1, 0)])
+        blocked = _shard([("echo", 2, 0)])
+        await fleet.submit(parked)
+        await asyncio.sleep(0.1)  # let the pump take `parked`
+        await fleet.submit(queued)
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(fleet.submit(blocked), timeout=0.2)
+        # once the parked shard finishes, everything drains
+        assert await parked.future == [500]
+        await fleet.submit(blocked)
+        assert await queued.future == [("echo", 1, 0)]
+        assert await blocked.future == [("echo", 2, 0)]
+
+    asyncio.run(_with_fleet(ThreadFleet(workers=1, queue_depth=1), body))
+
+
+def test_stopped_fleet_fails_pending_shards():
+    async def run():
+        fleet = ThreadFleet(workers=1, queue_depth=4)
+        await fleet.start()
+        parked = _shard([("sleep", 300, 0)])
+        pending = _shard([("echo", 1, 0)])
+        await fleet.submit(parked)
+        await asyncio.sleep(0.05)
+        await fleet.submit(pending)
+        await fleet.stop()
+        with pytest.raises(WorkerCrashed, match="fleet stopped"):
+            await pending.future
+
+    asyncio.run(run())

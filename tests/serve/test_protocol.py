@@ -1,0 +1,155 @@
+"""Protocol-edge tests: malformed bodies map to structured errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.catalog import default_catalog
+from repro.serve.protocol import (
+    ProtocolError,
+    StreamSummary,
+    decode_outcome_line,
+    decode_stream_line,
+    encode_stream_line,
+    end_line,
+    error_body,
+    header_line,
+    outcome_line,
+    parse_explore_request,
+    parse_sweep_request,
+)
+
+CATALOG = default_catalog()
+
+
+def _sweep(body: dict, **kwargs):
+    return parse_sweep_request(json.dumps(body).encode("utf-8"), CATALOG, **kwargs)
+
+
+class TestSweepParsing:
+    def test_minimal_body_uses_surface_defaults(self):
+        parsed = _sweep({"experiment": "FIG4"})
+        assert parsed.points == ((4, False), (4, True))
+        assert parsed.seeds == (0,)
+        assert parsed.tasks == ((4, False, 0), (4, True, 0))
+
+    def test_seed_count_expands_to_range(self):
+        parsed = _sweep({"experiment": "FIG4", "points": [[4, False]], "seeds": 3})
+        assert parsed.seeds == (0, 1, 2)
+        assert parsed.tasks == ((4, False, 0), (4, False, 1), (4, False, 2))
+
+    def test_explicit_seed_list(self):
+        parsed = _sweep({"experiment": "FIG4", "points": [[4, True]], "seeds": [7, 9]})
+        assert parsed.tasks == ((4, True, 7), (4, True, 9))
+
+    @pytest.mark.parametrize(
+        "raw,code",
+        [
+            (b"not json at all", "bad-json"),
+            (b"[1,2,3]", "bad-json"),
+            (b"{}", "bad-experiment"),
+            (json.dumps({"experiment": "NOPE"}).encode(), "unknown-experiment"),
+            (json.dumps({"experiment": "FIG4", "points": []}).encode(), "bad-points"),
+            (
+                json.dumps({"experiment": "FIG4", "points": [[4]]}).encode(),
+                "bad-points",
+            ),
+            (
+                json.dumps({"experiment": "FIG4", "points": [["x", False]]}).encode(),
+                "bad-points",
+            ),
+            (
+                json.dumps({"experiment": "FIG4", "seeds": 0}).encode(),
+                "bad-seeds",
+            ),
+            (
+                json.dumps({"experiment": "FIG4", "seeds": [True]}).encode(),
+                "bad-seeds",
+            ),
+            (
+                json.dumps({"experiment": "FIG4", "deadline_s": -1}).encode(),
+                "bad-deadline",
+            ),
+            (
+                json.dumps({"experiment": "FIG4", "bogus": 1}).encode(),
+                "unknown-field",
+            ),
+        ],
+    )
+    def test_bad_bodies_raise_stable_codes(self, raw, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_sweep_request(raw, CATALOG)
+        assert excinfo.value.code == code
+
+    def test_task_limit_is_a_413(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _sweep({"experiment": "FIG4", "seeds": 100}, max_tasks=10)
+        assert excinfo.value.code == "too-many-tasks"
+        assert excinfo.value.status == 413
+
+    def test_bool_rejected_where_int_expected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _sweep({"experiment": "FIG4", "points": [[True, False]]})
+        assert excinfo.value.code == "bad-points"
+
+    def test_deadline_is_clamped(self):
+        parsed = _sweep({"experiment": "FIG4", "deadline_s": 10_000})
+        assert parsed.deadline_s == 600.0
+
+
+class TestExploreParsing:
+    def test_defaults(self):
+        parsed = parse_explore_request(json.dumps({"target": "fig1"}).encode())
+        assert parsed.task == ("fig1", 200, 0, "auto")
+
+    @pytest.mark.parametrize(
+        "body,code",
+        [
+            ({"target": "nope"}, "unknown-target"),
+            ({}, "unknown-target"),
+            ({"target": "fig1", "budget": 0}, "bad-budget"),
+            ({"target": "fig1", "budget": 10**9}, "bad-budget"),
+            ({"target": "fig1", "mode": "psychic"}, "bad-mode"),
+            ({"target": "fig1", "seed": "zero"}, "bad-seed"),
+        ],
+    )
+    def test_bad_bodies(self, body, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_explore_request(json.dumps(body).encode())
+        assert excinfo.value.code == code
+
+
+class TestStreamLines:
+    def test_outcome_line_round_trips_tuples(self):
+        task = (4, False, 0)
+        outcome = {"rounds": 3, "witness": (1, 2), "ok": True}
+        line = decode_stream_line(encode_stream_line(outcome_line(5, task, outcome, True)))
+        index, got_task, got_outcome, cached = decode_outcome_line(line)
+        assert (index, got_task, got_outcome, cached) == (5, task, outcome, True)
+        assert isinstance(got_task, tuple)
+        assert isinstance(got_outcome["witness"], tuple)
+
+    def test_summary_enforces_input_order(self):
+        summary = StreamSummary()
+        summary.feed(header_line(1, "FIG4", 2, 0))
+        summary.feed(outcome_line(0, (4, False, 0), "a", False))
+        with pytest.raises(ProtocolError):
+            summary.feed(outcome_line(5, (4, True, 0), "b", False))
+
+    def test_summary_ok_semantics(self):
+        summary = StreamSummary()
+        summary.feed(header_line(1, "FIG4", 1, 0))
+        summary.feed(outcome_line(0, (4, False, 0), "a", False))
+        assert not summary.ok  # no end line yet
+        summary.feed(end_line(1, 1, 0, 1, 0.1))
+        assert summary.ok and not summary.truncated
+
+    def test_truncated_end_is_not_ok(self):
+        summary = StreamSummary()
+        summary.feed(end_line(1, 4, 0, 1, 0.1, truncated=True))
+        assert summary.truncated and not summary.ok
+
+    def test_error_body_shape(self):
+        assert error_body("x", "y") == {"error": {"code": "x", "message": "y"}}
