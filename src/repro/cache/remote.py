@@ -15,9 +15,14 @@ Failure policy: the remote tier is an accelerator, never a dependency.
   :data:`DOWN_LATCH_S` seconds no further fetches are attempted, so an
   unreachable server costs one timeout, not one per miss.  The latch
   clears itself; a healthy fetch resets the error count.
-- Fetched entries are validated (unpicklable, wrong schema, or a
-  foreign code fingerprint → treated as a miss) and written through to
-  the local store, so the second lookup is local.
+- Entries travel as tagged-JSON frames (:mod:`repro.net.framing`),
+  **never pickle** — unpickling bytes a remote peer controls would be
+  arbitrary code execution.  The store validates each fetched entry
+  (undecodable, wrong schema, or a foreign code fingerprint → treated
+  as a miss), re-pickles it locally, and writes it through, so the
+  second lookup is local.
+- ``http://`` and ``https://`` URLs are spoken with the matching
+  transport; any other scheme is rejected (latched) outright.
 
 :func:`disable_in_process` exists for the server itself: the process
 *answering* ``/v1/cache/<key>`` must never consult a remote tier (least
@@ -31,6 +36,8 @@ import os
 import time
 from typing import Dict, Optional
 from urllib.parse import urlsplit
+
+from repro.cache.store import ENTRY_WIRE_MAX
 
 __all__ = [
     "DOWN_LATCH_S",
@@ -92,7 +99,7 @@ def _latch() -> None:
 
 
 def fetch_entry(key: str) -> Optional[bytes]:
-    """One raw entry from the remote tier, or None (silently) on any miss.
+    """One raw entry frame from the remote tier, or None (silently) on any miss.
 
     "Silently" is the contract: an unreachable or misbehaving server
     must look exactly like a cache miss to the caller, who then simply
@@ -103,19 +110,30 @@ def fetch_entry(key: str) -> Optional[bytes]:
         return None
     split = urlsplit(url if "//" in url else f"http://{url}")
     host = split.hostname
-    if not host:
+    scheme = split.scheme or "http"
+    if not host or scheme not in ("http", "https"):
         _latch()
         return None
     _stats["requests"] += 1
-    connection = http.client.HTTPConnection(
-        host, split.port or 80, timeout=FETCH_TIMEOUT_S
-    )
+    if scheme == "https":
+        connection: http.client.HTTPConnection = http.client.HTTPSConnection(
+            host, split.port or 443, timeout=FETCH_TIMEOUT_S
+        )
+    else:
+        connection = http.client.HTTPConnection(
+            host, split.port or 80, timeout=FETCH_TIMEOUT_S
+        )
     try:
         base = split.path.rstrip("/")
         connection.request("GET", f"{base}/v1/cache/{key}")
         response = connection.getresponse()
-        body = response.read()
+        # Cap what a misbehaving server can make this process buffer:
+        # one frame prefix plus the frame ceiling, nothing more.
+        body = response.read(ENTRY_WIRE_MAX + 64)
         if response.status == 200:
+            if len(body) > ENTRY_WIRE_MAX + 4:
+                _latch()  # oversized reply: not a cache server
+                return None
             _stats["hits"] += 1
             return body
         _stats["misses"] += 1

@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.cache.digest import code_fingerprint, digest_key, worker_ref
 from repro.kernel.events import CacheEvent, EventBus, Observer
+from repro.net.framing import FrameDecoder, FrameError, encode_frame
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -57,6 +58,12 @@ PICKLE_PROTOCOL = 4
 
 #: Entry-dict schema version (independent of the key schema).
 ENTRY_SCHEMA = 1
+
+#: Ceiling on one remote-tier wire frame (matches the serve worker
+#: protocol's cap).  Pickle never crosses the network — entries travel
+#: as tagged-JSON frames (:mod:`repro.net.framing`) because unpickling
+#: bytes a remote peer controls would be arbitrary code execution.
+ENTRY_WIRE_MAX = 1 << 26
 
 _COUNTER_FIELDS = ("hits", "misses", "stores", "bytes_read", "bytes_written")
 
@@ -235,10 +242,11 @@ class RunCache:
     def _fetch_remote(self, key: str) -> Optional[bytes]:
         """Consult the read-through remote tier on a local disk miss.
 
-        Returns validated entry bytes (written through to the pending
-        buffer so they persist locally on the next flush) or None.  The
-        tier is opt-in (``REPRO_CACHE_REMOTE``) and fails silently —
-        see :mod:`repro.cache.remote` for the latch policy.
+        Returns a validated entry, decoded from its wire frame and
+        re-pickled *locally* (written through to the pending buffer so
+        it persists on the next flush), or None.  The tier is opt-in
+        (``REPRO_CACHE_REMOTE``) and fails silently — see
+        :mod:`repro.cache.remote` for the latch policy.
         """
         if not self.consult_remote:
             return None
@@ -247,28 +255,37 @@ class RunCache:
         raw = remote.fetch_entry(key)
         if raw is None:
             return None
+        # The wire form is one tagged-JSON frame, never pickle: remote
+        # bytes are untrusted and must not reach pickle.loads.
         try:
-            entry = pickle.loads(raw)
-        except Exception:
+            decoder = FrameDecoder(ENTRY_WIRE_MAX)
+            frames = decoder.feed(raw)
+            decoder.eof()
+        except FrameError:
             return None
+        if len(frames) != 1:
+            return None
+        entry = frames[0]
         if (
             not isinstance(entry, dict)
             or entry.get("schema") != ENTRY_SCHEMA
             or entry.get("fingerprint") != code_fingerprint()
         ):
             return None  # foreign or stale entry: not trustworthy here
-        self._pending[key] = raw
+        try:
+            entry_bytes = pickle.dumps(entry, PICKLE_PROTOCOL)
+        except Exception:
+            return None
+        self._pending[key] = entry_bytes
         if len(self._pending) >= self._flush_every:
             self.flush()
-        return raw
+        return entry_bytes
 
     def entry_bytes(self, key: str) -> Optional[bytes]:
         """The raw pickled entry for ``key``, or None — without events.
 
-        Serves ``GET /v1/cache/<key>`` (:mod:`repro.serve`): the remote
-        tier must not inflate this process's hit/miss counters, and the
-        *caller's* counters are what the read-through is accounted
-        under.  Checks the LRU front, the write-back buffer, and disk.
+        Checks the LRU front, the write-back buffer, and disk.  Local
+        use only; the network-facing form is :meth:`entry_wire`.
         """
         entry_bytes = self._memory.get(key)
         if entry_bytes is None:
@@ -278,6 +295,24 @@ class RunCache:
         try:
             return self._path(key).read_bytes()
         except OSError:
+            return None
+
+    def entry_wire(self, key: str) -> Optional[bytes]:
+        """The entry as one tagged-JSON wire frame, or None — no events.
+
+        Serves ``GET /v1/cache/<key>`` (:mod:`repro.serve`): the remote
+        tier speaks the :mod:`repro.net.framing` codec so clients never
+        unpickle network bytes, and it bypasses events because the
+        *caller's* counters are what a read-through is accounted under.
+        An entry whose value cannot survive the codec round-trip is
+        simply not servable (None → 404 → the client executes locally).
+        """
+        raw = self.entry_bytes(key)
+        if raw is None:
+            return None
+        try:
+            return encode_frame(pickle.loads(raw), ENTRY_WIRE_MAX)
+        except Exception:
             return None
 
     def put(

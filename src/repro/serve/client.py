@@ -15,6 +15,8 @@ import json
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 from urllib.parse import urlsplit
 
+from repro.cache.store import ENTRY_WIRE_MAX
+from repro.net.framing import FrameDecoder
 from repro.serve.protocol import StreamSummary, decode_stream_line
 
 __all__ = ["ServeClient", "ServeError"]
@@ -75,15 +77,22 @@ class ServeClient:
         """``GET /v1/experiments``."""
         return self._get_json("/v1/experiments")
 
-    def cache_entry(self, key: str) -> Optional[bytes]:
-        """``GET /v1/cache/<key>`` — raw entry bytes, or None on 404."""
+    def cache_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """``GET /v1/cache/<key>`` — the decoded entry dict, or None on 404.
+
+        Entries travel as tagged-JSON frames (never pickle); the frame
+        is decoded here, so callers see the plain entry mapping.
+        """
         connection = self._connect()
         try:
             connection.request("GET", f"{self.base}/v1/cache/{key}")
             response = connection.getresponse()
             body = response.read()
             if response.status == 200:
-                return body
+                decoder = FrameDecoder(ENTRY_WIRE_MAX)
+                frames = decoder.feed(body)
+                decoder.eof()
+                return frames[0] if frames else None
             if response.status == 404:
                 return None
             raise _error_from(response.status, body)

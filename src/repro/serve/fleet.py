@@ -22,7 +22,11 @@ Two fabrics, one contract:
   loopback TCP, speaking length-prefixed tagged-JSON frames (the
   :mod:`repro.net.framing` stack wholesale).  A worker that dies
   mid-shard is detected by its connection dropping; the shard is
-  retried **once** on a respawned worker, then failed.
+  retried **once** on a respawned worker, then failed.  A spawned
+  worker that never dials back (:data:`CONNECT_TIMEOUT_S`) fails the
+  shard in hand with :class:`WorkerCrashed` — the pump itself keeps
+  running and respawns for the next shard, so no request ever hangs on
+  a permanently lost worker slot.
 
 Backpressure is the bounded submit queue: :meth:`WorkerFleet.submit`
 awaits when every worker is busy and the queue is full, which suspends
@@ -276,6 +280,10 @@ def _run_shard_framed(worker_ref: str, tasks: Sequence[Any]) -> List[Any]:
 #: more than one client HTTP frame's worth.
 WORKER_MAX_FRAME = 1 << 26
 
+#: How long a spawned worker may take to connect back before the shard
+#: waiting on it is failed (instance-overridable for tests).
+CONNECT_TIMEOUT_S = 30.0
+
 
 class ProcessFleet(WorkerFleet):
     """Spawned worker processes over loopback TCP framed JSON.
@@ -299,6 +307,7 @@ class ProcessFleet(WorkerFleet):
         self._conn_waiters: Dict[int, asyncio.Future] = {}
         self._procs: Dict[int, subprocess.Popen] = {}
         self._next_shard_id = 0
+        self.connect_timeout_s = CONNECT_TIMEOUT_S
 
     @property
     def port(self) -> int:
@@ -393,12 +402,23 @@ class ProcessFleet(WorkerFleet):
         self._conn_waiters[slot] = waiter
         self._spawn(slot)
         try:
-            return await asyncio.wait_for(waiter, timeout=30)
+            return await asyncio.wait_for(waiter, timeout=self.connect_timeout_s)
+        except asyncio.TimeoutError:
+            # The process never dialed back; reap it so it cannot linger
+            # (a late dial-back finds no waiter and is closed anyway).
+            proc = self._procs.pop(slot, None)
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+            raise
         finally:
             self._conn_waiters.pop(slot, None)
 
     async def _pump(self, slot: int) -> None:
-        reader, writer, decoder = await self._await_worker(slot)
+        # The worker is spawned lazily, per shard in hand: a connect
+        # timeout then costs that one shard (WorkerCrashed), never the
+        # pump task — a dead pump would strand its queue slice and hang
+        # deadline-less requests forever.
+        conn = None  # (reader, writer, decoder) once a worker dialed back
         try:
             while True:
                 shard = await self._next_shard()
@@ -406,6 +426,19 @@ class ProcessFleet(WorkerFleet):
                     if not shard.future.done():
                         shard.future.cancel()
                     continue
+                if conn is None:
+                    try:
+                        conn = await self._await_worker(slot)
+                    except asyncio.TimeoutError:
+                        self._fail(
+                            shard,
+                            WorkerCrashed(
+                                f"worker slot {slot} failed to connect within "
+                                f"{self.connect_timeout_s:g}s"
+                            ),
+                        )
+                        continue
+                reader, writer, decoder = conn
                 shard_id = self._next_shard_id
                 self._next_shard_id += 1
                 try:
@@ -435,7 +468,7 @@ class ProcessFleet(WorkerFleet):
                     old = self._procs.get(slot)
                     if old is not None and old.poll() is None:
                         old.terminate()
-                    reader, writer, decoder = await self._await_worker(slot)
+                    conn = None  # the retried shard reconnects on dequeue
                     continue
                 if reply.get("kind") == "result" and reply.get("id") == shard_id:
                     self._finish(shard, list(reply["outcomes"]))
@@ -446,12 +479,14 @@ class ProcessFleet(WorkerFleet):
                         shard, ShardFailed(f"unexpected worker frame {reply!r}")
                     )
         finally:
-            try:
-                writer.write(encode_frame({"kind": "shutdown"}, WORKER_MAX_FRAME))
-                await writer.drain()
-            except (ConnectionError, OSError, RuntimeError):
-                pass
-            writer.close()
+            if conn is not None:
+                _reader, writer, _decoder = conn
+                try:
+                    writer.write(encode_frame({"kind": "shutdown"}, WORKER_MAX_FRAME))
+                    await writer.drain()
+                except (ConnectionError, OSError, RuntimeError):
+                    pass
+                writer.close()
 
     @staticmethod
     async def _read_frame(reader: asyncio.StreamReader, decoder: FrameDecoder):

@@ -14,7 +14,8 @@ Routes::
 
     GET  /v1/experiments   the servable surface catalog
     GET  /v1/stats         request/task/cache/fleet counters
-    GET  /v1/cache/<key>   one raw store entry (the remote cache tier)
+    GET  /v1/cache/<key>   one store entry as a tagged-JSON frame
+                           (the remote cache tier; never pickle)
     POST /v1/sweep         ND-JSON stream of sweep outcomes
     POST /v1/explore       ND-JSON stream (one exploration summary)
 
@@ -86,6 +87,11 @@ _PENDING = object()
 
 #: How long :meth:`SweepService.stop` waits for in-flight requests.
 DEFAULT_DRAIN_S = 5.0
+
+#: Cache partition and write-through run on the event loop (the store
+#: is not thread-safe); yield to the loop every this many tasks so a
+#: 10,000-task request cannot starve concurrent streams or /v1/stats.
+YIELD_EVERY = 128
 
 
 class _Job:
@@ -221,12 +227,17 @@ class SweepService:
         )
 
     def _cache_entry(self, key: str) -> Response:
-        """The remote-tier read: one raw entry by content key."""
+        """The remote-tier read: one entry by content key, as a wire frame.
+
+        Entries leave this process in the :mod:`repro.net.framing`
+        codec (:meth:`RunCache.entry_wire`), never as pickle — a client
+        must not have to unpickle bytes it received over the network.
+        """
         self.bus.on_serve(ServeEvent(kind="remote-entry-request", detail=key[:16]))
         cache = self._cache()
         entry = None
         if cache is not None and key.isalnum():
-            entry = cache.entry_bytes(key)
+            entry = cache.entry_wire(key)
         if entry is None:
             raise HttpError(404, "no-entry", f"no cache entry {key[:64]!r}")
         self.bus.on_serve(ServeEvent(kind="remote-entry-hit", detail=key[:16]))
@@ -290,6 +301,8 @@ class SweepService:
         hits = 0
         if cache is not None:
             for index, task in enumerate(tasks):
+                if index and index % YIELD_EVERY == 0:
+                    await asyncio.sleep(0)
                 try:
                     key = cache.key(job.namespace, job.worker_ref, task)
                 except CanonicalizationError:
@@ -348,9 +361,12 @@ class SweepService:
                 yield line
             for shard in shards:
                 remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    raise asyncio.TimeoutError
                 try:
+                    # The pre-check must raise *inside* this try: an
+                    # expiry landing between shards takes the same
+                    # truncated-end path as one landing mid-await.
+                    if remaining is not None and remaining <= 0:
+                        raise asyncio.TimeoutError
                     outcomes = await asyncio.wait_for(
                         asyncio.shield(shard.future), timeout=remaining
                     )
@@ -388,7 +404,9 @@ class SweepService:
                     )
                     return
                 executed += len(shard.tasks)
-                for index, outcome in zip(shard.indices, outcomes):
+                for offset, (index, outcome) in enumerate(zip(shard.indices, outcomes)):
+                    if offset and offset % YIELD_EVERY == 0:
+                        await asyncio.sleep(0)
                     results[index] = outcome
                     if cache is not None and keys[index] is not None:
                         cache.put(

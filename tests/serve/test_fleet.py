@@ -119,6 +119,35 @@ def test_process_fleet_worker_error_is_not_a_crash():
     assert restarts == 0
 
 
+def test_process_fleet_connect_timeout_fails_shard_not_pump():
+    # Regression: a spawned worker that never dials back must fail the
+    # shard in hand with WorkerCrashed — not kill the pump task, which
+    # would strand queued shards and hang deadline-less requests.
+    async def body(fleet):
+        fleet.connect_timeout_s = 0.3
+        real_spawn = fleet._spawn
+        attempts = []
+
+        def absent_then_real(slot):
+            attempts.append(slot)
+            if len(attempts) == 1:
+                return None  # first worker never comes up
+            return real_spawn(slot)
+
+        fleet._spawn = absent_then_real
+        doomed = _shard([("echo", 1, 0)])
+        await fleet.submit(doomed)
+        with pytest.raises(WorkerCrashed, match="failed to connect"):
+            await doomed.future
+        # the pump survived: the next shard respawns and executes
+        fleet.connect_timeout_s = 30.0
+        ok = _shard([("echo", 2, 0)])
+        await fleet.submit(ok)
+        assert await ok.future == [("echo", 2, 0)]
+
+    asyncio.run(_with_fleet(ProcessFleet(workers=1), body))
+
+
 def test_bounded_queue_applies_backpressure():
     async def body(fleet):
         # one worker, queue depth 1: a parked worker + a queued shard

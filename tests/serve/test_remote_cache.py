@@ -98,6 +98,80 @@ def test_server_store_never_consults_remote(populated_server):
     assert store.consult_remote is False
 
 
+def test_remote_bytes_are_never_unpickled(tmp_path, monkeypatch):
+    """A server answering pickle (the shape an attacker ships) is a miss.
+
+    Entries travel as tagged-JSON frames; if fetched bytes ever reached
+    ``pickle.loads``, a spoofed/MITM'd REPRO_CACHE_REMOTE server would
+    get code execution in every consulting process.  The payload here
+    proves the negative: unpickling it would create ``marker``.
+    """
+    import http.server
+    import os
+    import threading
+
+    marker = tmp_path / "pwned"
+
+    class Exploit:
+        def __reduce__(self):
+            return (os.mkdir, (str(marker),))
+
+    payload = pickle.dumps(Exploit())
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):
+            self.send_response(200)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *_args):
+            pass
+
+    httpd = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        monkeypatch.setenv(
+            "REPRO_CACHE_REMOTE", f"http://127.0.0.1:{httpd.server_address[1]}"
+        )
+        local = RunCache(tmp_path / "client-cache")
+        hit, outcome = local.get(local.key("FIG4", WORKER_REF, POINT), "FIG4")
+        assert not hit and outcome is None  # junk frame → plain miss
+        assert not marker.exists(), "remote bytes reached pickle.loads"
+    finally:
+        httpd.shutdown()
+        thread.join()
+
+
+def test_https_scheme_uses_tls_connection(monkeypatch):
+    """An https:// URL must not be silently downgraded to plaintext."""
+    used = {}
+
+    class FakeHTTPS:
+        def __init__(self, host, port, timeout=None):
+            used["target"] = (host, port)
+
+        def request(self, *_args, **_kwargs):
+            raise OSError("refusing to actually dial out from a test")
+
+        def close(self):
+            pass
+
+    monkeypatch.setattr(remote.http.client, "HTTPSConnection", FakeHTTPS)
+    monkeypatch.setenv("REPRO_CACHE_REMOTE", "https://cache.example:8443")
+    assert remote.fetch_entry("ab" * 32) is None
+    assert used["target"] == ("cache.example", 8443)
+    assert remote.stats() == {"requests": 1, "hits": 0, "misses": 0, "errors": 1}
+
+
+def test_unsupported_scheme_is_rejected_without_a_fetch(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_REMOTE", "ftp://cache.example")
+    assert remote.fetch_entry("ab" * 32) is None
+    assert remote.stats()["requests"] == 0
+    assert remote.stats()["errors"] == 1  # latched like any misconfiguration
+
+
 def test_cached_sweep_via_remote_tier_end_to_end(populated_server, tmp_path, monkeypatch):
     """A local run_sweep with the tier configured fetches, not executes."""
     import repro.cache

@@ -221,14 +221,42 @@ def test_stats_shape(server):
     assert stats["requests"]["by_endpoint"].get("sweep", 0) >= 1
 
 
-def test_cache_entry_endpoint_serves_raw_entries(server):
+def test_cache_entry_endpoint_serves_wire_entries(server):
     client = ServeClient(server.url)
     client.sweep("FIG4", points=[list(POINTS[0])], seeds=[0])
     cache = repro.cache.get_cache()
     key = cache.key("FIG4", "repro.experiments.fig4:_measure", (4, False, 0))
     entry = client.cache_entry(key)
     assert entry is not None
-    decoded = pickle.loads(entry)
-    assert decoded["namespace"] == "FIG4"
-    assert decoded["point"] == (4, False, 0)
+    assert entry["namespace"] == "FIG4"
+    assert entry["point"] == (4, False, 0)  # the codec kept the tuple a tuple
     assert client.cache_entry("0" * 64) is None  # unknown key → 404
+
+
+def test_cache_entry_endpoint_never_ships_pickle(server):
+    # The remote tier's wire format is a tagged-JSON frame: clients
+    # must never have to unpickle network bytes.
+    client = ServeClient(server.url)
+    client.sweep("FIG4", points=[list(POINTS[0])], seeds=[0])
+    cache = repro.cache.get_cache()
+    key = cache.key("FIG4", "repro.experiments.fig4:_measure", (4, False, 0))
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        connection.request("GET", f"/v1/cache/{key}")
+        body = connection.getresponse().read()
+    finally:
+        connection.close()
+    assert not body[4:].startswith(b"\x80")  # no pickle magic after the prefix
+    json.loads(body[4:].decode("utf-8"))  # the frame body is plain JSON
+
+
+def test_deadline_already_expired_truncates_cleanly(server):
+    # Regression: an expiry landing *between* shard awaits (here: before
+    # the first one) must yield the truncated `end` marker, not an
+    # internal error with no stream terminator.
+    summary = ServeClient(server.url).sweep(
+        "SERVE-DEBUG", points=[["sleep", 200]] * 4, deadline_s=1e-6
+    )
+    assert summary.truncated
+    assert summary.end["total"] == 4
+    assert not summary.errors
