@@ -9,7 +9,10 @@ band and exits non-zero on regression.
 
 Rows are matched by the first header column (override with ``--key``).
 For each compared numeric field the direction is inferred from its
-name: ``speedup*``, ``*ratio`` and ``ops_per_s`` are higher-is-better,
+name: ``speedup*``, ``*ratio``, ``ops_per_s`` and rate-like fields
+(``*per_sec*`` — e.g. the array backend's ``processes_per_sec``, which
+would otherwise be misread as time-like by its ``_s`` suffix) are
+higher-is-better,
 time-like fields (``*_us``, ``*_ns``, ``*_ms``, ``seconds``) and
 executed-simulation counts (``*executed*`` — the run cache's
 machine-independent effectiveness metric) are lower-is-better.  A fresh value is a regression when it is worse than
@@ -35,7 +38,7 @@ import pathlib
 import sys
 from typing import Dict, List, Optional
 
-_HIGHER_IS_BETTER = ("speedup", "ratio", "ops_per_s", "throughput")
+_HIGHER_IS_BETTER = ("speedup", "ratio", "ops_per_s", "throughput", "per_sec")
 _LOWER_IS_BETTER = (
     "_us",
     "_ns",

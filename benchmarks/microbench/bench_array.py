@@ -1,0 +1,150 @@
+"""Array-backend microbenchmarks: the ≥ 50x throughput claim, gated.
+
+Measures end-to-end engine throughput (``processes_per_sec`` = n ×
+rounds × lanes / wall seconds) for three engines on the same unison
+workload (min-rule unison on a square grid, randomly corrupted clocks,
+no history):
+
+- ``reference`` — the per-process :func:`repro.sync.engine.run_sync`
+  loop, one lane at a time;
+- ``array-numpy`` — :func:`repro.array.engine.run_array` on the NumPy
+  data plane, all lanes in one batched pass (skipped, with a note row,
+  when NumPy is absent — the committed baseline always has it);
+- ``array-python`` — the same batched driver on the pure-Python
+  fallback data plane, at a smaller n (the fallback is a correctness
+  path, not a performance claim; its row documents that batching alone
+  does not regress below the reference engine).
+
+``speedup_vs_ref`` rows are the machine-independent gate:
+``benchmarks/compare.py`` (25% band) compares a fresh emission against
+the committed ``benchmarks/results/BENCH_ARRAY.json``, and the
+``array-smoke`` CI job fails if the NumPy speedup decays below 75% of
+the committed value — the paper-scale claim (≥ 50x at n = 10^4) is
+asserted directly by the ARRAY-SCALE experiment.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench/bench_array.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+if __package__ in (None, ""):
+    from _harness import best_per_call, emit, ratio
+else:
+    from ._harness import best_per_call, emit, ratio
+
+from repro.analysis.report import ExperimentReport
+from repro.array import has_numpy, run_array
+from repro.experiments.array_scale import _corruption, make_topology
+from repro.kernel.faults import FaultPlan
+from repro.protocols.unison import MinUnison
+from repro.sync.engine import run_sync
+
+#: NumPy rows run at paper scale; the pure-Python fallback rows at a
+#: size where a batch still finishes in benchmark time.
+N_NUMPY = 10_000
+N_PYTHON = 1_024
+LANES = 4
+ROUNDS = 60
+#: The reference engine gets a shorter run (throughput is per
+#: process-round, so fewer rounds measure the same rate without
+#: spending seconds per call at n = 10^4).
+REFERENCE_ROUNDS = 10
+
+
+def _plans(n: int, lanes: int):
+    return [
+        FaultPlan(initial_corruption=_corruption("grid", n, seed))
+        for seed in range(lanes)
+    ]
+
+
+def _array_call(n: int, rounds: int, backend: str):
+    topology = make_topology("grid", n)
+    plans = _plans(n, LANES)
+
+    def call():
+        run_array(
+            MinUnison(),
+            n,
+            rounds,
+            fault_plans=plans,
+            topology=topology,
+            backend=backend,
+        )
+
+    return call
+
+
+def _reference_call(n: int, rounds: int):
+    topology = make_topology("grid", n)
+
+    def call():
+        run_sync(
+            MinUnison(),
+            n=n,
+            rounds=rounds,
+            corruption=_corruption("grid", n, 0),
+            topology=topology,
+            record_history=False,
+        )
+
+    return call
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="bench_array")
+    parser.add_argument("--quick", action="store_true", help="fewer repeats")
+    parser.add_argument("--out", metavar="PATH", help="write JSON here")
+    args = parser.parse_args(argv)
+    repeat = 2 if args.quick else 3
+
+    report = ExperimentReport(
+        experiment_id="ARRAY",
+        title="Batched array backend vs the reference engine",
+        claim=(
+            "one vectorized pass over all lanes sustains orders of "
+            "magnitude more process-rounds per second than the "
+            "per-process reference loop"
+        ),
+        headers=["benchmark", "n", "lanes", "processes_per_sec", "speedup_vs_ref"],
+    )
+
+    def pps(seconds: float, n: int, rounds: int, lanes: int) -> float:
+        return round(n * rounds * lanes / seconds, 1)
+
+    for n, backend, available in (
+        (N_NUMPY, "numpy", has_numpy()),
+        (N_PYTHON, "python", True),
+    ):
+        ref_s = best_per_call(
+            _reference_call(n, REFERENCE_ROUNDS), number=1, repeat=repeat
+        )
+        ref_pps = pps(ref_s, n, REFERENCE_ROUNDS, 1)
+        report.add_row(f"reference/grid-{n}", n, 1, ref_pps, None)
+        if not available:
+            report.add_row(f"array-{backend}/grid-{n}", n, LANES, None, None)
+            continue
+        array_s = best_per_call(
+            _array_call(n, ROUNDS, backend), number=1, repeat=repeat
+        )
+        array_pps = pps(array_s, n, ROUNDS, LANES)
+        report.add_row(
+            f"array-{backend}/grid-{n}",
+            n,
+            LANES,
+            array_pps,
+            ratio(1.0 / ref_pps, 1.0 / array_pps),
+        )
+
+    emit(report, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,862 @@
+"""The ``ArrayProtocol`` contract and its batched implementations.
+
+A batched protocol represents the state of *every process in every
+lane* (a lane = one seed/fault-plan of a sweep-point batch) as flat
+columns — integer matrices of shape ``(lanes, n)`` plus, for the
+full-information protocols, per-lane suspect matrices — and advances
+all of them one round per :meth:`ArrayProtocol.step` call.  The driver
+(:mod:`repro.array.engine`) owns the control plane (adversary replay,
+corruption, liveness bookkeeping); the protocol owns the data plane.
+
+Implementations must be *value-identical* to their reference
+:class:`~repro.sync.protocol.SyncProtocol` twin: the conformance layer
+reconstructs an :class:`~repro.histories.history.ExecutionHistory` from
+these columns and byte-compares its digest against ``run_sync``.  That
+is why every ``read_state`` result uses plain Python types (``int``,
+``bool``, ``frozenset``, ``None``) — NumPy scalars would change the
+canonical form.
+
+Two wire kinds:
+
+- ``kind="csr"`` — scalable protocols whose update is a neighborhood
+  reduction (min/max over delivered clocks).  The driver hands them a
+  CSR edge list (edge sources grouped by receiver, self-loop included)
+  plus an optional per-edge keep mask; on the fault-free complete
+  graph the reduction collapses to one global reduction per lane.
+- ``kind="dense"`` — full-information protocols (FloodMin under
+  Figure 2, and the Figure 3 compilation) that need per-(sender,
+  receiver) delivery info.  The driver hands them a dense delivered
+  matrix; size is eligibility-bounded.
+
+To add a batched protocol: implement :class:`ArrayProtocol` for it and
+append a matcher with :func:`register_array_protocol` (see
+``docs/array.md``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.array.backend import get_numpy
+from repro.core.canonical import CanonicalRunner
+from repro.core.compiler import CompiledProtocol
+from repro.core.rounds import (
+    FreeRunningRoundProtocol,
+    MinMergeRoundProtocol,
+    RoundAgreementProtocol,
+)
+from repro.histories.history import CLOCK_KEY
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.unison import BoundedUnison, MinUnison
+from repro.sync.protocol import SyncProtocol
+
+__all__ = [
+    "ArrayEligibilityError",
+    "ArrayProtocol",
+    "as_array_protocol",
+    "register_array_protocol",
+]
+
+#: Sentinels for masked reductions (int64-safe).
+BIG = 1 << 62
+SMALL = -(1 << 62)
+
+#: Dense-kind memory bound: lanes * n * n cells.
+DENSE_CELL_LIMIT = 1 << 26
+
+#: Largest value universe a bitmask column can encode (int64 headroom).
+MAX_UNIVERSE = 60
+
+
+class ArrayEligibilityError(RuntimeError):
+    """This (protocol, plan, topology, scale) tuple cannot be batched.
+
+    Raised loudly so callers (``run_sweep(backend="array")``) can fall
+    back to the reference engine instead of silently computing the
+    wrong thing.
+    """
+
+
+class ArrayProtocol(ABC):
+    """Batched twin of one :class:`SyncProtocol`.
+
+    The state object returned by :meth:`initial_states` is opaque to
+    the driver except through the methods below.  Cells belonging to
+    crashed processes may hold garbage after their crash round — the
+    driver masks dead senders/receivers out of every wire, and never
+    reads a dead cell's state.
+    """
+
+    #: "csr" (neighborhood reduction) or "dense" (needs the full matrix).
+    kind: str = "csr"
+
+    def __init__(self, sync: SyncProtocol):
+        #: The reference protocol this implementation must match.
+        self.sync = sync
+
+    @property
+    def name(self) -> str:
+        return self.sync.name
+
+    @abstractmethod
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        """Batched specified initial states for ``lanes`` x ``n`` cells."""
+
+    @abstractmethod
+    def load_state(self, state: Any, lane: int, pid: int, mapping: Mapping) -> None:
+        """Ingest one explicit/corrupted state dict into the columns.
+
+        Raises :class:`ArrayEligibilityError` when the mapping holds
+        values the columns cannot encode (the caller then falls back).
+        """
+
+    @abstractmethod
+    def read_state(self, state: Any, lane: int, pid: int) -> Dict[str, Any]:
+        """One cell as the exact plain-Python dict ``run_sync`` would hold."""
+
+    @abstractmethod
+    def step(self, state: Any, wire: Any) -> None:
+        """Advance every lane one round against the wire's deliveries."""
+
+    # ------------------------------------------------------------------
+
+    def clock_column(self, state: Any):
+        """The ``(lanes, n)`` round-variable matrix (for measurements)."""
+        return state["clock"]
+
+    def silent_pids(self, state: Any, lane: int) -> frozenset:
+        """Processes broadcasting ``None`` this round (default: none)."""
+        return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Shared column helpers
+# ---------------------------------------------------------------------------
+
+
+def _int_matrix(backend: str, lanes: int, n: int, fill: int):
+    if backend == "numpy":
+        np = get_numpy()
+        return np.full((lanes, n), fill, dtype=np.int64)
+    return [[fill] * n for _ in range(lanes)]
+
+
+def _require_clock(mapping: Mapping) -> int:
+    if CLOCK_KEY not in mapping:
+        raise ArrayEligibilityError(
+            f"state {dict(mapping)!r} lacks the round variable ({CLOCK_KEY!r})"
+        )
+    value = mapping[CLOCK_KEY]
+    if type(value) is bool or not isinstance(value, int):
+        raise ArrayEligibilityError(f"non-integer clock {value!r} cannot be batched")
+    return value
+
+
+def _csr_reduce_python(
+    row: List[int],
+    src: List[int],
+    indptr: List[int],
+    dropped: Optional[set],
+    best_of: Callable[[int, int], int],
+    identity: int,
+) -> List[int]:
+    """Per-receiver reduction over kept edges for one lane (python path)."""
+    out = []
+    for p in range(len(row)):
+        best = identity
+        for e in range(indptr[p], indptr[p + 1]):
+            if dropped is not None and e in dropped:
+                continue
+            best = best_of(best, row[src[e]])
+        out.append(best)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Clock-merge family: Figure 1 round agreement, min-merge, min-unison
+# ---------------------------------------------------------------------------
+
+
+class ArrayClockMerge(ArrayProtocol):
+    """Single-clock protocols: ``c := merge(delivered clocks) + 1``.
+
+    Covers :class:`RoundAgreementProtocol` (max), its min-merge
+    ablation, :class:`MinUnison` (min), and the free-running ablation
+    (no merge at all).  State is one ``(lanes, n)`` clock matrix.
+    """
+
+    kind = "csr"
+
+    def __init__(self, sync: SyncProtocol, merge: str):
+        super().__init__(sync)
+        if merge not in ("max", "min", "free"):
+            raise ValueError(f"unknown merge {merge!r}")
+        self.merge = merge
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        initial = self.sync.initial_state(0, n)[CLOCK_KEY]
+        return {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, initial),
+        }
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        extra = set(mapping) - {CLOCK_KEY}
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        state["clock"][lane][pid] = value
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        return {CLOCK_KEY: int(state["clock"][lane][pid])}
+
+    def step(self, state, wire) -> None:
+        if self.merge == "free":
+            if state["backend"] == "numpy":
+                state["clock"] = state["clock"] + 1
+            else:
+                state["clock"] = [[c + 1 for c in row] for row in state["clock"]]
+            return
+        lowest = self.merge == "min"
+        identity = BIG if lowest else SMALL
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock = state["clock"]
+            reduce = np.minimum if lowest else np.maximum
+            if wire.complete_fast:
+                vals = clock
+                if wire.send_ok is not None:
+                    vals = np.where(wire.send_ok, clock, identity)
+                red = (
+                    vals.min(axis=1, keepdims=True)
+                    if lowest
+                    else vals.max(axis=1, keepdims=True)
+                )
+                state["clock"] = np.broadcast_to(red + 1, clock.shape).copy()
+                return
+            vals = clock[:, wire.src]
+            if wire.keep is not None:
+                vals = np.where(wire.keep, vals, identity)
+            red = reduce.reduceat(vals, wire.indptr[:-1], axis=1)
+            state["clock"] = red + 1
+            return
+        best_of = min if lowest else max
+        clock = state["clock"]
+        for lane in range(state["lanes"]):
+            row = clock[lane]
+            if wire.complete_fast:
+                silenced = wire.send_ok[lane] if wire.send_ok is not None else None
+                pool = (
+                    row
+                    if not silenced
+                    else [row[q] for q in range(state["n"]) if q not in silenced]
+                )
+                merged = (min(pool) if lowest else max(pool)) if pool else identity
+                clock[lane] = [merged + 1] * state["n"]
+                continue
+            dropped = wire.keep[lane] if wire.keep is not None else None
+            red = _csr_reduce_python(
+                row, wire.src, wire.indptr, dropped, best_of, identity
+            )
+            clock[lane] = [value + 1 for value in red]
+
+
+class ArrayBoundedUnison(ArrayProtocol):
+    """Batched :class:`BoundedUnison`: the tail-plus-ring update rule.
+
+    Three reductions per round (min, max, and min over strictly-inner
+    ring values) reproduce the reference's four-way case split exactly,
+    including the wrap pair ``{0, K-1}``.
+    """
+
+    kind = "csr"
+
+    def __init__(self, sync: BoundedUnison):
+        super().__init__(sync)
+        self.K = sync.K
+        self.alpha = sync.alpha
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        return {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, 0),
+        }
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        extra = set(mapping) - {CLOCK_KEY}
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        state["clock"][lane][pid] = value
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        return {CLOCK_KEY: int(state["clock"][lane][pid])}
+
+    def _next_value(self, lowest: int, highest: int, has_inner: bool) -> int:
+        if lowest < 0:
+            return lowest + 1
+        if highest - lowest <= 1:
+            return (lowest + 1) % self.K
+        if not has_inner:
+            return 0  # seen <= {0, K-1}: the wrap pair
+        return -self.alpha
+
+    def step(self, state, wire) -> None:
+        K, alpha = self.K, self.alpha
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock = state["clock"]
+            if wire.complete_fast:
+                clamped = np.where((clock >= -alpha) & (clock < K), clock, -alpha)
+                ok = wire.send_ok
+                mn_v = clamped if ok is None else np.where(ok, clamped, BIG)
+                mx_v = clamped if ok is None else np.where(ok, clamped, SMALL)
+                inner_sel = (clamped > 0) & (clamped < K - 1)
+                if ok is not None:
+                    inner_sel &= ok
+                in_v = np.where(inner_sel, clamped, BIG)
+                mn = mn_v.min(axis=1, keepdims=True)
+                mx = mx_v.max(axis=1, keepdims=True)
+                has_inner = in_v.min(axis=1, keepdims=True) < BIG
+            else:
+                vals = clock[:, wire.src]
+                clamped = np.where((vals >= -alpha) & (vals < K), vals, -alpha)
+                keep = wire.keep
+                mn_v = clamped if keep is None else np.where(keep, clamped, BIG)
+                mx_v = clamped if keep is None else np.where(keep, clamped, SMALL)
+                inner_sel = (clamped > 0) & (clamped < K - 1)
+                if keep is not None:
+                    inner_sel &= keep
+                in_v = np.where(inner_sel, clamped, BIG)
+                starts = wire.indptr[:-1]
+                mn = np.minimum.reduceat(mn_v, starts, axis=1)
+                mx = np.maximum.reduceat(mx_v, starts, axis=1)
+                has_inner = np.minimum.reduceat(in_v, starts, axis=1) < BIG
+            new = np.where(
+                mn < 0,
+                mn + 1,
+                np.where(mx - mn <= 1, (mn + 1) % K, np.where(has_inner, -alpha, 0)),
+            )
+            if wire.complete_fast:
+                new = np.broadcast_to(new, clock.shape).copy()
+            state["clock"] = new
+            return
+
+        def clamp(value: int) -> int:
+            return value if -alpha <= value < K else -alpha
+
+        clock = state["clock"]
+        for lane in range(state["lanes"]):
+            row = clock[lane]
+            if wire.complete_fast:
+                silenced = wire.send_ok[lane] if wire.send_ok is not None else None
+                seen = {
+                    clamp(row[q])
+                    for q in range(state["n"])
+                    if silenced is None or q not in silenced
+                }
+                if not seen:
+                    continue  # every sender dead: no live receivers either
+                lowest, highest = min(seen), max(seen)
+                has_inner = any(0 < v < K - 1 for v in seen)
+                clock[lane] = [self._next_value(lowest, highest, has_inner)] * state[
+                    "n"
+                ]
+                continue
+            dropped = wire.keep[lane] if wire.keep is not None else None
+            out = []
+            for p in range(state["n"]):
+                lowest, highest, has_inner = BIG, SMALL, False
+                for e in range(wire.indptr[p], wire.indptr[p + 1]):
+                    if dropped is not None and e in dropped:
+                        continue
+                    value = clamp(row[wire.src[e]])
+                    lowest = min(lowest, value)
+                    highest = max(highest, value)
+                    if 0 < value < K - 1:
+                        has_inner = True
+                if lowest == BIG:  # dead receiver: frozen garbage
+                    out.append(row[p])
+                    continue
+                out.append(self._next_value(lowest, highest, has_inner))
+            clock[lane] = out
+
+
+# ---------------------------------------------------------------------------
+# FloodMin as bitmask columns: Figure 2 runner and Figure 3 compilation
+# ---------------------------------------------------------------------------
+
+
+def _universe_of(canonical: FloodMinConsensus) -> tuple:
+    universe = tuple(sorted(set(canonical.proposals) | set(canonical.domain)))
+    if len(universe) > MAX_UNIVERSE:
+        raise ArrayEligibilityError(
+            f"floodmin value universe has {len(universe)} members; the "
+            f"bitmask columns support at most {MAX_UNIVERSE}"
+        )
+    return universe
+
+
+class _FloodMinCodec:
+    """Shared encode/decode between value sets and bitmask ints."""
+
+    def __init__(self, canonical: FloodMinConsensus):
+        self.canonical = canonical
+        self.universe = _universe_of(canonical)
+        self.index = {value: i for i, value in enumerate(self.universe)}
+        self.final_round = canonical.final_round
+
+    def encode_value(self, value, what: str) -> int:
+        index = self.index.get(value)
+        if index is None:
+            raise ArrayEligibilityError(
+                f"{what} {value!r} outside the floodmin value universe"
+            )
+        return index
+
+    def encode_values(self, values, what: str) -> int:
+        mask = 0
+        for value in values:
+            mask |= 1 << self.encode_value(value, what)
+        return mask
+
+    def decode_values(self, mask: int) -> frozenset:
+        out = []
+        index = 0
+        while mask:
+            if mask & 1:
+                out.append(self.universe[index])
+            mask >>= 1
+            index += 1
+        return frozenset(out)
+
+    def encode_decision(self, decision, what: str) -> int:
+        if decision is None:
+            return 0
+        return self.encode_value(decision, what) + 1
+
+    def decode_decision(self, code: int):
+        return None if code == 0 else self.universe[code - 1]
+
+    def inner_dict(self, prop_idx: int, vmask: int, dec_code: int) -> Dict[str, Any]:
+        return {
+            "proposal": self.universe[prop_idx],
+            "values": self.decode_values(vmask),
+            "decision": self.decode_decision(dec_code),
+        }
+
+    def load_inner(self, inner: Mapping) -> tuple:
+        extra = set(inner) - {"proposal", "values", "decision"}
+        if extra:
+            raise ArrayEligibilityError(
+                f"floodmin inner state has unexpected fields {sorted(extra)}"
+            )
+        prop = self.encode_value(inner["proposal"], "proposal")
+        vmask = self.encode_values(inner["values"], "value")
+        dec = self.encode_decision(inner.get("decision"), "decision")
+        return prop, vmask, dec
+
+    def initial_columns(self, n: int):
+        prop = [self.encode_value(self.canonical.proposal_for(pid), "proposal")
+                for pid in range(n)]
+        vmask = [1 << index for index in prop]
+        return prop, vmask
+
+    def lowest_bit_python(self, mask: int) -> int:
+        return (mask & -mask).bit_length() - 1
+
+
+def _check_dense_size(n: int, lanes: int) -> None:
+    if lanes * n * n > DENSE_CELL_LIMIT:
+        raise ArrayEligibilityError(
+            f"dense wire of {lanes} x {n} x {n} cells exceeds the "
+            f"{DENSE_CELL_LIMIT} limit; batch fewer lanes or fall back"
+        )
+
+
+class ArrayFtFloodMin(ArrayProtocol):
+    """Batched Figure 2 runner over FloodMin (``ft:floodmin(f=..)``).
+
+    Value sets become bitmask ints over the sorted value universe, so
+    the flood-merge is a masked bitwise-OR reduction and decide-min is
+    the lowest set bit.  The halted flag freezes cells exactly as the
+    reference runner does.
+    """
+
+    kind = "dense"
+
+    def __init__(self, sync: CanonicalRunner):
+        super().__init__(sync)
+        self.codec = _FloodMinCodec(sync.canonical)
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        _check_dense_size(n, lanes)
+        prop0, vmask0 = self.codec.initial_columns(n)
+        state = {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, 1),
+            "halted": _int_matrix(backend, lanes, n, 0),
+            "prop": _int_matrix(backend, lanes, n, 0),
+            "vmask": _int_matrix(backend, lanes, n, 0),
+            "dec": _int_matrix(backend, lanes, n, 0),
+        }
+        for lane in range(lanes):
+            for pid in range(n):
+                state["prop"][lane][pid] = prop0[pid]
+                state["vmask"][lane][pid] = vmask0[pid]
+        if backend == "numpy":
+            np = get_numpy()
+            state["prop"] = np.asarray(state["prop"], dtype=np.int64)
+            state["vmask"] = np.asarray(state["vmask"], dtype=np.int64)
+        return state
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        extra = set(mapping) - {CLOCK_KEY, "inner", "halted", "n"}
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        if mapping.get("n") != state["n"]:
+            raise ArrayEligibilityError(
+                f"{self.name}: state n={mapping.get('n')!r} != run n={state['n']}"
+            )
+        prop, vmask, dec = self.codec.load_inner(mapping["inner"])
+        state["clock"][lane][pid] = value
+        state["halted"][lane][pid] = 1 if mapping["halted"] else 0
+        state["prop"][lane][pid] = prop
+        state["vmask"][lane][pid] = vmask
+        state["dec"][lane][pid] = dec
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        return {
+            CLOCK_KEY: int(state["clock"][lane][pid]),
+            "inner": self.codec.inner_dict(
+                int(state["prop"][lane][pid]),
+                int(state["vmask"][lane][pid]),
+                int(state["dec"][lane][pid]),
+            ),
+            "halted": bool(state["halted"][lane][pid]),
+            "n": state["n"],
+        }
+
+    def silent_pids(self, state, lane) -> frozenset:
+        halted = state["halted"][lane]
+        return frozenset(pid for pid in range(state["n"]) if halted[pid])
+
+    def step(self, state, wire) -> None:
+        FR = self.codec.final_round
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock, halted = state["clock"], state["halted"].astype(bool)
+            vmask, dec = state["vmask"], state["dec"]
+            deliv = wire.delivered & ~halted[:, None, :]
+            contrib = np.where(deliv, vmask[:, None, :], 0)
+            merged = vmask | np.bitwise_or.reduce(contrib, axis=2)
+            decide = (~halted) & (clock == FR) & (merged != 0)
+            low = merged & -merged
+            low_idx = np.log2(np.where(low > 0, low, 1).astype(np.float64)).astype(
+                np.int64
+            )
+            state["vmask"] = np.where(halted, vmask, merged)
+            state["dec"] = np.where(decide, low_idx + 1, dec)
+            state["clock"] = np.where(halted, clock, clock + 1)
+            state["halted"] = (halted | (clock == FR)).astype(np.int64)
+            return
+        lanes, n = state["lanes"], state["n"]
+        for lane in range(lanes):
+            clock, halted = state["clock"][lane], state["halted"][lane]
+            vmask, dec = state["vmask"][lane], state["dec"][lane]
+            senders = wire.delivered[lane]  # per-receiver sender sets
+            new_clock, new_halted, new_vmask, new_dec = [], [], [], []
+            for p in range(n):
+                if halted[p]:
+                    new_clock.append(clock[p])
+                    new_halted.append(1)
+                    new_vmask.append(vmask[p])
+                    new_dec.append(dec[p])
+                    continue
+                merged = vmask[p]
+                for q in senders[p]:
+                    if not halted[q]:
+                        merged |= vmask[q]
+                decided = dec[p]
+                if clock[p] == FR and merged:
+                    decided = self.codec.lowest_bit_python(merged) + 1
+                new_clock.append(clock[p] + 1)
+                new_halted.append(1 if clock[p] == FR else 0)
+                new_vmask.append(merged)
+                new_dec.append(decided)
+            state["clock"][lane] = new_clock
+            state["halted"][lane] = new_halted
+            state["vmask"][lane] = new_vmask
+            state["dec"][lane] = new_dec
+
+
+class ArrayCompiledFloodMin(ArrayProtocol):
+    """Batched Figure 3 compilation Π⁺ over FloodMin.
+
+    The suspect sets become per-lane ``(n, n)`` boolean matrices, the
+    round-tag bookkeeping becomes broadcast comparisons against the
+    clock column, and the iteration reset is a masked restore of the
+    canonical initial columns.  Honors ``use_suspects`` (the
+    ABL-SUSPECT ablation).
+    """
+
+    kind = "dense"
+
+    def __init__(self, sync: CompiledProtocol):
+        super().__init__(sync)
+        self.codec = _FloodMinCodec(sync.canonical)
+        self.use_suspects = sync.use_suspects
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        _check_dense_size(n, lanes)
+        prop0, vmask0 = self.codec.initial_columns(n)
+        state = {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, 0),
+            "prop": _int_matrix(backend, lanes, n, 0),
+            "vmask": _int_matrix(backend, lanes, n, 0),
+            "dec": _int_matrix(backend, lanes, n, 0),
+            "last_dec": _int_matrix(backend, lanes, n, 0),
+            "dec_at": _int_matrix(backend, lanes, n, 0),
+            "dec_at_set": _int_matrix(backend, lanes, n, 0),
+        }
+        for lane in range(lanes):
+            for pid in range(n):
+                state["prop"][lane][pid] = prop0[pid]
+                state["vmask"][lane][pid] = vmask0[pid]
+        if backend == "numpy":
+            np = get_numpy()
+            state["prop"] = np.asarray(state["prop"], dtype=np.int64)
+            state["vmask"] = np.asarray(state["vmask"], dtype=np.int64)
+            state["suspect"] = np.zeros((lanes, n, n), dtype=bool)
+            state["init_prop"] = np.asarray(prop0, dtype=np.int64)
+            state["init_vmask"] = np.asarray(vmask0, dtype=np.int64)
+        else:
+            state["suspect"] = [[set() for _ in range(n)] for _ in range(lanes)]
+            state["init_prop"] = list(prop0)
+            state["init_vmask"] = list(vmask0)
+        return state
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        allowed = {CLOCK_KEY, "inner", "suspect", "n", "last_decision",
+                   "decided_at_clock"}
+        extra = set(mapping) - allowed
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        if mapping.get("n") != state["n"]:
+            raise ArrayEligibilityError(
+                f"{self.name}: state n={mapping.get('n')!r} != run n={state['n']}"
+            )
+        suspects = mapping["suspect"]
+        for q in suspects:
+            if not (isinstance(q, int) and 0 <= q < state["n"]):
+                raise ArrayEligibilityError(
+                    f"{self.name}: suspect entry {q!r} is not a pid"
+                )
+        prop, vmask, dec = self.codec.load_inner(mapping["inner"])
+        last_dec = self.codec.encode_decision(
+            mapping.get("last_decision"), "last_decision"
+        )
+        decided_at = mapping.get("decided_at_clock")
+        if decided_at is not None and not isinstance(decided_at, int):
+            raise ArrayEligibilityError(
+                f"{self.name}: decided_at_clock {decided_at!r} is not an int"
+            )
+        state["clock"][lane][pid] = value
+        state["prop"][lane][pid] = prop
+        state["vmask"][lane][pid] = vmask
+        state["dec"][lane][pid] = dec
+        state["last_dec"][lane][pid] = last_dec
+        state["dec_at"][lane][pid] = 0 if decided_at is None else decided_at
+        state["dec_at_set"][lane][pid] = 0 if decided_at is None else 1
+        if state["backend"] == "numpy":
+            state["suspect"][lane, pid, :] = False
+            for q in suspects:
+                state["suspect"][lane, pid, q] = True
+        else:
+            state["suspect"][lane][pid] = set(suspects)
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            suspect = frozenset(
+                int(q) for q in np.nonzero(state["suspect"][lane, pid])[0]
+            )
+        else:
+            suspect = frozenset(state["suspect"][lane][pid])
+        decided_at = (
+            int(state["dec_at"][lane][pid])
+            if state["dec_at_set"][lane][pid]
+            else None
+        )
+        return {
+            CLOCK_KEY: int(state["clock"][lane][pid]),
+            "inner": self.codec.inner_dict(
+                int(state["prop"][lane][pid]),
+                int(state["vmask"][lane][pid]),
+                int(state["dec"][lane][pid]),
+            ),
+            "suspect": suspect,
+            "n": state["n"],
+            "last_decision": self.codec.decode_decision(
+                int(state["last_dec"][lane][pid])
+            ),
+            "decided_at_clock": decided_at,
+        }
+
+    def step(self, state, wire) -> None:
+        FR = self.codec.final_round
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock = state["clock"]
+            vmask, dec = state["vmask"], state["dec"]
+            suspect = state["suspect"]
+            deliv = wire.delivered
+            clock_q = clock[:, None, :]
+            clock_p = clock[:, :, None]
+            tags = np.where(deliv, clock_q, SMALL)
+            new_clock = tags.max(axis=2) + 1
+            at_my = deliv & (clock_q == clock_p)
+            contrib_mask = at_my & ~suspect if self.use_suspects else at_my
+            merged = vmask | np.bitwise_or.reduce(
+                np.where(contrib_mask, vmask[:, None, :], 0), axis=2
+            )
+            suspects_new = suspect | ~at_my
+            k = clock % FR + 1
+            decide = (k == FR) & (merged != 0)
+            low = merged & -merged
+            low_idx = np.log2(np.where(low > 0, low, 1).astype(np.float64)).astype(
+                np.int64
+            )
+            dec_new = np.where(decide, low_idx + 1, dec)
+            journal = (k == FR) & (dec_new != 0)
+            state["last_dec"] = np.where(journal, dec_new, state["last_dec"])
+            state["dec_at"] = np.where(journal, clock, state["dec_at"])
+            state["dec_at_set"] = state["dec_at_set"] | journal
+            reset = (new_clock % FR + 1) == 1
+            state["vmask"] = np.where(reset, state["init_vmask"][None, :], merged)
+            state["prop"] = np.where(reset, state["init_prop"][None, :], state["prop"])
+            state["dec"] = np.where(reset, 0, dec_new)
+            state["suspect"] = np.where(reset[:, :, None], False, suspects_new)
+            state["clock"] = new_clock
+            return
+        lanes, n = state["lanes"], state["n"]
+        for lane in range(lanes):
+            clock = state["clock"][lane]
+            vmask, dec = state["vmask"][lane], state["dec"][lane]
+            prop = state["prop"][lane]
+            last_dec, dec_at = state["last_dec"][lane], state["dec_at"][lane]
+            dec_at_set = state["dec_at_set"][lane]
+            suspect = state["suspect"][lane]
+            senders = wire.delivered[lane]  # per-receiver sender sets
+            out = {key: [] for key in
+                   ("clock", "vmask", "dec", "prop", "last_dec", "dec_at",
+                    "dec_at_set", "suspect")}
+            for p in range(n):
+                arrived = senders[p]
+                if arrived:
+                    tag_max = max(clock[q] for q in arrived)
+                else:  # dead receiver: frozen garbage
+                    tag_max = clock[p] - 1
+                new_clock = tag_max + 1
+                at_my = {q for q in arrived if clock[q] == clock[p]}
+                merged = vmask[p]
+                for q in at_my:
+                    if not self.use_suspects or q not in suspect[p]:
+                        merged |= vmask[q]
+                suspects_new = suspect[p] | (set(range(n)) - at_my)
+                k = clock[p] % FR + 1
+                decided = dec[p]
+                if k == FR and merged:
+                    decided = self.codec.lowest_bit_python(merged) + 1
+                if k == FR and decided:
+                    last, at, at_set = decided, clock[p], 1
+                else:
+                    last, at, at_set = last_dec[p], dec_at[p], dec_at_set[p]
+                if new_clock % FR + 1 == 1:
+                    out["vmask"].append(state["init_vmask"][p])
+                    out["prop"].append(state["init_prop"][p])
+                    out["dec"].append(0)
+                    out["suspect"].append(set())
+                else:
+                    out["vmask"].append(merged)
+                    out["prop"].append(prop[p])
+                    out["dec"].append(decided)
+                    out["suspect"].append(suspects_new)
+                out["clock"].append(new_clock)
+                out["last_dec"].append(last)
+                out["dec_at"].append(at)
+                out["dec_at_set"].append(at_set)
+            state["clock"][lane] = out["clock"]
+            state["vmask"][lane] = out["vmask"]
+            state["dec"][lane] = out["dec"]
+            state["prop"][lane] = out["prop"]
+            state["last_dec"][lane] = out["last_dec"]
+            state["dec_at"][lane] = out["dec_at"]
+            state["dec_at_set"][lane] = out["dec_at_set"]
+            state["suspect"][lane] = out["suspect"]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Extension point: each matcher maps a SyncProtocol to an ArrayProtocol
+#: (or None).  Matchers added via register_array_protocol run first.
+_MATCHERS: List[Callable[[SyncProtocol], Optional[ArrayProtocol]]] = []
+
+
+def register_array_protocol(
+    matcher: Callable[[SyncProtocol], Optional[ArrayProtocol]],
+) -> None:
+    """Register a custom SyncProtocol -> ArrayProtocol matcher."""
+    _MATCHERS.insert(0, matcher)
+
+
+def _builtin_matcher(protocol: SyncProtocol) -> Optional[ArrayProtocol]:
+    # Exact type matches: a user subclass may override update() in ways
+    # the batched twin would silently ignore, so it must fall back.
+    kind = type(protocol)
+    if kind is RoundAgreementProtocol:
+        return ArrayClockMerge(protocol, "max")
+    if kind is MinMergeRoundProtocol:
+        return ArrayClockMerge(protocol, "min")
+    if kind is FreeRunningRoundProtocol:
+        return ArrayClockMerge(protocol, "free")
+    if kind is MinUnison:
+        return ArrayClockMerge(protocol, "min")
+    if kind is BoundedUnison:
+        return ArrayBoundedUnison(protocol)
+    if kind is CanonicalRunner and type(protocol.canonical) is FloodMinConsensus:
+        return ArrayFtFloodMin(protocol)
+    if kind is CompiledProtocol and type(protocol.canonical) is FloodMinConsensus:
+        return ArrayCompiledFloodMin(protocol)
+    return None
+
+
+def as_array_protocol(protocol: SyncProtocol) -> Optional[ArrayProtocol]:
+    """The batched twin of ``protocol``, or ``None`` if it has none."""
+    for matcher in _MATCHERS:
+        batched = matcher(protocol)
+        if batched is not None:
+            return batched
+    return _builtin_matcher(protocol)

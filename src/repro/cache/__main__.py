@@ -58,6 +58,11 @@ def _cmd_stats(args) -> int:
             f"(= {counters.get('executed', 0)} executed simulations), "
             f"{counters.get('stores', 0)} stores"
         )
+        print(
+            "executed by backend: "
+            f"{counters.get('executed_sync', 0)} sync, "
+            f"{counters.get('executed_array', 0)} array"
+        )
     else:
         print("cumulative: no recorded accesses")
     remote_info = data["remote"]

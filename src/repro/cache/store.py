@@ -65,18 +65,35 @@ ENTRY_SCHEMA = 1
 #: bytes a remote peer controls would be arbitrary code execution.
 ENTRY_WIRE_MAX = 1 << 26
 
-_COUNTER_FIELDS = ("hits", "misses", "stores", "bytes_read", "bytes_written")
+_COUNTER_FIELDS = (
+    "hits",
+    "misses",
+    "stores",
+    "bytes_read",
+    "bytes_written",
+    "executed_sync",
+    "executed_array",
+)
 
 
 @dataclass
 class CacheStats:
-    """Access counters; ``misses`` == simulations actually executed."""
+    """Access counters; ``misses`` == simulations actually executed.
+
+    ``executed_sync`` / ``executed_array`` break the executed count
+    down by engine backend (reference vs batched array path) so warm
+    and cold behavior stays auditable per backend; they are reported by
+    :func:`repro.experiments.base.run_sweep`, which knows how each miss
+    was actually run.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    executed_sync: int = 0
+    executed_array: int = 0
 
     @property
     def executed(self) -> int:
@@ -192,6 +209,21 @@ class RunCache:
         """Fan cache events out to ``observer`` as well."""
         self._extra_observers += (observer,)
         self._bus = EventBus((self._stats_observer,) + self._extra_observers)
+
+    def note_executed(self, backend: str, count: int) -> None:
+        """Attribute ``count`` executed simulations to ``backend``.
+
+        Called by sweep drivers after actually running cache misses, so
+        the per-backend split (``executed_sync`` / ``executed_array``)
+        lands in the same persisted counters as hits and misses.
+        """
+        if count <= 0:
+            return
+        stats = self._stats_observer.stats
+        if backend == "array":
+            stats.executed_array += count
+        else:
+            stats.executed_sync += count
 
     def _emit(self, kind: str, namespace: str, key: str, nbytes: int) -> None:
         self._bus.on_cache(

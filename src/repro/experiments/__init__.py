@@ -25,6 +25,7 @@ from repro.experiments import (
     abl_merge,
     abl_retx,
     abl_suspect,
+    array_scale,
     async_cons,
     ext_bounded,
     ext_byz,
@@ -73,6 +74,7 @@ for _id, _module in [
     ("NET-LIVE", net_live),
     ("UNISON", unison),
     ("UNISON-CHURN", unison_churn),
+    ("ARRAY-SCALE", array_scale),
 ]:
     REGISTRY.add(_id, _module.run)
 

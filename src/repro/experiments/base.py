@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
@@ -38,10 +39,14 @@ __all__ = [
     "ExperimentResult",
     "Expectations",
     "Registry",
+    "SWEEP_BACKENDS",
     "default_jobs",
     "run_sweep",
     "shutdown_pool",
 ]
+
+#: Execution backends ``run_sweep`` can route a sweep to.
+SWEEP_BACKENDS = ("sync", "array")
 
 Point = TypeVar("Point")
 Outcome = TypeVar("Outcome")
@@ -112,12 +117,47 @@ def _run_chunk(worker: Callable[[Point], Outcome], chunk: List[Point]) -> List[O
 _PENDING = object()
 
 
+def _work_chunks(
+    indices: List[int], weights: Sequence[float], target_chunks: int
+) -> List[List[int]]:
+    """Contiguous partition of ``indices`` balanced by estimated work.
+
+    The old fixed ``len // (jobs * 4)`` chunk size serialized one huge
+    point behind a chunk of tiny ones; here a chunk closes once it
+    carries ``total / target_chunks`` worth of work, and closes *early*
+    when the next point alone would overshoot — so an n=10^5 point gets
+    its own chunk instead of queueing behind n=10 neighbors.
+    """
+    if not indices:
+        return []
+    total = sum(weights)
+    target = total / max(1, min(target_chunks, len(indices)))
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    acc = 0.0
+    for index, weight in zip(indices, weights):
+        if current and acc + weight > target:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+        current.append(index)
+        acc += weight
+        if acc >= target:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def run_sweep(
     worker: Callable[[Point], Outcome],
     points: Sequence[Point],
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     on_outcome: Optional[Callable[[int, Point, Outcome], None]] = None,
+    backend: Optional[str] = None,
 ) -> List[Outcome]:
     """Run ``worker`` over every sweep point, optionally in parallel.
 
@@ -156,10 +196,32 @@ def run_sweep(
     executor startup per call (see :func:`shutdown_pool`).  Dispatch is
     chunked (one ``submit`` per chunk, results gathered in submission
     order) so a large sweep costs O(chunks) round trips while early
-    chunks surface as soon as they finish.
+    chunks surface as soon as they finish.  Chunks are sized by
+    *estimated work*, not point count: when the worker exposes
+    ``estimate_cost(point) -> float`` (typically n × rounds), heavy
+    points are isolated instead of serializing a chunk of cheap ones.
+
+    ``backend="array"`` routes cache misses through the worker's
+    batched twin — ``worker.array_batch(points) -> [outcome, ...]``,
+    executing all points in one vectorized pass via
+    :func:`repro.array.run_array` — and falls back **loudly**
+    (``RuntimeWarning``) to the per-point reference path for workers
+    without a batched twin, points the optional
+    ``worker.array_eligible(point)`` predicate rejects, or batches the
+    array engine refuses (``ArrayEligibilityError``).  Cached outcomes
+    never cross backends: an array-backed sweep reads and writes the
+    ``{cache}@array`` namespace, so its fingerprints are disjoint from
+    the reference engine's.
     """
     if jobs is None:
         jobs = default_jobs()
+    if backend is not None and backend not in SWEEP_BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; expected one of {SWEEP_BACKENDS}"
+        )
+    use_array = backend == "array"
+    if use_array and cache:
+        cache = f"{cache}@array"
 
     store = run_cache_module.active_cache() if cache else None
     keys: Optional[List[str]] = None
@@ -202,6 +264,15 @@ def run_sweep(
             )
 
     _emit_ready()
+
+    if use_array and miss_indices:
+        miss_indices = _run_array_batch(
+            worker, points, miss_indices, store, _record
+        )
+        _emit_ready()
+
+    if store is not None and miss_indices:
+        store.note_executed("sync", len(miss_indices))
     if jobs <= 1 or len(miss_indices) <= 1:
         for index in miss_indices:
             _record(index, worker(points[index]))
@@ -209,11 +280,12 @@ def run_sweep(
         return results
 
     pool = _get_pool(jobs)
-    chunksize = max(1, len(miss_indices) // (jobs * 4))
-    chunks = [
-        miss_indices[start : start + chunksize]
-        for start in range(0, len(miss_indices), chunksize)
-    ]
+    estimate = getattr(worker, "estimate_cost", None)
+    if estimate is not None:
+        weights = [max(float(estimate(points[i])), 1.0) for i in miss_indices]
+    else:
+        weights = [1.0] * len(miss_indices)
+    chunks = _work_chunks(miss_indices, weights, jobs * 4)
     futures = [
         pool.submit(_run_chunk, worker, [points[i] for i in chunk])
         for chunk in chunks
@@ -223,6 +295,70 @@ def run_sweep(
             _record(index, outcome)
         _emit_ready()
     return results
+
+
+def _run_array_batch(
+    worker: Callable[[Point], Outcome],
+    points: Sequence[Point],
+    miss_indices: List[int],
+    store,
+    record: Callable[[int, Outcome], None],
+) -> List[int]:
+    """Route eligible cache misses through ``worker.array_batch``.
+
+    Returns the indices still pending (ineligible, or the whole batch
+    if the array engine refused it) for the reference path.  Every
+    fallback is a visible ``RuntimeWarning`` — the batched backend must
+    never silently degrade into the engine it claims to outrun.
+    """
+    from repro.array.protocols import ArrayEligibilityError
+
+    array_batch = getattr(worker, "array_batch", None)
+    if array_batch is None:
+        warnings.warn(
+            f"run_sweep(backend='array'): worker {worker!r} has no "
+            "array_batch twin; falling back to the reference engine",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return miss_indices
+    eligible_check = getattr(worker, "array_eligible", None)
+    if eligible_check is None:
+        batch = list(miss_indices)
+    else:
+        batch = [i for i in miss_indices if eligible_check(points[i])]
+        skipped = len(miss_indices) - len(batch)
+        if skipped:
+            warnings.warn(
+                f"run_sweep(backend='array'): {skipped} of "
+                f"{len(miss_indices)} points are not array-eligible; "
+                "they fall back to the reference engine",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    if not batch:
+        return miss_indices
+    try:
+        outcomes = array_batch([points[i] for i in batch])
+    except ArrayEligibilityError as exc:
+        warnings.warn(
+            f"run_sweep(backend='array'): batched path refused "
+            f"({exc}); falling back to the reference engine",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return miss_indices
+    if len(outcomes) != len(batch):
+        raise RuntimeError(
+            f"array_batch returned {len(outcomes)} outcomes for "
+            f"{len(batch)} points"
+        )
+    if store is not None:
+        store.note_executed("array", len(batch))
+    done = set(batch)
+    for index, outcome in zip(batch, outcomes):
+        record(index, outcome)
+    return [i for i in miss_indices if i not in done]
 
 
 @dataclass

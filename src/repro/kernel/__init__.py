@@ -56,6 +56,7 @@ from repro.kernel.topology import (
     CompleteTopology,
     DynamicTopology,
     ExplicitTopology,
+    GridTopology,
     RandomTopology,
     RingTopology,
     Topology,
@@ -75,6 +76,7 @@ __all__ = [
     "DynamicTopology",
     "EventBus",
     "ExplicitTopology",
+    "GridTopology",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",

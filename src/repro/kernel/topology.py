@@ -43,6 +43,7 @@ __all__ = [
     "CompleteTopology",
     "DynamicTopology",
     "ExplicitTopology",
+    "GridTopology",
     "RandomTopology",
     "RingTopology",
     "Topology",
@@ -151,6 +152,39 @@ class RingTopology(_StaticTopology):
 
     def __repr__(self) -> str:
         return f"RingTopology(n={self.n})"
+
+
+class GridTopology(_StaticTopology):
+    """``rows`` × ``cols`` 4-neighbor mesh; diameter rows+cols−2.
+
+    Row-major numbering: process ``r * cols + c`` sits at (r, c).  The
+    workhorse sparse graph for diameter-law sweeps — diameter grows as
+    Θ(√n) instead of the ring's Θ(n), so stabilization-time laws can be
+    separated from size effects at large n.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("a grid needs rows >= 1 and cols >= 1")
+        self.rows = rows
+        self.cols = cols
+
+        def mesh_edges():
+            for r in range(rows):
+                for c in range(cols):
+                    pid = r * cols + c
+                    if c + 1 < cols:
+                        yield (pid, pid + 1)
+                    if r + 1 < rows:
+                        yield (pid, pid + cols)
+
+        super().__init__(rows * cols, mesh_edges())
+
+    def diameter(self) -> int:
+        return self.rows + self.cols - 2
+
+    def __repr__(self) -> str:
+        return f"GridTopology(rows={self.rows}, cols={self.cols})"
 
 
 class TreeTopology(_StaticTopology):
@@ -318,6 +352,14 @@ class DynamicTopology(Topology):
         state = (frozenset(detached), blocks)
         self._states[round_no] = state
         return state
+
+    def state_key(self, round_no: int):
+        """Equality-comparable churn state at ``round_no``.
+
+        Two rounds with equal keys have identical edge sets; batched
+        engines use this to reuse compiled adjacency across rounds.
+        """
+        return self._state(round_no)
 
     def receivers(self, pid: int, round_no: int = 1) -> Sequence[int]:
         detached, blocks = self._state(round_no)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.cache.digest import worker_ref
-from repro.experiments import fig1, fig2, fig3, fig4, unison
+from repro.experiments import array_scale, fig1, fig2, fig3, fig4, unison
 from repro.serve.protocol import ProtocolError
 
 __all__ = ["Catalog", "SweepSurface", "default_catalog", "run_explore_job"]
@@ -256,6 +256,17 @@ def default_catalog() -> Catalog:
             worker=unison._measure,
             point_fields=(("family", str), ("n", int)),
             default_points=(("complete", 8), ("ring", 8), ("tree", 8)),
+        )
+    )
+    catalog.add(
+        SweepSurface(
+            # The one surface whose worker ships a batched twin
+            # (array_batch); requests with backend="array" route whole
+            # shards through repro.array here.
+            experiment="ARRAY-SCALE",
+            worker=array_scale._measure,
+            point_fields=(("family", str), ("n", int)),
+            default_points=(("ring", 400), ("grid", 400)),
         )
     )
     catalog.add(

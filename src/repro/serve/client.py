@@ -149,6 +149,7 @@ class ServeClient:
         seeds: Union[int, Sequence[int]] = 1,
         deadline_s: Optional[float] = None,
         no_cache: bool = False,
+        backend: Optional[str] = None,
         on_line: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> StreamSummary:
         """``POST /v1/sweep`` and gather the whole ordered stream.
@@ -157,7 +158,10 @@ class ServeClient:
         :func:`repro.experiments.base.run_sweep` over the same tasks
         returns (byte-identical under pickling); a worker failure
         raises :class:`ServeError`; a deadline expiry does *not* raise
-        — check ``summary.truncated``.
+        — check ``summary.truncated``.  ``backend="array"`` asks the
+        server to route shards through the workers' batched twins
+        (with loud per-shard fallback, mirroring
+        ``run_sweep(backend="array")``).
         """
         body: Dict[str, Any] = {"experiment": experiment, "seeds": _seeds(seeds)}
         if points is not None:
@@ -166,6 +170,8 @@ class ServeClient:
             body["deadline_s"] = deadline_s
         if no_cache:
             body["no_cache"] = True
+        if backend is not None:
+            body["backend"] = backend
         return self._collect("/v1/sweep", body, on_line)
 
     def explore(

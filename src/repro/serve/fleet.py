@@ -44,12 +44,14 @@ import os
 import secrets
 import subprocess
 import sys
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.array.protocols import ArrayEligibilityError
 from repro.cache.store import _resolve_worker
 from repro.experiments.base import shutdown_pool
 from repro.net.framing import FrameDecoder, FrameError, encode_frame
@@ -61,6 +63,7 @@ __all__ = [
     "ThreadFleet",
     "WorkerCrashed",
     "WorkerFleet",
+    "execute_tasks",
     "make_fleet",
 ]
 
@@ -83,6 +86,7 @@ class Shard:
     namespace: str
     indices: Tuple[int, ...]
     tasks: Tuple[Any, ...]
+    backend: str = "sync"
     future: "asyncio.Future[List[Any]]" = field(repr=False, default=None)  # type: ignore[assignment]
     attempts: int = 0
     cancelled: bool = False
@@ -104,8 +108,10 @@ class WorkerFleet:
         self._stopping = False
         self.executed_tasks = 0
         self.restarts = 0
-        #: Called with ("task-executed"|"task-retried"|"worker-restart", count).
-        self.on_event: Optional[Callable[[str, int], None]] = None
+        #: Called with ("task-executed"|"task-retried"|"worker-restart",
+        #: count, detail) — detail carries the shard's backend for
+        #: task-executed, None otherwise.
+        self.on_event: Optional[Callable[[str, int, Optional[str]], None]] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -172,9 +178,9 @@ class WorkerFleet:
             "restarts": self.restarts,
         }
 
-    def _emit(self, kind: str, count: int = 1) -> None:
+    def _emit(self, kind: str, count: int = 1, detail: Optional[str] = None) -> None:
         if self.on_event is not None:
-            self.on_event(kind, count)
+            self.on_event(kind, count, detail)
 
     async def _next_shard(self) -> Shard:
         if self._retries:
@@ -184,7 +190,7 @@ class WorkerFleet:
 
     def _finish(self, shard: Shard, outcomes: List[Any]) -> None:
         self.executed_tasks += len(shard.tasks)
-        self._emit("task-executed", len(shard.tasks))
+        self._emit("task-executed", len(shard.tasks), shard.backend)
         if not shard.future.done():
             shard.future.set_result(outcomes)
 
@@ -220,12 +226,73 @@ class WorkerFleet:
         raise NotImplementedError
 
 
-def _execute_shard(worker_ref: str, tasks: Sequence[Any]) -> List[Any]:
+def _try_array_batch(worker, tasks: Sequence[Any]) -> Optional[List[Any]]:
+    """One all-or-nothing batched attempt; None means fall back per-task."""
+    batch = getattr(worker, "array_batch", None)
+    if batch is None:
+        warnings.warn(
+            "array backend requested but the worker has no array_batch; "
+            "falling back to per-task execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    eligible = getattr(worker, "array_eligible", None)
+    if eligible is not None and not all(eligible(task) for task in tasks):
+        warnings.warn(
+            "array backend requested but the shard contains array-ineligible "
+            "tasks; falling back to per-task execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    try:
+        outcomes = list(batch(list(tasks)))
+    except ArrayEligibilityError as error:
+        warnings.warn(
+            f"array batch refused the shard ({error}); falling back to "
+            "per-task execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if len(outcomes) != len(tasks):
+        raise ShardFailed(
+            f"array_batch returned {len(outcomes)} outcomes for {len(tasks)} tasks"
+        )
+    return outcomes
+
+
+def execute_tasks(
+    worker, tasks: Sequence[Any], backend: str = "sync"
+) -> Tuple[List[Any], str]:
+    """Run one shard's task slice; returns ``(outcomes, backend_used)``.
+
+    ``backend="array"`` tries the worker's batched twin
+    (``worker.array_batch``, the same contract
+    :func:`repro.experiments.base.run_sweep` routes through) on the
+    whole slice, falling back loudly — RuntimeWarning, then per-task
+    reference execution — when the worker has no batched twin, any
+    task is ineligible, or the batch itself raises
+    :class:`~repro.array.protocols.ArrayEligibilityError`.  The second
+    return value reports what actually ran (a fallback executes as
+    ``"sync"``), so executed-by-backend counters never lie.
+    """
+    if backend == "array":
+        outcomes = _try_array_batch(worker, tasks)
+        if outcomes is not None:
+            return outcomes, "array"
+    return [worker(task) for task in tasks], "sync"
+
+
+def _execute_shard(
+    worker_ref: str, tasks: Sequence[Any], backend: str = "sync"
+) -> Tuple[List[Any], str]:
     """Resolve the worker and run the slice (thread-fleet executor body)."""
     worker = _resolve_worker(worker_ref)
     if worker is None:
         raise ShardFailed(f"cannot resolve sweep worker {worker_ref!r}")
-    return [worker(task) for task in tasks]
+    return execute_tasks(worker, tasks, backend)
 
 
 class ThreadFleet(WorkerFleet):
@@ -256,24 +323,31 @@ class ThreadFleet(WorkerFleet):
                     shard.future.cancel()
                 continue
             try:
-                outcomes = await loop.run_in_executor(
-                    self._executor, _run_shard_framed, shard.worker_ref, shard.tasks
+                outcomes, used = await loop.run_in_executor(
+                    self._executor,
+                    _run_shard_framed,
+                    shard.worker_ref,
+                    shard.tasks,
+                    shard.backend,
                 )
             except asyncio.CancelledError:
                 raise
             except Exception as error:
                 self._fail(shard, ShardFailed(str(error)))
                 continue
+            shard.backend = used  # count what actually ran, not the ask
             self._finish(shard, outcomes)
 
 
-def _run_shard_framed(worker_ref: str, tasks: Sequence[Any]) -> List[Any]:
+def _run_shard_framed(
+    worker_ref: str, tasks: Sequence[Any], backend: str = "sync"
+) -> Tuple[List[Any], str]:
     """Execute and round-trip the result through the real wire format."""
-    outcomes = _execute_shard(worker_ref, tasks)
+    outcomes, used = _execute_shard(worker_ref, tasks, backend)
     (decoded,) = FrameDecoder(max_frame=1 << 26).feed(
-        encode_frame({"outcomes": list(outcomes)}, max_frame=1 << 26)
+        encode_frame({"outcomes": list(outcomes), "backend": used}, max_frame=1 << 26)
     )
-    return decoded["outcomes"]
+    return decoded["outcomes"], decoded["backend"]
 
 
 #: Worker-protocol frame ceiling: shards carry many tasks, so allow
@@ -292,8 +366,8 @@ class ProcessFleet(WorkerFleet):
 
         hello   {token, slot, pid}            worker → server
         shard   {id, worker, namespace,       server → worker
-                 tasks}
-        result  {id, outcomes}                worker → server
+                 backend, tasks}
+        result  {id, outcomes, backend}       worker → server
         error   {id, message}                 worker → server
         shutdown {}                           server → worker
     """
@@ -449,6 +523,7 @@ class ProcessFleet(WorkerFleet):
                                 "id": shard_id,
                                 "worker": shard.worker_ref,
                                 "namespace": shard.namespace,
+                                "backend": shard.backend,
                                 "tasks": list(shard.tasks),
                             },
                             WORKER_MAX_FRAME,
@@ -471,6 +546,9 @@ class ProcessFleet(WorkerFleet):
                     conn = None  # the retried shard reconnects on dequeue
                     continue
                 if reply.get("kind") == "result" and reply.get("id") == shard_id:
+                    # The worker reports the backend that actually ran
+                    # (a fallback executed as "sync" regardless of ask).
+                    shard.backend = reply.get("backend", shard.backend)
                     self._finish(shard, list(reply["outcomes"]))
                 elif reply.get("kind") == "error":
                     self._fail(shard, ShardFailed(str(reply.get("message"))))

@@ -43,6 +43,7 @@ class ServeMetrics(Observer):
         self.tasks_total = 0
         self.tasks_cache_hits = 0
         self.tasks_executed = 0
+        self.tasks_executed_by_backend: Dict[str, int] = {}
         self.tasks_retried = 0
         self.tasks_failed = 0
         self.worker_restarts = 0
@@ -78,6 +79,10 @@ class ServeMetrics(Observer):
             self.tasks_cache_hits += event.count
         elif kind == "task-executed":
             self.tasks_executed += event.count
+            backend = event.detail or "sync"
+            self.tasks_executed_by_backend[backend] = (
+                self.tasks_executed_by_backend.get(backend, 0) + event.count
+            )
         elif kind == "task-retried":
             self.tasks_retried += event.count
         elif kind == "task-failed":
@@ -127,6 +132,7 @@ class ServeMetrics(Observer):
                 "total": self.tasks_total,
                 "cache_hits": self.tasks_cache_hits,
                 "executed": self.tasks_executed,
+                "executed_by_backend": dict(sorted(self.tasks_executed_by_backend.items())),
                 "retried": self.tasks_retried,
                 "failed": self.tasks_failed,
                 "hit_ratio": None if ratio is None else round(ratio, 4),

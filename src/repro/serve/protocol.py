@@ -102,6 +102,9 @@ class SweepRequest:
     tasks: Tuple[Any, ...]
     deadline_s: Optional[float] = None
     no_cache: bool = False
+    #: Execution backend: "sync" (reference engine) or "array" (batched
+    #: vectorized engine, falling back loudly per run_sweep semantics).
+    backend: str = "sync"
 
 
 @dataclass(frozen=True)
@@ -176,7 +179,9 @@ def parse_sweep_request(
     builds the canonical per-(point, seed) task tuples.
     """
     body = _parse_body(raw)
-    _reject_unknown(body, ("experiment", "points", "seeds", "deadline_s", "no_cache"))
+    _reject_unknown(
+        body, ("experiment", "points", "seeds", "deadline_s", "no_cache", "backend")
+    )
 
     experiment = body.get("experiment")
     if not isinstance(experiment, str) or not experiment:
@@ -204,6 +209,11 @@ def parse_sweep_request(
     no_cache = body.get("no_cache", False)
     if not isinstance(no_cache, bool):
         raise ProtocolError("bad-no-cache", "no_cache must be a boolean")
+    backend = body.get("backend", "sync")
+    if backend not in ("sync", "array"):
+        raise ProtocolError(
+            "bad-backend", "backend must be 'sync' or 'array'"
+        )
     return SweepRequest(
         experiment=experiment,
         points=points,
@@ -211,6 +221,7 @@ def parse_sweep_request(
         tasks=tasks,
         deadline_s=_parse_deadline(body),
         no_cache=no_cache,
+        backend=backend,
     )
 
 

@@ -97,14 +97,15 @@ YIELD_EVERY = 128
 class _Job:
     """One request's dispatchable form, sweep and explore alike."""
 
-    __slots__ = ("namespace", "worker_ref", "tasks", "cacheable", "deadline_s")
+    __slots__ = ("namespace", "worker_ref", "tasks", "cacheable", "deadline_s", "backend")
 
-    def __init__(self, namespace, worker_ref, tasks, cacheable, deadline_s):
+    def __init__(self, namespace, worker_ref, tasks, cacheable, deadline_s, backend="sync"):
         self.namespace = namespace
         self.worker_ref = worker_ref
         self.tasks = tasks
         self.cacheable = cacheable
         self.deadline_s = deadline_s
+        self.backend = backend
 
 
 class SweepService:
@@ -153,8 +154,8 @@ class SweepService:
         shutdown_pool()  # the serving loop never coexists with a fork pool
         self._stopping = False
         await self.fleet.start()
-        self.fleet.on_event = lambda kind, count: self.bus.on_serve(
-            ServeEvent(kind=kind, count=count)
+        self.fleet.on_event = lambda kind, count, detail=None: self.bus.on_serve(
+            ServeEvent(kind=kind, count=count, detail=detail)
         )
         await self.http.start()
 
@@ -208,12 +209,19 @@ class SweepService:
     def _sweep_job(self, body: bytes) -> _Job:
         parsed = parse_sweep_request(body, self.catalog, self.max_tasks)
         surface = self.catalog.get(parsed.experiment)
+        # The batched backend caches under its own namespace — the same
+        # ``@array`` isolation run_sweep(backend="array") applies — so
+        # reference and batched outcomes never answer for each other.
+        namespace = surface.namespace
+        if parsed.backend == "array":
+            namespace = f"{namespace}@array"
         return _Job(
-            namespace=surface.namespace,
+            namespace=namespace,
             worker_ref=surface.worker_ref,
             tasks=parsed.tasks,
             cacheable=surface.cacheable and not parsed.no_cache,
             deadline_s=parsed.deadline_s,
+            backend=parsed.backend,
         )
 
     def _explore_job(self, body: bytes) -> _Job:
@@ -453,6 +461,7 @@ class SweepService:
                 namespace=job.namespace,
                 indices=tuple(chunk),
                 tasks=tuple(tasks[i] for i in chunk),
+                backend=job.backend,
             )
             shard.future = loop.create_future()
             shards.append(shard)

@@ -26,7 +26,7 @@ import traceback
 
 from repro.cache.store import _resolve_worker
 from repro.net.framing import FrameDecoder, encode_frame
-from repro.serve.fleet import WORKER_MAX_FRAME
+from repro.serve.fleet import WORKER_MAX_FRAME, execute_tasks
 
 _READ_CHUNK = 1 << 16
 
@@ -68,7 +68,9 @@ def serve_shards(sock: socket.socket, token: str, slot: int) -> int:
                 if worker is None:
                     raise RuntimeError(f"cannot resolve sweep worker {ref!r}")
                 workers[ref] = worker
-            outcomes = [worker(task) for task in frame.get("tasks", [])]
+            outcomes, used_backend = execute_tasks(
+                worker, frame.get("tasks", []), frame.get("backend", "sync")
+            )
         except BaseException as error:  # noqa: BLE001 — reported, not retried
             if isinstance(error, (KeyboardInterrupt, SystemExit)):
                 raise
@@ -87,7 +89,12 @@ def serve_shards(sock: socket.socket, token: str, slot: int) -> int:
             continue
         sock.sendall(
             encode_frame(
-                {"kind": "result", "id": shard_id, "outcomes": outcomes},
+                {
+                    "kind": "result",
+                    "id": shard_id,
+                    "outcomes": outcomes,
+                    "backend": used_backend,
+                },
                 WORKER_MAX_FRAME,
             )
         )

@@ -1,0 +1,157 @@
+"""Property-based conformance: the batched engine IS the reference engine.
+
+Hypothesis draws random (protocol, topology, fault plan, seeds)
+scenarios — crashes, omission campaigns, initial and mid-run systemic
+corruption, churn — and requires digest-identical histories, identical
+faulty sets and identical final states between ``run_sync`` and
+``run_array`` on every data plane (pure-Python always; NumPy when
+installed).  This is the generative widening of the pinned scenarios in
+``tests/unit/test_array_engine.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import assert_conformance, has_numpy
+from repro.core.compiler import compile_protocol
+from repro.core.rounds import RoundAgreementProtocol
+from repro.kernel.faults import FaultPlan
+from repro.kernel.topology import ChurnEvent, ChurnSchedule, GridTopology, RingTopology
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.unison import BoundedUnison, MinUnison
+from repro.sync.adversary import FaultMode, RandomAdversary
+from repro.sync.corruption import ClockSkewCorruption, RandomCorruption
+
+BACKENDS = ["python"] + (["numpy"] if has_numpy() else [])
+
+ROUNDS = 8
+
+
+def _make_protocol(name, n):
+    if name == "min-unison":
+        return MinUnison()
+    if name == "round-agreement":
+        return RoundAgreementProtocol()
+    if name == "bounded-unison":
+        return BoundedUnison(n=n)
+    return compile_protocol(
+        FloodMinConsensus(f=1, proposals=[(3 * pid + 1) % 7 for pid in range(n)])
+    )
+
+
+def _make_topology(name, n):
+    if name == "ring":
+        return RingTopology(n)
+    if name == "grid":
+        return GridTopology(2, n // 2)
+    return None  # complete graph
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(min_value=4, max_value=8))
+    if n % 2:
+        topology_name = draw(st.sampled_from(["complete", "ring"]))
+    else:
+        topology_name = draw(st.sampled_from(["complete", "ring", "grid"]))
+    protocol_name = draw(
+        st.sampled_from(
+            ["min-unison", "round-agreement", "bounded-unison", "compiled-floodmin"]
+        )
+    )
+
+    lanes = draw(st.integers(min_value=1, max_value=3))
+    lane_specs = []
+    churn_flag = draw(st.booleans()) and topology_name != "complete"
+    for _ in range(lanes):
+        crash_pids = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1), max_size=2, unique=True
+            )
+        )
+        spec = {
+            "crashes": {
+                pid: float(draw(st.integers(min_value=1, max_value=ROUNDS)))
+                for pid in crash_pids
+            },
+            "adversary": None,
+            "corrupt_seed": draw(st.one_of(st.none(), st.integers(0, 50))),
+            "skew_round": draw(st.one_of(st.none(), st.integers(2, ROUNDS - 1))),
+            "skew_pid": draw(st.integers(0, n - 1)),
+            "skew_value": draw(st.integers(-3, 12)),
+        }
+        if draw(st.booleans()):
+            spec["adversary"] = (
+                draw(st.integers(min_value=0, max_value=2)),  # f
+                draw(
+                    st.sampled_from(
+                        [
+                            FaultMode.CRASH,
+                            FaultMode.SEND_OMISSION,
+                            FaultMode.RECEIVE_OMISSION,
+                            FaultMode.GENERAL_OMISSION,
+                        ]
+                    )
+                ),
+                draw(st.floats(min_value=0.0, max_value=0.5)),
+                draw(st.integers(0, 100)),  # seed
+            )
+        lane_specs.append(spec)
+    churn = None
+    if churn_flag:
+        leave_pid = draw(st.integers(0, n - 1))
+        events = [ChurnEvent(2, "leave", pids=(leave_pid,))]
+        if draw(st.booleans()):
+            events.append(
+                ChurnEvent(
+                    4,
+                    "partition",
+                    groups=(frozenset(range(n // 2)),),
+                )
+            )
+            events.append(ChurnEvent(6, "heal"))
+        events.append(ChurnEvent(ROUNDS - 1, "join", pids=(leave_pid,)))
+        churn = ChurnSchedule(tuple(events))
+    return n, protocol_name, topology_name, tuple(lane_specs), churn
+
+
+def _plan_factory(n, spec, churn):
+    def make():
+        adversary = None
+        if spec["adversary"] is not None:
+            f, mode, rate, seed = spec["adversary"]
+            adversary = RandomAdversary(n, f, mode=mode, rate=rate, seed=seed)
+        mid = {}
+        if spec["skew_round"] is not None:
+            mid[float(spec["skew_round"])] = ClockSkewCorruption(
+                {spec["skew_pid"]: spec["skew_value"]}
+            )
+        return FaultPlan(
+            crashes=dict(spec["crashes"]),
+            omissions=adversary,
+            initial_corruption=(
+                RandomCorruption(seed=spec["corrupt_seed"])
+                if spec["corrupt_seed"] is not None
+                else None
+            ),
+            mid_corruptions=mid,
+            churn=churn,
+        )
+
+    return make
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=25, deadline=None)
+@given(scenario=scenarios())
+def test_random_scenarios_are_digest_identical(backend, scenario):
+    n, protocol_name, topology_name, lane_specs, churn = scenario
+    assert_conformance(
+        _make_protocol(protocol_name, n),
+        n=n,
+        rounds=ROUNDS,
+        plan_factories=[_plan_factory(n, spec, churn) for spec in lane_specs],
+        topology=_make_topology(topology_name, n),
+        backend=backend,
+    )

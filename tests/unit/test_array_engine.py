@@ -1,0 +1,275 @@
+"""The batched array engine against the reference engine, byte for byte.
+
+Every scenario here runs through :func:`repro.array.conformance
+.check_conformance`, which reconstructs a value-identical
+``ExecutionHistory`` per lane from the array columns and compares
+canonical digests against ``run_sync`` on the same (protocol, plan,
+topology) — on *both* data planes (NumPy when installed, and the
+pure-Python fallback always).  Eligibility failures must be loud
+``ArrayEligibilityError``s, never silent wrong answers.
+"""
+
+import pytest
+
+from repro.array import (
+    ArrayEligibilityError,
+    as_array_protocol,
+    assert_conformance,
+    has_numpy,
+    pick_backend,
+    run_array,
+)
+from repro.array.backend import ENV_BACKEND
+from repro.core.canonical import CanonicalRunner
+from repro.core.compiler import compile_protocol
+from repro.core.rounds import RoundAgreementProtocol
+from repro.kernel.faults import FaultPlan
+from repro.kernel.topology import (
+    ChurnEvent,
+    ChurnSchedule,
+    GridTopology,
+    RingTopology,
+)
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.unison import BoundedUnison, MinUnison
+from repro.sync.adversary import (
+    FaultMode,
+    RandomAdversary,
+    RoundFaultPlan,
+    ScriptedAdversary,
+)
+from repro.sync.corruption import ClockSkewCorruption, RandomCorruption
+
+BACKENDS = ["python"] + (["numpy"] if has_numpy() else [])
+
+backends = pytest.mark.parametrize("backend", BACKENDS)
+
+
+@backends
+def test_fault_free_complete_graph(backend):
+    assert_conformance(MinUnison(), n=6, rounds=8, backend=backend)
+
+
+@backends
+def test_ring_with_crashes_multi_lane(backend):
+    def crashy(seed):
+        return lambda: FaultPlan(
+            crashes={seed % 5: 2.0, (seed + 2) % 5: 4.0},
+            initial_corruption=RandomCorruption(seed=seed),
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=5,
+        rounds=10,
+        plan_factories=[crashy(0), crashy(1), None],
+        topology=RingTopology(5),
+        backend=backend,
+    )
+
+
+@backends
+def test_grid_omissions_and_mid_run_corruption(backend):
+    def plan():
+        script = {
+            2: RoundFaultPlan(send_omissions={1: frozenset({2, 5})}),
+            3: RoundFaultPlan(receive_omissions={4: frozenset({0, 7})}),
+            5: RoundFaultPlan(crashes={3: frozenset({0, 6})}),
+        }
+        return FaultPlan(
+            omissions=ScriptedAdversary(3, script),
+            initial_corruption=RandomCorruption(seed=11),
+            mid_corruptions={6.0: ClockSkewCorruption({0: 9, 4: 2, 8: 5})},
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=9,
+        rounds=12,
+        plan_factories=[plan, plan],
+        topology=GridTopology(3, 3),
+        backend=backend,
+    )
+
+
+@backends
+@pytest.mark.parametrize("mode", [FaultMode.CRASH, FaultMode.GENERAL_OMISSION])
+def test_floodmin_compiled_random_adversary(backend, mode):
+    protocol = compile_protocol(FloodMinConsensus(f=2, proposals=[4, 1, 3, 2, 5, 0]))
+
+    def plan():
+        return FaultPlan(
+            omissions=RandomAdversary(6, 2, mode=mode, rate=0.4, seed=7),
+            initial_corruption=RandomCorruption(seed=3),
+        )
+
+    assert_conformance(
+        protocol, n=6, rounds=8, plan_factories=[plan, plan], backend=backend
+    )
+
+
+@backends
+def test_ft_floodmin_crashes(backend):
+    protocol = CanonicalRunner(FloodMinConsensus(f=2, proposals=[4, 1, 3, 2, 5]))
+
+    def plan():
+        return FaultPlan(crashes={0: 1.0, 4: 2.0})
+
+    assert_conformance(protocol, n=5, rounds=4, plan_factories=[plan], backend=backend)
+
+
+@backends
+def test_bounded_unison_conformance(backend):
+    def plan():
+        return FaultPlan(initial_corruption=RandomCorruption(seed=2))
+
+    assert_conformance(
+        BoundedUnison(n=6), n=6, rounds=9, plan_factories=[plan], backend=backend
+    )
+
+
+@backends
+def test_churn_gauntlet_on_ring(backend):
+    churn = ChurnSchedule(
+        (
+            ChurnEvent(2, "leave", pids=(1,)),
+            ChurnEvent(4, "partition", groups=(frozenset({0, 2, 3}),)),
+            ChurnEvent(6, "heal"),
+            ChurnEvent(7, "join", pids=(1,)),
+        )
+    )
+
+    def plan():
+        return FaultPlan(
+            crashes={5: 3.0},
+            churn=churn,
+            initial_corruption=RandomCorruption(seed=9),
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=6,
+        rounds=10,
+        plan_factories=[plan, plan],
+        topology=RingTopology(6),
+        backend=backend,
+    )
+
+
+@backends
+def test_round_agreement_fig1(backend):
+    def plan():
+        return FaultPlan(
+            omissions=RandomAdversary(
+                5, 1, mode=FaultMode.SEND_OMISSION, rate=0.3, seed=13
+            ),
+            initial_corruption=RandomCorruption(seed=1),
+        )
+
+    assert_conformance(
+        RoundAgreementProtocol(), n=5, rounds=8, plan_factories=[plan], backend=backend
+    )
+
+
+# -- eligibility: loud refusals, never silent wrong answers ------------------
+
+
+def test_forgeries_are_rejected():
+    def plan():
+        return FaultPlan(
+            omissions=ScriptedAdversary(
+                1,
+                {2: RoundFaultPlan(forgeries={0: {1: lambda payload: payload}})},
+            )
+        )
+
+    with pytest.raises(ArrayEligibilityError):
+        run_array(MinUnison(), 4, 5, fault_plans=[plan()], backend="python")
+
+
+def test_shared_adversary_object_across_lanes_is_rejected():
+    adversary = RandomAdversary(4, 1, mode=FaultMode.CRASH, seed=0)
+    plans = [FaultPlan(omissions=adversary), FaultPlan(omissions=adversary)]
+    with pytest.raises(ArrayEligibilityError):
+        run_array(MinUnison(), 4, 5, fault_plans=plans, backend="python")
+
+
+def test_lanes_with_different_churn_are_rejected():
+    churned = FaultPlan(churn=ChurnSchedule((ChurnEvent(2, "leave", pids=(1,)),)))
+    with pytest.raises(ArrayEligibilityError):
+        run_array(
+            MinUnison(),
+            4,
+            5,
+            fault_plans=[churned, None],
+            topology=RingTopology(4),
+            backend="python",
+        )
+
+
+def test_protocol_without_batched_twin_is_rejected():
+    class Custom(MinUnison):
+        """A subclass may override update(); exact-type match must miss."""
+
+    assert as_array_protocol(Custom()) is None
+    with pytest.raises(ArrayEligibilityError):
+        run_array(Custom(), 4, 5, backend="python")
+
+
+def test_backend_env_and_explicit_selection(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "python")
+    assert pick_backend(None) == "python"
+    result = run_array(MinUnison(), 4, 3)
+    assert result.backend == "python"
+    monkeypatch.delenv(ENV_BACKEND)
+    assert pick_backend("python") == "python"
+    with pytest.raises(ValueError):
+        pick_backend("fortran")
+
+
+def test_measure_disagreement_matches_history_scan():
+    plans = [
+        FaultPlan(initial_corruption=RandomCorruption(seed=seed)) for seed in range(3)
+    ]
+    measured = run_array(
+        MinUnison(),
+        8,
+        12,
+        fault_plans=plans,
+        topology=RingTopology(8),
+        measure_disagreement=True,
+        backend="python",
+    )
+    recorded = run_array(
+        MinUnison(),
+        8,
+        12,
+        fault_plans=[
+            FaultPlan(initial_corruption=RandomCorruption(seed=seed))
+            for seed in range(3)
+        ],
+        topology=RingTopology(8),
+        record_history=True,
+        backend="python",
+    )
+    for lane in range(3):
+        last = 0
+        for round_history in recorded.histories[lane]:
+            clocks = {
+                record.clock_before
+                for record in round_history.records
+                if record.clock_before is not None
+            }
+            if len(clocks) > 1:
+                last = round_history.round_no
+        assert (measured.last_disagreement[lane] or 0) == last
+
+
+def test_grid_topology_shape():
+    grid = GridTopology(3, 4)
+    assert grid.n == 12
+    assert grid.diameter() == 5
+    # Interior process: 4 neighbors + self.
+    assert set(grid.receivers(5)) == {1, 4, 5, 6, 9}
+    # Corner: 2 neighbors + self.
+    assert set(grid.receivers(0)) == {0, 1, 4}

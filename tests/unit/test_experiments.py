@@ -57,7 +57,7 @@ class TestRegistry:
             "ASYNC-CONS", "ABL-SUSPECT", "ABL-RETX", "ABL-MERGE",
             "EXT-BOUNDED", "EXT-BYZ", "EXT-EARLY", "EXT-HEARTBEAT",
             "EXT-SKEW", "EXT-RSM", "EXPLORE", "NET-LIVE",
-            "UNISON", "UNISON-CHURN",
+            "UNISON", "UNISON-CHURN", "ARRAY-SCALE",
         }
         assert set(REGISTRY.ids()) == expected
 
