@@ -7,9 +7,10 @@ Usage::
     python -m repro.cache verify [--sample N] [--seed S]
 
 ``stats`` reports the disk inventory (entries, bytes, namespaces) plus
-the cumulative access counters from ``stats.json`` — the
-machine-independent executed-simulation count CI's ``cache-smoke`` job
-asserts on.  ``clear`` wipes every entry.  ``verify`` re-executes a
+the cumulative access counters from ``stats.json`` — overall and per
+namespace, so the ``@verify``/``@array``/serve tiers are
+distinguishable — including the machine-independent
+executed-simulation count CI's ``cache-smoke`` job asserts on.  ``clear`` wipes every entry.  ``verify`` re-executes a
 deterministic sample of current-fingerprint entries and fails unless
 each re-run reproduces its stored outcome byte-for-byte.
 """
@@ -33,6 +34,7 @@ def _cmd_stats(args) -> int:
         "enabled": cache_enabled(),
         **cache.summary(),
         "counters": cache.persisted_counters(),
+        "access_by_namespace": cache.persisted_namespace_counters(),
         "remote": {
             "url": os.environ.get("REPRO_CACHE_REMOTE") or None,
             **remote.stats(),
@@ -65,6 +67,17 @@ def _cmd_stats(args) -> int:
         )
     else:
         print("cumulative: no recorded accesses")
+    by_namespace = data["access_by_namespace"]
+    if by_namespace:
+        print("cumulative by namespace:")
+        for name in sorted(by_namespace):
+            bucket = by_namespace[name]
+            print(
+                f"  {name}: {bucket.get('hits', 0)} hits, "
+                f"{bucket.get('misses', 0)} misses "
+                f"(= {bucket.get('executed', 0)} executed), "
+                f"{bucket.get('stores', 0)} stores"
+            )
     remote_info = data["remote"]
     if remote_info["url"]:
         print(

@@ -121,20 +121,47 @@ class CacheStats:
 
 
 class CacheStatsObserver(Observer):
-    """Kernel observer that folds :class:`CacheEvent` s into counters."""
+    """Kernel observer that folds :class:`CacheEvent` s into counters.
+
+    Alongside the process-wide totals, accesses are attributed to their
+    event's namespace in ``by_namespace`` (flush events carry no
+    namespace and stay global-only), so the ``@verify`` proof plane,
+    the EXPLORE namespaces, and the serving tiers stay distinguishable
+    in ``python -m repro.cache stats``.
+    """
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self.by_namespace: Dict[str, CacheStats] = {}
+
+    def _bucket(self, event: CacheEvent) -> Optional[CacheStats]:
+        if not event.namespace:
+            return None
+        bucket = self.by_namespace.get(event.namespace)
+        if bucket is None:
+            bucket = self.by_namespace[event.namespace] = CacheStats()
+        return bucket
 
     def on_cache(self, event: CacheEvent) -> None:
+        # NB: CacheStats is falsy while all-zero, so bucket tests must
+        # be identity checks or the namespace's first event vanishes.
+        bucket = self._bucket(event)
         if event.kind == "hit":
             self.stats.hits += 1
             self.stats.bytes_read += event.nbytes
+            if bucket is not None:
+                bucket.hits += 1
+                bucket.bytes_read += event.nbytes
         elif event.kind == "miss":
             self.stats.misses += 1
+            if bucket is not None:
+                bucket.misses += 1
         elif event.kind == "store":
             self.stats.stores += 1
             self.stats.bytes_written += event.nbytes
+            if bucket is not None:
+                bucket.stores += 1
+                bucket.bytes_written += event.nbytes
 
 
 @dataclass
@@ -197,6 +224,7 @@ class RunCache:
         self._extra_observers: Tuple[Observer, ...] = ()
         self._bus = EventBus((self._stats_observer,))
         self._persisted = CacheStats()
+        self._persisted_ns: Dict[str, CacheStats] = {}
 
     # -- observers -----------------------------------------------------------
 
@@ -432,6 +460,7 @@ class RunCache:
             return
         path = self._stats_path()
         counters: Dict[str, int] = {}
+        namespaces: Dict[str, Dict[str, int]] = {}
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             if isinstance(data.get("counters"), dict):
@@ -440,19 +469,45 @@ class RunCache:
                     for name, value in data["counters"].items()
                     if isinstance(value, int)
                 }
+            if isinstance(data.get("namespaces"), dict):
+                namespaces = {
+                    str(ns): {
+                        name: int(value)
+                        for name, value in bucket.items()
+                        if isinstance(value, int)
+                    }
+                    for ns, bucket in data["namespaces"].items()
+                    if isinstance(bucket, dict)
+                }
         except (OSError, ValueError):
             pass
         for name in _COUNTER_FIELDS:
             counters[name] = counters.get(name, 0) + getattr(delta, name)
         counters["executed"] = counters.get("misses", 0)
+        for ns, stats in self._stats_observer.by_namespace.items():
+            ns_delta = stats.delta_since(
+                self._persisted_ns.get(ns, CacheStats())
+            )
+            if not ns_delta:
+                continue
+            bucket = namespaces.setdefault(ns, {})
+            # Backend splits (executed_sync/executed_array) are global
+            # counters; only the access fields are attributed per
+            # namespace.
+            for name in ("hits", "misses", "stores", "bytes_read", "bytes_written"):
+                bucket[name] = bucket.get(name, 0) + getattr(ns_delta, name)
+            bucket["executed"] = bucket.get("misses", 0)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"counters": counters, "namespaces": namespaces}
         self._atomic_write(
             path,
-            (json.dumps({"counters": counters}, sort_keys=True, indent=2) + "\n").encode(
-                "utf-8"
-            ),
+            (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8"),
         )
         self._persisted = self.stats.snapshot()
+        self._persisted_ns = {
+            ns: stats.snapshot()
+            for ns, stats in self._stats_observer.by_namespace.items()
+        }
 
     def persisted_counters(self) -> Dict[str, int]:
         """The cumulative counters recorded in ``stats.json`` (may be {})."""
@@ -462,6 +517,27 @@ class RunCache:
             return {}
         counters = data.get("counters")
         return counters if isinstance(counters, dict) else {}
+
+    def persisted_namespace_counters(self) -> Dict[str, Dict[str, int]]:
+        """Cumulative per-namespace access counters from ``stats.json``.
+
+        Unlike :meth:`summary` (a disk inventory of what is currently
+        stored), these count *accesses over time* — hits, misses, and
+        stores attributed to the namespace that made them, surviving
+        across invocations.
+        """
+        try:
+            data = json.loads(self._stats_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        namespaces = data.get("namespaces")
+        if not isinstance(namespaces, dict):
+            return {}
+        return {
+            str(ns): bucket
+            for ns, bucket in namespaces.items()
+            if isinstance(bucket, dict)
+        }
 
     # -- maintenance ---------------------------------------------------------
 
@@ -484,6 +560,10 @@ class RunCache:
         self._memory.clear()
         self._pending.clear()
         self._persisted = self.stats.snapshot()
+        self._persisted_ns = {
+            ns: stats.snapshot()
+            for ns, stats in self._stats_observer.by_namespace.items()
+        }
         return removed
 
     def summary(self) -> Dict[str, Any]:

@@ -46,6 +46,7 @@ from repro.experiments import (
     thm5,
     unison,
     unison_churn,
+    verify_ev,
 )
 from repro.experiments.base import Expectations, ExperimentResult, Registry
 
@@ -71,6 +72,7 @@ for _id, _module in [
     ("EXT-SKEW", ext_skew),
     ("EXT-RSM", ext_rsm),
     ("EXPLORE", explore_ev),
+    ("VERIFY", verify_ev),
     ("NET-LIVE", net_live),
     ("UNISON", unison),
     ("UNISON-CHURN", unison_churn),

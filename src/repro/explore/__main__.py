@@ -88,8 +88,19 @@ def _cmd_run(args) -> int:
         jobs=args.jobs,
         mode=args.mode,
         do_shrink=not args.no_shrink,
+        verify_residual=args.verify_residual,
     )
     print(_summarize(result))
+    if result.residual is not None:
+        residual = result.residual
+        frontier = residual.frontier
+        print(
+            f"  residual proof plane [{residual.target}@{residual.at}] "
+            f"{residual.engine}: {residual.verdict} over {residual.examined} "
+            f"plan(s) ({frontier.states_distinct} distinct states)"
+            if frontier is not None
+            else f"  residual proof plane: {residual.verdict}"
+        )
     if args.out:
         out_dir = pathlib.Path(args.out)
         for index in range(len(result.findings)):
@@ -251,6 +262,12 @@ def main(argv=None) -> int:
     )
     run_p.add_argument("--out", default=None, help="write finding artifacts here")
     run_p.add_argument("--no-shrink", action="store_true")
+    run_p.add_argument(
+        "--verify-residual",
+        action="store_true",
+        help="finish with a proof-plane pass: exhaust the target's curated "
+        "verify space with the explicit engine (see python -m repro.verify)",
+    )
     run_p.add_argument(
         "--no-cache",
         action="store_true",

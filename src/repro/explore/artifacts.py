@@ -88,6 +88,27 @@ class Artifact:
             shrink_oracle_calls=int(data.get("shrink_oracle_calls", 0)),
         )
 
+    def to_verify_instance(self) -> "Tuple[str, int, PlanSpec]":
+        """The verify-plane instance this artifact is a run of.
+
+        Returns ``(verify target name, stabilization time, spec)`` —
+        the stable bridge :func:`repro.verify.cross_check` and the
+        minimality certifier consume.  Exploration targets and verify
+        targets share names and canonical obligation times, so the
+        round-trip is the identity on the covered targets; the
+        asynchronous ``fig4`` has no bounded verify model and raises.
+        """
+        # Imported here: artifacts must not pull the verify plane (and
+        # its protocol imports) into every explore invocation.
+        from repro.verify.targets import VERIFY_TARGETS
+
+        if self.target not in VERIFY_TARGETS:
+            raise ValueError(
+                f"exploration target {self.target!r} has no verify-plane "
+                f"model; covered: {', '.join(sorted(VERIFY_TARGETS))}"
+            )
+        return (self.target, VERIFY_TARGETS[self.target].default_at, self.spec)
+
 
 def render_artifact(artifact: Artifact) -> str:
     """The canonical byte representation (what :func:`save_artifact` writes)."""

@@ -105,6 +105,11 @@ class ExplorationResult:
     mismatches: List[Tuple[PlanSpec, SpecVerdict, SpecVerdict]] = field(
         default_factory=list
     )
+    #: The proof plane's verdict over the target's curated verify space
+    #: (a :class:`repro.verify.VerifyResult`), when the exploration was
+    #: asked to exhaust the residual space (``verify_residual=True`` and
+    #: the target has a bounded verify model); None otherwise.
+    residual: Optional[object] = None
 
     @property
     def violation_count(self) -> int:
@@ -144,11 +149,20 @@ def explore(
     mode: str = "auto",
     space: Optional[PlanSpace] = None,
     do_shrink: bool = True,
+    verify_residual: bool = False,
 ) -> ExplorationResult:
     """Search one target's fault-plan space for spec violations.
 
     Deterministic in ``(target_name, budget, seed, mode, space)``:
     ``jobs`` only changes wall-clock time, never results.
+
+    ``verify_residual=True`` finishes with a proof-plane pass: after
+    the sampled search, :func:`repro.verify.verify` exhausts the
+    target's *curated verify space* with the explicit-state engine and
+    the verdict lands in :attr:`ExplorationResult.residual` — turning
+    this exploration's "found nothing" into "provably nothing" over
+    the bounded space.  Targets without a bounded verify model (the
+    asynchronous ``fig4``) leave ``residual`` as None.
     """
     target = get_target(target_name)
     space = space if space is not None else target.default_space
@@ -207,5 +221,15 @@ def explore(
                     verdict=confirm,
                     shrink_oracle_calls=0,
                 )
+            )
+
+    if verify_residual:
+        # Imported lazily (and inside the flag): the verify plane
+        # imports this module, and most explorations never need it.
+        import repro.verify
+
+        if target.name in repro.verify.VERIFY_TARGETS:
+            result.residual = repro.verify.verify(
+                target.name, jobs=jobs, engine="explicit"
             )
     return result

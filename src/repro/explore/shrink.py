@@ -21,7 +21,7 @@ from typing import Callable, Iterator, List, Tuple
 
 from repro.explore.space import OmissionSpec, PlanSpec
 
-__all__ = ["shrink", "spec_size"]
+__all__ = ["neighborhood", "shrink", "spec_size"]
 
 #: Ceiling on oracle invocations per shrink (a safety net, not a tuning
 #: knob: the greedy descent on these spaces needs far fewer).
@@ -118,6 +118,48 @@ def _candidates(spec: PlanSpec) -> Iterator[PlanSpec]:
     # Pull GST to the start.
     if spec.gst > 0:
         yield _variant(spec, gst=0)
+
+
+def neighborhood(spec: PlanSpec, limit: int = 20_000) -> List[PlanSpec]:
+    """Every spec strictly smaller than ``spec`` under shrink steps.
+
+    The transitive closure of :func:`_candidates` — exactly the space a
+    greedy :func:`shrink` descent could ever visit from ``spec``.  A
+    spec with **no violating member** of this set is *provably minimal*
+    with respect to the shrinker's move set, a strictly stronger claim
+    than the local minimality ``shrink`` guarantees (greedy descent only
+    proves no *single* step preserves the violation; the closure also
+    rules out multi-step descendants).  :mod:`repro.verify` exhausts it
+    to certify EXPLORE counterexamples.
+
+    Every edge strictly decreases :func:`spec_size` (a well-founded
+    measure), so the closure is finite; ``limit`` guards against
+    accidentally huge specs.  The result is sorted by
+    :meth:`PlanSpec.sort_key` — deterministic and duplicate-free.
+    """
+    seen = {spec.sort_key()}
+    frontier: List[PlanSpec] = [spec]
+    closure: List[PlanSpec] = []
+    while frontier:
+        current = frontier.pop()
+        for candidate in _candidates(current):
+            if candidate is None:
+                continue
+            if spec_size(candidate) >= spec_size(current):
+                continue  # defensive, mirroring shrink(): only strict steps
+            key = candidate.sort_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            closure.append(candidate)
+            frontier.append(candidate)
+            if len(closure) > limit:
+                raise ValueError(
+                    f"shrink neighborhood of {spec!r} exceeds {limit} specs; "
+                    "pass a larger limit to enumerate it anyway"
+                )
+    closure.sort(key=PlanSpec.sort_key)
+    return closure
 
 
 def shrink(

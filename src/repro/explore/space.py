@@ -566,6 +566,67 @@ class PlanSpace:
                                             churn=churn,
                                         )
 
+    # -- serialization -------------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-able description of the space's atoms and bounds.
+
+        Proof certificates (:mod:`repro.verify.certificates`) embed this
+        so a "no violation exists" claim names the exact space it
+        quantified over; :meth:`from_jsonable` round-trips it.
+        """
+        return {
+            "n": self.n,
+            "rounds": self.rounds,
+            "crash_rounds": list(self.crash_rounds),
+            "max_crashes": self.max_crashes,
+            "omission_windows": [list(w) for w in self.omission_windows],
+            "omission_kinds": list(self.omission_kinds),
+            "max_omissions": self.max_omissions,
+            "skew_values": list(self.skew_values),
+            "max_skews": self.max_skews,
+            "corruption_choices": list(self.corruption_choices),
+            "corruption_round_choices": [
+                list(c) for c in self.corruption_round_choices
+            ],
+            "gst_choices": list(self.gst_choices),
+            "seeds": list(self.seeds),
+            "churn_windows": [list(w) for w in self.churn_windows],
+            "max_churn": self.max_churn,
+        }
+
+    @staticmethod
+    def from_jsonable(data: Dict[str, object]) -> "PlanSpace":
+        return PlanSpace(
+            n=int(data["n"]),
+            rounds=int(data["rounds"]),
+            crash_rounds=tuple(int(r) for r in data.get("crash_rounds", ())),
+            max_crashes=int(data.get("max_crashes", 0)),
+            omission_windows=tuple(
+                (int(a), int(b)) for a, b in data.get("omission_windows", ())
+            ),
+            omission_kinds=tuple(
+                str(k) for k in data.get("omission_kinds", ("general",))
+            ),
+            max_omissions=int(data.get("max_omissions", 0)),
+            skew_values=tuple(int(v) for v in data.get("skew_values", ())),
+            max_skews=int(data.get("max_skews", 0)),
+            corruption_choices=tuple(
+                bool(c) for c in data.get("corruption_choices", (False,))
+            ),
+            corruption_round_choices=tuple(
+                tuple(int(r) for r in choice)
+                for choice in data.get("corruption_round_choices", ((),))
+            ),
+            gst_choices=tuple(int(g) for g in data.get("gst_choices", (0,))),
+            seeds=tuple(int(s) for s in data.get("seeds", (0,))),
+            churn_windows=tuple(
+                (int(leave), None if rejoin is None else int(rejoin))
+                for leave, rejoin in data.get("churn_windows", ())
+            ),
+            max_churn=int(data.get("max_churn", 0)),
+        )
+
     # -- seeded random walk --------------------------------------------------
 
     def sample_plans(self, seed: int, count: int) -> Iterator[PlanSpec]:

@@ -1,0 +1,212 @@
+"""Verdict certificates: replayable records of what was proved.
+
+Every verification verdict can be rendered as a **certificate** — a
+canonical-JSON document that pins what was claimed, over which space,
+by which engine, and what it would take to re-check it:
+
+- a **proof** certificate carries the space (re-enumerable), its
+  cardinality after symmetry dedup, and the explicit engine's
+  order-independent frontier digest — re-running the verification must
+  reproduce all three;
+- a **counterexample** certificate embeds a violating plan as a full
+  EXPLORE :class:`~repro.explore.artifacts.Artifact` — byte-identical
+  to what ``python -m repro.explore`` would write, so
+  ``python -m repro.explore replay`` replays it with no verify-specific
+  tooling;
+- a **minimality** certificate (see :mod:`repro.verify.minimal`)
+  records that the *entire* strictly-smaller shrink neighborhood of a
+  counterexample was exhausted and contained no violation.
+
+Serialization matches the artifact conventions: sorted keys, fixed
+indentation, no timestamps, no host or parallelism information — the
+same verification yields byte-identical certificates regardless of
+``--jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.explore.artifacts import Artifact
+from repro.explore.space import PlanSpace
+from repro.verify.result import FrontierStats, VerifyResult
+from repro.verify.targets import VerifyTarget
+
+__all__ = [
+    "CERT_SCHEMA_VERSION",
+    "Certificate",
+    "certificate_from_result",
+    "load_certificate",
+    "render_certificate",
+    "save_certificate",
+]
+
+#: Bumped on any incompatible change to the certificate layout.
+CERT_SCHEMA_VERSION = 1
+
+_KINDS = ("proof", "counterexample", "minimality")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One verification verdict, rendered for replay."""
+
+    kind: str
+    target: str
+    claim: str
+    at: int
+    engine: str
+    #: The exhausted space (re-enumerable), absent for minimality
+    #: certificates (their space is the artifact's shrink neighborhood).
+    space: Optional[Dict[str, Any]] = None
+    #: ``{"raw_plans", "examined", "symmetry_dropped", "violating"}``.
+    cardinality: Dict[str, int] = field(default_factory=dict)
+    #: Explicit-engine frontier statistics (absent on SMT verdicts).
+    frontier: Optional[Dict[str, Any]] = None
+    #: The embedded EXPLORE artifact, for counterexample/minimality.
+    artifact: Optional[Dict[str, Any]] = None
+    #: SMT-exhibited initial clocks (pid → clock), when the violating
+    #: assignment is not a seeded draw the spec can reproduce.
+    counterexample_clocks: Dict[str, int] = field(default_factory=dict)
+    #: Minimality evidence: ``{"size": ..., "violating": 0}``.
+    neighborhood: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown certificate kind {self.kind!r}")
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CERT_SCHEMA_VERSION,
+            "kind": self.kind,
+            "target": self.target,
+            "claim": self.claim,
+            "at": self.at,
+            "engine": self.engine,
+            "space": self.space,
+            "cardinality": dict(self.cardinality),
+            "frontier": self.frontier,
+            "artifact": self.artifact,
+            "counterexample_clocks": dict(self.counterexample_clocks),
+            "neighborhood": dict(self.neighborhood),
+        }
+
+    @staticmethod
+    def from_jsonable(data: Dict[str, Any]) -> "Certificate":
+        version = data.get("schema_version")
+        if version != CERT_SCHEMA_VERSION:
+            raise ValueError(
+                f"certificate schema version {version!r} unsupported "
+                f"(expected {CERT_SCHEMA_VERSION})"
+            )
+        return Certificate(
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            claim=str(data["claim"]),
+            at=int(data["at"]),
+            engine=str(data["engine"]),
+            space=data.get("space"),
+            cardinality={k: int(v) for k, v in data.get("cardinality", {}).items()},
+            frontier=data.get("frontier"),
+            artifact=data.get("artifact"),
+            counterexample_clocks={
+                str(k): int(v)
+                for k, v in data.get("counterexample_clocks", {}).items()
+            },
+            neighborhood={
+                k: int(v) for k, v in data.get("neighborhood", {}).items()
+            },
+        )
+
+    def filename(self) -> str:
+        return f"{self.target}-{self.kind}-at{self.at}.json"
+
+    @property
+    def embedded_artifact(self) -> Optional[Artifact]:
+        if self.artifact is None:
+            return None
+        return Artifact.from_jsonable(self.artifact)
+
+    @property
+    def embedded_frontier(self) -> Optional[FrontierStats]:
+        if self.frontier is None:
+            return None
+        return FrontierStats.from_jsonable(
+            {k: v for k, v in self.frontier.items() if k != "dedup_hits"}
+        )
+
+
+def certificate_from_result(
+    target: VerifyTarget, result: VerifyResult, space: PlanSpace
+) -> Certificate:
+    """Render a finished verification as a certificate.
+
+    A refuted verdict yields a counterexample certificate whose embedded
+    artifact is exactly what EXPLORE would have written for the same
+    spec and confirm verdict.
+    """
+    cardinality = {
+        "raw_plans": result.raw_plans,
+        "examined": result.examined,
+        "symmetry_dropped": result.symmetry_dropped,
+        "violating": result.violating,
+    }
+    frontier = None if result.frontier is None else result.frontier.to_jsonable()
+    if result.refuted:
+        artifact = None
+        if result.counterexample is not None:
+            verdict = result.counterexample_verdict
+            artifact = Artifact(
+                target=target.name,
+                spec=result.counterexample,
+                expect_violation=(target.expect == "refuted"),
+                verdict_holds=False if verdict is None else verdict.holds,
+                violations=() if verdict is None else tuple(verdict.violations),
+            ).to_jsonable()
+        return Certificate(
+            kind="counterexample",
+            target=target.name,
+            claim=target.claim,
+            at=result.at,
+            engine=result.engine,
+            space=space.to_jsonable(),
+            cardinality=cardinality,
+            frontier=frontier,
+            artifact=artifact,
+            counterexample_clocks={
+                str(pid): clock
+                for pid, clock in sorted(result.counterexample_clocks.items())
+            },
+        )
+    return Certificate(
+        kind="proof",
+        target=target.name,
+        claim=target.claim,
+        at=result.at,
+        engine=result.engine,
+        space=space.to_jsonable(),
+        cardinality=cardinality,
+        frontier=frontier,
+    )
+
+
+def render_certificate(certificate: Certificate) -> str:
+    """The canonical byte representation (what :func:`save_certificate` writes)."""
+    return json.dumps(certificate.to_jsonable(), sort_keys=True, indent=2) + "\n"
+
+
+def save_certificate(path: Union[str, Path], certificate: Certificate) -> Path:
+    path = Path(path)
+    if path.is_dir() or path.suffix != ".json":
+        path = path / certificate.filename()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_certificate(certificate), encoding="utf-8")
+    return path
+
+
+def load_certificate(path: Union[str, Path]) -> Certificate:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return Certificate.from_jsonable(data)

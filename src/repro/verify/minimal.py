@@ -1,0 +1,115 @@
+"""Minimality certification: EXPLORE's shrunk artifacts, proved minimal.
+
+The delta-debugging shrinker (:mod:`repro.explore.shrink`) descends
+greedily, so what it ships is *locally* minimal: no single shrink step
+preserves the violation.  This module upgrades that to a proof: it
+enumerates the artifact spec's **entire** strictly-smaller shrink
+neighborhood — the transitive closure of the shrinker's move set, i.e.
+every spec any shrink descent could ever reach — replays each through
+the target's definition-grade confirm oracle, and certifies the
+artifact *provably minimal* iff none violates.
+
+This is exactly the "turn 'found nothing' into 'provably nothing'"
+posture applied to counterexamples themselves: the exploration engine
+found and shrank a violation; the proof plane exhausts the residual
+smaller-plan space to show the shrinker left nothing on the table.
+
+Per-neighbor confirm verdicts are memoized under the
+``verify:minimal:<target>@verify`` cache namespace, so re-certifying an
+unchanged artifact is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.base import run_sweep
+from repro.explore.artifacts import Artifact, replay
+from repro.explore.engine import _confirm_worker
+from repro.explore.shrink import neighborhood
+from repro.explore.space import PlanSpec
+from repro.verify.certificates import Certificate
+
+__all__ = ["MinimalityResult", "certify_minimal"]
+
+
+@dataclass
+class MinimalityResult:
+    """What exhausting an artifact's shrink neighborhood established."""
+
+    artifact: Artifact
+    #: Did the artifact itself replay to its stored verdict?
+    reproduced: bool
+    #: Size of the strictly-smaller closure that was exhausted.
+    neighborhood_size: int
+    #: Neighbors that still violate (provably minimal iff empty and
+    #: the artifact reproduced).
+    violating: List[PlanSpec]
+
+    @property
+    def minimal(self) -> bool:
+        return self.reproduced and not self.violating
+
+    def certificate(self) -> Certificate:
+        """Render as a minimality certificate (raises unless minimal)."""
+        if not self.minimal:
+            raise ValueError(
+                f"artifact for {self.artifact.target!r} is not provably "
+                f"minimal ({len(self.violating)} smaller violating specs); "
+                "no certificate to issue"
+            )
+        return Certificate(
+            kind="minimality",
+            target=self.artifact.target,
+            claim=(
+                "no spec in the artifact's strictly-smaller shrink "
+                "neighborhood violates the target — the counterexample is "
+                "minimal with respect to the shrinker's move set"
+            ),
+            at=0,  # the obligation time lives in the embedded artifact's target
+            engine="explicit",
+            cardinality={
+                "raw_plans": self.neighborhood_size,
+                "examined": self.neighborhood_size,
+                "symmetry_dropped": 0,
+                "violating": len(self.violating),
+            },
+            artifact=self.artifact.to_jsonable(),
+            neighborhood={
+                "size": self.neighborhood_size,
+                "violating": len(self.violating),
+            },
+        )
+
+
+def certify_minimal(
+    artifact: Artifact,
+    jobs: Optional[int] = None,
+    limit: int = 20_000,
+) -> MinimalityResult:
+    """Exhaust ``artifact.spec``'s shrink closure through the confirm oracle.
+
+    Two obligations, both discharged by definition-grade replays:
+
+    1. the artifact itself must reproduce (same holds flag and
+       violation strings — the standard EXPLORE replay contract);
+    2. every strictly-smaller spec in the shrink closure must *hold*.
+    """
+    outcome = replay(artifact)
+    closure = neighborhood(artifact.spec, limit=limit)
+    verdicts = run_sweep(
+        _confirm_worker,
+        [(artifact.target, spec) for spec in closure],
+        jobs,
+        cache=f"verify:minimal:{artifact.target}@verify",
+    )
+    violating: List[Tuple[PlanSpec]] = [
+        spec for spec, verdict in zip(closure, verdicts) if not verdict.holds
+    ]
+    return MinimalityResult(
+        artifact=artifact,
+        reproduced=outcome.reproduced,
+        neighborhood_size=len(closure),
+        violating=violating,
+    )

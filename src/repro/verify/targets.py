@@ -1,0 +1,332 @@
+"""Verification targets: the claims the proof plane can exhaust.
+
+A verify target reuses an exploration target's protocol and predicates
+(:mod:`repro.explore.targets`) but inverts the posture: instead of
+*sampling* a large fault-plan space hunting for violations, it walks a
+curated small space *exhaustively* and renders a verdict about the
+whole space — ``proved`` (no plan violates the claim) or ``refuted``
+(with a concrete counterexample plan).
+
+The division of labor per plan mirrors the exploration engine exactly:
+
+- the **streaming** path re-runs the plan with the same streaming
+  checker EXPLORE uses (``record_history=False``), plus a frontier
+  observer digesting every per-round global state for the
+  canonical-state statistics;
+- the **confirm** path re-runs the plan recording the history and
+  evaluates the definition-grade predicates from
+  :mod:`repro.core.solvability`.  *This* is the verdict of record —
+  the streaming verdict is cross-checked against it on every single
+  plan, and any disagreement is surfaced as a mismatch that blocks
+  certification.
+
+``fig1`` and ``thm1`` additionally support re-instantiating the claim
+at a caller-chosen stabilization time ``--at R`` (the claims are
+parametric in r); the other targets' obligations are structural
+(compiler final round, halting patience, churn quiescence) and only
+verify at their canonical instantiation.
+
+``fig4`` is deliberately absent: the asynchronous substrate's virtual
+time is real-valued and scheduler-driven, so its run space is not the
+finite fault-plan product the bounded engines exhaust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.impossibility import UniformRoundAgreement
+from repro.core.problems import ClockAgreementProblem
+from repro.core.rounds import RoundAgreementProtocol
+from repro.core.solvability import check_definition
+from repro.explore.checkers import (
+    SpecVerdict,
+    StreamingCompilerCheck,
+    StreamingFtssClock,
+    StreamingTentativeClock,
+)
+from repro.explore.space import PlanSpace, PlanSpec
+from repro.explore.targets import (
+    THM1_CANDIDATE,
+    THM2_PATIENCE,
+    _cap,
+    _fig3_instance,
+    _post_corruption_suffix,
+    get_target,
+)
+from repro.kernel.events import Observer
+from repro.protocols.floodmin import FloodMinConsensus
+from repro.sync.engine import run_sync
+from repro.workloads.spaces import (
+    THM1_SPACE,
+    THM2_SPACE,
+    VERIFY_FIG1_SMOKE_SPACE,
+    VERIFY_FIG1_SPACE,
+    VERIFY_FIG3_SPACE,
+    VERIFY_UNISON_SPACE,
+)
+
+__all__ = [
+    "VerifyTarget",
+    "VERIFY_TARGETS",
+    "get_verify_target",
+    "confirm_verdict",
+    "streaming_verdict",
+]
+
+#: Figure 3's obligation time is the compiled protocol's final round —
+#: a structural constant of the FloodMin instance, not a free parameter.
+_FIG3_FINAL_ROUND = FloodMinConsensus(
+    f=1, proposals=(3, 1, 4, 1)
+).final_round
+
+
+@dataclass(frozen=True)
+class VerifyTarget:
+    """One provable claim: spaces, canonical instantiation, expectation."""
+
+    name: str
+    title: str
+    #: The sentence a proof certificate asserts about the space.
+    claim: str
+    #: ``"proved"`` for the protocol theorems (no plan may violate),
+    #: ``"refuted"`` for the impossibility theorems (the space *must*
+    #: contain the paper's counterexample shapes).
+    expect: str
+    #: The canonical stabilization time the claim is instantiated at.
+    default_at: int
+    #: Whether ``--at R`` may re-instantiate the claim at another time.
+    supports_at: bool
+    #: Sound pid-relabeling symmetry (same flag the explorer uses).
+    symmetric: bool
+    space: PlanSpace
+    smoke_space: Optional[PlanSpace] = None
+
+
+VERIFY_TARGETS: Dict[str, VerifyTarget] = {
+    "fig1": VerifyTarget(
+        name="fig1",
+        title="round agreement (Figure 1) ftss-solves clock agreement",
+        claim=(
+            "no fault plan in the space makes Figure 1 miss the Def 2.4 "
+            "obligation at stabilization time r"
+        ),
+        expect="proved",
+        default_at=1,
+        supports_at=True,
+        symmetric=True,
+        space=VERIFY_FIG1_SPACE,
+        smoke_space=VERIFY_FIG1_SMOKE_SPACE,
+    ),
+    "fig3": VerifyTarget(
+        name="fig3",
+        title="compiled FloodMin (Figure 3) ftss-solves Σ⁺ at final_round",
+        claim=(
+            "no fault plan in the space makes the compiled FloodMin miss "
+            "the Σ⁺ obligation at its final round"
+        ),
+        expect="proved",
+        default_at=_FIG3_FINAL_ROUND,
+        supports_at=False,
+        symmetric=False,  # per-pid proposals
+        space=VERIFY_FIG3_SPACE,
+    ),
+    "unison": VerifyTarget(
+        name="unison",
+        title="min-rule unison on a churning ring re-agrees within a diameter",
+        claim=(
+            "every churn/corruption schedule in the space re-agrees within "
+            "a ring diameter of quiescence"
+        ),
+        expect="proved",
+        default_at=0,  # the deadline is spec-dependent (churn quiescence)
+        supports_at=False,
+        symmetric=False,  # ring adjacency is pid-dependent
+        space=VERIFY_UNISON_SPACE,
+    ),
+    "thm1": VerifyTarget(
+        name="thm1",
+        title="Tentative Definition 1 is refutable (Theorem 1)",
+        claim=(
+            "the space contains a fault plan violating Tentative "
+            "Definition 1 at r"
+        ),
+        expect="refuted",
+        default_at=THM1_CANDIDATE,
+        supports_at=True,
+        symmetric=True,
+        space=THM1_SPACE,
+    ),
+    "thm2": VerifyTarget(
+        name="thm2",
+        title="uniformity is impossible with process failures (Theorem 2)",
+        claim=(
+            "the space contains a fault plan making the halting rule miss "
+            "clock agreement ∧ uniformity"
+        ),
+        expect="refuted",
+        default_at=THM2_PATIENCE + 1,
+        supports_at=False,
+        symmetric=True,
+        space=THM2_SPACE,
+    ),
+}
+
+
+def get_verify_target(name: str) -> VerifyTarget:
+    try:
+        return VERIFY_TARGETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown verify target {name!r}; "
+            f"available: {', '.join(sorted(VERIFY_TARGETS))}"
+        ) from None
+
+
+def _require_at(target: VerifyTarget, at: int) -> None:
+    if at != target.default_at and not target.supports_at:
+        raise ValueError(
+            f"target {target.name!r} only verifies at its canonical "
+            f"stabilization time {target.default_at} (its obligation is "
+            "structural, not parametric)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The streaming path, with a frontier observer riding along
+# ---------------------------------------------------------------------------
+
+
+def streaming_verdict(
+    target: VerifyTarget,
+    at: int,
+    spec: PlanSpec,
+    frontier: Optional[Observer] = None,
+) -> SpecVerdict:
+    """EXPLORE's streaming verdict for one plan, plus frontier capture.
+
+    For the observer-based checkers (fig1/thm1/fig3) the frontier
+    observer rides on the *same* run; thm2 and unison judge on a
+    recorded history (their documented streaming==confirm exception),
+    so the frontier is captured by a second observers-only run of the
+    same deterministic plan.
+    """
+    extra = () if frontier is None else (frontier,)
+    if target.name == "fig1":
+        checker = StreamingFtssClock(stabilization_time=at)
+        run_sync(
+            RoundAgreementProtocol(),
+            n=spec.n,
+            rounds=spec.rounds,
+            fault_plan=spec.fault_plan(),
+            observers=(checker, *extra),
+            record_history=False,
+        )
+        return checker.verdict()
+    if target.name == "thm1":
+        checker = StreamingTentativeClock(at)
+        run_sync(
+            RoundAgreementProtocol(),
+            n=spec.n,
+            rounds=spec.rounds,
+            fault_plan=spec.fault_plan(),
+            observers=(checker, *extra),
+            record_history=False,
+        )
+        return checker.verdict()
+    if target.name == "fig3":
+        pi, plus, valid = _fig3_instance()
+        checker = StreamingCompilerCheck(
+            final_round=pi.final_round, valid_proposals=valid
+        )
+        run_sync(
+            plus,
+            n=spec.n,
+            rounds=spec.rounds,
+            fault_plan=spec.fault_plan(),
+            observers=(checker, *extra),
+            record_history=False,
+        )
+        return checker.verdict()
+    if target.name == "thm2":
+        verdict = get_target("thm2").streaming(spec)
+        if frontier is not None:
+            run_sync(
+                UniformRoundAgreement(patience=THM2_PATIENCE),
+                n=spec.n,
+                rounds=spec.rounds,
+                fault_plan=spec.fault_plan(),
+                observers=(frontier,),
+                record_history=False,
+            )
+        return verdict
+    if target.name == "unison":
+        from repro.kernel.topology import RingTopology
+        from repro.protocols.unison import MinUnison
+
+        verdict = get_target("unison").streaming(spec)
+        if frontier is not None:
+            run_sync(
+                MinUnison(),
+                n=spec.n,
+                rounds=spec.rounds,
+                fault_plan=spec.fault_plan(),
+                observers=(frontier,),
+                record_history=False,
+                topology=RingTopology(spec.n),
+            )
+        return verdict
+    raise ValueError(f"target {target.name!r} has no streaming path")
+
+
+# ---------------------------------------------------------------------------
+# The confirm path — the verdict of record
+# ---------------------------------------------------------------------------
+
+
+def confirm_verdict(target: VerifyTarget, at: int, spec: PlanSpec) -> SpecVerdict:
+    """The definition-grade verdict for one plan.
+
+    At the canonical instantiation this *is* the exploration target's
+    confirm path — byte-identical checker names and violation strings,
+    so verify counterexamples are EXPLORE artifacts verbatim.  The
+    parametric targets (fig1/thm1) additionally accept any ``at``.
+    """
+    _require_at(target, at)
+    if at == target.default_at:
+        return get_target(target.name).confirm(spec)
+    if target.name == "fig1":
+        result = run_sync(
+            RoundAgreementProtocol(),
+            n=spec.n,
+            rounds=spec.rounds,
+            fault_plan=spec.fault_plan(),
+        )
+        history = _post_corruption_suffix(result.history, spec)
+        checker = f"confirm-ftss-clock@{at}"
+        if history is None:
+            return SpecVerdict(checker=checker, holds=True)
+        verdict = check_definition("ftss", history, ClockAgreementProblem(), at)
+        return SpecVerdict(
+            checker=checker,
+            holds=verdict.holds,
+            violations=_cap(verdict.violations),
+        )
+    if target.name == "thm1":
+        result = run_sync(
+            RoundAgreementProtocol(),
+            n=spec.n,
+            rounds=spec.rounds,
+            fault_plan=spec.fault_plan(),
+        )
+        sigma = ClockAgreementProblem()
+        tentative = check_definition("tentative", result.history, sigma, at)
+        ftss = check_definition("ftss", result.history, sigma, 1)
+        return SpecVerdict(
+            checker=f"confirm-tentative@{at}",
+            holds=tentative.holds,
+            violations=_cap(tentative.violations),
+            details=(("ftss_at_1_holds", ftss.holds),),
+        )
+    raise AssertionError("unreachable: _require_at vetted the target")

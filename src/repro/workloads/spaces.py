@@ -26,6 +26,10 @@ __all__ = [
     "THM1_SPACE",
     "THM2_SPACE",
     "UNISON_SPACE",
+    "VERIFY_FIG1_SPACE",
+    "VERIFY_FIG1_SMOKE_SPACE",
+    "VERIFY_FIG3_SPACE",
+    "VERIFY_UNISON_SPACE",
 ]
 
 #: Figure 1 (round agreement, ftss@1): crashes, one-process omission
@@ -113,6 +117,64 @@ UNISON_SPACE = PlanSpace(
     churn_windows=((2, 6), (3, 9), (5, None)),
     max_churn=1,
     seeds=(0, 1),
+)
+
+#: The verification plane's Fig 1 instance: small enough that
+#: :mod:`repro.verify` can walk *every* plan (the full FIG1_SPACE at
+#: n=4 has ~221k specs — sampling territory), yet it still crosses
+#: every fault axis the paper's Theorem 3 quantifies over: crashes,
+#: one-process omission campaigns of each kind, adversarial skews, and
+#: corruption at start and mid-run.
+VERIFY_FIG1_SPACE = PlanSpace(
+    n=3,
+    rounds=6,
+    crash_rounds=(1, 3),
+    max_crashes=1,
+    omission_windows=((1, 2), (2, 4)),
+    omission_kinds=("send", "general"),
+    max_omissions=1,
+    skew_values=(2, 9),
+    max_skews=1,
+    corruption_choices=(False, True),
+    corruption_round_choices=((), (3,)),
+)
+
+#: The CI slice of the verify Fig 1 instance (32 raw plans): crashes,
+#: one skew, and seeded corruption — every feature the SMT engine
+#: models, so the explicit/SMT engine-agreement gate runs on it.
+VERIFY_FIG1_SMOKE_SPACE = PlanSpace(
+    n=3,
+    rounds=5,
+    crash_rounds=(1,),
+    max_crashes=1,
+    skew_values=(7,),
+    max_skews=1,
+    corruption_choices=(False, True),
+)
+
+#: The verification plane's Fig 3 instance: one crash × one skew ×
+#: corruption toggle over the compiled FloodMin — 50 plans, exhaustive.
+VERIFY_FIG3_SPACE = PlanSpace(
+    n=4,
+    rounds=20,
+    crash_rounds=(4,),
+    max_crashes=1,
+    skew_values=(17,),
+    max_skews=1,
+    corruption_choices=(False, True),
+)
+
+#: The verification plane's MinUnison instance: a 4-ring (diameter 2)
+#: under every single-process churn window × corruption placement —
+#: 36 plans, exhaustive, proving the stabilization≤diameter law on the
+#: whole space rather than a sample.
+VERIFY_UNISON_SPACE = PlanSpace(
+    n=4,
+    rounds=12,
+    corruption_choices=(False, True),
+    corruption_round_choices=((), (3,)),
+    churn_windows=((2, 5), (3, None)),
+    max_churn=1,
 )
 
 #: Theorem 2 (uniformity is impossible with process failures): send /

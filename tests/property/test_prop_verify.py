@@ -1,0 +1,79 @@
+"""Property-based tests for the verification plane.
+
+The contract the proof plane rests on: the explicit engine's verdict
+over a space is *exactly* what brute-force enumeration through the
+definition-grade confirm oracle says — "proved" iff no plan in the
+space violates, "refuted" iff at least one does, with the reported
+counterexample really violating.  Hypothesis draws tiny spaces
+(n ≤ 4, short horizons) so the brute-force side stays honest and fast.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.space import PlanSpace
+from repro.verify import verify
+from repro.verify.targets import confirm_verdict, get_verify_target
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def tiny_spaces(draw):
+    """A small fault-plan space: a handful of crash/omission/skew axes."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    rounds = draw(st.integers(min_value=4, max_value=6))
+    kwargs = dict(n=n, rounds=rounds)
+    # The space validator requires the fault budget (crashes +
+    # omission campaigns) to leave at least one correct process.
+    budget = n - 1
+    if budget > 0 and draw(st.booleans()):
+        kwargs["crash_rounds"] = (draw(st.integers(1, rounds - 1)),)
+        kwargs["max_crashes"] = 1
+        budget -= 1
+    if budget > 0 and draw(st.booleans()):
+        first = draw(st.integers(1, rounds - 2))
+        last = draw(st.integers(first, rounds - 1))
+        kwargs["omission_windows"] = ((first, last),)
+        kwargs["omission_kinds"] = (draw(st.sampled_from(("send", "receive", "general"))),)
+        kwargs["max_omissions"] = 1
+    if draw(st.booleans()):
+        kwargs["skew_values"] = (draw(st.integers(0, 7)),)
+        kwargs["max_skews"] = 1
+    return PlanSpace(**kwargs)
+
+
+def brute_force_verdict(target, at, space):
+    """Enumerate every raw plan through the confirm oracle, no dedup."""
+    for spec in space.enumerate_plans():
+        if not confirm_verdict(target, at, spec).holds:
+            return "refuted"
+    return "proved"
+
+
+@given(space=tiny_spaces(), name=st.sampled_from(("fig1", "thm1")))
+@settings(max_examples=20, deadline=None)
+def test_explicit_verdict_equals_brute_force(space, name):
+    target = get_verify_target(name)
+    result = verify(name, space=space, jobs=1)
+    assert result.verdict == brute_force_verdict(target, target.default_at, space)
+    if result.refuted:
+        # The counterexample is a real, replayable violation.
+        rerun = confirm_verdict(target, result.at, result.counterexample)
+        assert not rerun.holds
+        assert tuple(rerun.violations) == tuple(
+            result.counterexample_verdict.violations
+        )
+    else:
+        assert result.violating == 0 and result.counterexample is None
+
+
+@given(space=tiny_spaces(), at=st.integers(min_value=0, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_parametric_at_agrees_with_brute_force(space, at):
+    """The stabilization-time parameter threads through both paths."""
+    target = get_verify_target("fig1")
+    result = verify("fig1", space=space, at=at, jobs=1)
+    assert result.at == at
+    assert result.verdict == brute_force_verdict(target, at, space)

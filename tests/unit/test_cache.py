@@ -197,6 +197,44 @@ def test_runcache_persisted_counters_accumulate(tmp_path):
     assert counters["executed"] == counters["misses"]
 
 
+def test_runcache_persisted_counters_split_by_namespace(tmp_path):
+    root = tmp_path / "c"
+    for _ in range(2):
+        cache = RunCache(root)
+        for ns, worker in (("explore:thing", _square), ("verify:thing@verify", _negate)):
+            key = cache.key(ns, worker, 1)
+            hit, _ = cache.get(key, ns)
+            if not hit:
+                cache.put(key, worker(1), namespace=ns, worker=worker, point=1)
+        cache.flush()
+    by_ns = RunCache(root).persisted_namespace_counters()
+    assert set(by_ns) == {"explore:thing", "verify:thing@verify"}
+    for bucket in by_ns.values():
+        assert bucket["misses"] == 1  # cold run executed
+        assert bucket["hits"] == 1  # warm run was a lookup
+        assert bucket["stores"] == 1
+        assert bucket["executed"] == bucket["misses"]
+    # Per-namespace access counters sum to the global ones.
+    counters = RunCache(root).persisted_counters()
+    for field in ("hits", "misses", "stores"):
+        assert counters[field] == sum(b[field] for b in by_ns.values())
+
+
+def test_runcache_clear_resets_namespace_baselines(tmp_path):
+    cache = RunCache(tmp_path / "c", flush_every=1)
+    key = cache.key("NS", _square, 1)
+    cache.put(key, _square(1), namespace="NS", worker=_square, point=1)
+    cache.clear()
+    # clear() wipes stats.json and resets the per-namespace baselines:
+    # a post-clear store starts the counters over, without re-adding
+    # the pre-clear delta.
+    key2 = cache.key("NS", _square, 2)
+    cache.put(key2, _square(2), namespace="NS", worker=_square, point=2)
+    cache.flush()
+    by_ns = cache.persisted_namespace_counters()
+    assert by_ns["NS"]["stores"] == 1  # only the post-clear store
+
+
 def test_runcache_clear_removes_everything(tmp_path):
     cache = RunCache(tmp_path / "c", flush_every=1)
     key = cache.key("NS", _square, 1)

@@ -56,7 +56,7 @@ class TestRegistry:
             "THM1", "THM2", "THM3", "THM4", "THM5",
             "ASYNC-CONS", "ABL-SUSPECT", "ABL-RETX", "ABL-MERGE",
             "EXT-BOUNDED", "EXT-BYZ", "EXT-EARLY", "EXT-HEARTBEAT",
-            "EXT-SKEW", "EXT-RSM", "EXPLORE", "NET-LIVE",
+            "EXT-SKEW", "EXT-RSM", "EXPLORE", "VERIFY", "NET-LIVE",
             "UNISON", "UNISON-CHURN", "ARRAY-SCALE",
         }
         assert set(REGISTRY.ids()) == expected
