@@ -48,6 +48,7 @@ _LOWER_IS_BETTER = (
     "bytes",
     "calls",
     "executed",
+    "peak_mb",
 )
 
 

@@ -1,9 +1,10 @@
 """Array-backend microbenchmarks: the ≥ 50x throughput claim, gated.
 
 Measures end-to-end engine throughput (``processes_per_sec`` = n ×
-rounds × lanes / wall seconds) for three engines on the same unison
-workload (min-rule unison on a square grid, randomly corrupted clocks,
-no history):
+rounds × lanes / wall seconds) and peak resident memory (``peak_mb``,
+``ru_maxrss`` of a forked child that runs the workload once) for the
+engines on the same unison workload (min-rule unison, randomly
+corrupted clocks, no history):
 
 - ``reference`` — the per-process :func:`repro.sync.engine.run_sync`
   loop, one lane at a time;
@@ -13,7 +14,10 @@ no history):
 - ``array-python`` — the same batched driver on the pure-Python
   fallback data plane, at a smaller n (the fallback is a correctness
   path, not a performance claim; its row documents that batching alone
-  does not regress below the reference engine).
+  does not regress below the reference engine);
+- ``array-numpy-chunked/ring-1000000`` — the headline scale row: one
+  million processes per lane through the chunked lane executor, which
+  is the memory ceiling this file documents (``peak_mb``).
 
 ``speedup_vs_ref`` rows are the machine-independent gate:
 ``benchmarks/compare.py`` (25% band) compares a fresh emission against
@@ -22,14 +26,24 @@ the committed ``benchmarks/results/BENCH_ARRAY.json``, and the
 the committed value — the paper-scale claim (≥ 50x at n = 10^4) is
 asserted directly by the ARRAY-SCALE experiment.
 
+``--chunked`` emits the separate ARRAY-CHUNK report instead: a fast
+chunked run at n = 10^5 on *both* data planes, gated in CI on
+``processes_per_sec`` and ``peak_mb`` against
+``benchmarks/results/BENCH_ARRAY_CHUNK.json`` (wider band — these two
+fields are machine-dependent, the gate catches collapses, not noise).
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/microbench/bench_array.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/microbench/bench_array.py \
+        [--quick] [--chunked] [--out PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import resource
+import time
 
 if __package__ in (None, ""):
     from _harness import best_per_call, emit, ratio
@@ -54,17 +68,29 @@ ROUNDS = 60
 #: spending seconds per call at n = 10^4).
 REFERENCE_ROUNDS = 10
 
+#: The chunked-scale rows: small chunk to genuinely exercise the chunk
+#: loop (ring n=10^5 has ~3n edges, so ~40 chunks per lane per round).
+N_CHUNK = 100_000
+CHUNK_CELLS = 1 << 14
+CHUNK_LANES = 2
+CHUNK_ROUNDS = {"numpy": 12, "python": 3}
 
-def _plans(n: int, lanes: int):
+#: The headline memory-ceiling row: a million processes per lane.
+N_CEILING = 1_000_000
+CEILING_LANES = 2
+CEILING_ROUNDS = 6
+
+
+def _plans(family: str, n: int, lanes: int):
     return [
-        FaultPlan(initial_corruption=_corruption("grid", n, seed))
+        FaultPlan(initial_corruption=_corruption(family, n, seed))
         for seed in range(lanes)
     ]
 
 
-def _array_call(n: int, rounds: int, backend: str):
-    topology = make_topology("grid", n)
-    plans = _plans(n, LANES)
+def _array_call(family: str, n: int, rounds: int, lanes: int, backend: str, chunk=None):
+    topology = make_topology(family, n)
+    plans = _plans(family, n, lanes)
 
     def call():
         run_array(
@@ -74,20 +100,21 @@ def _array_call(n: int, rounds: int, backend: str):
             fault_plans=plans,
             topology=topology,
             backend=backend,
+            chunk=chunk,
         )
 
     return call
 
 
-def _reference_call(n: int, rounds: int):
-    topology = make_topology("grid", n)
+def _reference_call(family: str, n: int, rounds: int):
+    topology = make_topology(family, n)
 
     def call():
         run_sync(
             MinUnison(),
             n=n,
             rounds=rounds,
-            corruption=_corruption("grid", n, 0),
+            corruption=_corruption(family, n, 0),
             topology=topology,
             record_history=False,
         )
@@ -95,51 +122,168 @@ def _reference_call(n: int, rounds: int):
     return call
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="bench_array")
-    parser.add_argument("--quick", action="store_true", help="fewer repeats")
-    parser.add_argument("--out", metavar="PATH", help="write JSON here")
-    args = parser.parse_args(argv)
-    repeat = 2 if args.quick else 3
+def _probe_child(call, queue):
+    started = time.perf_counter()
+    call()
+    seconds = time.perf_counter() - started
+    queue.put((seconds, resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0))
 
+
+def _fork_probe(call):
+    """Run ``call`` once in a forked child: (wall seconds, peak RSS MB).
+
+    A fresh child per probe keeps the parent's own allocations (and the
+    other rows' leftovers) out of ``ru_maxrss``; the fork baseline is
+    the parent's *current* RSS, which the interpreter keeps small by
+    probing before any in-parent timing run at the same size.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # no fork on this platform: measure in-process
+        started = time.perf_counter()
+        call()
+        seconds = time.perf_counter() - started
+        return seconds, resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    queue = ctx.SimpleQueue()
+    child = ctx.Process(target=_probe_child, args=(call, queue))
+    child.start()
+    try:
+        result = queue.get()
+    finally:
+        child.join()
+    return result
+
+
+def _pps(seconds: float, n: int, rounds: int, lanes: int) -> float:
+    return round(n * rounds * lanes / seconds, 1)
+
+
+def _main_report(repeat: int) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ARRAY",
         title="Batched array backend vs the reference engine",
         claim=(
             "one vectorized pass over all lanes sustains orders of "
             "magnitude more process-rounds per second than the "
-            "per-process reference loop"
+            "per-process reference loop, inside a bounded memory ceiling"
         ),
-        headers=["benchmark", "n", "lanes", "processes_per_sec", "speedup_vs_ref"],
+        headers=[
+            "benchmark",
+            "n",
+            "lanes",
+            "processes_per_sec",
+            "speedup_vs_ref",
+            "peak_mb",
+        ],
     )
-
-    def pps(seconds: float, n: int, rounds: int, lanes: int) -> float:
-        return round(n * rounds * lanes / seconds, 1)
 
     for n, backend, available in (
         (N_NUMPY, "numpy", has_numpy()),
         (N_PYTHON, "python", True),
     ):
-        ref_s = best_per_call(
-            _reference_call(n, REFERENCE_ROUNDS), number=1, repeat=repeat
-        )
-        ref_pps = pps(ref_s, n, REFERENCE_ROUNDS, 1)
-        report.add_row(f"reference/grid-{n}", n, 1, ref_pps, None)
+        ref_call = _reference_call("grid", n, REFERENCE_ROUNDS)
+        _, ref_peak = _fork_probe(ref_call)
+        ref_s = best_per_call(ref_call, number=1, repeat=repeat)
+        ref_pps = _pps(ref_s, n, REFERENCE_ROUNDS, 1)
+        report.add_row(f"reference/grid-{n}", n, 1, ref_pps, None, round(ref_peak, 1))
         if not available:
-            report.add_row(f"array-{backend}/grid-{n}", n, LANES, None, None)
+            report.add_row(f"array-{backend}/grid-{n}", n, LANES, None, None, None)
             continue
-        array_s = best_per_call(
-            _array_call(n, ROUNDS, backend), number=1, repeat=repeat
-        )
-        array_pps = pps(array_s, n, ROUNDS, LANES)
+        array_call = _array_call("grid", n, ROUNDS, LANES, backend)
+        _, array_peak = _fork_probe(array_call)
+        array_s = best_per_call(array_call, number=1, repeat=repeat)
+        array_pps = _pps(array_s, n, ROUNDS, LANES)
         report.add_row(
             f"array-{backend}/grid-{n}",
             n,
             LANES,
             array_pps,
             ratio(1.0 / ref_pps, 1.0 / array_pps),
+            round(array_peak, 1),
         )
 
+    # The memory-ceiling headline: n = 10^6 through the chunked lane
+    # executor, measured once (fork) — no timing repeats at this size.
+    if has_numpy():
+        seconds, peak = _fork_probe(
+            _array_call(
+                "ring",
+                N_CEILING,
+                CEILING_ROUNDS,
+                CEILING_LANES,
+                "numpy",
+                chunk=CHUNK_CELLS,
+            )
+        )
+        report.add_row(
+            f"array-numpy-chunked/ring-{N_CEILING}",
+            N_CEILING,
+            CEILING_LANES,
+            _pps(seconds, N_CEILING, CEILING_ROUNDS, CEILING_LANES),
+            None,
+            round(peak, 1),
+        )
+    else:
+        report.add_row(
+            f"array-numpy-chunked/ring-{N_CEILING}",
+            N_CEILING,
+            CEILING_LANES,
+            None,
+            None,
+            None,
+        )
+    return report
+
+
+def _chunked_report() -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="ARRAY-CHUNK",
+        title="Chunked lane executor at n = 10^5, both data planes",
+        claim=(
+            "bounded-memory chunking keeps throughput and the memory "
+            "ceiling flat at scale on both data planes"
+        ),
+        headers=["benchmark", "n", "lanes", "processes_per_sec", "peak_mb"],
+    )
+    for backend, available in (("numpy", has_numpy()), ("python", True)):
+        if not available:
+            report.add_row(
+                f"array-{backend}-chunked/ring-{N_CHUNK}",
+                N_CHUNK,
+                CHUNK_LANES,
+                None,
+                None,
+            )
+            continue
+        rounds = CHUNK_ROUNDS[backend]
+        seconds, peak = _fork_probe(
+            _array_call(
+                "ring", N_CHUNK, rounds, CHUNK_LANES, backend, chunk=CHUNK_CELLS
+            )
+        )
+        report.add_row(
+            f"array-{backend}-chunked/ring-{N_CHUNK}",
+            N_CHUNK,
+            CHUNK_LANES,
+            _pps(seconds, N_CHUNK, rounds, CHUNK_LANES),
+            round(peak, 1),
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="bench_array")
+    parser.add_argument("--quick", action="store_true", help="fewer repeats")
+    parser.add_argument(
+        "--chunked",
+        action="store_true",
+        help="emit the ARRAY-CHUNK n=10^5 report instead of the main one",
+    )
+    parser.add_argument("--out", metavar="PATH", help="write JSON here")
+    args = parser.parse_args(argv)
+    repeat = 2 if args.quick else 3
+
+    report = _chunked_report() if args.chunked else _main_report(repeat)
     emit(report, args.out)
     return 0
 

@@ -75,6 +75,8 @@ def check_conformance(
     backend: Optional[str] = None,
     first_round: int = 1,
     protocol_factory=None,
+    chunk: Optional[int] = None,
+    max_bytes: Optional[int] = None,
 ) -> ArrayConformance:
     """Run both engines on the same scenario and compare lane by lane.
 
@@ -106,6 +108,8 @@ def check_conformance(
         first_round=first_round,
         record_history=True,
         backend=backend,
+        chunk=chunk,
+        max_bytes=max_bytes,
     )
 
     verdicts: List[LaneConformance] = []

@@ -55,6 +55,7 @@ from repro.histories.history import (
     RoundHistory,
 )
 from repro.kernel.faults import FaultPlan
+from repro.kernel.snapshot import copy_payload
 from repro.kernel.topology import (
     CompleteTopology,
     DynamicTopology,
@@ -96,9 +97,10 @@ class RoundWire:
         "keep",
         "send_ok",
         "delivered",
+        "chunk",
     )
 
-    def __init__(self, backend: str, lanes: int, n: int):
+    def __init__(self, backend: str, lanes: int, n: int, chunk: Optional[int] = None):
         self.backend = backend
         self.lanes = lanes
         self.n = n
@@ -108,6 +110,11 @@ class RoundWire:
         self.keep = None
         self.send_ok = None
         self.delivered = None
+        #: Memory bound on data-plane temporaries: at most ``chunk``
+        #: cells *per lane* per intermediate array (None = unchunked).
+        #: csr protocols honor it as an edge budget per receiver block,
+        #: complete_fast reductions as a column budget.
+        self.chunk = chunk
 
 
 class _CsrGraph:
@@ -200,6 +207,12 @@ class _RoundFaults:
     omitted_receives: Dict[int, set] = field(default_factory=dict)
     receive_plans: Dict[int, frozenset] = field(default_factory=dict)
     silent: frozenset = frozenset()
+    #: Planned payload lies per broadcasting sender: pid -> {receiver: mutator}.
+    forgeries: Dict[int, Mapping] = field(default_factory=dict)
+    #: Wire-level forged targets (engine-filtered): pid -> frozenset(receivers).
+    forged_sends: Dict[int, frozenset] = field(default_factory=dict)
+    #: Forged copies on the wire: (sender, receiver) -> forged payload.
+    forged_payloads: Dict[Tuple[int, int], Any] = field(default_factory=dict)
 
     @property
     def transient(self) -> bool:
@@ -235,6 +248,7 @@ class ArrayRunResult:
     crashed: List[frozenset]
     last_disagreement: Optional[List[Optional[int]]]
     _state: Any
+    _chunk: Optional[int] = None
 
     def final_state(self, lane: int, pid: int) -> Optional[Dict[str, Any]]:
         if pid in self.crashed[lane]:
@@ -258,13 +272,11 @@ class ArrayRunResult:
         if self.backend == "numpy":
             np = get_numpy()
             row = column[lane]
+            mask = None
             if dead:
-                keep = np.ones(self.n, dtype=bool)
-                keep[sorted(dead)] = False
-                row = row[keep]
-            if row.size == 0:
-                return None
-            return int(row.min()), int(row.max())
+                mask = np.ones(self.n, dtype=bool)
+                mask[sorted(dead)] = False
+            return _alive_min_max(row, mask, np, self._chunk)
         values = [column[lane][p] for p in range(self.n) if p not in dead]
         if not values:
             return None
@@ -288,6 +300,8 @@ def run_array(
     record_history: bool = False,
     backend: Optional[str] = None,
     measure_disagreement: bool = False,
+    chunk: Optional[int] = None,
+    max_bytes: Optional[int] = None,
 ) -> ArrayRunResult:
     """Execute ``lanes`` independent runs of ``protocol`` in one batch.
 
@@ -298,8 +312,11 @@ def run_array(
         One optional :class:`FaultPlan` per lane.  All lanes must share
         an equal churn schedule (the topology is per-batch, not
         per-lane) and distinct adversary objects (adversaries are
-        stateful).  Forgeries have no array realization and raise
-        :class:`ArrayEligibilityError`.
+        stateful).  Payload forgeries run on the dense forgery path:
+        the vectorized step proceeds with the true payloads and each
+        receiver of a forged copy is then patched cell-wise with the
+        reference protocol's exact transition (mutators called on the
+        real rng streams, in the reference engine's order).
     ``lanes``
         Lane count when no plans/initial states imply one (default 1).
     ``initial_states``
@@ -313,6 +330,17 @@ def run_array(
         Track, per lane, the last round at whose *start* the alive
         round variables disagreed (``None`` = never) — the streaming
         replacement for history-based stabilization measurements.
+    ``chunk``
+        Explicit chunk size: at most this many cells per lane in any
+        data-plane temporary (csr gathers, complete-graph reductions,
+        streaming measurements).  Chunked reductions are exact min/max
+        compositions, so results — and small-n digests — are identical
+        to the unchunked plane.
+    ``max_bytes``
+        Memory bound from which a chunk size is derived (peak extra
+        allocation across concurrent temporaries stays under roughly
+        this many bytes).  Combines with ``chunk`` by taking the
+        tighter of the two.
 
     Raises :class:`ArrayEligibilityError` whenever this (protocol,
     plans, topology) combination cannot be batched faithfully; callers
@@ -347,6 +375,7 @@ def run_array(
     )
 
     resolved_backend = pick_backend(backend)
+    chunk_cells = _resolve_chunk(chunk, max_bytes, lanes)
     topo = _normalize_topology(n, plans, topology)
 
     lane_states = _build_lanes(plans, n)
@@ -386,6 +415,7 @@ def run_array(
                 round_no,
                 last_disagreement,
                 n,
+                chunk_cells,
             )
 
         snapshots: Optional[List[Dict[int, Optional[Dict[str, Any]]]]] = None
@@ -426,8 +456,20 @@ def run_array(
         for lane, faults in zip(lane_states, round_faults):
             _filter_receive_omissions(lane, faults, csr, edges)
 
+        # 4b. dense forgery path: apply payload lies in the control
+        # plane (pre-step snapshots) and precompute receiver patches
+        patches: Optional[List[Dict[int, Dict[str, Any]]]] = None
+        if any(faults.forgeries for faults in round_faults):
+            patches = [
+                _compile_forgeries(
+                    protocol, array_protocol, state, lane, faults,
+                    edges, round_no, n,
+                )
+                for lane, faults in zip(lane_states, round_faults)
+            ]
+
         # 5. build the wire and step the data plane
-        wire = RoundWire(resolved_backend, lanes, n)
+        wire = RoundWire(resolved_backend, lanes, n, chunk_cells)
         if dense:
             _build_dense_wire(
                 wire, lane_states, round_faults, edges, alive_mask, np, n
@@ -460,6 +502,13 @@ def run_array(
 
         array_protocol.step(state, wire)
 
+        # 5b. overwrite forgery-affected receivers with their exact
+        # reference transitions (the "forged-value columns")
+        if patches is not None:
+            for lane, lane_patches in zip(lane_states, patches):
+                for pid, fresh in lane_patches.items():
+                    array_protocol.load_state(state, lane.index, pid, fresh)
+
         # 6. commit deaths and deviations (exactly the engine's order)
         for lane, faults in zip(lane_states, round_faults):
             if faults.crashing_now:
@@ -487,12 +536,14 @@ def run_array(
                 faults.crashing_now
                 or faults.omitted_sends
                 or faults.omitted_receives
+                or faults.forged_sends
             ):
                 lane.faulty = (
                     lane.faulty
                     | lane.crashed
                     | faults.omitted_sends.keys()
                     | faults.omitted_receives.keys()
+                    | faults.forged_sends.keys()
                 )
 
     histories = None
@@ -510,10 +561,35 @@ def run_array(
         crashed=[frozenset(lane.crashed) for lane in lane_states],
         last_disagreement=last_disagreement,
         _state=state,
+        _chunk=chunk_cells,
     )
 
 
 _UNSET = object()
+
+#: Safety factor for max_bytes -> chunk derivation: this many int64
+#: temporaries may coexist per chunked reduction.
+_TEMP_FACTOR = 4
+
+#: Floor on derived chunk sizes (below this, loop overhead dominates
+#: and the bound is meaningless anyway).  Explicit ``chunk=`` values
+#: are honored verbatim so tests can force tiny chunks.
+_MIN_CHUNK_CELLS = 1024
+
+
+def _resolve_chunk(
+    chunk: Optional[int], max_bytes: Optional[int], lanes: int
+) -> Optional[int]:
+    """Cells-per-lane budget for data-plane temporaries, or None."""
+    cells: Optional[int] = None
+    if chunk is not None:
+        require_positive(chunk, "chunk")
+        cells = chunk
+    if max_bytes is not None:
+        require_positive(max_bytes, "max_bytes")
+        derived = max(_MIN_CHUNK_CELLS, max_bytes // (8 * lanes * _TEMP_FACTOR))
+        cells = derived if cells is None else min(cells, derived)
+    return cells
 
 
 # ---------------------------------------------------------------------------
@@ -639,17 +715,19 @@ def _effective_faults(
     n: int,
 ) -> _RoundFaults:
     """Apply the engine's send-side filtering rules to one lane's plan."""
-    for lies in plan.forgeries.values():
-        if lies:
-            raise ArrayEligibilityError(
-                "forgeries (Byzantine-value lies) have no array "
-                "realization; run this plan on the reference engine"
-            )
     faults = _RoundFaults()
-    if not (plan.crashes or plan.send_omissions or plan.receive_omissions):
+    any_forgeries = any(lies for lies in plan.forgeries.values())
+    if not (
+        plan.crashes or plan.send_omissions or plan.receive_omissions
+        or any_forgeries
+    ):
         return faults
     faults.silent = array_protocol.silent_pids(state, lane.index)
     alive = lane.alive_view
+    if any_forgeries:
+        for pid, lies in plan.forgeries.items():
+            if lies and pid in alive and pid not in faults.silent:
+                faults.forgeries[pid] = lies
     for pid in lane.alive_order:
         survivors = plan.crashes.get(pid)
         if survivors is not None:
@@ -717,6 +795,116 @@ def _filter_receive_omissions(
             arrived.add(sender)
         if arrived:
             faults.omitted_receives[pid] = arrived
+
+
+def _compile_forgeries(
+    protocol: SyncProtocol,
+    array_protocol: ArrayProtocol,
+    state: Any,
+    lane: _Lane,
+    faults: _RoundFaults,
+    edges: Optional[Tuple[Tuple[int, ...], ...]],
+    round_no: int,
+    n: int,
+) -> Dict[int, Dict[str, Any]]:
+    """The dense forgery path: apply payload lies, precompute patches.
+
+    Mirrors ``_send_phase``'s forgery block exactly: mutators run once
+    per forged wire copy, in (sender asc, receiver asc) order, on a
+    fresh copy of the true payload — the same seeded rng streams as the
+    reference engine.  A sender enters ``forged_sends`` only when at
+    least one forged copy is placed on the wire (copies addressed to
+    already-dead receivers count; they are dropped at delivery, exactly
+    as ``run_sync`` drops them).
+
+    Every receiver that *delivers* at least one forged copy gets its
+    entire transition recomputed by the reference protocol from the
+    pre-step snapshots; the result is loaded back into the columns
+    after the vectorized step.  Cost is O(n) state reads per affected
+    receiver — proportional to the forgery footprint, not to the run.
+    """
+    cache: Dict[int, Dict[str, Any]] = {}
+
+    def state_of(pid: int) -> Dict[str, Any]:
+        got = cache.get(pid)
+        if got is None:
+            got = array_protocol.read_state(state, lane.index, pid)
+            cache[pid] = got
+        return got
+
+    dead_now = lane.crashed | faults.crashing_now
+    forged_payloads = faults.forged_payloads
+    affected: set = set()
+    for sender in lane.alive_order:
+        lies = faults.forgeries.get(sender)
+        if not lies:
+            continue
+        payload = protocol.send(sender, state_of(sender))
+        if payload is None:
+            continue
+        payload = copy_payload(payload)
+        if sender in faults.crashing_now:
+            targets = faults.crash_deliveries.get(sender, frozenset())
+            receivers = (
+                sorted(targets)
+                if edges is None
+                else [r for r in edges[sender] if r in targets]
+            )
+        else:
+            dropped = faults.omitted_sends.get(sender, ())
+            pool = range(n) if edges is None else edges[sender]
+            receivers = [r for r in pool if r not in dropped]
+        forged: set = set()
+        for receiver in receivers:
+            if receiver in lies and receiver != sender:
+                forged_payloads[(sender, receiver)] = lies[receiver](
+                    copy_payload(payload)
+                )
+                forged.add(receiver)
+        if not forged:
+            continue
+        faults.forged_sends[sender] = frozenset(forged)
+        for receiver in forged:
+            if receiver in dead_now:
+                continue  # dropped at delivery: crashed receivers hear nothing
+            drops = faults.receive_plans.get(receiver)
+            if drops and sender in drops:
+                continue  # dropped at delivery: receive omission
+            affected.add(receiver)
+
+    patches: Dict[int, Dict[str, Any]] = {}
+    if not affected:
+        return patches
+    silent = faults.silent
+    for receiver in sorted(affected):
+        inbox: List[Message] = []
+        drops = faults.receive_plans.get(receiver)
+        for sender in lane.alive_order:
+            if sender in silent:
+                continue
+            if edges is not None and receiver not in edges[sender]:
+                continue
+            if sender in faults.crashing_now:
+                targets = faults.crash_deliveries.get(sender)
+                if not targets or receiver not in targets:
+                    continue
+            elif receiver in faults.omitted_sends.get(sender, ()):
+                continue
+            if drops and sender in drops and sender != receiver:
+                continue
+            payload = forged_payloads.get((sender, receiver), _UNSET)
+            if payload is _UNSET:
+                payload = copy_payload(protocol.send(sender, state_of(sender)))
+            inbox.append(
+                Message(
+                    sender=sender,
+                    receiver=receiver,
+                    sent_round=round_no,
+                    payload=payload,
+                )
+            )
+        patches[receiver] = protocol.update(receiver, state_of(receiver), inbox)
+    return patches
 
 
 # ---------------------------------------------------------------------------
@@ -957,6 +1145,29 @@ def _build_dense_wire(
 # ---------------------------------------------------------------------------
 
 
+def _alive_min_max(row, mask, np, chunk: Optional[int]):
+    """(min, max) of ``row`` over ``mask`` (numpy), streamed per chunk."""
+    size = int(row.shape[0])
+    if chunk is None or size <= chunk:
+        vals = row if mask is None else row[mask]
+        if vals.size == 0:
+            return None
+        return int(vals.min()), int(vals.max())
+    lo = hi = None
+    for start in range(0, size, chunk):
+        part = row[start : start + chunk]
+        if mask is not None:
+            part = part[mask[start : start + chunk]]
+        if part.size == 0:
+            continue
+        pmin, pmax = int(part.min()), int(part.max())
+        lo = pmin if lo is None else min(lo, pmin)
+        hi = pmax if hi is None else max(hi, pmax)
+    if lo is None:
+        return None
+    return lo, hi
+
+
 def _measure_round(
     array_protocol: ArrayProtocol,
     state: Any,
@@ -966,15 +1177,15 @@ def _measure_round(
     round_no: int,
     last_disagreement: List[Optional[int]],
     n: int,
+    chunk: Optional[int] = None,
 ) -> None:
     column = array_protocol.clock_column(state)
     for lane in lane_states:
         if np is not None:
             row = column[lane.index]
-            mask = alive_mask[lane.index]
-            if lane.crashed:
-                row = row[mask]
-            if row.size and int(row.min()) != int(row.max()):
+            mask = alive_mask[lane.index] if lane.crashed else None
+            spread = _alive_min_max(row, mask, np, chunk)
+            if spread is not None and spread[0] != spread[1]:
                 last_disagreement[lane.index] = round_no
         else:
             row = column[lane.index]
@@ -997,6 +1208,11 @@ def _reconstruct_round(
         payloads: Dict[int, Any] = {}
         for pid in lane.alive_order:
             payloads[pid] = protocol.send(pid, states[pid])
+        forged_payloads = faults.forged_payloads
+
+        def wire_payload(sender: int, receiver: int):
+            got = forged_payloads.get((sender, receiver), _UNSET)
+            return payloads[sender] if got is _UNSET else got
 
         # who actually hears whom (the engine's delivery phase)
         inboxes: Dict[int, List[int]] = {}
@@ -1053,7 +1269,7 @@ def _reconstruct_round(
                         sender=pid,
                         receiver=receiver,
                         sent_round=round_no,
-                        payload=payload,
+                        payload=wire_payload(pid, receiver),
                     )
                     for receiver in receivers
                 )
@@ -1074,7 +1290,7 @@ def _reconstruct_round(
                     sender=sender,
                     receiver=pid,
                     sent_round=round_no,
-                    payload=payloads[sender],
+                    payload=wire_payload(sender, pid),
                 )
                 for sender in sorted(inboxes.get(pid, ()))
             )
@@ -1090,6 +1306,7 @@ def _reconstruct_round(
                     omitted_receives=frozenset(
                         faults.omitted_receives.get(pid, ())
                     ),
+                    forged_sends=faults.forged_sends.get(pid, frozenset()),
                 )
             )
         lane.rounds.append(

@@ -46,8 +46,11 @@ from repro.core.rounds import (
     MinMergeRoundProtocol,
     RoundAgreementProtocol,
 )
+from repro.detectors.stack import DetectorStack
+from repro.detectors.strong import ALIVE, DEAD
 from repro.histories.history import CLOCK_KEY
 from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.protocols.unison import BoundedUnison, MinUnison
 from repro.sync.protocol import SyncProtocol
 
@@ -153,6 +156,31 @@ def _require_clock(mapping: Mapping) -> int:
     return value
 
 
+def _edge_chunks(np, indptr, chunk: int):
+    """Receiver ranges ``[a, b)`` whose CSR edge segments fit ``chunk``.
+
+    Greedy: each range holds as many whole receiver segments as fit in
+    ``chunk`` edges (always at least one receiver, so a single segment
+    larger than the budget still makes progress).  O(#chunks · log n),
+    not O(n), so million-process rounds don't pay a Python loop.
+    """
+    n = int(indptr.shape[0]) - 1
+    a = 0
+    while a < n:
+        b = int(np.searchsorted(indptr, int(indptr[a]) + chunk, side="right")) - 1
+        if b <= a:
+            b = a + 1
+        b = min(b, n)
+        yield a, b
+        a = b
+
+
+def _col_chunks(n: int, chunk: int):
+    """Column ranges ``[a, b)`` of at most ``chunk`` columns each."""
+    for a in range(0, n, chunk):
+        yield a, min(a + chunk, n)
+
+
 def _csr_reduce_python(
     row: List[int],
     src: List[int],
@@ -228,16 +256,43 @@ class ArrayClockMerge(ArrayProtocol):
             np = get_numpy()
             clock = state["clock"]
             reduce = np.minimum if lowest else np.maximum
+            chunk = wire.chunk
             if wire.complete_fast:
-                vals = clock
-                if wire.send_ok is not None:
-                    vals = np.where(wire.send_ok, clock, identity)
-                red = (
-                    vals.min(axis=1, keepdims=True)
-                    if lowest
-                    else vals.max(axis=1, keepdims=True)
-                )
+                if chunk is not None and state["n"] > chunk:
+                    red = None
+                    for a, b in _col_chunks(state["n"], chunk):
+                        part = clock[:, a:b]
+                        if wire.send_ok is not None:
+                            part = np.where(wire.send_ok[:, a:b], part, identity)
+                        part_red = (
+                            part.min(axis=1, keepdims=True)
+                            if lowest
+                            else part.max(axis=1, keepdims=True)
+                        )
+                        red = part_red if red is None else reduce(red, part_red)
+                else:
+                    vals = clock
+                    if wire.send_ok is not None:
+                        vals = np.where(wire.send_ok, clock, identity)
+                    red = (
+                        vals.min(axis=1, keepdims=True)
+                        if lowest
+                        else vals.max(axis=1, keepdims=True)
+                    )
                 state["clock"] = np.broadcast_to(red + 1, clock.shape).copy()
+                return
+            if chunk is not None and int(wire.indptr[-1]) > chunk:
+                out = np.empty_like(clock)
+                for a, b in _edge_chunks(np, wire.indptr, chunk):
+                    lo, hi = int(wire.indptr[a]), int(wire.indptr[b])
+                    vals = clock[:, wire.src[lo:hi]]
+                    if wire.keep is not None:
+                        vals = np.where(wire.keep[:, lo:hi], vals, identity)
+                    out[:, a:b] = reduce.reduceat(
+                        vals, wire.indptr[a:b] - lo, axis=1
+                    )
+                out += 1
+                state["clock"] = out
                 return
             vals = clock[:, wire.src]
             if wire.keep is not None:
@@ -315,28 +370,53 @@ class ArrayBoundedUnison(ArrayProtocol):
         if state["backend"] == "numpy":
             np = get_numpy()
             clock = state["clock"]
-            if wire.complete_fast:
-                clamped = np.where((clock >= -alpha) & (clock < K), clock, -alpha)
-                ok = wire.send_ok
-                mn_v = clamped if ok is None else np.where(ok, clamped, BIG)
-                mx_v = clamped if ok is None else np.where(ok, clamped, SMALL)
-                inner_sel = (clamped > 0) & (clamped < K - 1)
-                if ok is not None:
-                    inner_sel &= ok
-                in_v = np.where(inner_sel, clamped, BIG)
-                mn = mn_v.min(axis=1, keepdims=True)
-                mx = mx_v.max(axis=1, keepdims=True)
-                has_inner = in_v.min(axis=1, keepdims=True) < BIG
-            else:
-                vals = clock[:, wire.src]
+            chunk = wire.chunk
+
+            def reductions(vals, mask):
+                """(min, max, inner-min) of one clamped value block."""
                 clamped = np.where((vals >= -alpha) & (vals < K), vals, -alpha)
-                keep = wire.keep
-                mn_v = clamped if keep is None else np.where(keep, clamped, BIG)
-                mx_v = clamped if keep is None else np.where(keep, clamped, SMALL)
+                mn_v = clamped if mask is None else np.where(mask, clamped, BIG)
+                mx_v = clamped if mask is None else np.where(mask, clamped, SMALL)
                 inner_sel = (clamped > 0) & (clamped < K - 1)
-                if keep is not None:
-                    inner_sel &= keep
+                if mask is not None:
+                    inner_sel &= mask
                 in_v = np.where(inner_sel, clamped, BIG)
+                return mn_v, mx_v, in_v
+
+            if wire.complete_fast:
+                if chunk is not None and state["n"] > chunk:
+                    mn = mx = inner = None
+                    for a, b in _col_chunks(state["n"], chunk):
+                        ok = None if wire.send_ok is None else wire.send_ok[:, a:b]
+                        mn_v, mx_v, in_v = reductions(clock[:, a:b], ok)
+                        p_mn = mn_v.min(axis=1, keepdims=True)
+                        p_mx = mx_v.max(axis=1, keepdims=True)
+                        p_in = in_v.min(axis=1, keepdims=True)
+                        mn = p_mn if mn is None else np.minimum(mn, p_mn)
+                        mx = p_mx if mx is None else np.maximum(mx, p_mx)
+                        inner = p_in if inner is None else np.minimum(inner, p_in)
+                    has_inner = inner < BIG
+                else:
+                    mn_v, mx_v, in_v = reductions(clock, wire.send_ok)
+                    mn = mn_v.min(axis=1, keepdims=True)
+                    mx = mx_v.max(axis=1, keepdims=True)
+                    has_inner = in_v.min(axis=1, keepdims=True) < BIG
+            elif chunk is not None and int(wire.indptr[-1]) > chunk:
+                lanes_n = clock.shape
+                mn = np.empty(lanes_n, dtype=clock.dtype)
+                mx = np.empty(lanes_n, dtype=clock.dtype)
+                inner = np.empty(lanes_n, dtype=clock.dtype)
+                for a, b in _edge_chunks(np, wire.indptr, chunk):
+                    lo, hi = int(wire.indptr[a]), int(wire.indptr[b])
+                    keep = None if wire.keep is None else wire.keep[:, lo:hi]
+                    mn_v, mx_v, in_v = reductions(clock[:, wire.src[lo:hi]], keep)
+                    starts = wire.indptr[a:b] - lo
+                    mn[:, a:b] = np.minimum.reduceat(mn_v, starts, axis=1)
+                    mx[:, a:b] = np.maximum.reduceat(mx_v, starts, axis=1)
+                    inner[:, a:b] = np.minimum.reduceat(in_v, starts, axis=1)
+                has_inner = inner < BIG
+            else:
+                mn_v, mx_v, in_v = reductions(clock[:, wire.src], wire.keep)
                 starts = wire.indptr[:-1]
                 mn = np.minimum.reduceat(mn_v, starts, axis=1)
                 mx = np.maximum.reduceat(mx_v, starts, axis=1)
@@ -817,6 +897,420 @@ class ArrayCompiledFloodMin(ArrayProtocol):
 
 
 # ---------------------------------------------------------------------------
+# Phase-queen consensus: the Figure 2 runner over Berman-Garay
+# ---------------------------------------------------------------------------
+
+
+def _require_binary(value, what: str) -> int:
+    if type(value) is not int or value not in (0, 1):
+        raise ArrayEligibilityError(f"{what} {value!r} is not a binary value")
+    return value
+
+
+def _require_bounded_int(value, what: str) -> int:
+    if type(value) is bool or not isinstance(value, int):
+        raise ArrayEligibilityError(f"{what} {value!r} is not an int")
+    if not -(1 << 40) < value < (1 << 40):
+        raise ArrayEligibilityError(f"{what} {value!r} overflows the int64 columns")
+    return value
+
+
+class ArrayPhaseQueen(ArrayProtocol):
+    """Batched Figure 2 runner over phase-queen (``ft:phase-queen(f=..)``).
+
+    All inner fields are binary or small ints, so the whole protocol
+    fits seven ``(lanes, n)`` integer columns.  The ballot round is two
+    masked sums (the 0-tally and the 1-tally; the tie-toward-0 rule
+    becomes ``count1 > count0``); the queen round gathers the per-cell
+    queen's broadcast majority with ``take_along_axis``.  Corruption
+    can desynchronize clocks, so every cell branches on its own clock
+    parity rather than the round number.
+    """
+
+    kind = "dense"
+
+    def __init__(self, sync: CanonicalRunner):
+        super().__init__(sync)
+        canonical = sync.canonical
+        self.f = canonical.f
+        self.final_round = canonical.final_round
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        _check_dense_size(n, lanes)
+        canonical = self.sync.canonical
+        props = [canonical.proposal_for(pid) for pid in range(n)]
+        state = {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, 1),
+            "halted": _int_matrix(backend, lanes, n, 0),
+            "prop": _int_matrix(backend, lanes, n, 0),
+            "value": _int_matrix(backend, lanes, n, 0),
+            "majority": _int_matrix(backend, lanes, n, 0),
+            "count": _int_matrix(backend, lanes, n, 0),
+            "dec": _int_matrix(backend, lanes, n, 0),
+        }
+        for lane in range(lanes):
+            for pid in range(n):
+                state["prop"][lane][pid] = props[pid]
+                state["value"][lane][pid] = props[pid]
+                state["majority"][lane][pid] = props[pid]
+        if backend == "numpy":
+            np = get_numpy()
+            for key in ("prop", "value", "majority"):
+                state[key] = np.asarray(state[key], dtype=np.int64)
+        return state
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        extra = set(mapping) - {CLOCK_KEY, "inner", "halted", "n"}
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        if mapping.get("n") != state["n"]:
+            raise ArrayEligibilityError(
+                f"{self.name}: state n={mapping.get('n')!r} != run n={state['n']}"
+            )
+        inner = mapping["inner"]
+        inner_extra = set(inner) - {"proposal", "value", "majority", "count", "decision"}
+        if inner_extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected inner fields {sorted(inner_extra)}"
+            )
+        decision = inner.get("decision")
+        if decision is not None:
+            _require_binary(decision, "decision")
+        state["clock"][lane][pid] = value
+        state["halted"][lane][pid] = 1 if mapping["halted"] else 0
+        state["prop"][lane][pid] = _require_binary(inner["proposal"], "proposal")
+        state["value"][lane][pid] = _require_binary(inner["value"], "value")
+        state["majority"][lane][pid] = _require_binary(inner["majority"], "majority")
+        state["count"][lane][pid] = _require_bounded_int(inner["count"], "count")
+        state["dec"][lane][pid] = 0 if decision is None else decision + 1
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        dec = int(state["dec"][lane][pid])
+        return {
+            CLOCK_KEY: int(state["clock"][lane][pid]),
+            "inner": {
+                "proposal": int(state["prop"][lane][pid]),
+                "value": int(state["value"][lane][pid]),
+                "majority": int(state["majority"][lane][pid]),
+                "count": int(state["count"][lane][pid]),
+                "decision": None if dec == 0 else dec - 1,
+            },
+            "halted": bool(state["halted"][lane][pid]),
+            "n": state["n"],
+        }
+
+    def silent_pids(self, state, lane) -> frozenset:
+        halted = state["halted"][lane]
+        return frozenset(pid for pid in range(state["n"]) if halted[pid])
+
+    def step(self, state, wire) -> None:
+        FR, f = self.final_round, self.f
+        n = state["n"]
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock = state["clock"]
+            halted = state["halted"].astype(bool)
+            value, majority = state["value"], state["majority"]
+            count, dec = state["count"], state["dec"]
+            deliv = wire.delivered & ~halted[:, None, :]
+            # Ballot round (odd clocks): masked binary tallies.
+            sent = value[:, None, :]
+            count1 = (deliv & (sent == 1)).sum(axis=2)
+            count0 = (deliv & (sent == 0)).sum(axis=2)
+            total = count0 + count1
+            best = (count1 > count0).astype(np.int64)
+            ballot_majority = np.where(total > 0, best, value)
+            ballot_count = np.where(
+                total > 0, np.where(count1 > count0, count1, count0), 0
+            )
+            # Queen round (even clocks): keep when sure, else adopt the
+            # queen's broadcast majority, else keep the local majority.
+            phase = (clock + 1) // 2
+            queen = (phase - 1) % n
+            queen_sent = np.take_along_axis(deliv, queen[:, :, None], axis=2)[:, :, 0]
+            queen_majority = np.take_along_axis(majority, queen, axis=1)
+            sure = 2 * count > n + 2 * f
+            queen_value = np.where(
+                sure, majority, np.where(queen_sent, queen_majority, majority)
+            )
+            odd = clock % 2 == 1
+            new_value = np.where(odd, value, queen_value)
+            new_majority = np.where(odd, ballot_majority, majority)
+            new_count = np.where(odd, ballot_count, count)
+            new_dec = np.where(~odd & (clock == FR), queen_value + 1, dec)
+            state["value"] = np.where(halted, value, new_value)
+            state["majority"] = np.where(halted, majority, new_majority)
+            state["count"] = np.where(halted, count, new_count)
+            state["dec"] = np.where(halted, dec, new_dec)
+            state["clock"] = np.where(halted, clock, clock + 1)
+            state["halted"] = (halted | (clock == FR)).astype(np.int64)
+            return
+        for lane in range(state["lanes"]):
+            clock, halted = state["clock"][lane], state["halted"][lane]
+            value, majority = state["value"][lane], state["majority"][lane]
+            count, dec = state["count"][lane], state["dec"][lane]
+            senders = wire.delivered[lane]  # per-receiver sender sets
+            out = {key: [] for key in
+                   ("clock", "halted", "value", "majority", "count", "dec")}
+            for p in range(n):
+                if halted[p]:
+                    for key, column in (
+                        ("clock", clock), ("halted", halted), ("value", value),
+                        ("majority", majority), ("count", count), ("dec", dec),
+                    ):
+                        out[key].append(column[p])
+                    continue
+                k = clock[p]
+                arrived = [q for q in sorted(senders[p]) if not halted[q]]
+                if k % 2 == 1:
+                    count1 = sum(1 for q in arrived if value[q] == 1)
+                    count0 = len(arrived) - count1
+                    if arrived:
+                        new_majority = 1 if count1 > count0 else 0
+                        new_count = count1 if count1 > count0 else count0
+                    else:
+                        new_majority, new_count = value[p], 0
+                    new_value, new_dec = value[p], dec[p]
+                else:
+                    queen = ((k + 1) // 2 - 1) % n
+                    if 2 * count[p] > n + 2 * f or queen not in arrived:
+                        new_value = majority[p]
+                    else:
+                        new_value = majority[queen]
+                    new_majority, new_count = majority[p], count[p]
+                    new_dec = new_value + 1 if k == FR else dec[p]
+                out["clock"].append(k + 1)
+                out["halted"].append(1 if k == FR else 0)
+                out["value"].append(new_value)
+                out["majority"].append(new_majority)
+                out["count"].append(new_count)
+                out["dec"].append(new_dec)
+            for key, column in out.items():
+                state[key][lane] = column
+
+
+# ---------------------------------------------------------------------------
+# The ◇S detector stack: suspect-matrix columns
+# ---------------------------------------------------------------------------
+
+#: Integer encodings of the Figure 4 verdicts in the status matrix.
+_ALIVE_CODE, _DEAD_CODE = 0, 1
+
+
+class ArrayDetectorStack(ArrayProtocol):
+    """Batched :class:`DetectorStack`: heartbeat-◇P + Figure 4 as matrices.
+
+    Per lane, every per-target vector becomes an ``(n, n)`` matrix
+    indexed ``[process, target]``: ``last_heard``/``timeout``/``num``
+    as int64, ``suspected`` as bool, ``status`` as 0/1 codes.  The
+    heartbeat and tick layers vectorize directly (each slot is
+    independent); the Figure 4 adoption folds senders in ascending
+    order, which collapses to first-max-wins — ``argmax`` over the
+    delivered-masked version offers picks the same winner the
+    sequential fold does, one target column at a time.
+    """
+
+    kind = "dense"
+
+    def __init__(self, sync: DetectorStack):
+        super().__init__(sync)
+        self.max_timeout = sync.max_timeout
+
+    def _matrix_stack(self, backend: str, lanes: int, n: int, fill: int):
+        if backend == "numpy":
+            np = get_numpy()
+            return np.full((lanes, n, n), fill, dtype=np.int64)
+        return [[[fill] * n for _ in range(n)] for _ in range(lanes)]
+
+    def initial_states(self, n: int, lanes: int, backend: str) -> Any:
+        _check_dense_size(n, lanes)
+        state = {
+            "backend": backend,
+            "lanes": lanes,
+            "n": n,
+            "clock": _int_matrix(backend, lanes, n, 0),
+            "last_heard": self._matrix_stack(backend, lanes, n, 0),
+            "timeout": self._matrix_stack(
+                backend, lanes, n, self.sync.initial_timeout
+            ),
+            "suspected": self._matrix_stack(backend, lanes, n, 0),
+            "num": self._matrix_stack(backend, lanes, n, 0),
+            "status": self._matrix_stack(backend, lanes, n, _ALIVE_CODE),
+        }
+        if backend == "numpy":
+            np = get_numpy()
+            state["suspected"] = state["suspected"].astype(bool)
+            state["eye"] = np.eye(n, dtype=bool)
+        return state
+
+    def load_state(self, state, lane, pid, mapping) -> None:
+        value = _require_clock(mapping)
+        allowed = {CLOCK_KEY, "last_heard", "timeout", "suspected", "num", "status"}
+        extra = set(mapping) - allowed
+        if extra:
+            raise ArrayEligibilityError(
+                f"{self.name}: unexpected state fields {sorted(extra)}"
+            )
+        n = state["n"]
+        vectors = {}
+        for key in ("last_heard", "timeout", "suspected", "num", "status"):
+            vector = mapping[key]
+            if not isinstance(vector, (list, tuple)) or len(vector) != n:
+                raise ArrayEligibilityError(
+                    f"{self.name}: {key} is not a length-{n} vector"
+                )
+            vectors[key] = vector
+        _require_bounded_int(value, CLOCK_KEY)
+        for key in ("last_heard", "timeout", "num"):
+            for entry in vectors[key]:
+                _require_bounded_int(entry, key)
+        for flag in vectors["suspected"]:
+            if not isinstance(flag, bool):
+                raise ArrayEligibilityError(
+                    f"{self.name}: suspected entry {flag!r} is not a bool"
+                )
+        codes = []
+        for verdict in vectors["status"]:
+            if verdict not in (ALIVE, DEAD):
+                raise ArrayEligibilityError(
+                    f"{self.name}: status entry {verdict!r} is not a verdict"
+                )
+            codes.append(_DEAD_CODE if verdict == DEAD else _ALIVE_CODE)
+        state["clock"][lane][pid] = value
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            state["last_heard"][lane, pid, :] = vectors["last_heard"]
+            state["timeout"][lane, pid, :] = vectors["timeout"]
+            state["suspected"][lane, pid, :] = np.asarray(
+                vectors["suspected"], dtype=bool
+            )
+            state["num"][lane, pid, :] = vectors["num"]
+            state["status"][lane, pid, :] = codes
+        else:
+            state["last_heard"][lane][pid] = [int(v) for v in vectors["last_heard"]]
+            state["timeout"][lane][pid] = [int(v) for v in vectors["timeout"]]
+            state["suspected"][lane][pid] = [bool(v) for v in vectors["suspected"]]
+            state["num"][lane][pid] = [int(v) for v in vectors["num"]]
+            state["status"][lane][pid] = codes
+
+    def read_state(self, state, lane, pid) -> Dict[str, Any]:
+        row = lambda key: state[key][lane][pid]  # noqa: E731
+        return {
+            CLOCK_KEY: int(state["clock"][lane][pid]),
+            "last_heard": [int(v) for v in row("last_heard")],
+            "timeout": [int(v) for v in row("timeout")],
+            "suspected": [bool(v) for v in row("suspected")],
+            "num": [int(v) for v in row("num")],
+            "status": [DEAD if v else ALIVE for v in row("status")],
+        }
+
+    def step(self, state, wire) -> None:
+        mt = self.max_timeout
+        n = state["n"]
+        if state["backend"] == "numpy":
+            np = get_numpy()
+            clock = state["clock"]
+            heard, timeout = state["last_heard"], state["timeout"]
+            suspected = state["suspected"]
+            num, status = state["num"], state["status"]
+            deliv = wire.delivered
+            now = clock[:, :, None]
+            eye = state["eye"]
+            # 1. heartbeats: unsuspect + backoff, refresh last_heard.
+            timeout = np.where(
+                suspected & deliv, np.minimum(timeout * 2, mt), timeout
+            )
+            suspected = suspected & ~deliv
+            heard = np.where(deliv, now, heard)
+            # 2. first-max-wins adoption, one target column at a time.
+            new_num, new_status = num.copy(), status.copy()
+            for s in range(n):
+                offers = np.where(deliv, num[:, :, s][:, None, :], SMALL)
+                best = offers.max(axis=2)
+                winner = offers.argmax(axis=2)  # the first best sender
+                adopt = best > num[:, :, s]
+                winner_status = np.take_along_axis(status[:, :, s], winner, axis=1)
+                new_num[:, :, s] = np.where(adopt, best, num[:, :, s])
+                new_status[:, :, s] = np.where(
+                    adopt, winner_status, status[:, :, s]
+                )
+            num, status = new_num, new_status
+            # 3. suspicion tick with the corruption guards.
+            heard = np.where(eye, now, np.minimum(heard, now))
+            timeout = np.where(eye | ((timeout > 0) & (timeout <= mt)), timeout, mt)
+            suspected = (suspected | (now - heard > timeout)) & ~eye
+            # 4. Figure 4 tick: suspicion increments, then self.
+            num = num + suspected + eye
+            status = np.where(
+                eye, _ALIVE_CODE, np.where(suspected, _DEAD_CODE, status)
+            )
+            state["clock"] = clock + 1
+            state["last_heard"] = heard
+            state["timeout"] = timeout
+            state["suspected"] = suspected
+            state["num"] = num
+            state["status"] = status
+            return
+        for lane in range(state["lanes"]):
+            senders = wire.delivered[lane]  # per-receiver sender sets
+            clock = state["clock"][lane]
+            heard_l, timeout_l = state["last_heard"][lane], state["timeout"][lane]
+            sus_l = state["suspected"][lane]
+            num_l, status_l = state["num"][lane], state["status"][lane]
+            new = {key: [] for key in
+                   ("clock", "last_heard", "timeout", "suspected", "num", "status")}
+            for p in range(n):
+                now = clock[p]
+                heard, timeout = list(heard_l[p]), list(timeout_l[p])
+                sus = list(sus_l[p])
+                num, status = list(num_l[p]), list(status_l[p])
+                arrived = sorted(senders[p])
+                for q in arrived:
+                    if sus[q]:
+                        sus[q] = False
+                        timeout[q] = min(timeout[q] * 2, mt)
+                    heard[q] = now
+                for q in arrived:
+                    offered_num, offered_status = num_l[q], status_l[q]
+                    for s in range(n):
+                        if offered_num[s] > num[s]:
+                            num[s] = offered_num[s]
+                            status[s] = offered_status[s]
+                for s in range(n):
+                    if s == p:
+                        sus[s] = False
+                        heard[s] = now
+                        continue
+                    if heard[s] > now:
+                        heard[s] = now
+                    if not 0 < timeout[s] <= mt:
+                        timeout[s] = mt
+                    if now - heard[s] > timeout[s]:
+                        sus[s] = True
+                for s in range(n):
+                    if sus[s]:
+                        num[s] += 1
+                        status[s] = _DEAD_CODE
+                    if s == p:
+                        num[s] += 1
+                        status[s] = _ALIVE_CODE
+                new["clock"].append(now + 1)
+                new["last_heard"].append(heard)
+                new["timeout"].append(timeout)
+                new["suspected"].append(sus)
+                new["num"].append(num)
+                new["status"].append(status)
+            for key, column in new.items():
+                state[key][lane] = column
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -848,8 +1342,12 @@ def _builtin_matcher(protocol: SyncProtocol) -> Optional[ArrayProtocol]:
         return ArrayBoundedUnison(protocol)
     if kind is CanonicalRunner and type(protocol.canonical) is FloodMinConsensus:
         return ArrayFtFloodMin(protocol)
+    if kind is CanonicalRunner and type(protocol.canonical) is PhaseQueenConsensus:
+        return ArrayPhaseQueen(protocol)
     if kind is CompiledProtocol and type(protocol.canonical) is FloodMinConsensus:
         return ArrayCompiledFloodMin(protocol)
+    if kind is DetectorStack:
+        return ArrayDetectorStack(protocol)
     return None
 
 

@@ -63,7 +63,8 @@ def _cmd_stats(args) -> int:
         print(
             "executed by backend: "
             f"{counters.get('executed_sync', 0)} sync, "
-            f"{counters.get('executed_array', 0)} array"
+            f"{counters.get('executed_array', 0)} array "
+            f"({counters.get('executed_fallback', 0)} array-sweep fallbacks)"
         )
     else:
         print("cumulative: no recorded accesses")

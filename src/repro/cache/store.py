@@ -73,6 +73,7 @@ _COUNTER_FIELDS = (
     "bytes_written",
     "executed_sync",
     "executed_array",
+    "executed_fallback",
 )
 
 
@@ -84,7 +85,11 @@ class CacheStats:
     down by engine backend (reference vs batched array path) so warm
     and cold behavior stays auditable per backend; they are reported by
     :func:`repro.experiments.base.run_sweep`, which knows how each miss
-    was actually run.
+    was actually run.  ``executed_fallback`` counts the subset of
+    ``executed_sync`` that an array-backed sweep *wanted* to batch but
+    could not (no twin, ineligible point, or a refused shard) — a
+    nonzero value in an all-array workload is the audit trail of the
+    fallback ``RuntimeWarning``.
     """
 
     hits: int = 0
@@ -94,6 +99,7 @@ class CacheStats:
     bytes_written: int = 0
     executed_sync: int = 0
     executed_array: int = 0
+    executed_fallback: int = 0
 
     @property
     def executed(self) -> int:
@@ -252,6 +258,18 @@ class RunCache:
             stats.executed_array += count
         else:
             stats.executed_sync += count
+
+    def note_fallback(self, count: int) -> None:
+        """Count array-backed sweep points that fell back to ``run_sync``.
+
+        These points also land in ``executed_sync`` once the reference
+        path runs them; this counter records *why* they were sync in an
+        array-backed sweep, surfacing silent batched-coverage gaps in
+        ``python -m repro.cache stats``.
+        """
+        if count <= 0:
+            return
+        self._stats_observer.stats.executed_fallback += count
 
     def _emit(self, kind: str, namespace: str, key: str, nbytes: int) -> None:
         self._bus.on_cache(

@@ -10,6 +10,9 @@
 - :mod:`repro.detectors.consensus` — Chandra–Toueg ◇S consensus
   (baseline) and the paper's self-stabilizing repeated-consensus
   variant (periodic retransmission + round-agreement superimposition).
+- :mod:`repro.detectors.stack` — the heartbeat-◇P + Figure 4 pipeline
+  stacked into one synchronous round protocol (and batched on the
+  array engine via its suspect-matrix twin).
 """
 
 from repro.detectors.consensus import CTConsensus, consensus_log_agreement
@@ -18,10 +21,12 @@ from repro.detectors.properties import (
     eventual_weak_accuracy,
     strong_completeness,
 )
+from repro.detectors.stack import DetectorStack
 from repro.detectors.strong import LastWriterDetector, StrongDetector
 
 __all__ = [
     "CTConsensus",
+    "DetectorStack",
     "DetectorVerdict",
     "LastWriterDetector",
     "StrongDetector",

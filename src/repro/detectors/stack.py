@@ -1,0 +1,171 @@
+"""The ◇S detector stack as one round-based protocol.
+
+:mod:`repro.detectors.heartbeat` builds ◇P from heartbeats and adaptive
+timeouts; :mod:`repro.detectors.strong` transforms any ◇W into ◇S with
+the Figure 4 version lattice.  Both run on the asynchronous scheduler.
+This module stacks the two into a single synchronous
+:class:`~repro.sync.protocol.SyncProtocol` so the detector pipeline can
+run under the round-based fault plane — and, batched, on the array
+engine (`run_array` keeps a ``(lanes, n, n)`` suspect-matrix twin of
+it, see ``docs/array.md``).
+
+Per round, each process broadcasts its Figure 4 vectors; the broadcast
+doubles as its heartbeat.  The update is, in order:
+
+1. *heartbeats* — every delivered message refreshes ``last_heard`` for
+   its sender; a message from a currently-suspected sender clears the
+   suspicion and doubles that sender's timeout (capped at
+   ``max_timeout`` — the bounded-stabilization cap).
+2. *adoption* — the Figure 4 version-guarded adoption, senders in
+   ascending order: per target ``s``, adopt ``(num[s], status[s])``
+   when the offered ``num[s]`` strictly exceeds the local one.  Only
+   well-typed entries (int version, ``alive``/``dead`` status) are
+   adopted, so forged garbage cannot leave the protocol's state space.
+3. *suspicion tick* — the ◇P rule on integer round time: ``s`` becomes
+   suspected when ``now - last_heard[s] > timeout[s]``, with the
+   corruption guards of the heartbeat detector (a future ``last_heard``
+   is clamped to ``now``; a timeout outside ``(0, max_timeout]`` resets
+   to ``max_timeout``).
+4. *Figure 4 tick* — suspected targets get ``num[s] += 1, dead``; the
+   process itself gets ``num[p] += 1, alive``.
+
+Stabilization carries over from the two layers: corrupted heartbeat
+entries wash out by the guards in at most ``max_timeout`` rounds, and
+corrupted version counters are dominated by the lattice (a planted
+``num = 10⁹, dead`` for a live process is overtaken in one adoption +
+one self-increment).  Crashed processes stop heartbeating, get
+suspected within ``max_timeout`` rounds, and their ``dead`` verdict
+gossips everywhere — the ◇S output is :meth:`DetectorStack.suspects`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, FrozenSet, List, Mapping, Sequence
+
+from repro.detectors.strong import ALIVE, DEAD
+from repro.histories.history import CLOCK_KEY, Message
+from repro.sync.protocol import SyncProtocol
+from repro.util.validation import require, require_positive
+
+__all__ = ["DetectorStack"]
+
+
+class DetectorStack(SyncProtocol):
+    """Heartbeat-◇P feeding Figure 4-◇S, as one synchronous protocol."""
+
+    def __init__(self, initial_timeout: int = 2, max_timeout: int = 16):
+        require_positive(initial_timeout, "initial_timeout")
+        require(
+            initial_timeout <= max_timeout,
+            f"max_timeout {max_timeout} below initial_timeout {initial_timeout}",
+        )
+        self.initial_timeout = initial_timeout
+        self.max_timeout = max_timeout
+        self.name = f"detector-stack(T={max_timeout})"
+
+    def initial_state(self, pid: int, n: int) -> Dict[str, Any]:
+        return {
+            CLOCK_KEY: 0,
+            "last_heard": [0] * n,
+            "timeout": [self.initial_timeout] * n,
+            "suspected": [False] * n,
+            "num": [0] * n,
+            "status": [ALIVE] * n,
+        }
+
+    def send(self, pid: int, state: Mapping[str, Any]) -> Any:
+        return (tuple(state["num"]), tuple(state["status"]))
+
+    def update(
+        self, pid: int, state: Mapping[str, Any], delivered: Sequence[Message]
+    ) -> Dict[str, Any]:
+        n = len(state["num"])
+        now = state[CLOCK_KEY]
+        last_heard = list(state["last_heard"])
+        timeout = list(state["timeout"])
+        suspected = list(state["suspected"])
+        num = list(state["num"])
+        status = list(state["status"])
+        # 1. heartbeats: any delivered message counts.
+        for message in delivered:
+            q = message.sender
+            if suspected[q]:
+                suspected[q] = False
+                timeout[q] = min(timeout[q] * 2, self.max_timeout)
+            last_heard[q] = now
+        # 2. Figure 4 adoption, version-guarded, well-typed entries only.
+        for message in delivered:
+            payload = message.payload
+            if not (isinstance(payload, (tuple, list)) and len(payload) == 2):
+                continue
+            nums, statuses = payload
+            if not isinstance(nums, (tuple, list)):
+                continue
+            if not isinstance(statuses, (tuple, list)):
+                continue
+            for s in range(min(n, len(nums), len(statuses))):
+                version, verdict = nums[s], statuses[s]
+                if type(version) is not int or verdict not in (ALIVE, DEAD):
+                    continue
+                if version > num[s]:
+                    num[s] = version
+                    status[s] = verdict
+        # 3. suspicion tick (◇P with corruption guards).
+        for s in range(n):
+            if s == pid:
+                suspected[s] = False
+                last_heard[s] = now
+                continue
+            if last_heard[s] > now:
+                last_heard[s] = now
+            if not 0 < timeout[s] <= self.max_timeout:
+                timeout[s] = self.max_timeout
+            if now - last_heard[s] > timeout[s]:
+                suspected[s] = True
+        # 4. Figure 4 tick.
+        for s in range(n):
+            if suspected[s]:
+                num[s] += 1
+                status[s] = DEAD
+            if s == pid:
+                num[s] += 1
+                status[s] = ALIVE
+        return {
+            CLOCK_KEY: now + 1,
+            "last_heard": last_heard,
+            "timeout": timeout,
+            "suspected": suspected,
+            "num": num,
+            "status": status,
+        }
+
+    def arbitrary_state(self, pid: int, n: int, rng: random.Random) -> Dict[str, Any]:
+        """Systemic failure: every layer scrambled (integer state space)."""
+        span = 4 * self.max_timeout
+        return {
+            CLOCK_KEY: rng.randrange(0, 1 << 16),
+            "last_heard": [rng.randrange(-(1 << 20), 1 << 20) for _ in range(n)],
+            "timeout": [rng.randrange(-span, span + 1) for _ in range(n)],
+            "suspected": [rng.random() < 0.5 for _ in range(n)],
+            "num": [rng.randrange(0, 1 << 30) for _ in range(n)],
+            "status": [rng.choice((ALIVE, DEAD)) for _ in range(n)],
+        }
+
+    @staticmethod
+    def suspects(state: Mapping[str, Any]) -> FrozenSet[int]:
+        """The ◇S output: targets currently believed dead."""
+        return frozenset(
+            s for s, verdict in enumerate(state["status"]) if verdict == DEAD
+        )
+
+    @staticmethod
+    def suspicion_counts(states: List[Mapping[str, Any]]) -> List[int]:
+        """How many processes believe each target dead (for experiments)."""
+        n = len(states)
+        counts = [0] * n
+        for state in states:
+            for s in DetectorStack.suspects(state):
+                if s < n:
+                    counts[s] += 1
+        return counts

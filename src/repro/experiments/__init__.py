@@ -26,6 +26,7 @@ from repro.experiments import (
     abl_retx,
     abl_suspect,
     array_scale,
+    array_twins,
     async_cons,
     ext_bounded,
     ext_byz,
@@ -77,6 +78,7 @@ for _id, _module in [
     ("UNISON", unison),
     ("UNISON-CHURN", unison_churn),
     ("ARRAY-SCALE", array_scale),
+    ("ARRAY-TWINS", array_twins),
 ]:
     REGISTRY.add(_id, _module.run)
 

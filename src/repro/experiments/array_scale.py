@@ -221,4 +221,47 @@ def run(fast: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
             f"array/reference speedup {speedup:.1f}x below the "
             f"{speedup_floor:.0f}x floor at n={bench_n}",
         )
+
+    # The ceiling point: one million processes per lane through the
+    # chunked lane executor.  Ring-10^6 has diameter 5x10^5, so the
+    # diameter law is out of reach here by construction; the claim is
+    # that the run *completes* inside bounded per-round temporaries
+    # while disagreement is still live (full mode + NumPy only — the
+    # committed memory numbers live in BENCH_ARRAY.json).
+    if not fast and has_numpy():
+        ceiling_n, ceiling_lanes, ceiling_rounds = 1_000_000, 2, 6
+        topology = make_topology("ring", ceiling_n)
+        plans = [
+            FaultPlan(initial_corruption=_corruption("ring", ceiling_n, seed))
+            for seed in range(ceiling_lanes)
+        ]
+        start = time.perf_counter()
+        ceiling = run_array(
+            MinUnison(),
+            ceiling_n,
+            ceiling_rounds,
+            fault_plans=plans,
+            topology=topology,
+            measure_disagreement=True,
+            chunk=1 << 14,
+        )
+        ceiling_pps = (
+            ceiling_n * ceiling_rounds * ceiling_lanes
+            / (time.perf_counter() - start)
+        )
+        report.add_row(
+            "ceiling/ring (chunked)",
+            ceiling_n,
+            topology.diameter(),
+            ceiling_lanes,
+            f"{ceiling_pps:,.0f} proc/s",
+        )
+        expect.check(
+            all(
+                (ceiling.last_disagreement[lane] or 0) > 0
+                for lane in range(ceiling_lanes)
+            ),
+            "ceiling run at n=10^6 measured no disagreement "
+            "(corruption did not register; measurement is vacuous)",
+        )
     return ExperimentResult(report=report, failures=expect.failures)

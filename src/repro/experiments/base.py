@@ -267,7 +267,7 @@ def run_sweep(
 
     if use_array and miss_indices:
         miss_indices = _run_array_batch(
-            worker, points, miss_indices, store, _record
+            worker, points, miss_indices, store, _record, jobs
         )
         _emit_ready()
 
@@ -297,68 +297,120 @@ def run_sweep(
     return results
 
 
+def _run_array_chunk(worker, chunk_points):
+    """One shard's batched execution (module-level, hence picklable).
+
+    Refusals come back as values, not raised exceptions, so a shard
+    refused by the array engine falls back without poisoning its
+    siblings in the pool.
+    """
+    from repro.array.protocols import ArrayEligibilityError
+
+    try:
+        return ("ok", worker.array_batch(chunk_points))
+    except ArrayEligibilityError as exc:
+        return ("refused", str(exc))
+
+
 def _run_array_batch(
     worker: Callable[[Point], Outcome],
     points: Sequence[Point],
     miss_indices: List[int],
     store,
     record: Callable[[int, Outcome], None],
+    jobs: int,
 ) -> List[int]:
     """Route eligible cache misses through ``worker.array_batch``.
 
-    Returns the indices still pending (ineligible, or the whole batch
-    if the array engine refused it) for the reference path.  Every
-    fallback is a visible ``RuntimeWarning`` — the batched backend must
-    never silently degrade into the engine it claims to outrun.
+    With ``jobs > 1`` the eligible batch is sharded into contiguous,
+    work-balanced lane chunks (the same :func:`_work_chunks` sizing the
+    reference path uses) and fanned out over the persistent fork pool —
+    each worker process runs one multi-lane ``run_array`` — with
+    outcomes merged back by point index, so the result is independent
+    of shard count and completion order.
+
+    Returns the indices still pending for the reference path:
+    ineligible points, plus every shard the array engine refused.  All
+    fallbacks aggregate into **one** ``RuntimeWarning`` per sweep that
+    lists each reason — loud, but not once per miss chunk — and are
+    tallied on the cache's ``executed_fallback`` counter.
     """
-    from repro.array.protocols import ArrayEligibilityError
+    reasons: List[str] = []
+    pending: List[int] = []
+
+    def _finish() -> List[int]:
+        pending.sort()
+        if reasons:
+            warnings.warn(
+                "run_sweep(backend='array'): "
+                + "; ".join(reasons)
+                + f"; {len(pending)} points fall back to the reference engine",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if store is not None and pending:
+            store.note_fallback(len(pending))
+        return pending
 
     array_batch = getattr(worker, "array_batch", None)
     if array_batch is None:
-        warnings.warn(
-            f"run_sweep(backend='array'): worker {worker!r} has no "
-            "array_batch twin; falling back to the reference engine",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return miss_indices
+        reasons.append(f"worker {worker!r} has no array_batch twin")
+        pending.extend(miss_indices)
+        return _finish()
     eligible_check = getattr(worker, "array_eligible", None)
     if eligible_check is None:
         batch = list(miss_indices)
     else:
         batch = [i for i in miss_indices if eligible_check(points[i])]
-        skipped = len(miss_indices) - len(batch)
-        if skipped:
-            warnings.warn(
-                f"run_sweep(backend='array'): {skipped} of "
-                f"{len(miss_indices)} points are not array-eligible; "
-                "they fall back to the reference engine",
-                RuntimeWarning,
-                stacklevel=3,
+        if len(batch) < len(miss_indices):
+            reasons.append(
+                f"{len(miss_indices) - len(batch)} of {len(miss_indices)} "
+                "points are not array-eligible"
             )
+            chosen = set(batch)
+            pending.extend(i for i in miss_indices if i not in chosen)
     if not batch:
-        return miss_indices
-    try:
-        outcomes = array_batch([points[i] for i in batch])
-    except ArrayEligibilityError as exc:
-        warnings.warn(
-            f"run_sweep(backend='array'): batched path refused "
-            f"({exc}); falling back to the reference engine",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return miss_indices
-    if len(outcomes) != len(batch):
-        raise RuntimeError(
-            f"array_batch returned {len(outcomes)} outcomes for "
-            f"{len(batch)} points"
-        )
-    if store is not None:
-        store.note_executed("array", len(batch))
-    done = set(batch)
-    for index, outcome in zip(batch, outcomes):
-        record(index, outcome)
-    return [i for i in miss_indices if i not in done]
+        return _finish()
+
+    if jobs > 1 and len(batch) > 1:
+        estimate = getattr(worker, "estimate_cost", None)
+        if estimate is not None:
+            weights = [max(float(estimate(points[i])), 1.0) for i in batch]
+        else:
+            weights = [1.0] * len(batch)
+        shards = _work_chunks(batch, weights, jobs)
+    else:
+        shards = [batch]
+
+    if len(shards) == 1:
+        payloads = [_run_array_chunk(worker, [points[i] for i in shards[0]])]
+    else:
+        pool = _get_pool(jobs)
+        futures = [
+            pool.submit(_run_array_chunk, worker, [points[i] for i in shard])
+            for shard in shards
+        ]
+        payloads = [future.result() for future in futures]
+
+    executed = 0
+    for shard, (status, result) in zip(shards, payloads):
+        if status == "refused":
+            reason = f"batched path refused ({result})"
+            if reason not in reasons:
+                reasons.append(reason)
+            pending.extend(shard)
+            continue
+        if len(result) != len(shard):
+            raise RuntimeError(
+                f"array_batch returned {len(result)} outcomes for "
+                f"{len(shard)} points"
+            )
+        executed += len(shard)
+        for index, outcome in zip(shard, result):
+            record(index, outcome)
+    if store is not None and executed:
+        store.note_executed("array", executed)
+    return _finish()
 
 
 @dataclass

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.cache.digest import worker_ref
-from repro.experiments import array_scale, fig1, fig2, fig3, fig4, unison
+from repro.experiments import array_scale, array_twins, fig1, fig2, fig3, fig4, unison
 from repro.serve.protocol import ProtocolError
 
 __all__ = ["Catalog", "SweepSurface", "default_catalog", "run_explore_job"]
@@ -267,6 +267,21 @@ def default_catalog() -> Catalog:
             worker=array_scale._measure,
             point_fields=(("family", str), ("n", int)),
             default_points=(("ring", 400), ("grid", 400)),
+        )
+    )
+    catalog.add(
+        SweepSurface(
+            # The non-unison batched twins (PhaseQueen consensus, the
+            # ◇S detector stack, forged unison on the dense forgery
+            # path); backend="array" requests batch every kind.
+            experiment="ARRAY-TWINS",
+            worker=array_twins._measure,
+            point_fields=(("kind", str), ("n", int), ("seed", int)),
+            default_points=(
+                ("phase-queen", 5, 0),
+                ("detector", 6, 0),
+                ("forged-unison", 8, 0),
+            ),
         )
     )
     catalog.add(

@@ -8,6 +8,7 @@ Usage::
     python -m repro.verify refute TARGET [same flags]
     python -m repro.verify certify [ARTIFACT ...] [--jobs J] [--out DIR]
                                    [--no-cache]
+    python -m repro.verify recheck CERTIFICATE [--jobs J] [--no-cache]
     python -m repro.verify list
 
 ``prove`` exits 0 iff the claim holds on the *entire* space; ``refute``
@@ -21,6 +22,14 @@ agreement (the conformance gate CI runs where z3 is installed).
 with no arguments it regenerates the thm1/thm2 findings exactly as the
 explore smoke does and certifies both; with artifact paths it certifies
 those.
+
+``recheck`` re-verifies a saved certificate *from its own description*:
+a proof certificate has its space re-enumerated and must reproduce the
+certified verdict, cardinality, and frontier digest bit-for-bit; a
+counterexample certificate must replay its embedded artifact
+byte-identically (and re-refute its space); a minimality certificate
+has the shrink neighborhood re-exhausted.  Any divergence — including
+a tampered certificate — exits 1.
 
 Exit codes: 0 success, 1 wrong verdict / not minimal / mismatch,
 2 usage, 3 capability (SMT requested but z3 unavailable).
@@ -44,7 +53,11 @@ from repro.verify import (
     get_verify_target,
     verify,
 )
-from repro.verify.certificates import certificate_from_result, save_certificate
+from repro.verify.certificates import (
+    certificate_from_result,
+    load_certificate,
+    save_certificate,
+)
 from repro.verify.minimal import certify_minimal
 from repro.verify.result import VerifyResult
 
@@ -252,6 +265,118 @@ def _cmd_certify(args) -> int:
     return 1 if failures else 0
 
 
+def _recheck_artifact(artifact) -> List[str]:
+    """Replay an embedded artifact through both oracles; all failures."""
+    failures: List[str] = []
+    outcome = replay(artifact)
+    if not outcome.reproduced:
+        failures.append(
+            f"{artifact.target}: embedded artifact did not replay "
+            "byte-identically"
+        )
+    check = cross_check(artifact)
+    if not check.consistent:
+        failures.append(
+            f"{artifact.target}: verify-model cross-check inconsistent "
+            f"(reproduced={check.reproduced}, streaming holds="
+            f"{check.streaming.holds}, confirm holds={check.confirm.holds})"
+        )
+    return failures
+
+
+def _recheck_space(certificate, jobs) -> List[str]:
+    """Re-enumerate a proof/counterexample certificate's own space."""
+    from repro.explore.space import PlanSpace
+
+    if certificate.space is None:
+        return [f"{certificate.kind} certificate carries no space to re-enumerate"]
+    space = PlanSpace.from_jsonable(certificate.space)
+    result = verify(
+        certificate.target,
+        space=space,
+        at=certificate.at,
+        engine=certificate.engine,
+        jobs=jobs,
+    )
+    print(_summarize(result))
+    failures: List[str] = []
+    want = "proved" if certificate.kind == "proof" else "refuted"
+    if result.verdict != want:
+        failures.append(f"verdict {result.verdict!r} != certified {want!r}")
+    for name, certified in sorted(certificate.cardinality.items()):
+        fresh = getattr(result, name, None)
+        if fresh != certified:
+            failures.append(f"cardinality {name}: fresh {fresh} != certified {certified}")
+    if certificate.frontier is not None:
+        if result.frontier is None:
+            failures.append("certificate carries a frontier but the fresh run has none")
+        else:
+            fresh_frontier = result.frontier.to_jsonable()
+            for field_name in ("states_visited", "states_distinct", "digest"):
+                certified = certificate.frontier.get(field_name)
+                fresh = fresh_frontier.get(field_name)
+                if certified != fresh:
+                    failures.append(
+                        f"frontier {field_name}: fresh {fresh!r} != "
+                        f"certified {certified!r}"
+                    )
+    return failures
+
+
+def _cmd_recheck(args) -> int:
+    try:
+        certificate = load_certificate(args.certificate)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"recheck: cannot load certificate: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"[{certificate.target}@{certificate.at}] rechecking "
+        f"{certificate.kind} certificate ({certificate.engine} engine)"
+    )
+    failures: List[str] = []
+    try:
+        if certificate.kind == "minimality":
+            artifact = certificate.embedded_artifact
+            if artifact is None:
+                failures.append("minimality certificate has no embedded artifact")
+            else:
+                failures.extend(_recheck_artifact(artifact))
+                result = certify_minimal(artifact, jobs=args.jobs)
+                if not result.minimal:
+                    failures.append("artifact is no longer provably minimal")
+                certified_size = certificate.neighborhood.get("size")
+                if (
+                    certified_size is not None
+                    and result.neighborhood_size != certified_size
+                ):
+                    failures.append(
+                        f"shrink neighborhood size {result.neighborhood_size} "
+                        f"!= certified {certified_size}"
+                    )
+        else:
+            failures.extend(_recheck_space(certificate, args.jobs))
+            if certificate.kind == "counterexample":
+                artifact = certificate.embedded_artifact
+                if artifact is not None:
+                    failures.extend(_recheck_artifact(artifact))
+                elif not certificate.counterexample_clocks:
+                    failures.append(
+                        "counterexample certificate has neither an embedded "
+                        "artifact nor solver-exhibited clocks"
+                    )
+    except SmtUnavailableError as exc:
+        print(f"SKIPPED (capability): {exc}", file=sys.stderr)
+        return EXIT_CAPABILITY
+    except (ValueError, KeyError) as exc:
+        failures.append(f"certificate does not describe a checkable claim: {exc}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("recheck: certificate reproduces")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     from repro.verify.smt import SMT_TARGETS, smt_available
 
@@ -308,6 +433,14 @@ def main(argv=None) -> int:
     certify_p.add_argument("--out", default=None, help="write certificates here")
     certify_p.add_argument("--no-cache", action="store_true")
     certify_p.set_defaults(func=_cmd_certify)
+
+    recheck_p = sub.add_parser(
+        "recheck", help="re-verify a saved certificate from its own description"
+    )
+    recheck_p.add_argument("certificate", help="path to a certificate JSON")
+    recheck_p.add_argument("--jobs", type=int, default=None)
+    recheck_p.add_argument("--no-cache", action="store_true")
+    recheck_p.set_defaults(func=_cmd_recheck)
 
     list_p = sub.add_parser("list", help="list verify targets and engines")
     list_p.set_defaults(func=_cmd_list)

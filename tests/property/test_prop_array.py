@@ -13,7 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.array import assert_conformance, has_numpy
+from repro.array import assert_conformance, has_numpy, run_array
+from repro.net.conformance import history_digest
 from repro.core.compiler import compile_protocol
 from repro.core.rounds import RoundAgreementProtocol
 from repro.kernel.faults import FaultPlan
@@ -155,3 +156,61 @@ def test_random_scenarios_are_digest_identical(backend, scenario):
         topology=_make_topology(topology_name, n),
         backend=backend,
     )
+
+
+# -- chunk boundaries: bounded temporaries never change a digest -------------
+#
+# Explicit ``chunk=`` values are honored verbatim (no floor), so tiny
+# chunks at property-test sizes force many boundary crossings per round
+# — and the drawn crashes / mid-run corruption / churn epochs land on
+# or next to those edges.  Conformance against ``run_sync`` pins the
+# chunked run to the reference engine; the direct chunked-vs-unchunked
+# digest comparison pins it to the unchunked batched run as well.
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=20, deadline=None)
+@given(scenario=scenarios(), chunk=st.integers(min_value=1, max_value=40))
+def test_chunked_random_scenarios_match_run_sync(backend, scenario, chunk):
+    n, protocol_name, topology_name, lane_specs, churn = scenario
+    assert_conformance(
+        _make_protocol(protocol_name, n),
+        n=n,
+        rounds=ROUNDS,
+        plan_factories=[_plan_factory(n, spec, churn) for spec in lane_specs],
+        topology=_make_topology(topology_name, n),
+        backend=backend,
+        chunk=chunk,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=15, deadline=None)
+@given(
+    scenario=scenarios(),
+    chunk=st.integers(min_value=1, max_value=40),
+    max_bytes=st.one_of(st.none(), st.integers(min_value=1 << 8, max_value=1 << 14)),
+)
+def test_chunked_equals_unchunked_batched_run(backend, scenario, chunk, max_bytes):
+    n, protocol_name, topology_name, lane_specs, churn = scenario
+
+    def batched(**kwargs):
+        return run_array(
+            _make_protocol(protocol_name, n),
+            n,
+            ROUNDS,
+            fault_plans=[_plan_factory(n, spec, churn)() for spec in lane_specs],
+            topology=_make_topology(topology_name, n),
+            record_history=True,
+            backend=backend,
+            **kwargs,
+        )
+
+    plain = batched()
+    chunked = batched(chunk=chunk, max_bytes=max_bytes)
+    assert chunked.faulty == plain.faulty
+    for lane in range(len(lane_specs)):
+        assert history_digest(chunked.histories[lane]) == history_digest(
+            plain.histories[lane]
+        )
+        assert chunked.final_states(lane) == plain.final_states(lane)

@@ -30,9 +30,12 @@ from repro.kernel.topology import (
     GridTopology,
     RingTopology,
 )
+from repro.detectors.stack import DetectorStack
 from repro.protocols.floodmin import FloodMinConsensus
+from repro.protocols.phaseking import PhaseQueenConsensus
 from repro.protocols.unison import BoundedUnison, MinUnison
 from repro.sync.adversary import (
+    ByzantineAdversary,
     FaultMode,
     RandomAdversary,
     RoundFaultPlan,
@@ -171,15 +174,168 @@ def test_round_agreement_fig1(backend):
     )
 
 
-# -- eligibility: loud refusals, never silent wrong answers ------------------
+# -- batched twins for PhaseQueen consensus and the detector stack -----------
 
 
-def test_forgeries_are_rejected():
+@backends
+def test_phase_queen_twin_conformance(backend):
+    def protocol():
+        return CanonicalRunner(PhaseQueenConsensus(f=1, n=5, proposals=[1, 0, 1, 0, 1]))
+
+    def plan(seed):
+        return lambda: FaultPlan(
+            crashes={seed % 5: 2.0},
+            initial_corruption=RandomCorruption(seed=seed),
+        )
+
+    assert_conformance(
+        protocol(),
+        n=5,
+        rounds=6,
+        plan_factories=[plan(0), plan(3), None],
+        backend=backend,
+        protocol_factory=protocol,
+    )
+
+
+@backends
+def test_detector_stack_twin_conformance(backend):
+    def plan():
+        return FaultPlan(
+            crashes={1: 3.0},
+            omissions=RandomAdversary(
+                6, 1, mode=FaultMode.GENERAL_OMISSION, rate=0.3, seed=5
+            ),
+            initial_corruption=RandomCorruption(seed=4),
+        )
+
+    assert_conformance(
+        DetectorStack(initial_timeout=1, max_timeout=4),
+        n=6,
+        rounds=12,
+        plan_factories=[plan, plan],
+        backend=backend,
+    )
+
+
+# -- the dense forgery path: Byzantine plans stay on the array engine --------
+
+
+@backends
+def test_scripted_forgeries_conform(backend):
     def plan():
         return FaultPlan(
             omissions=ScriptedAdversary(
                 1,
-                {2: RoundFaultPlan(forgeries={0: {1: lambda payload: payload}})},
+                {
+                    2: RoundFaultPlan(
+                        forgeries={0: {1: lambda payload: payload + 40, 3: lambda _: 0}}
+                    ),
+                    4: RoundFaultPlan(forgeries={0: {2: lambda payload: payload * 2}}),
+                },
+            ),
+            initial_corruption=RandomCorruption(seed=6),
+        )
+
+    assert_conformance(
+        MinUnison(), n=4, rounds=7, plan_factories=[plan, plan], backend=backend
+    )
+
+
+@backends
+def test_byzantine_adversary_conforms(backend):
+    def mutator(rng, payload):
+        return (payload or 0) + rng.randrange(-3, 4)
+
+    def plan(seed):
+        return lambda: FaultPlan(
+            omissions=ByzantineAdversary(5, 1, mutator, rate=0.6, seed=seed),
+            initial_corruption=RandomCorruption(seed=seed),
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=5,
+        rounds=9,
+        plan_factories=[plan(1), plan(8)],
+        topology=RingTopology(5),
+        backend=backend,
+    )
+
+
+@backends
+def test_forged_detector_vectors_conform(backend):
+    def scramble(rng, payload):
+        nums, statuses = payload
+        forged = list(nums)
+        forged[rng.randrange(len(forged))] = rng.randrange(0, 1 << 20)
+        return (tuple(forged), statuses)
+
+    def plan():
+        return FaultPlan(omissions=ByzantineAdversary(5, 1, scramble, rate=0.5, seed=2))
+
+    assert_conformance(
+        DetectorStack(initial_timeout=1, max_timeout=4),
+        n=5,
+        rounds=10,
+        plan_factories=[plan],
+        backend=backend,
+    )
+
+
+# -- chunked execution: bounded-memory temporaries, identical digests --------
+
+
+@backends
+@pytest.mark.parametrize("chunk", [2, 5])
+def test_chunked_conformance_on_ring(backend, chunk):
+    def plan(seed):
+        return lambda: FaultPlan(
+            crashes={seed % 6: 3.0},
+            initial_corruption=RandomCorruption(seed=seed),
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=6,
+        rounds=9,
+        plan_factories=[plan(0), plan(4)],
+        topology=RingTopology(6),
+        backend=backend,
+        chunk=chunk,
+    )
+
+
+@backends
+def test_max_bytes_chunking_conformance(backend):
+    def plan():
+        return FaultPlan(
+            omissions=RandomAdversary(
+                9, 2, mode=FaultMode.SEND_OMISSION, rate=0.3, seed=17
+            ),
+            initial_corruption=RandomCorruption(seed=9),
+        )
+
+    assert_conformance(
+        MinUnison(),
+        n=9,
+        rounds=8,
+        plan_factories=[plan, plan],
+        topology=GridTopology(3, 3),
+        backend=backend,
+        max_bytes=1 << 12,
+    )
+
+
+# -- eligibility: loud refusals, never silent wrong answers ------------------
+
+
+def test_unencodable_forged_patch_is_rejected():
+    def plan():
+        return FaultPlan(
+            omissions=ScriptedAdversary(
+                1,
+                {2: RoundFaultPlan(forgeries={0: {1: lambda payload: 0.5}})},
             )
         )
 

@@ -158,6 +158,40 @@ def test_array_batch_length_mismatch_is_an_error():
         run_sweep(lying_worker, POINTS, jobs=1, backend="array")
 
 
+def test_array_backend_shards_across_the_pool():
+    points = [(n, seed) for n in (1, 2, 3, 4, 5) for seed in (0, 1)]
+    outcomes = run_sweep(batched_worker, points, jobs=3, backend="array")
+    assert outcomes == [n * 10 + seed for n, seed in points]
+    # Nothing fell back to the single-point path in the parent (the
+    # batch calls themselves ran in pool children).
+    assert CALLS["single"] == 0
+
+
+def test_sharded_refusal_falls_back_loudly():
+    with pytest.warns(RuntimeWarning, match="refused"):
+        outcomes = run_sweep(refusing_worker, POINTS, jobs=2, backend="array")
+    # The refused points fell back and re-ran through the pool (the
+    # parent's call counter stays 0 — children executed them).
+    assert outcomes == EXPECTED
+
+
+def test_fallback_counter_tallies_unbatched_points(tmp_path):
+    repro.cache.configure(root=tmp_path / "cache", enabled=True)
+    store = repro.cache.get_cache()
+
+    with pytest.warns(RuntimeWarning, match="not array-eligible"):
+        run_sweep(picky_worker, POINTS, jobs=1, cache="PK", backend="array")
+    # Four odd-n points fell back: counted once each, under both the
+    # sync-executed and the fallback tallies.
+    assert store.stats.executed_array == 2
+    assert store.stats.executed_sync == 4
+    assert store.stats.executed_fallback == 4
+
+    # An all-batched sweep leaves the fallback counter untouched.
+    run_sweep(batched_worker, POINTS, jobs=1, cache="BW", backend="array")
+    assert store.stats.executed_fallback == 4
+
+
 def test_array_cache_namespace_and_backend_counters(tmp_path):
     repro.cache.configure(root=tmp_path / "cache", enabled=True)
     store = repro.cache.get_cache()

@@ -57,7 +57,7 @@ class TestRegistry:
             "ASYNC-CONS", "ABL-SUSPECT", "ABL-RETX", "ABL-MERGE",
             "EXT-BOUNDED", "EXT-BYZ", "EXT-EARLY", "EXT-HEARTBEAT",
             "EXT-SKEW", "EXT-RSM", "EXPLORE", "VERIFY", "NET-LIVE",
-            "UNISON", "UNISON-CHURN", "ARRAY-SCALE",
+            "UNISON", "UNISON-CHURN", "ARRAY-SCALE", "ARRAY-TWINS",
         }
         assert set(REGISTRY.ids()) == expected
 

@@ -207,6 +207,71 @@ class TestCertificates:
             Certificate.from_jsonable({"schema_version": 999})
 
 
+# -- recheck: certificates re-verify from their own description --------------
+
+
+class TestRecheck:
+    def _saved_cert(self, name, tmp_path):
+        from repro.verify.certificates import certificate_from_result
+
+        target = get_verify_target(name)
+        result = verify(name)
+        return save_certificate(
+            tmp_path, certificate_from_result(target, result, target.space)
+        )
+
+    def test_proof_certificate_rechecks_clean(self, tmp_path, capsys):
+        from repro.verify.__main__ import main as verify_main
+
+        path = self._saved_cert("unison", tmp_path)
+        assert verify_main(["recheck", str(path)]) == 0
+        assert "certificate reproduces" in capsys.readouterr().out
+
+    def test_counterexample_certificate_rechecks_clean(self, tmp_path):
+        from repro.verify.__main__ import main as verify_main
+
+        path = self._saved_cert("thm2", tmp_path)
+        assert verify_main(["recheck", str(path)]) == 0
+
+    def test_tampered_frontier_digest_is_caught(self, tmp_path, capsys):
+        from repro.verify.__main__ import main as verify_main
+
+        path = self._saved_cert("unison", tmp_path)
+        data = json.loads(path.read_text())
+        data["frontier"]["digest"] = "f" * 64
+        path.write_text(json.dumps(data))
+        assert verify_main(["recheck", str(path)]) == 1
+        assert "frontier digest" in capsys.readouterr().err
+
+    def test_tampered_cardinality_is_caught(self, tmp_path, capsys):
+        from repro.verify.__main__ import main as verify_main
+
+        path = self._saved_cert("unison", tmp_path)
+        data = json.loads(path.read_text())
+        data["cardinality"]["examined"] += 1
+        path.write_text(json.dumps(data))
+        assert verify_main(["recheck", str(path)]) == 1
+        assert "cardinality examined" in capsys.readouterr().err
+
+    def test_tampered_embedded_artifact_is_caught(self, tmp_path, capsys):
+        from repro.verify.__main__ import main as verify_main
+
+        path = self._saved_cert("thm2", tmp_path)
+        data = json.loads(path.read_text())
+        # Lie about the violation record: the replay must disagree.
+        data["artifact"]["violations"] = ["fabricated violation"]
+        path.write_text(json.dumps(data))
+        assert verify_main(["recheck", str(path)]) == 1
+        assert "replay" in capsys.readouterr().err
+
+    def test_unreadable_certificate_is_an_error(self, tmp_path):
+        from repro.verify.__main__ import main as verify_main
+
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert verify_main(["recheck", str(path)]) == 1
+
+
 # -- minimality --------------------------------------------------------------
 
 
